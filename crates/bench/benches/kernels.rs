@@ -1,0 +1,90 @@
+//! Kernel microbenchmarks: the building blocks whose costs determine
+//! the system-level figures — SAX parsing, bi-labeling, B+ tree
+//! operations, and the structural-join kernel.
+
+use blas_engine::stjoin::structural_match;
+use blas_labeling::{assign_dlabels, DLabel, PLabelDomain};
+use blas_storage::BPlusTree;
+use blas_xml::Document;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn parse_and_label(c: &mut Criterion) {
+    let xml = blas_datagen::shakespeare(1, 42);
+    let doc = Document::parse(&xml).unwrap();
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_function("sax_parse_shakespeare", |b| {
+        b.iter(|| Document::parse(&xml).unwrap().len())
+    });
+    g.throughput(Throughput::Elements(doc.len() as u64));
+    g.bench_function("dlabel_assignment", |b| b.iter(|| assign_dlabels(&doc)));
+    g.bench_function("plabel_assignment", |b| {
+        let dom = PLabelDomain::for_document(&doc).unwrap();
+        b.iter(|| dom.node_plabels(&doc))
+    });
+    g.finish();
+}
+
+fn bptree_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bptree");
+    const N: u32 = 100_000;
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("insert_100k_random", |b| {
+        // Pseudo-random but deterministic key order.
+        let keys: Vec<u32> = (0..N).map(|i| i.wrapping_mul(2654435761) % N).collect();
+        b.iter_batched(
+            BPlusTree::<u32, u32>::new,
+            |mut t| {
+                for &k in &keys {
+                    t.insert(k, k);
+                }
+                t.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut tree = BPlusTree::new();
+    for i in 0..N {
+        tree.insert(i, i);
+    }
+    g.bench_function("point_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % N;
+            tree.get(&i).copied()
+        })
+    });
+    g.bench_function("range_scan_1k", |b| {
+        b.iter(|| tree.range(&40_000, &40_999).count())
+    });
+    g.finish();
+}
+
+fn structural_join_kernel(c: &mut Criterion) {
+    // Ancestors: 1k siblings each containing 50 descendants.
+    let mut anc = Vec::new();
+    let mut desc = Vec::new();
+    for i in 0..1_000u32 {
+        let base = i * 200;
+        anc.push(DLabel { start: base, end: base + 150, level: 2 });
+        for j in 0..50u32 {
+            desc.push(DLabel { start: base + 2 + j * 2, end: base + 3 + j * 2, level: 3 });
+        }
+    }
+    let mut g = c.benchmark_group("stjoin");
+    g.throughput(Throughput::Elements((anc.len() + desc.len()) as u64));
+    g.bench_function("containment_1k_x_50k", |b| {
+        b.iter(|| structural_match(&anc, &desc, None).pairs)
+    });
+    g.bench_function("level_constrained_1k_x_50k", |b| {
+        b.iter(|| structural_match(&anc, &desc, Some(1)).pairs)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = parse_and_label, bptree_ops, structural_join_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end query benchmarks mirroring the Fig. 13/14 groups: every
+//! Fig. 10 query × translator on both engines, Criterion-measured.
+
+use blas::{BlasDb, Engine, Translator};
+use blas_datagen::{query_set, DatasetId};
+use blas_xpath::parse;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_dataset(c: &mut Criterion, ds: DatasetId) {
+    let xml = ds.generate(1);
+    let db = BlasDb::load(&xml).expect("well-formed");
+    let mut g = c.benchmark_group(format!("rdbms/{}", ds.name()));
+    for q in query_set(ds) {
+        for (name, t) in [
+            ("dlabel", Translator::DLabeling),
+            ("split", Translator::Split),
+            ("pushup", Translator::PushUp),
+            ("unfold", Translator::Unfold),
+        ] {
+            g.bench_with_input(BenchmarkId::new(q.id, name), &t, |b, &t| {
+                b.iter(|| db.query_with(q.xpath, t, Engine::Rdbms).unwrap().stats.result_count)
+            });
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group(format!("twig/{}", ds.name()));
+    for q in query_set(ds) {
+        let stripped = parse(q.xpath).unwrap().without_value_predicates();
+        for (name, t) in [
+            ("dlabel", Translator::DLabeling),
+            ("split", Translator::Split),
+            ("pushup", Translator::PushUp),
+        ] {
+            g.bench_with_input(BenchmarkId::new(q.id, name), &t, |b, &t| {
+                b.iter(|| db.run(&stripped, t, Engine::Twig).unwrap().stats.result_count)
+            });
+        }
+    }
+    g.finish();
+}
+
+fn all_datasets(c: &mut Criterion) {
+    for ds in DatasetId::ALL {
+        bench_dataset(c, ds);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = all_datasets
+}
+criterion_main!(benches);

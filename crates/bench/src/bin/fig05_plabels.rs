@@ -1,0 +1,44 @@
+//! Fig. 5 — P-labels for the protein suffix path expressions, with the
+//! paper's exact parameters: 99 tags, `m = 10^12`, tag order `/`,
+//! ProteinDatabase, ProteinEntry, protein, name.
+
+use blas::PLabelDomain;
+use blas_xml::TagInterner;
+
+fn main() {
+    let dom = PLabelDomain::with_digits(99, 6).expect("domain fits");
+    assert_eq!(dom.m(), 1_000_000_000_000);
+
+    let mut tags = TagInterner::new();
+    let pdb = tags.intern("ProteinDatabase");
+    let pe = tags.intern("ProteinEntry");
+    let protein = tags.intern("protein");
+    let name = tags.intern("name");
+
+    println!("Fig. 5 — P-labels for suffix path expressions (m = 10^12, 99 tags)\n");
+    println!("{:<55} {:>15} {:>15}", "Path expression", "p1", "p2");
+    let rows: [(&str, bool, Vec<blas_xml::TagId>); 5] = [
+        ("//name", false, vec![name]),
+        ("//protein/name", false, vec![protein, name]),
+        ("//ProteinEntry/protein/name", false, vec![pe, protein, name]),
+        (
+            "//ProteinDatabase/ProteinEntry/protein/name",
+            false,
+            vec![pdb, pe, protein, name],
+        ),
+        (
+            "/ProteinDatabase/ProteinEntry/protein/name",
+            true,
+            vec![pdb, pe, protein, name],
+        ),
+    ];
+    for (path, anchored, ids) in rows {
+        let interval = dom.path_interval(anchored, &ids).expect("within domain");
+        println!("{:<55} {:>15} {:>15}", path, interval.p1, interval.p2);
+    }
+    println!(
+        "\nEvery node reachable by the last path is assigned P-label {}",
+        dom.plabel_of_path(&[pdb, pe, protein, name]).unwrap()
+    );
+    println!("(paper: <4·10^10,5·10^10−1>, <4.03·10^10,4.04·10^10−1>, …, node label 4.030201·10^10)");
+}

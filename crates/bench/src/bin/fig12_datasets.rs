@@ -1,0 +1,34 @@
+//! Fig. 12 — dataset characteristics (Size / Nodes / Tags / Depth) for
+//! the three synthetic corpora, next to the paper's numbers.
+
+use blas_datagen::DatasetId;
+use blas_xml::DocStats;
+
+fn main() {
+    println!("Fig. 12 — XML data sets (ours vs paper)\n");
+    println!(
+        "{:<8} {:>12} {:>9} {:>6} {:>6}   {:>9} {:>8} {:>5} {:>6}",
+        "", "Size", "Nodes", "Tags", "Depth", "(paper)", "Nodes", "Tags", "Depth"
+    );
+    let paper = [
+        ("1.3MB", 31_975, 19, 7),
+        ("3.5MB", 113_831, 66, 7),
+        ("3.4MB", 61_890, 77, 12),
+    ];
+    for (ds, (psize, pnodes, ptags, pdepth)) in DatasetId::ALL.into_iter().zip(paper) {
+        let xml = ds.generate(1);
+        let stats = DocStats::from_str(&xml).expect("well-formed");
+        println!(
+            "{:<8} {:>12} {:>9} {:>6} {:>6}   {:>9} {:>8} {:>5} {:>6}",
+            ds.name(),
+            stats.size_display(),
+            stats.nodes,
+            stats.tags,
+            stats.depth,
+            psize,
+            pnodes,
+            ptags,
+            pdepth
+        );
+    }
+}

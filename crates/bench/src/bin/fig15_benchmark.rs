@@ -1,0 +1,40 @@
+//! Fig. 15 a,b — the XMark benchmark queries (Q1, Q2, Q4, Q5, Q6) on
+//! the ×20 auction data (≈ the paper's 69.7 MB instance), holistic twig
+//! engine, times and elements read.
+
+use blas::Engine;
+use blas_bench::{arg_value, bench_query, load_dataset, secs, TWIG_TRANSLATORS};
+use blas_datagen::{xmark_benchmark, DatasetId};
+
+fn main() {
+    let scale = arg_value("--scale").unwrap_or(20);
+    let (db, bytes) = load_dataset(DatasetId::Auction, scale);
+    println!(
+        "Fig. 15 — XMark benchmark queries, auction ×{scale} ({:.1} MB)\n",
+        bytes as f64 / 1e6
+    );
+    println!(
+        "{:<4} {:>12} {:>12} {:>12}   {:>10} {:>10} {:>10}",
+        "q", "D-label(s)", "Split(s)", "PushUp(s)", "elems(D)", "elems(S)", "elems(P)"
+    );
+    for q in xmark_benchmark() {
+        let mut times = Vec::new();
+        let mut elems = Vec::new();
+        for (_, t) in TWIG_TRANSLATORS {
+            let (elapsed, stats) = bench_query(&db, q.xpath, t, Engine::Twig);
+            times.push(elapsed);
+            elems.push(stats.elements_visited / 1000);
+        }
+        println!(
+            "{:<4} {:>12} {:>12} {:>12}   {:>9}K {:>9}K {:>9}K",
+            q.id,
+            secs(times[0]),
+            secs(times[1]),
+            secs(times[2]),
+            elems[0],
+            elems[1],
+            elems[2]
+        );
+    }
+    println!("\nexpected shape (paper Fig. 15): Push Up ≥ Split > D-labeling on every query.");
+}

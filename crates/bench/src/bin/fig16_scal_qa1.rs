@@ -1,0 +1,11 @@
+//! Fig. 16 a,b — scalability of the suffix path query QA1 over auction
+//! data replicated ×10…×60 (twig engine). Split and Push-up share one
+//! plan on suffix paths; their time stays nearly constant while the
+//! D-labeling baseline grows with the data.
+
+use blas_bench::{arg_value, scalability_sweep};
+
+fn main() {
+    let max = arg_value("--max-scale").unwrap_or(60);
+    scalability_sweep("Fig. 16", "QA1", "//category/description/parlist/listitem", max);
+}

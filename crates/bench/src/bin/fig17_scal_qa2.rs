@@ -1,0 +1,10 @@
+//! Fig. 17 a,b — scalability of the path query QA2 (interior `//`)
+//! over auction data replicated ×10…×60 (twig engine). Split/Push-up
+//! need one D-join but still read ~4× fewer elements than D-labeling.
+
+use blas_bench::{arg_value, scalability_sweep};
+
+fn main() {
+    let max = arg_value("--max-scale").unwrap_or(60);
+    scalability_sweep("Fig. 17", "QA2", "/site/regions//item/description", max);
+}

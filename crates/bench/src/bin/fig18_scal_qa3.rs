@@ -1,0 +1,11 @@
+//! Fig. 18 a,b — scalability of the twig query QA3 over auction data
+//! replicated ×10…×60 (twig engine). Push-up's more selective
+//! subqueries read fewer elements than Split; both beat D-labeling,
+//! with the gap growing in the file size.
+
+use blas_bench::{arg_value, scalability_sweep};
+
+fn main() {
+    let max = arg_value("--max-scale").unwrap_or(60);
+    scalability_sweep("Fig. 18", "QA3", "/site/regions/asia/item[shipping]/description", max);
+}

@@ -1,0 +1,200 @@
+//! Multi-document collections.
+//!
+//! §3 of the paper: "The algorithm can be easily extended to multiple
+//! documents by introducing document id information into the labeling
+//! scheme." That is exactly what this module does: each document keeps
+//! its own label space (D-label positions and a P-label domain sized to
+//! its own tag set and depth) and the document id qualifies every
+//! result. Queries fan out across members; per-document schema graphs
+//! keep Unfold precise, while [`BlasCollection::merged_schema`] exposes
+//! the union schema for cross-corpus reasoning.
+
+use crate::db::{BlasDb, Engine, QueryResult, Translator};
+use crate::error::BlasError;
+use blas_xml::SchemaGraph;
+use blas_xpath::QueryTree;
+
+/// Identifies one document inside a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// Dense index of this document.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A set of independently labeled, jointly queryable documents.
+#[derive(Debug, Default)]
+pub struct BlasCollection {
+    names: Vec<String>,
+    dbs: Vec<BlasDb>,
+}
+
+impl BlasCollection {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse, label and index one more document.
+    pub fn add(&mut self, name: &str, xml: &str) -> Result<DocId, BlasError> {
+        let db = BlasDb::load(xml)?;
+        let id = DocId(self.dbs.len() as u32);
+        self.names.push(name.to_string());
+        self.dbs.push(db);
+        Ok(id)
+    }
+
+    /// Number of member documents.
+    pub fn len(&self) -> usize {
+        self.dbs.len()
+    }
+
+    /// True when the collection has no members.
+    pub fn is_empty(&self) -> bool {
+        self.dbs.is_empty()
+    }
+
+    /// Member access.
+    pub fn doc(&self, id: DocId) -> &BlasDb {
+        &self.dbs[id.index()]
+    }
+
+    /// Member name.
+    pub fn name(&self, id: DocId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Iterate members.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &BlasDb)> {
+        self.dbs
+            .iter()
+            .enumerate()
+            .map(|(i, db)| (DocId(i as u32), db))
+    }
+
+    /// Run `xpath` over every member (default configuration), returning
+    /// per-document results. Documents where the query binds nothing
+    /// still appear, with empty results — callers often want the zeros.
+    pub fn query(&self, xpath: &str) -> Result<Vec<(DocId, QueryResult)>, BlasError> {
+        self.query_with(xpath, Translator::Auto, Engine::Rdbms)
+    }
+
+    /// Run `xpath` over every member with explicit translator × engine.
+    pub fn query_with(
+        &self,
+        xpath: &str,
+        translator: Translator,
+        engine: Engine,
+    ) -> Result<Vec<(DocId, QueryResult)>, BlasError> {
+        // Parse once; bind per document.
+        let query = blas_xpath::parse(xpath)?;
+        self.run(&query, translator, engine)
+    }
+
+    /// Run a parsed query over every member.
+    pub fn run(
+        &self,
+        query: &QueryTree,
+        translator: Translator,
+        engine: Engine,
+    ) -> Result<Vec<(DocId, QueryResult)>, BlasError> {
+        self.iter()
+            .map(|(id, db)| Ok((id, db.run(query, translator, engine)?)))
+            .collect()
+    }
+
+    /// Total matches of a query across the collection.
+    pub fn count(&self, xpath: &str) -> Result<usize, BlasError> {
+        Ok(self
+            .query(xpath)?
+            .iter()
+            .map(|(_, r)| r.stats.result_count)
+            .sum())
+    }
+
+    /// The union of all member schema graphs.
+    pub fn merged_schema(&self) -> SchemaGraph {
+        let mut merged = SchemaGraph::new();
+        for db in &self.dbs {
+            merged.merge(db.schema());
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BlasCollection {
+        let mut c = BlasCollection::new();
+        c.add("alpha", "<db><e><n>cyt</n></e><e><n>hb</n></e></db>").unwrap();
+        c.add("beta", "<db><e><n>cyt</n></e></db>").unwrap();
+        c.add("gamma", "<other><x/></other>").unwrap();
+        c
+    }
+
+    #[test]
+    fn add_and_access() {
+        let c = sample();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.name(DocId(1)), "beta");
+        assert_eq!(c.doc(DocId(2)).document().tag_name(c.doc(DocId(2)).document().root()), "other");
+    }
+
+    #[test]
+    fn query_fans_out_with_doc_ids() {
+        let c = sample();
+        let results = c.query("/db/e/n").unwrap();
+        assert_eq!(results.len(), 3);
+        let counts: Vec<usize> = results.iter().map(|(_, r)| r.stats.result_count).collect();
+        assert_eq!(counts, [2, 1, 0]);
+        assert_eq!(c.count("/db/e/n").unwrap(), 3);
+    }
+
+    #[test]
+    fn per_document_label_spaces_are_independent() {
+        let c = sample();
+        // Same tag can have different TagIds / domains per document; a
+        // query still works against each member independently.
+        let a = c.doc(DocId(0)).domain().m();
+        let b = c.doc(DocId(2)).domain().m();
+        assert_ne!(a, b, "domains sized per document");
+        for (_, r) in c.query("//n='cyt'").unwrap() {
+            for t in c.dbs[0].texts(&r).into_iter().flatten() {
+                assert_eq!(t, "cyt");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_schema_is_union() {
+        let c = sample();
+        let schema = c.merged_schema();
+        assert!(schema.contains("db") && schema.contains("other"));
+        let roots: Vec<&str> = schema.roots().collect();
+        assert_eq!(roots, ["db", "other"]);
+    }
+
+    #[test]
+    fn translator_choice_applies_per_member() {
+        let c = sample();
+        let split = c.query_with("/db/e/n", Translator::Split, Engine::Rdbms).unwrap();
+        let unfold = c.query_with("/db/e/n", Translator::Unfold, Engine::Rdbms).unwrap();
+        for ((_, s), (_, u)) in split.iter().zip(&unfold) {
+            assert_eq!(s.nodes, u.nodes);
+        }
+    }
+
+    #[test]
+    fn bad_document_rejected_without_corrupting_collection() {
+        let mut c = sample();
+        assert!(c.add("broken", "<a><b></a>").is_err());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.count("/db/e/n").unwrap(), 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! # blas — Bi-LAbeling based System for XPath processing
+//!
+//! A from-scratch reproduction of *BLAS: An Efficient XPath Processing
+//! System* (Chen, Davidson, Zheng; SIGMOD 2004). The system stores XML
+//! with two labels per node — **D-labels** `<start, end, level>` for
+//! descendant-axis navigation and **P-labels** (source-path interval
+//! codes) for whole chains of child-axis steps — translates tree-shaped
+//! XPath queries into plans of P-label selections glued by structural
+//! D-joins (Split / Push-up / Unfold translators), and executes them on
+//! either a relational-style engine or a holistic twig-join engine.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use blas::{BlasDb, Translator, Engine};
+//!
+//! let db = BlasDb::load("<db><e><n>cytochrome c</n></e><e><n>hb</n></e></db>").unwrap();
+//! let result = db.query("/db/e/n").unwrap();
+//! assert_eq!(result.nodes.len(), 2);
+//! assert_eq!(db.texts(&result)[0].as_deref(), Some("cytochrome c"));
+//!
+//! // Compare translators / engines explicitly:
+//! let baseline = db.query_with("/db/e/n", Translator::DLabeling, Engine::Rdbms).unwrap();
+//! assert_eq!(baseline.nodes, result.nodes);
+//! assert!(baseline.stats.d_joins > result.stats.d_joins);
+//! ```
+
+mod collection;
+mod db;
+mod error;
+
+pub use collection::{BlasCollection, DocId};
+pub use db::{BlasDb, Engine, QueryResult, Translator};
+pub use error::BlasError;
+
+// Re-export the building blocks for advanced use.
+pub use blas_engine::{ExecStats, TwigQuery};
+pub use blas_labeling::{DLabel, DocumentLabels, PInterval, PLabelDomain};
+pub use blas_storage::{NodeRecord, NodeStore};
+pub use blas_translate::{BoundPlan, Plan, PlanSummary};
+pub use blas_xml::{DocStats, Document, SchemaGraph};
+pub use blas_xpath::QueryTree;

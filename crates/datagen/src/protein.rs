@@ -1,0 +1,205 @@
+//! Protein-shaped generator (Georgetown PIR, tree DTD, depth 7).
+//!
+//! Reproduces the features the QP queries need: the
+//! `ProteinEntry/protein/name` chain (QP1), `authors/author` values
+//! including `Daniel, M.` (QP2), and entries whose `refinfo` has both
+//! `citation` and `year` children (QP3's branch predicate).
+
+use crate::writer::XmlWriter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SURNAMES: [&str; 12] = [
+    "Daniel", "Evans", "Chen", "Davidson", "Zheng", "Smith", "Kim", "Garcia", "Mueller", "Tanaka",
+    "Okafor", "Rossi",
+];
+
+const FAMILIES: [&str; 6] = [
+    "cytochrome c",
+    "hemoglobin",
+    "myoglobin",
+    "ferredoxin",
+    "insulin",
+    "albumin",
+];
+
+/// Entries per scale unit; `scale = 1` lands near the paper's 113 831
+/// nodes.
+const ENTRIES_PER_SCALE: u32 = 3700;
+
+/// Generate the Protein-shaped dataset.
+pub fn protein(scale: u32, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = XmlWriter::with_capacity(3_700_000 * scale as usize);
+    w.open("ProteinDatabase");
+    for i in 0..scale * ENTRIES_PER_SCALE {
+        write_entry(&mut w, &mut rng, i);
+    }
+    w.close();
+    w.finish()
+}
+
+fn author_name(rng: &mut StdRng) -> String {
+    let surname = SURNAMES[rng.gen_range(0..SURNAMES.len())];
+    let initial = (b'A' + rng.gen_range(0..26)) as char;
+    format!("{surname}, {initial}.")
+}
+
+fn write_entry(w: &mut XmlWriter, rng: &mut StdRng, index: u32) {
+    w.open("ProteinEntry");
+    // Header block.
+    w.open("header");
+    w.leaf("uid", &format!("PIR{index:06}"));
+    w.leaf("accession", &format!("A{index:05}"));
+    if rng.gen_bool(0.5) {
+        w.leaf("created_date", "10-Apr-1987");
+    }
+    if rng.gen_bool(0.5) {
+        w.leaf("seq-rev_date", "21-Jul-2000");
+    }
+    w.close();
+    // Protein block (QP1 path).
+    w.open("protein");
+    let family = FAMILIES[rng.gen_range(0..FAMILIES.len())];
+    w.leaf("name", &format!("{family} [validated]"));
+    if rng.gen_bool(0.7) {
+        w.open("classification");
+        w.leaf("superfamily", family);
+        w.close();
+    }
+    if rng.gen_bool(0.3) {
+        w.leaf("source", "liver");
+    }
+    w.close();
+    // Organism.
+    w.open("organism");
+    w.leaf("formal", "Homo sapiens");
+    w.leaf("common", "man");
+    w.close();
+    if rng.gen_bool(0.4) {
+        w.open("genetics");
+        w.leaf("gene", &format!("GENE{}", index % 97));
+        if rng.gen_bool(0.4) {
+            w.leaf("gene-map", "11p15.5");
+        }
+        w.close();
+    }
+    if rng.gen_bool(0.3) {
+        w.open("function");
+        w.leaf("description", "electron transport");
+        w.close();
+    }
+    if rng.gen_bool(0.5) {
+        w.open("keywords");
+        w.leaf("keyword", "heme");
+        w.leaf("keyword", "mitochondrion");
+        w.close();
+    }
+    // References (QP2 and QP3 paths).
+    let refs = rng.gen_range(1..=2);
+    for _ in 0..refs {
+        w.open("reference");
+        w.open("refinfo");
+        w.open("authors");
+        let nauthors = rng.gen_range(1..=3);
+        for _ in 0..nauthors {
+            let name = author_name(rng);
+            w.leaf("author", &name);
+        }
+        w.close();
+        if rng.gen_bool(0.7) {
+            w.leaf("citation", "J. Biol. Chem. 252");
+        }
+        w.leaf("year", &format!("{}", 1970 + rng.gen_range(0..35)));
+        if rng.gen_bool(0.6) {
+            w.leaf("title", &format!("The human somatic {family} gene"));
+        }
+        if rng.gen_bool(0.3) {
+            w.open("xrefs");
+            w.open("xref");
+            w.leaf("db", "GB");
+            w.leaf("xuid", &format!("M{index:05}"));
+            w.close();
+            w.close();
+        }
+        w.close();
+        w.close();
+    }
+    // Feature table (filler toward the paper's 66-tag inventory).
+    if rng.gen_bool(0.4) {
+        w.open("feature");
+        w.leaf("ftype", "binding site");
+        w.leaf("fdescription", "heme iron ligand");
+        if rng.gen_bool(0.5) {
+            w.leaf("fstatus", "experimental");
+        }
+        w.close();
+    }
+    if rng.gen_bool(0.3) {
+        w.open("summary");
+        w.leaf("length", "104");
+        w.leaf("weight", "11618");
+        w.close();
+    }
+    if rng.gen_bool(0.2) {
+        w.open("seq-spec");
+        w.leaf("spec-kind", "complete");
+        w.close();
+    }
+    if rng.gen_bool(0.2) {
+        w.open("accinfo");
+        w.leaf("mol-type", "protein");
+        if rng.gen_bool(0.5) {
+            w.leaf("seq-status", "fragment");
+        }
+        w.close();
+    }
+    w.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blas_xml::{DocStats, Document};
+
+    #[test]
+    fn base_scale_matches_paper_shape() {
+        let xml = protein(1, 42);
+        let stats = DocStats::from_str(&xml).unwrap();
+        // Paper: 113 831 nodes, 66 tags, depth 7.
+        assert!(
+            (90_000..135_000).contains(&stats.nodes),
+            "nodes = {}",
+            stats.nodes
+        );
+        assert!((30..=66).contains(&stats.tags), "tags = {}", stats.tags);
+        // ProteinDatabase/ProteinEntry/reference/refinfo/xrefs/xref/db.
+        assert_eq!(stats.depth, 7);
+    }
+
+    #[test]
+    fn qp2_author_present() {
+        let doc = Document::parse(&protein(1, 42)).unwrap();
+        assert!(doc.node_ids().any(|n| doc.tag_name(n) == "author"
+            && doc.node(n).text.as_deref().is_some_and(|t| t.starts_with("Daniel, "))));
+    }
+
+    #[test]
+    fn qp3_branch_satisfiable() {
+        let doc = Document::parse(&protein(1, 42)).unwrap();
+        // Some refinfo has both citation and year.
+        let ok = doc.node_ids().any(|n| {
+            doc.tag_name(n) == "refinfo" && {
+                let kids: Vec<&str> =
+                    doc.node(n).children.iter().map(|&c| doc.tag_name(c)).collect();
+                kids.contains(&"citation") && kids.contains(&"year")
+            }
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(protein(1, 3)[..4000], protein(1, 3)[..4000]);
+    }
+}

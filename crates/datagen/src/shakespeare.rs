@@ -1,0 +1,189 @@
+//! Shakespeare-shaped generator (Bosak corpus, graph DTD, depth 7).
+//!
+//! Reproduces the structural features the QS queries touch:
+//! `PLAYS/PLAY/ACT/SCENE/SPEECH/LINE` chains (QS1), `EPILOGUE` sections
+//! whose lines carry nested `STAGEDIR`s (QS2), and scene titles of the
+//! form `SCENE III. A public place.` (QS3's value predicate).
+
+use crate::writer::XmlWriter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PLACES: [&str; 8] = [
+    "A public place.",
+    "The palace.",
+    "A street.",
+    "The forest.",
+    "A room in the castle.",
+    "The battlefield.",
+    "A churchyard.",
+    "The sea-coast.",
+];
+
+const SPEAKERS: [&str; 10] = [
+    "HAMLET", "OTHELLO", "BRUTUS", "PORTIA", "ROSALIND", "MACBETH", "VIOLA", "LEAR", "PUCK",
+    "PROSPERO",
+];
+
+const ROMANS: [&str; 6] = ["I", "II", "III", "IV", "V", "VI"];
+
+/// Plays per scale unit, tuned so `scale = 1` lands near the paper's
+/// 31 975 nodes.
+const PLAYS_PER_SCALE: u32 = 33;
+
+/// Generate the Shakespeare-shaped dataset. `scale = 1` ≈ the paper's
+/// base corpus; larger scales replicate plays (the paper's "repeat the
+/// original data set N times").
+pub fn shakespeare(scale: u32, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = XmlWriter::with_capacity(1_400_000 * scale as usize);
+    w.open("PLAYS");
+    for play in 0..scale * PLAYS_PER_SCALE {
+        write_play(&mut w, &mut rng, play);
+    }
+    w.close();
+    w.finish()
+}
+
+fn write_play(w: &mut XmlWriter, rng: &mut StdRng, index: u32) {
+    w.open("PLAY");
+    w.leaf("TITLE", &format!("The Tragedy of Play {index}"));
+    if rng.gen_bool(0.5) {
+        w.leaf("SUBTITLE", "A Drama in Five Acts");
+    }
+    // Front matter.
+    w.open("FM");
+    for _ in 0..3 {
+        w.leaf("P", "Text placed in the public domain.");
+    }
+    w.close();
+    // Dramatis personae.
+    w.open("PERSONAE");
+    w.leaf("TITLE", "Dramatis Personae");
+    for s in SPEAKERS.iter().take(6) {
+        w.leaf("PERSONA", s);
+    }
+    w.open("PGROUP");
+    w.leaf("PERSONA", "First Senator");
+    w.leaf("PERSONA", "Second Senator");
+    w.leaf("GRPDESCR", "senators of the realm");
+    w.close();
+    w.close();
+    w.leaf("SCNDESCR", "SCENE: several locations.");
+    if rng.gen_bool(0.3) {
+        w.open("PROLOGUE");
+        w.leaf("TITLE", "PROLOGUE");
+        write_speech(w, rng, false);
+        w.close();
+    }
+    for (act, roman) in ROMANS.iter().enumerate().take(5) {
+        w.open("ACT");
+        w.leaf("TITLE", &format!("ACT {roman}"));
+        let _ = act;
+        let scenes = rng.gen_range(3..=4);
+        for scene in 0..scenes {
+            write_scene(w, rng, scene);
+        }
+        w.close();
+    }
+    if rng.gen_bool(0.4) {
+        w.open("EPILOGUE");
+        w.leaf("TITLE", "EPILOGUE");
+        // QS2 relies on STAGEDIR below LINE under EPILOGUE.
+        write_speech(w, rng, true);
+        w.leaf("STAGEDIR", "Exeunt");
+        w.close();
+    }
+    w.close();
+}
+
+fn write_scene(w: &mut XmlWriter, rng: &mut StdRng, ordinal: usize) {
+    w.open("SCENE");
+    let place = PLACES[rng.gen_range(0..PLACES.len())];
+    w.leaf("TITLE", &format!("SCENE {}. {}", ROMANS[ordinal.min(5)], place));
+    w.leaf("STAGEDIR", "Enter several persons");
+    let speeches = rng.gen_range(8..=12);
+    for _ in 0..speeches {
+        let nested = rng.gen_bool(0.15);
+        write_speech(w, rng, nested);
+    }
+    w.close();
+}
+
+fn write_speech(w: &mut XmlWriter, rng: &mut StdRng, nested_stagedir: bool) {
+    w.open("SPEECH");
+    w.leaf("SPEAKER", SPEAKERS[rng.gen_range(0..SPEAKERS.len())]);
+    let lines = rng.gen_range(2..=3);
+    for l in 0..lines {
+        if nested_stagedir && l == 0 {
+            // A LINE containing a STAGEDIR child (mixed content in the
+            // real corpus; element-nested here).
+            w.open("LINE");
+            w.text("What is spoken here ");
+            w.leaf("STAGEDIR", "Aside");
+            w.close();
+        } else {
+            w.leaf("LINE", "So shaken as we are, so wan with care,");
+        }
+    }
+    w.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blas_xml::{DocStats, Document};
+
+    #[test]
+    fn base_scale_matches_paper_shape() {
+        let xml = shakespeare(1, 42);
+        let stats = DocStats::from_str(&xml).unwrap();
+        // Paper: 31 975 nodes, 19 tags, depth 7 (Fig. 12).
+        assert!(
+            (25_000..40_000).contains(&stats.nodes),
+            "nodes = {}",
+            stats.nodes
+        );
+        assert!((15..=21).contains(&stats.tags), "tags = {}", stats.tags);
+        assert_eq!(stats.depth, 7, "PLAYS/PLAY/EPILOGUE/SPEECH/LINE/STAGEDIR…");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        assert_eq!(shakespeare(1, 7), shakespeare(1, 7));
+        assert_ne!(shakespeare(1, 7), shakespeare(1, 8));
+    }
+
+    #[test]
+    fn scale_replicates_plays() {
+        let one = DocStats::from_str(&shakespeare(1, 42)).unwrap();
+        let three = DocStats::from_str(&shakespeare(3, 42)).unwrap();
+        let ratio = three.nodes as f64 / one.nodes as f64;
+        assert!((2.5..3.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn query_features_present() {
+        let xml = shakespeare(1, 42);
+        let doc = Document::parse(&xml).unwrap();
+        // QS3's literal title occurs.
+        assert!(
+            doc.node_ids().any(|n| doc.tag_name(n) == "TITLE"
+                && doc.node(n).text.as_deref() == Some("SCENE III. A public place.")),
+            "QS3 value predicate must be satisfiable"
+        );
+        // QS2's EPILOGUE//LINE/STAGEDIR chain occurs.
+        let has_epilogue_stagedir = doc.node_ids().any(|n| {
+            doc.tag_name(n) == "STAGEDIR"
+                && doc
+                    .source_path(n)
+                    .iter()
+                    .map(|&t| doc.tags().name(t))
+                    .collect::<Vec<_>>()
+                    .windows(2)
+                    .any(|w| w == ["LINE", "STAGEDIR"])
+                && doc.source_path(n).iter().any(|&t| doc.tags().name(t) == "EPILOGUE")
+        });
+        assert!(has_epilogue_stagedir, "QS2 needs EPILOGUE//LINE/STAGEDIR");
+    }
+}

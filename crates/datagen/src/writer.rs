@@ -1,0 +1,98 @@
+//! A minimal push-style XML writer shared by the generators.
+
+use blas_xml::escape::escape_text;
+
+/// Builds well-formed XML with no insignificant whitespace (whitespace
+/// would perturb the D-label position counting).
+#[derive(Debug, Default)]
+pub struct XmlWriter {
+    buf: String,
+    stack: Vec<&'static str>,
+}
+
+impl XmlWriter {
+    /// Empty writer, with capacity reserved for `hint` bytes.
+    pub fn with_capacity(hint: usize) -> Self {
+        Self { buf: String::with_capacity(hint), stack: Vec::with_capacity(16) }
+    }
+
+    /// Open `<tag>`.
+    pub fn open(&mut self, tag: &'static str) -> &mut Self {
+        self.open_with(tag, &[])
+    }
+
+    /// Open `<tag a="v" …>`.
+    pub fn open_with(&mut self, tag: &'static str, attrs: &[(&str, &str)]) -> &mut Self {
+        self.buf.push('<');
+        self.buf.push_str(tag);
+        for (name, value) in attrs {
+            self.buf.push(' ');
+            self.buf.push_str(name);
+            self.buf.push_str("=\"");
+            self.buf.push_str(&blas_xml::escape::escape_attr(value));
+            self.buf.push('"');
+        }
+        self.buf.push('>');
+        self.stack.push(tag);
+        self
+    }
+
+    /// Close the innermost open element.
+    pub fn close(&mut self) -> &mut Self {
+        let tag = self.stack.pop().expect("close without open");
+        self.buf.push_str("</");
+        self.buf.push_str(tag);
+        self.buf.push('>');
+        self
+    }
+
+    /// Write `<tag>text</tag>`.
+    pub fn leaf(&mut self, tag: &'static str, text: &str) -> &mut Self {
+        self.open(tag);
+        self.buf.push_str(&escape_text(text));
+        self.close()
+    }
+
+    /// Write text content into the current element.
+    pub fn text(&mut self, text: &str) -> &mut Self {
+        self.buf.push_str(&escape_text(text));
+        self
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Finish; panics if elements remain open.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed elements: {:?}", self.stack);
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blas_xml::Document;
+
+    #[test]
+    fn builds_well_formed_xml() {
+        let mut w = XmlWriter::with_capacity(64);
+        w.open("a");
+        w.leaf("b", "x & y");
+        w.open("c").text("t").close();
+        w.close();
+        let xml = w.finish();
+        assert_eq!(xml, "<a><b>x &amp; y</b><c>t</c></a>");
+        assert!(Document::parse(&xml).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_panics_on_open_elements() {
+        let mut w = XmlWriter::with_capacity(8);
+        w.open("a");
+        let _ = w.finish();
+    }
+}

@@ -1,0 +1,34 @@
+//! # blas-engine — the two query engines of the BLAS system (§4, §5)
+//!
+//! * [`rdbms`] — the relational engine: executes a [`BoundPlan`]
+//!   (selections over the B+-tree-indexed store, structural merge
+//!   D-joins, unions) the way the generated SQL of Fig. 11 would run
+//!   inside an RDBMS.
+//! * [`twig`] — the file-system engine: converts a plan into a twig
+//!   query over label *streams* (one sorted stream per twig node) and
+//!   matches it holistically with stack-based structural semi-joins
+//!   (bottom-up satisfaction + top-down reachability). Following
+//!   §5.3.1, it rejects plans with unions (Unfold) — the paper excluded
+//!   Unfold from the twig experiments for the same reason.
+//! * [`stjoin`] — the shared structural-join kernel: one merge pass
+//!   with an ancestor stack decides, for two start-sorted label lists,
+//!   which ancestors/descendants participate in a containment (or
+//!   exact-level) pair.
+//!
+//! Every tuple pulled from storage increments
+//! [`ExecStats::elements_visited`]; this is the deterministic
+//! "Number of elements read" metric of Figs. 14–18.
+//!
+//! [`BoundPlan`]: blas_translate::BoundPlan
+
+pub mod naive;
+pub mod rdbms;
+pub mod stats;
+pub mod stjoin;
+pub mod twig;
+pub mod twigstack;
+
+pub use rdbms::execute_plan;
+pub use stats::ExecStats;
+pub use twig::{TwigError, TwigQuery};
+pub use twigstack::execute_twigstack;

@@ -1,0 +1,197 @@
+//! A direct tree-walking XPath evaluator, used as the testing oracle:
+//! every translator × engine combination must return exactly the nodes
+//! this evaluator returns (Def. 2.1 semantics).
+//!
+//! It is intentionally simple (memoized subtree matching + spine walk)
+//! and makes no use of labels, so bugs in the labeling or join machinery
+//! cannot hide here.
+
+use blas_xml::{Document, NodeId};
+use blas_xpath::{Axis, NodeTest, QNodeId, QueryTree};
+use std::collections::HashMap;
+
+/// Evaluate `q` over `doc`, returning matching nodes in document order.
+pub fn evaluate(q: &QueryTree, doc: &Document) -> Vec<NodeId> {
+    let mut ev = Naive { q, doc, memo: HashMap::new() };
+    let spine = q.spine();
+
+    // Candidate document nodes for the first spine step.
+    let root_q = spine[0];
+    let candidates: Vec<NodeId> = match ev.q.node(root_q).axis {
+        Axis::Child => vec![doc.root()],
+        Axis::Descendant => doc.node_ids().collect(),
+    };
+
+    let mut results = Vec::new();
+    for cand in candidates {
+        ev.walk_spine(&spine, 0, cand, &mut results);
+    }
+    results.sort_unstable();
+    results.dedup();
+    results
+}
+
+struct Naive<'a> {
+    q: &'a QueryTree,
+    doc: &'a Document,
+    /// `(qnode, docnode) → whole subtree of qnode matches at docnode`.
+    memo: HashMap<(QNodeId, NodeId), bool>,
+}
+
+impl<'a> Naive<'a> {
+    /// Does `d` satisfy the local test of `qn` (name + value)?
+    fn local_match(&self, qn: QNodeId, d: NodeId) -> bool {
+        let q = self.q.node(qn);
+        let name_ok = match &q.test {
+            NodeTest::Tag(t) => self.doc.tag_name(d) == t,
+            NodeTest::Wildcard => true,
+        };
+        if !name_ok {
+            return false;
+        }
+        match &q.value_eq {
+            Some(v) => self.doc.node(d).text.as_deref() == Some(v.as_str()),
+            None => true,
+        }
+    }
+
+    /// Candidates reachable from `d` via `axis`.
+    fn reachable(&self, d: NodeId, axis: Axis) -> Vec<NodeId> {
+        match axis {
+            Axis::Child => self.doc.node(d).children.clone(),
+            Axis::Descendant => {
+                // All strict descendants.
+                let mut out = Vec::new();
+                let mut stack: Vec<NodeId> = self.doc.node(d).children.clone();
+                while let Some(n) = stack.pop() {
+                    out.push(n);
+                    stack.extend(self.doc.node(n).children.iter().copied());
+                }
+                out
+            }
+        }
+    }
+
+    /// Whole-subtree match (local + every child predicate satisfiable).
+    fn subtree_match(&mut self, qn: QNodeId, d: NodeId) -> bool {
+        if let Some(&hit) = self.memo.get(&(qn, d)) {
+            return hit;
+        }
+        // Insert a placeholder to guard against (impossible) cycles.
+        let result = self.local_match(qn, d)
+            && self
+                .q
+                .node(qn)
+                .children
+                .clone()
+                .into_iter()
+                .all(|cq| {
+                    let axis = self.q.node(cq).axis;
+                    self.reachable(d, axis)
+                        .into_iter()
+                        .any(|cd| self.subtree_match(cq, cd))
+                });
+        self.memo.insert((qn, d), result);
+        result
+    }
+
+    /// Walk the spine: `d` is a candidate for `spine[i]`; collect output
+    /// bindings.
+    fn walk_spine(&mut self, spine: &[QNodeId], i: usize, d: NodeId, out: &mut Vec<NodeId>) {
+        let qn = spine[i];
+        if !self.local_match(qn, d) {
+            return;
+        }
+        // All non-spine subtrees of this spine step must match here.
+        let next_spine = spine.get(i + 1).copied();
+        let preds: Vec<QNodeId> = self
+            .q
+            .node(qn)
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| Some(c) != next_spine)
+            .collect();
+        for p in preds {
+            let axis = self.q.node(p).axis;
+            let ok = self
+                .reachable(d, axis)
+                .into_iter()
+                .any(|cd| self.subtree_match(p, cd));
+            if !ok {
+                return;
+            }
+        }
+        match next_spine {
+            None => out.push(d),
+            Some(nq) => {
+                let axis = self.q.node(nq).axis;
+                for cd in self.reachable(d, axis) {
+                    self.walk_spine(spine, i + 1, cd, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blas_xpath::parse;
+
+    fn texts(doc: &Document, ids: &[NodeId]) -> Vec<String> {
+        ids.iter()
+            .map(|&n| doc.node(n).text.clone().unwrap_or_else(|| doc.tag_name(n).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn simple_paths() {
+        let doc = Document::parse("<a><b><c>1</c></b><b><c>2</c></b><c>3</c></a>").unwrap();
+        let r = evaluate(&parse("/a/b/c").unwrap(), &doc);
+        assert_eq!(texts(&doc, &r), ["1", "2"]);
+        let r = evaluate(&parse("//c").unwrap(), &doc);
+        assert_eq!(texts(&doc, &r), ["1", "2", "3"]);
+        let r = evaluate(&parse("/a//c").unwrap(), &doc);
+        assert_eq!(texts(&doc, &r), ["1", "2", "3"]);
+        let r = evaluate(&parse("/b").unwrap(), &doc);
+        assert!(r.is_empty(), "root is not b");
+    }
+
+    #[test]
+    fn predicates_and_values() {
+        let doc =
+            Document::parse("<a><b><k>x</k><c>1</c></b><b><c>2</c></b></a>").unwrap();
+        let r = evaluate(&parse("/a/b[k]/c").unwrap(), &doc);
+        assert_eq!(texts(&doc, &r), ["1"]);
+        let r = evaluate(&parse("/a/b[k='x']/c").unwrap(), &doc);
+        assert_eq!(texts(&doc, &r), ["1"]);
+        let r = evaluate(&parse("/a/b[k='y']/c").unwrap(), &doc);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wildcard_and_descendant_mix() {
+        let doc = Document::parse("<a><x><c>1</c></x><y><c>2</c></y></a>").unwrap();
+        let r = evaluate(&parse("/a/*/c").unwrap(), &doc);
+        assert_eq!(texts(&doc, &r), ["1", "2"]);
+        let r = evaluate(&parse("/a/x//c").unwrap(), &doc);
+        assert_eq!(texts(&doc, &r), ["1"]);
+    }
+
+    #[test]
+    fn output_on_ancestor_side() {
+        let doc = Document::parse("<a><b><c>1</c></b><b/></a>").unwrap();
+        let r = evaluate(&parse("/a/b[c]").unwrap(), &doc);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.tag_name(r[0]), "b");
+    }
+
+    #[test]
+    fn duplicate_bindings_deduplicated() {
+        // //a//c could find c via several ancestors.
+        let doc = Document::parse("<a><a><c>1</c></a></a>").unwrap();
+        let r = evaluate(&parse("//a//c").unwrap(), &doc);
+        assert_eq!(r.len(), 1);
+    }
+}

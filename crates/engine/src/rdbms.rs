@@ -1,0 +1,269 @@
+//! The relational query engine: executes bound plans the way the
+//! generated SQL of Fig. 11 runs inside an RDBMS (§5.2).
+//!
+//! Operators:
+//! * selections — B+-tree scans over the SP clustering (P-label
+//!   equality/range) or the SD clustering (tag), with optional `data =`
+//!   filters applied per tuple;
+//! * D-joins — the structural merge join of [`crate::stjoin`], keeping
+//!   the side the plan marks as the output side (the composed SQL
+//!   projects one side's columns; the other side acts as an existence
+//!   filter, which is exactly how the semi-join reduction of a tree
+//!   query behaves);
+//! * unions — duplicate-free merges (§4.1.3: unfolded paths are
+//!   disjoint, "the union is very simple since there are no
+//!   duplicates").
+//!
+//! Every operator returns bindings sorted by `start`, the invariant the
+//! merge join needs.
+
+use crate::stats::ExecStats;
+use crate::stjoin::{ensure_start_order, filter_flagged, structural_match};
+use blas_labeling::DLabel;
+use blas_storage::{NodeRecord, NodeStore};
+use blas_translate::{BoundPlan, BoundSelection, BoundSource, Side};
+use std::time::Instant;
+
+/// Execute `plan` against `store`, returning the output bindings
+/// (start-sorted, duplicate-free) and filling `stats`.
+pub fn execute_plan(plan: &BoundPlan, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
+    let t0 = Instant::now();
+    let result = exec(plan, store, stats);
+    stats.result_count = result.len();
+    stats.elapsed = t0.elapsed();
+    result
+}
+
+fn exec(plan: &BoundPlan, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
+    match plan {
+        BoundPlan::Select(sel) => exec_select(sel, store, stats),
+        BoundPlan::DJoin { anc, desc, level_diff, output } => {
+            let a = exec(anc, store, stats);
+            let d = exec(desc, store, stats);
+            stats.d_joins += 1;
+            stats.join_input_tuples += (a.len() + d.len()) as u64;
+            let flags = structural_match(&a, &d, *level_diff);
+            match output {
+                Side::Anc => filter_flagged(&a, &flags.anc),
+                Side::Desc => filter_flagged(&d, &flags.desc),
+            }
+        }
+        BoundPlan::Union(alts) => {
+            let lists: Vec<Vec<DLabel>> = alts.iter().map(|a| exec(a, store, stats)).collect();
+            merge_dedup(lists)
+        }
+    }
+}
+
+fn exec_select(sel: &BoundSelection, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
+    let keep = |r: &NodeRecord| {
+        let value_ok = match &sel.value_eq {
+            Some(v) => r.data.as_deref() == Some(v.as_str()),
+            None => true,
+        };
+        let level_ok = match sel.level_eq {
+            Some(k) => r.level == k,
+            None => true,
+        };
+        value_ok && level_ok
+    };
+    let out: Vec<DLabel> = match &sel.source {
+        BoundSource::PLabelEq(p) => store
+            .scan_plabel_eq(*p)
+            .inspect(|_| stats.elements_visited += 1)
+            .filter(|(_, r)| keep(r))
+            .map(|(_, r)| r.dlabel())
+            .collect(),
+        BoundSource::PLabelRange(p1, p2) => store
+            .scan_plabel_range(*p1, *p2)
+            .inspect(|_| stats.elements_visited += 1)
+            .filter(|(_, r)| keep(r))
+            .map(|(_, r)| r.dlabel())
+            .collect(),
+        BoundSource::Tag(t) => store
+            .scan_tag(*t)
+            .inspect(|_| stats.elements_visited += 1)
+            .filter(|(_, r)| keep(r))
+            .map(|(_, r)| r.dlabel())
+            .collect(),
+        BoundSource::All => store
+            .scan_all()
+            .inspect(|_| stats.elements_visited += 1)
+            .filter(|(_, r)| keep(r))
+            .map(|(_, r)| r.dlabel())
+            .collect(),
+        BoundSource::Empty => Vec::new(),
+    };
+    // Range scans return (plabel, start) order; joins need start order.
+    // Equality/tag scans are already start-sorted; `ensure_start_order`
+    // is a no-op for them and a cheap run-merge for range scans.
+    ensure_start_order(out)
+}
+
+/// K-way merge of start-sorted lists, dropping duplicates (same start ⇒
+/// same node).
+fn merge_dedup(mut lists: Vec<Vec<DLabel>>) -> Vec<DLabel> {
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists.pop().expect("length checked"),
+        _ => {
+            let total = lists.iter().map(Vec::len).sum();
+            let mut all: Vec<DLabel> = Vec::with_capacity(total);
+            for list in lists {
+                all.extend(list);
+            }
+            all.sort_unstable_by_key(|l| l.start);
+            all.dedup_by_key(|l| l.start);
+            all
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blas_labeling::label_document;
+    use blas_storage::NodeStore;
+    use blas_translate::{
+        bind, translate_dlabeling, translate_pushup, translate_split, translate_unfold,
+    };
+    use blas_xml::{Document, SchemaGraph};
+    use blas_xpath::parse;
+
+    const SAMPLE: &str = concat!(
+        "<db>",
+        "<e><p><c><s>cyt</s></c></p><r><f><a>Evans</a><y>2001</y><t>T1</t></f></r></e>",
+        "<e><p><c><s>hb</s></c></p><r><f><a>Smith</a><y>1999</y><t>T2</t></f></r></e>",
+        "<e><p><c><s>cyt</s></c></p><r><f><a>Evans</a><y>1999</y><t>T3</t></f></r></e>",
+        "</db>"
+    );
+
+    struct Fixture {
+        doc: Document,
+        store: NodeStore,
+        domain: blas_labeling::PLabelDomain,
+        schema: SchemaGraph,
+    }
+
+    fn fixture() -> Fixture {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let labels = label_document(&doc).unwrap();
+        let store = NodeStore::build(&doc, &labels);
+        let schema = SchemaGraph::infer(&doc);
+        Fixture { domain: labels.domain, doc, store, schema }
+    }
+
+    fn run(fx: &Fixture, xpath: &str, strategy: &str) -> (Vec<DLabel>, ExecStats) {
+        let q = parse(xpath).unwrap();
+        let plan = match strategy {
+            "dlabel" => translate_dlabeling(&q).unwrap(),
+            "split" => translate_split(&q).unwrap(),
+            "pushup" => translate_pushup(&q).unwrap(),
+            "unfold" => translate_unfold(&q, &fx.schema).unwrap(),
+            _ => unreachable!(),
+        };
+        let bound = bind(&plan, fx.doc.tags(), &fx.domain);
+        let mut stats = ExecStats::default();
+        let out = execute_plan(&bound, &fx.store, &mut stats);
+        (out, stats)
+    }
+
+    /// Ground truth: evaluate by brute force on the document tree.
+    fn texts_of(fx: &Fixture, results: &[DLabel]) -> Vec<String> {
+        let labels = label_document(&fx.doc).unwrap();
+        let mut out = Vec::new();
+        for id in fx.doc.node_ids() {
+            let d = labels.dlabels[id.index()];
+            if results.iter().any(|r| r.start == d.start) {
+                out.push(
+                    fx.doc
+                        .node(id)
+                        .text
+                        .clone()
+                        .unwrap_or_else(|| fx.doc.tag_name(id).to_string()),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn suffix_path_all_strategies_agree() {
+        let fx = fixture();
+        let expected = ["T1", "T2", "T3"];
+        for strat in ["dlabel", "split", "pushup", "unfold"] {
+            let (out, _) = run(&fx, "/db/e/r/f/t", strat);
+            assert_eq!(texts_of(&fx, &out), expected, "{strat}");
+        }
+    }
+
+    #[test]
+    fn twig_with_value_predicates_agree() {
+        let fx = fixture();
+        // Entries with superfamily 'cyt' and year '2001' → title T1.
+        let q = "/db/e[p//s='cyt']/r/f[y='2001']/t";
+        for strat in ["dlabel", "split", "pushup", "unfold"] {
+            let (out, _) = run(&fx, q, strat);
+            assert_eq!(texts_of(&fx, &out), ["T1"], "{strat}");
+        }
+    }
+
+    #[test]
+    fn interior_descendant_agrees() {
+        let fx = fixture();
+        for strat in ["dlabel", "split", "pushup", "unfold"] {
+            let (out, _) = run(&fx, "/db/e//s", strat);
+            assert_eq!(texts_of(&fx, &out), ["cyt", "hb", "cyt"], "{strat}");
+        }
+    }
+
+    #[test]
+    fn blas_reads_fewer_elements_than_dlabeling() {
+        let fx = fixture();
+        let (_, d) = run(&fx, "/db/e/r/f/t", "dlabel");
+        let (_, p) = run(&fx, "/db/e/r/f/t", "pushup");
+        assert!(d.elements_visited > p.elements_visited, "{d:?} vs {p:?}");
+        assert_eq!(d.d_joins, 4); // l − 1
+        assert_eq!(p.d_joins, 0); // single selection
+        // Push-up reads exactly the 3 matching tuples.
+        assert_eq!(p.elements_visited, 3);
+    }
+
+    #[test]
+    fn unfold_replaces_joins_with_selections() {
+        let fx = fixture();
+        let (_, split) = run(&fx, "/db/e//s", "split");
+        let (_, unfold) = run(&fx, "/db/e//s", "unfold");
+        assert!(unfold.d_joins < split.d_joins);
+        assert!(unfold.elements_visited <= split.elements_visited);
+    }
+
+    #[test]
+    fn output_side_respected() {
+        let fx = fixture();
+        // Output is the ancestor side: entries having a 2001 reference.
+        let (out, _) = run(&fx, "/db/e[r/f/y='2001']", "pushup");
+        assert_eq!(out.len(), 1);
+        // Output is the descendant side.
+        let (out, _) = run(&fx, "/db/e[p]/r/f/a", "pushup");
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn empty_results() {
+        let fx = fixture();
+        for strat in ["dlabel", "split", "pushup", "unfold"] {
+            let (out, _) = run(&fx, "/db/e/zzz", strat);
+            assert!(out.is_empty(), "{strat}");
+            let (out, _) = run(&fx, "/db/e[r/f/y='1850']/r/f/t", strat);
+            assert!(out.is_empty(), "{strat}");
+        }
+    }
+
+    #[test]
+    fn results_are_start_sorted_and_unique() {
+        let fx = fixture();
+        let (out, _) = run(&fx, "//f", "split");
+        assert!(out.windows(2).all(|w| w[0].start < w[1].start));
+    }
+}

@@ -1,0 +1,61 @@
+//! Per-query execution statistics.
+
+use std::time::Duration;
+
+/// Counters reported for every executed query; the evaluation figures
+/// plot `elements_visited` (Figs. 14–18 b) and wall-clock time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tuples pulled from storage (selections and stream scans). The
+    /// paper's "number of elements read".
+    pub elements_visited: u64,
+    /// Structural D-joins executed.
+    pub d_joins: u32,
+    /// Total tuples entering join operators (intermediate-result size).
+    pub join_input_tuples: u64,
+    /// Tuples produced by the final plan operator.
+    pub result_count: usize,
+    /// Wall-clock execution time (selections + joins, excluding
+    /// index-build time, matching §5.2.3's measurement scope).
+    pub elapsed: Duration,
+}
+
+impl ExecStats {
+    /// Merge counters from a sub-execution (used by engines that run
+    /// plans in stages).
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.elements_visited += other.elements_visited;
+        self.d_joins += other.d_joins;
+        self.join_input_tuples += other.join_input_tuples;
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = ExecStats {
+            elements_visited: 10,
+            d_joins: 1,
+            join_input_tuples: 5,
+            result_count: 3,
+            elapsed: Duration::from_millis(2),
+        };
+        let b = ExecStats {
+            elements_visited: 7,
+            d_joins: 2,
+            join_input_tuples: 1,
+            result_count: 9,
+            elapsed: Duration::from_millis(1),
+        };
+        a.absorb(&b);
+        assert_eq!(a.elements_visited, 17);
+        assert_eq!(a.d_joins, 3);
+        assert_eq!(a.join_input_tuples, 6);
+        assert_eq!(a.result_count, 3, "result_count is not merged");
+        assert_eq!(a.elapsed, Duration::from_millis(3));
+    }
+}

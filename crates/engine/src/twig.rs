@@ -1,0 +1,370 @@
+//! The holistic twig-join engine (§5.3): stack-based matching over
+//! label streams, in the spirit of TwigStack (Bruno et al., SIGMOD'02).
+//!
+//! A bound plan (without unions — §5.3.1 excludes Unfold from the twig
+//! experiments exactly because it needs unions) converts into a *twig
+//! query*: one node per selection, one edge per D-join, each edge
+//! optionally carrying an exact level offset. Each twig node draws its
+//! elements from a start-sorted **stream** — a tag stream for the
+//! D-labeling baseline, a P-label range/equality stream for BLAS plans;
+//! this stream-size difference is precisely what Figs. 14–18 measure.
+//!
+//! Matching runs two stack-based merge passes over the streams
+//! (bottom-up satisfaction, then top-down reachability), which computes
+//! the exact set of output-node bindings that participate in a twig
+//! match. Compared to the TwigStack prototype the paper borrowed, we
+//! compute the output-binding set instead of enumerating full match
+//! tuples — the time and elements-read metrics the paper reports are
+//! preserved (each stream is still scanned once per incident edge with
+//! O(depth) stack work per element); see DESIGN.md's substitution
+//! table.
+
+use crate::stats::ExecStats;
+use crate::stjoin::{ensure_start_order, filter_flagged, structural_match};
+use blas_labeling::DLabel;
+use blas_storage::{NodeRecord, NodeStore};
+use blas_translate::{BoundPlan, BoundSelection, BoundSource, Side};
+use std::fmt;
+use std::time::Instant;
+
+/// Why a plan cannot run on the twig engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwigError {
+    /// The plan contains a union (Unfold); the twig engine, like the
+    /// prototype in the paper, does not support unions (§5.3.1).
+    UnionUnsupported,
+}
+
+impl fmt::Display for TwigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnionUnsupported => {
+                write!(f, "the holistic twig engine does not support unions (use the RDBMS engine)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TwigError {}
+
+/// One node of a twig query.
+#[derive(Debug, Clone)]
+pub struct TwigNode {
+    /// Stream source (tag stream or P-label range stream).
+    pub source: BoundSource,
+    /// Optional `data =` stream filter.
+    pub value_eq: Option<String>,
+    /// Optional exact-level stream filter (baseline root anchoring).
+    pub level_eq: Option<u16>,
+    /// Parent node, `None` for the twig root.
+    pub parent: Option<usize>,
+    /// Exact level offset below the parent (`None` = any descendant).
+    pub level_diff: Option<u16>,
+    /// Children in plan order.
+    pub children: Vec<usize>,
+}
+
+/// A twig query: tree of stream nodes plus the output node.
+#[derive(Debug, Clone)]
+pub struct TwigQuery {
+    /// Nodes; `root` and `children` index into this arena.
+    pub nodes: Vec<TwigNode>,
+    /// The twig root.
+    pub root: usize,
+    /// The node whose bindings the query returns.
+    pub output: usize,
+}
+
+impl TwigQuery {
+    /// Convert a bound plan into a twig query. Fails on unions.
+    pub fn from_plan(plan: &BoundPlan) -> Result<Self, TwigError> {
+        let mut nodes = Vec::new();
+        let conv = conv(plan, &mut nodes)?;
+        Ok(TwigQuery { nodes, root: conv.root, output: conv.rep })
+    }
+
+    /// Number of twig edges (the joins the holistic pass performs).
+    pub fn edge_count(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Execute against a store: materialize one stream per node
+    /// (counting visited elements), then match with two stack passes.
+    pub fn execute(&self, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
+        let t0 = Instant::now();
+        let streams: Vec<Vec<DLabel>> = self
+            .nodes
+            .iter()
+            .map(|n| materialize_stream(n, store, stats))
+            .collect();
+
+        // Bottom-up: sat[q] = stream elements whose subtree constraints
+        // are satisfiable.
+        let order = self.post_order();
+        let mut sat: Vec<Vec<DLabel>> = streams;
+        for &q in &order {
+            for &c in &self.nodes[q].children {
+                stats.d_joins += 1;
+                stats.join_input_tuples += (sat[q].len() + sat[c].len()) as u64;
+                let flags = structural_match(&sat[q], &sat[c], self.nodes[c].level_diff);
+                sat[q] = filter_flagged(&sat[q], &flags.anc);
+            }
+        }
+
+        // Top-down: alive[q] = sat elements reachable from a satisfying
+        // root chain.
+        let mut alive: Vec<Option<Vec<DLabel>>> = vec![None; self.nodes.len()];
+        alive[self.root] = Some(sat[self.root].clone());
+        for &q in order.iter().rev() {
+            for &c in &self.nodes[q].children {
+                let parent_alive = alive[q].as_ref().expect("parents processed first");
+                let flags = structural_match(parent_alive, &sat[c], self.nodes[c].level_diff);
+                alive[c] = Some(filter_flagged(&sat[c], &flags.desc));
+            }
+        }
+
+        let result = alive[self.output].take().expect("output visited");
+        stats.result_count = result.len();
+        stats.elapsed = t0.elapsed();
+        result
+    }
+
+    /// Children-before-parents order.
+    fn post_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root, false)];
+        while let Some((q, expanded)) = stack.pop() {
+            if expanded {
+                order.push(q);
+            } else {
+                stack.push((q, true));
+                for &c in &self.nodes[q].children {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+}
+
+struct Conv {
+    root: usize,
+    rep: usize,
+    /// Depth of `rep` below `root` in child steps, when exactly known.
+    rep_depth: Option<u16>,
+}
+
+fn conv(plan: &BoundPlan, nodes: &mut Vec<TwigNode>) -> Result<Conv, TwigError> {
+    match plan {
+        BoundPlan::Select(BoundSelection { source, value_eq, level_eq }) => {
+            let id = nodes.len();
+            nodes.push(TwigNode {
+                source: source.clone(),
+                value_eq: value_eq.clone(),
+                level_eq: *level_eq,
+                parent: None,
+                level_diff: None,
+                children: Vec::new(),
+            });
+            Ok(Conv { root: id, rep: id, rep_depth: Some(0) })
+        }
+        BoundPlan::DJoin { anc, desc, level_diff, output } => {
+            let a = conv(anc, nodes)?;
+            let d = conv(desc, nodes)?;
+            // The join constrains anc.rep vs desc.rep at offset k; the
+            // twig edge runs anc.rep → desc.root, so subtract the
+            // depth of desc.rep below its own root.
+            let edge = match (level_diff, d.rep_depth) {
+                (Some(k), Some(dd)) => {
+                    debug_assert!(*k > dd, "representative below its twig root");
+                    Some(k - dd)
+                }
+                _ => None,
+            };
+            nodes[d.root].parent = Some(a.rep);
+            nodes[d.root].level_diff = edge;
+            nodes[a.rep].children.push(d.root);
+            let (rep, rep_depth) = match output {
+                Side::Anc => (a.rep, a.rep_depth),
+                Side::Desc => (
+                    d.rep,
+                    match (a.rep_depth, level_diff) {
+                        (Some(ad), Some(k)) => Some(ad + k),
+                        _ => None,
+                    },
+                ),
+            };
+            Ok(Conv { root: a.root, rep, rep_depth })
+        }
+        BoundPlan::Union(_) => Err(TwigError::UnionUnsupported),
+    }
+}
+
+pub(crate) fn materialize_stream(node: &TwigNode, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
+    let keep = |r: &NodeRecord| {
+        let value_ok = match &node.value_eq {
+            Some(v) => r.data.as_deref() == Some(v.as_str()),
+            None => true,
+        };
+        let level_ok = match node.level_eq {
+            Some(k) => r.level == k,
+            None => true,
+        };
+        value_ok && level_ok
+    };
+    let out: Vec<DLabel> = match &node.source {
+        BoundSource::PLabelEq(p) => store
+            .scan_plabel_eq(*p)
+            .inspect(|_| stats.elements_visited += 1)
+            .filter(|(_, r)| keep(r))
+            .map(|(_, r)| r.dlabel())
+            .collect(),
+        BoundSource::PLabelRange(p1, p2) => store
+            .scan_plabel_range(*p1, *p2)
+            .inspect(|_| stats.elements_visited += 1)
+            .filter(|(_, r)| keep(r))
+            .map(|(_, r)| r.dlabel())
+            .collect(),
+        BoundSource::Tag(t) => store
+            .scan_tag(*t)
+            .inspect(|_| stats.elements_visited += 1)
+            .filter(|(_, r)| keep(r))
+            .map(|(_, r)| r.dlabel())
+            .collect(),
+        BoundSource::All => store
+            .scan_all()
+            .inspect(|_| stats.elements_visited += 1)
+            .filter(|(_, r)| keep(r))
+            .map(|(_, r)| r.dlabel())
+            .collect(),
+        BoundSource::Empty => Vec::new(),
+    };
+    ensure_start_order(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdbms::execute_plan;
+    use blas_labeling::label_document;
+    use blas_storage::NodeStore;
+    use blas_translate::{bind, translate_dlabeling, translate_pushup, translate_split, translate_unfold};
+    use blas_xml::{Document, SchemaGraph};
+    use blas_xpath::parse;
+
+    const SAMPLE: &str = concat!(
+        "<db>",
+        "<e><p><c><s>cyt</s></c></p><r><f><a>Evans</a><y>2001</y><t>T1</t></f></r></e>",
+        "<e><p><c><s>hb</s></c></p><r><f><a>Smith</a><y>1999</y><t>T2</t></f></r></e>",
+        "<e><p><c><s>cyt</s></c></p><r><f><a>Evans</a><y>1999</y><t>T3</t></f></r></e>",
+        "</db>"
+    );
+
+    fn fixture() -> (Document, NodeStore, blas_labeling::PLabelDomain) {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let labels = label_document(&doc).unwrap();
+        let store = NodeStore::build(&doc, &labels);
+        (doc, store, labels.domain)
+    }
+
+    #[test]
+    fn twig_engine_matches_rdbms_engine() {
+        let (doc, store, dom) = fixture();
+        let queries = [
+            "/db/e/r/f/t",
+            "//f/t",
+            "/db/e//s",
+            "/db/e[p//s]/r/f/t",
+            "/db/e[p//s='cyt']/r/f[y='2001']/t",
+            "/db/e[r/f/a='Evans' and r/f/y='1999']/p/c/s",
+        ];
+        for src in queries {
+            let q = parse(src).unwrap();
+            for (name, plan) in [
+                ("dlabel", translate_dlabeling(&q).unwrap()),
+                ("split", translate_split(&q).unwrap()),
+                ("pushup", translate_pushup(&q).unwrap()),
+            ] {
+                let bound = bind(&plan, doc.tags(), &dom);
+                let mut rs = ExecStats::default();
+                let rdbms_out = execute_plan(&bound, &store, &mut rs);
+                let twig = TwigQuery::from_plan(&bound).unwrap();
+                let mut ts = ExecStats::default();
+                let twig_out = twig.execute(&store, &mut ts);
+                assert_eq!(rdbms_out, twig_out, "{src} ({name})");
+                assert_eq!(
+                    rs.elements_visited, ts.elements_visited,
+                    "both engines read the same tuples: {src} ({name})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_plans_rejected() {
+        let (doc, store, dom) = fixture();
+        let _ = store;
+        let schema = SchemaGraph::infer(&doc);
+        // /db/e/p/c yields a single path; use a wildcard to force a
+        // union of two alternatives.
+        let q = parse("/db/e/*").unwrap();
+        let plan = translate_unfold(&q, &schema).unwrap();
+        let bound = bind(&plan, doc.tags(), &dom);
+        match TwigQuery::from_plan(&bound) {
+            Err(TwigError::UnionUnsupported) => {}
+            Ok(_) => panic!("union plan must be rejected"),
+        }
+    }
+
+    #[test]
+    fn twig_structure_from_plan() {
+        let (doc, _, dom) = fixture();
+        let q = parse("/db/e[p]/r/f").unwrap();
+        let plan = translate_pushup(&q).unwrap();
+        let bound = bind(&plan, doc.tags(), &dom);
+        let twig = TwigQuery::from_plan(&bound).unwrap();
+        // Nodes: /db/e, /db/e/p, /db/e/r/f.
+        assert_eq!(twig.nodes.len(), 3);
+        assert_eq!(twig.edge_count(), 2);
+        let root = &twig.nodes[twig.root];
+        assert_eq!(root.children.len(), 2);
+        // Edge offsets: p is 1 below e; f is 2 below e.
+        let offsets: Vec<Option<u16>> = root
+            .children
+            .iter()
+            .map(|&c| twig.nodes[c].level_diff)
+            .collect();
+        assert_eq!(offsets, [Some(1), Some(2)]);
+        // Output is the f node.
+        assert_eq!(twig.output, root.children[1]);
+    }
+
+    #[test]
+    fn stream_sizes_drive_visited_counts() {
+        let (doc, store, dom) = fixture();
+        let q = parse("/db/e/r/f/y").unwrap();
+        let d = bind(&translate_dlabeling(&q).unwrap(), doc.tags(), &dom);
+        let p = bind(&translate_pushup(&q).unwrap(), doc.tags(), &dom);
+        let mut ds = ExecStats::default();
+        TwigQuery::from_plan(&d).unwrap().execute(&store, &mut ds);
+        let mut ps = ExecStats::default();
+        TwigQuery::from_plan(&p).unwrap().execute(&store, &mut ps);
+        // Baseline reads db(1)+e(3)+r(3)+f(3)+y(3)=13; push-up reads 3.
+        assert_eq!(ds.elements_visited, 13);
+        assert_eq!(ps.elements_visited, 3);
+    }
+
+    #[test]
+    fn post_order_children_first() {
+        let (doc, _, dom) = fixture();
+        let q = parse("/db/e[p][r]/r/f").unwrap();
+        let bound = bind(&translate_pushup(&q).unwrap(), doc.tags(), &dom);
+        let twig = TwigQuery::from_plan(&bound).unwrap();
+        let order = twig.post_order();
+        for (pos, &q_) in order.iter().enumerate() {
+            for &c in &twig.nodes[q_].children {
+                assert!(order.iter().position(|&x| x == c).unwrap() < pos);
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! D-labeling (§3.1): interval + level encoding of tree position.
+
+use blas_xml::{Document, NodeId};
+
+/// The D-label `<start, end, level>` of Def. 3.1, implemented as in
+/// [31, 13]: `start`/`end` are the positions of the node's start and end
+/// tags in the document, counting each start tag, end tag and text datum
+/// as one unit. `level` is the node's depth (root = 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DLabel {
+    /// Position of the start tag.
+    pub start: u32,
+    /// Position of the end tag.
+    pub end: u32,
+    /// Depth of the node; root = 1.
+    pub level: u16,
+}
+
+impl DLabel {
+    /// Validation property: `start ≤ end`.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.start <= self.end
+    }
+
+    /// Descendant property: `other` is nested strictly inside `self`.
+    #[inline]
+    pub fn is_ancestor_of(&self, other: &DLabel) -> bool {
+        self.start < other.start && self.end > other.end
+    }
+
+    /// Child property: descendant at exactly one level deeper.
+    #[inline]
+    pub fn is_parent_of(&self, other: &DLabel) -> bool {
+        self.is_ancestor_of(other) && self.level + 1 == other.level
+    }
+
+    /// Nonoverlap property: no ancestor-descendant relationship.
+    #[inline]
+    pub fn disjoint_from(&self, other: &DLabel) -> bool {
+        self.end < other.start || self.start > other.end
+    }
+}
+
+/// Assign D-labels to every node of `doc`, indexed by `NodeId::index()`.
+///
+/// Positions are assigned by one pre-order walk. A node's unit sequence
+/// is: start tag, its attribute "nodes" (each an enclosed start/text/end
+/// triple, consistent with modelling attributes as children), its text
+/// datum (one unit, if any), its element children, end tag.
+pub fn assign_dlabels(doc: &Document) -> Vec<DLabel> {
+    let mut labels = vec![DLabel { start: 0, end: 0, level: 0 }; doc.len()];
+    let mut pos: u32 = 0;
+    assign_rec(doc, doc.root(), &mut pos, &mut labels);
+    labels
+}
+
+fn assign_rec(doc: &Document, id: NodeId, pos: &mut u32, labels: &mut [DLabel]) {
+    let node = doc.node(id);
+    let start = *pos;
+    *pos += 1;
+    if node.text.is_some() {
+        *pos += 1; // the text datum unit
+    }
+    for &child in &node.children {
+        assign_rec(doc, child, pos, labels);
+    }
+    let end = *pos;
+    *pos += 1;
+    labels[id.index()] = DLabel { start, end, level: node.level };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels_of(src: &str) -> (Document, Vec<DLabel>) {
+        let doc = Document::parse(src).unwrap();
+        let labels = assign_dlabels(&doc);
+        (doc, labels)
+    }
+
+    #[test]
+    fn positions_count_tags_and_text() {
+        // <a><b>t</b><c/></a>
+        // units: <a>=0 <b>=1 t=2 </b>=3 <c>=4 </c>=5 </a>=6
+        let (doc, labels) = labels_of("<a><b>t</b><c/></a>");
+        let byname = |n: &str| {
+            doc.node_ids()
+                .find(|&id| doc.tag_name(id) == n)
+                .map(|id| labels[id.index()])
+                .unwrap()
+        };
+        assert_eq!(byname("a"), DLabel { start: 0, end: 6, level: 1 });
+        assert_eq!(byname("b"), DLabel { start: 1, end: 3, level: 2 });
+        assert_eq!(byname("c"), DLabel { start: 4, end: 5, level: 2 });
+    }
+
+    #[test]
+    fn ancestor_and_child_predicates() {
+        let (doc, labels) = labels_of("<a><b><c/></b><d/></a>");
+        let l = |n: &str| {
+            doc.node_ids()
+                .find(|&id| doc.tag_name(id) == n)
+                .map(|id| labels[id.index()])
+                .unwrap()
+        };
+        let (a, b, c, d) = (l("a"), l("b"), l("c"), l("d"));
+        assert!(a.is_ancestor_of(&b) && a.is_ancestor_of(&c) && a.is_ancestor_of(&d));
+        assert!(b.is_ancestor_of(&c));
+        assert!(a.is_parent_of(&b) && a.is_parent_of(&d) && b.is_parent_of(&c));
+        assert!(!a.is_parent_of(&c), "grandchild is not a child");
+        assert!(b.disjoint_from(&d) && d.disjoint_from(&b));
+        assert!(!b.disjoint_from(&c));
+    }
+
+    #[test]
+    fn all_labels_valid_and_distinct() {
+        let (_, labels) = labels_of("<a><b>t</b><b><c/><c/></b><b/></a>");
+        let mut starts: Vec<u32> = labels.iter().map(|l| l.start).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        assert_eq!(starts.len(), labels.len(), "start positions are unique");
+        assert!(labels.iter().all(DLabel::is_valid));
+    }
+
+    #[test]
+    fn dlabel_reflects_exact_nesting_for_every_pair() {
+        let (doc, labels) = labels_of("<r><x><y><z/></y></x><x><y/></x></r>");
+        // Compute ground-truth ancestry from the tree.
+        for a in doc.node_ids() {
+            for b in doc.node_ids() {
+                if a == b {
+                    continue;
+                }
+                let mut cur = doc.node(b).parent;
+                let mut is_anc = false;
+                while let Some(p) = cur {
+                    if p == a {
+                        is_anc = true;
+                        break;
+                    }
+                    cur = doc.node(p).parent;
+                }
+                assert_eq!(
+                    labels[a.index()].is_ancestor_of(&labels[b.index()]),
+                    is_anc,
+                    "{} vs {}",
+                    doc.tag_name(a),
+                    doc.tag_name(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attributes_are_labeled_inside_parent() {
+        let (doc, labels) = labels_of("<a id=\"1\"><b/></a>");
+        let a = labels[doc.root().index()];
+        let attr = doc
+            .node_ids()
+            .find(|&id| doc.tag_name(id) == "@id")
+            .unwrap();
+        assert!(a.is_parent_of(&labels[attr.index()]));
+    }
+}

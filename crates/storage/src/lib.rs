@@ -1,0 +1,20 @@
+//! # blas-storage — relational storage substrate for BLAS
+//!
+//! The paper stores labeled XML in relations inside an RDBMS (DB2 in
+//! §5.2). This crate is the from-scratch stand-in: a B+ tree
+//! ([`bptree`]) and an indexed tuple store ([`relation`]) exposing the
+//! two clusterings the paper creates — SP `{plabel, start}` for BLAS and
+//! SD `{tag, start}` for the D-labeling baseline — plus `start` and
+//! `data` indexes.
+//!
+//! Access-path choice and tuple-visit accounting live in `blas-engine`;
+//! this crate only guarantees that every scan yields tuples in exactly
+//! the order the corresponding clustered relation would.
+
+pub mod bptree;
+pub mod relation;
+pub mod snapshot;
+
+pub use bptree::BPlusTree;
+pub use relation::{NodeRecord, NodeStore, RowId};
+pub use snapshot::{Snapshot, SnapshotError};

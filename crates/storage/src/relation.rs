@@ -1,0 +1,263 @@
+//! The labeled-node relations of §4/§5.2.1 and their indexes.
+//!
+//! The paper stores one tuple `<plabel, start, end, level, data>` per
+//! node in relation **SP** (clustered by `{plabel, start}`) and, for the
+//! D-labeling baseline, the same tuples with a `tag` attribute in
+//! relation **SD** (clustered by `{tag, start}`). Both relations carry
+//! B+ tree indexes on the clustering key, on `start`, and on `data`.
+//!
+//! We keep the tuples once ([`NodeRecord`] carries *both* `plabel` and
+//! `tag`) and expose the two clusterings as index-ordered scans. Every
+//! scan yields tuples exactly as the corresponding clustered relation
+//! would, so "elements visited" accounting is identical to having two
+//! physical tables.
+
+use crate::bptree::BPlusTree;
+use blas_labeling::{DLabel, DocumentLabels};
+use blas_xml::{Document, TagId};
+use std::collections::BTreeMap;
+
+/// Physical row identifier (position in the heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// Heap position.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One stored tuple: the paper's `<plabel, start, end, level, data>`
+/// plus the `tag` attribute of the SD schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeRecord {
+    /// P-label of the node (Def. 3.3).
+    pub plabel: u128,
+    /// D-label `start` — also the primary key.
+    pub start: u32,
+    /// D-label `end`.
+    pub end: u32,
+    /// D-label `level` (root = 1).
+    pub level: u16,
+    /// The node's tag (SD clustering attribute).
+    pub tag: TagId,
+    /// PCDATA value, if any.
+    pub data: Option<String>,
+}
+
+impl NodeRecord {
+    /// The D-label view of this tuple.
+    #[inline]
+    pub fn dlabel(&self) -> DLabel {
+        DLabel { start: self.start, end: self.end, level: self.level }
+    }
+}
+
+/// The indexed store for one labeled document.
+#[derive(Debug)]
+pub struct NodeStore {
+    /// Heap of tuples in document (start) order: `RowId(i).index() == i`
+    /// and `records[i].start` is increasing.
+    records: Vec<NodeRecord>,
+    /// SP clustering: B+ tree on `(plabel, start)`.
+    sp_index: BPlusTree<(u128, u32), RowId>,
+    /// SD clustering: B+ tree on `(tag, start)`.
+    sd_index: BPlusTree<(u32, u32), RowId>,
+    /// Index on `start` (the primary key).
+    start_index: BPlusTree<u32, RowId>,
+    /// Index on `data`: value → rows in start order.
+    value_index: BTreeMap<String, Vec<RowId>>,
+}
+
+impl NodeStore {
+    /// Build the store from a parsed document and its labels (the
+    /// index-generator output of Fig. 6).
+    pub fn build(doc: &Document, labels: &DocumentLabels) -> Self {
+        let mut records: Vec<NodeRecord> = doc
+            .node_ids()
+            .map(|id| {
+                let d = labels.dlabels[id.index()];
+                NodeRecord {
+                    plabel: labels.plabels[id.index()],
+                    start: d.start,
+                    end: d.end,
+                    level: d.level,
+                    tag: doc.node(id).tag,
+                    data: doc.node(id).text.clone(),
+                }
+            })
+            .collect();
+        records.sort_unstable_by_key(|r| r.start);
+        Self::from_records(records)
+    }
+
+    /// Build from pre-labeled records (tests and generators).
+    pub fn from_records(records: Vec<NodeRecord>) -> Self {
+        let mut sp_index = BPlusTree::new();
+        let mut sd_index = BPlusTree::new();
+        let mut start_index = BPlusTree::new();
+        let mut value_index: BTreeMap<String, Vec<RowId>> = BTreeMap::new();
+        for (i, r) in records.iter().enumerate() {
+            let row = RowId(i as u32);
+            sp_index.insert((r.plabel, r.start), row);
+            sd_index.insert((r.tag.0, r.start), row);
+            start_index.insert(r.start, row);
+            if let Some(data) = &r.data {
+                value_index.entry(data.clone()).or_default().push(row);
+            }
+        }
+        Self { records, sp_index, sd_index, start_index, value_index }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fetch one tuple by row id.
+    #[inline]
+    pub fn record(&self, row: RowId) -> &NodeRecord {
+        &self.records[row.index()]
+    }
+
+    /// All tuples in start (document) order.
+    pub fn scan_all(&self) -> impl Iterator<Item = (RowId, &NodeRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RowId(i as u32), r))
+    }
+
+    /// SP-clustered scan: all tuples with `p1 ≤ plabel ≤ p2`, ordered by
+    /// `(plabel, start)`. This is the paper's range selection on
+    /// P-labels.
+    pub fn scan_plabel_range(
+        &self,
+        p1: u128,
+        p2: u128,
+    ) -> impl Iterator<Item = (RowId, &NodeRecord)> {
+        self.sp_index
+            .range(&(p1, 0), &(p2, u32::MAX))
+            .map(move |(_, &row)| (row, self.record(row)))
+    }
+
+    /// SP-clustered equality scan (`plabel = p`), ordered by `start`.
+    pub fn scan_plabel_eq(&self, p: u128) -> impl Iterator<Item = (RowId, &NodeRecord)> {
+        self.scan_plabel_range(p, p)
+    }
+
+    /// SD-clustered scan: all tuples with the given tag, ordered by
+    /// `start`. This is what the D-labeling baseline reads per query tag.
+    pub fn scan_tag(&self, tag: TagId) -> impl Iterator<Item = (RowId, &NodeRecord)> {
+        self.sd_index
+            .range(&(tag.0, 0), &(tag.0, u32::MAX))
+            .map(move |(_, &row)| (row, self.record(row)))
+    }
+
+    /// Point lookup on the primary key `start`.
+    pub fn get_by_start(&self, start: u32) -> Option<(RowId, &NodeRecord)> {
+        self.start_index
+            .get(&start)
+            .map(|&row| (row, self.record(row)))
+    }
+
+    /// Value-index lookup: rows whose `data` equals `value`, in start
+    /// order.
+    pub fn scan_value(&self, value: &str) -> impl Iterator<Item = (RowId, &NodeRecord)> {
+        self.value_index
+            .get(value)
+            .into_iter()
+            .flatten()
+            .map(move |&row| (row, self.record(row)))
+    }
+
+    /// Height of the SP B+ tree (storage accounting).
+    pub fn sp_index_height(&self) -> usize {
+        self.sp_index.height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blas_labeling::label_document;
+
+    fn store(src: &str) -> (Document, NodeStore) {
+        let doc = Document::parse(src).unwrap();
+        let labels = label_document(&doc).unwrap();
+        let store = NodeStore::build(&doc, &labels);
+        (doc, store)
+    }
+
+    const SAMPLE: &str = "<db><e><n>a</n></e><x><e><n>b</n></e></x><n>c</n></db>";
+
+    #[test]
+    fn build_creates_one_tuple_per_node() {
+        let (doc, s) = store(SAMPLE);
+        assert_eq!(s.len(), doc.len());
+        // Heap is start-ordered.
+        let starts: Vec<u32> = s.scan_all().map(|(_, r)| r.start).collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scan_tag_returns_start_ordered_tag_matches() {
+        let (doc, s) = store(SAMPLE);
+        let n = doc.tags().get("n").unwrap();
+        let rows: Vec<&NodeRecord> = s.scan_tag(n).map(|(_, r)| r).collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.windows(2).all(|w| w[0].start < w[1].start));
+        assert!(rows.iter().all(|r| r.tag == n));
+    }
+
+    #[test]
+    fn scan_plabel_range_matches_suffix_query() {
+        let (doc, s) = store(SAMPLE);
+        let labels = label_document(&doc).unwrap();
+        let e = doc.tags().get("e").unwrap();
+        let n = doc.tags().get("n").unwrap();
+        let q = labels.domain.path_interval(false, &[e, n]).unwrap();
+        let data: Vec<&str> = s
+            .scan_plabel_range(q.p1, q.p2)
+            .map(|(_, r)| r.data.as_deref().unwrap())
+            .collect();
+        assert_eq!(data, ["a", "b"]); // not "c" (source path db/n)
+    }
+
+    #[test]
+    fn value_index_finds_rows() {
+        let (_, s) = store(SAMPLE);
+        let rows: Vec<&NodeRecord> = s.scan_value("b").map(|(_, r)| r).collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].data.as_deref(), Some("b"));
+        assert_eq!(s.scan_value("zzz").count(), 0);
+    }
+
+    #[test]
+    fn get_by_start_roundtrip() {
+        let (_, s) = store(SAMPLE);
+        for (row, r) in s.scan_all() {
+            let (row2, r2) = s.get_by_start(r.start).unwrap();
+            assert_eq!(row, row2);
+            assert_eq!(r, r2);
+        }
+        assert!(s.get_by_start(10_000).is_none());
+    }
+
+    #[test]
+    fn dlabel_view_consistent() {
+        let (_, s) = store(SAMPLE);
+        for (_, r) in s.scan_all() {
+            let d = r.dlabel();
+            assert!(d.is_valid());
+            assert_eq!(d.level, r.level);
+        }
+    }
+}

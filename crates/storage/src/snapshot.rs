@@ -1,0 +1,292 @@
+//! Binary snapshots of a labeled store: persist the index-generator
+//! output (labels + data values + tag table + P-label domain
+//! parameters) and load it back without reparsing or relabeling the
+//! XML.
+//!
+//! The paper's system keeps the labeled form as the *primary*
+//! representation — "The XML data is stored in labeled form, and
+//! indexed" (abstract) — stored in DB2 tables or files for the twig
+//! engine. This module is our file-format equivalent: a versioned,
+//! checksummed, little-endian layout:
+//!
+//! ```text
+//! magic "BLASSNAP"  version u32
+//! num_tags u32  digits u32                  (P-label domain parameters)
+//! tag_count u32  { len u32, utf8 bytes }*   (tag table, TagId order)
+//! record_count u32
+//!   { plabel u128, start u32, end u32, level u16, tag u32,
+//!     has_data u8, [len u32, utf8 bytes] }*
+//! fnv1a-64 checksum over everything above
+//! ```
+//!
+//! Indexes are rebuilt on load — they are derived data, and rebuilding
+//! keeps the format independent of B+ tree layout choices.
+
+use crate::relation::NodeRecord;
+use blas_xml::TagId;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"BLASSNAP";
+const VERSION: u32 = 1;
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Input ended early or a length field overran the buffer.
+    Truncated,
+    /// Checksum mismatch (corruption).
+    ChecksumMismatch,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A record references a tag id outside the tag table.
+    DanglingTag(u32),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a BLAS snapshot (bad magic)"),
+            Self::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            Self::Truncated => write!(f, "snapshot truncated"),
+            Self::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            Self::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
+            Self::DanglingTag(t) => write!(f, "record references unknown tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A decoded snapshot: everything needed to rebuild a queryable store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Tuples in start order.
+    pub records: Vec<NodeRecord>,
+    /// Tag names in `TagId` order.
+    pub tag_names: Vec<String>,
+    /// P-label domain: number of tags the domain was built for.
+    pub num_tags: u32,
+    /// P-label domain: digit count `H`.
+    pub digits: u32,
+}
+
+/// Serialize a snapshot.
+pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + snapshot.records.len() * 48);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u32(&mut out, snapshot.num_tags);
+    put_u32(&mut out, snapshot.digits);
+    put_u32(&mut out, snapshot.tag_names.len() as u32);
+    for name in &snapshot.tag_names {
+        put_bytes(&mut out, name.as_bytes());
+    }
+    put_u32(&mut out, snapshot.records.len() as u32);
+    for r in &snapshot.records {
+        out.extend_from_slice(&r.plabel.to_le_bytes());
+        put_u32(&mut out, r.start);
+        put_u32(&mut out, r.end);
+        out.extend_from_slice(&r.level.to_le_bytes());
+        put_u32(&mut out, r.tag.0);
+        match &r.data {
+            Some(d) => {
+                out.push(1);
+                put_bytes(&mut out, d.as_bytes());
+            }
+            None => out.push(0),
+        }
+    }
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Deserialize and validate a snapshot.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    let mut cur = Cursor { buf: body, pos: 0 };
+    if cur.take(MAGIC.len())? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let num_tags = cur.u32()?;
+    let digits = cur.u32()?;
+    let tag_count = cur.u32()? as usize;
+    let mut tag_names = Vec::with_capacity(tag_count.min(1 << 20));
+    for _ in 0..tag_count {
+        tag_names.push(cur.string()?);
+    }
+    let record_count = cur.u32()? as usize;
+    let mut records = Vec::with_capacity(record_count.min(1 << 24));
+    for _ in 0..record_count {
+        let plabel = u128::from_le_bytes(cur.take(16)?.try_into().expect("16 bytes"));
+        let start = cur.u32()?;
+        let end = cur.u32()?;
+        let level = u16::from_le_bytes(cur.take(2)?.try_into().expect("2 bytes"));
+        let tag = cur.u32()?;
+        if tag as usize >= tag_names.len() {
+            return Err(SnapshotError::DanglingTag(tag));
+        }
+        let data = match cur.take(1)?[0] {
+            0 => None,
+            _ => Some(cur.string()?),
+        };
+        records.push(NodeRecord { plabel, start, end, level, tag: TagId(tag), data });
+    }
+    if cur.pos != body.len() {
+        return Err(SnapshotError::Truncated);
+    }
+    Ok(Snapshot { records, tag_names, num_tags, digits })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::BadUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            records: vec![
+                NodeRecord {
+                    plabel: 42,
+                    start: 0,
+                    end: 5,
+                    level: 1,
+                    tag: TagId(0),
+                    data: None,
+                },
+                NodeRecord {
+                    plabel: u128::MAX / 3,
+                    start: 1,
+                    end: 4,
+                    level: 2,
+                    tag: TagId(1),
+                    data: Some("héllo & <world>".to_string()),
+                },
+            ],
+            tag_names: vec!["db".into(), "entry".into()],
+            num_tags: 2,
+            digits: 3,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let snap = sample();
+        let bytes = encode(&snap);
+        assert_eq!(decode(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot { records: vec![], tag_names: vec![], num_tags: 0, digits: 1 };
+        assert_eq!(decode(&encode(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = encode(&sample());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert_eq!(decode(&bytes), Err(SnapshotError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode(&sample());
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::ChecksumMismatch),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = encode(&sample());
+        bytes[0] = b'X';
+        // Checksum now fails first unless we recompute; recompute it.
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn dangling_tag_detected() {
+        let mut snap = sample();
+        snap.records[1].tag = TagId(9);
+        let bytes = encode(&snap);
+        assert_eq!(decode(&bytes), Err(SnapshotError::DanglingTag(9)));
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut bytes = encode(&sample());
+        bytes[8] = 99; // version little-endian low byte
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(SnapshotError::BadVersion(99)));
+    }
+}

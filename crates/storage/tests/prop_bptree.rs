@@ -1,0 +1,56 @@
+//! Model-based property tests: the B+ tree must behave exactly like
+//! `std::collections::BTreeMap` under random workloads.
+
+use blas_storage::BPlusTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #[test]
+    fn matches_btreemap_under_random_inserts(ops in prop::collection::vec((0u32..500, 0u64..1000), 0..600)) {
+        let mut tree = BPlusTree::new();
+        let mut model = BTreeMap::new();
+        for (k, v) in ops {
+            prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        for k in 0u32..500 {
+            prop_assert_eq!(tree.get(&k), model.get(&k));
+        }
+        let tree_all: Vec<(u32, u64)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let model_all: Vec<(u32, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(tree_all, model_all);
+    }
+
+    #[test]
+    fn range_matches_btreemap(keys in prop::collection::btree_set(0u32..2000, 0..400), lo in 0u32..2000, hi in 0u32..2000) {
+        let mut tree = BPlusTree::new();
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            tree.insert(k, k as u64);
+            model.insert(k, k as u64);
+        }
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let tree_range: Vec<u32> = tree.range(&lo, &hi).map(|(k, _)| *k).collect();
+        let model_range: Vec<u32> = model.range(lo..=hi).map(|(k, _)| *k).collect();
+        prop_assert_eq!(tree_range, model_range);
+    }
+
+    #[test]
+    fn composite_key_ranges(entries in prop::collection::btree_set((0u128..40, 0u32..40), 0..300), plabel in 0u128..40) {
+        let mut tree: BPlusTree<(u128, u32), ()> = BPlusTree::new();
+        for &k in &entries {
+            tree.insert(k, ());
+        }
+        let got: Vec<(u128, u32)> = tree
+            .range(&(plabel, 0), &(plabel, u32::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        let expected: Vec<(u128, u32)> = entries
+            .iter()
+            .copied()
+            .filter(|(p, _)| *p == plabel)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

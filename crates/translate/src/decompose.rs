@@ -1,0 +1,576 @@
+//! Query decomposition: descendant-axis elimination + branch
+//! elimination (Algorithms 3, 4, 5) and the D-labeling baseline.
+//!
+//! Split and Push-up share one recursion that walks the query tree,
+//! grows maximal child-axis chains (each chain becomes one suffix-path
+//! selection), and cuts at descendant edges (D-elimination) and
+//! branching points (B-elimination). The only difference is the prefix
+//! handed to branch children:
+//!
+//! * **Split** resets it — branch children become `//q_i` range
+//!   selections (Algorithm 4);
+//! * **Push-up** extends it with the path down to the branching point —
+//!   branch children become `p/q_i` selections, anchored (equality)
+//!   whenever the whole query is anchored (Algorithm 5).
+//!
+//! Both apply D-elimination before B-elimination, as §4.1.2 requires.
+//! Branch joins carry the exact level offset of the child chain
+//! (Example 4.1); descendant-cut joins carry none.
+
+use crate::error::TranslateError;
+use crate::plan::{DJoinNode, Plan, SelectSource, Selection, Side};
+use blas_xpath::{Axis, NodeTest, QNodeId, QueryTree};
+
+/// Prefix-handling strategy: the one knob distinguishing Split from
+/// Push-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Split,
+    PushUp,
+}
+
+/// Translate with the Split algorithm (Algorithms 3 + 4).
+pub fn translate_split(q: &QueryTree) -> Result<Plan, TranslateError> {
+    translate_with(q, Mode::Split)
+}
+
+/// Translate with the Push-up algorithm (Algorithm 5).
+pub fn translate_pushup(q: &QueryTree) -> Result<Plan, TranslateError> {
+    translate_with(q, Mode::PushUp)
+}
+
+fn translate_with(q: &QueryTree, mode: Mode) -> Result<Plan, TranslateError> {
+    let anchored = q.node(q.root()).axis == Axis::Child;
+    let ctx = Ctx { q, mode };
+    ctx.trans_spine(q.root(), Prefix { anchored, tags: Vec::new() }, None, 0)
+}
+
+/// The (possibly empty) path context pushed down to a sub-translation.
+#[derive(Debug, Clone)]
+struct Prefix {
+    /// True when `tags` starts at the document root (the selection will
+    /// be an equality selection).
+    anchored: bool,
+    /// Tag names from the context root down to the parent of the
+    /// current entry node.
+    tags: Vec<String>,
+}
+
+struct Ctx<'a> {
+    q: &'a QueryTree,
+    mode: Mode,
+}
+
+impl<'a> Ctx<'a> {
+    fn tag_of(&self, id: QNodeId) -> Result<&str, TranslateError> {
+        match &self.q.node(id).test {
+            NodeTest::Tag(t) => Ok(t),
+            NodeTest::Wildcard => Err(TranslateError::WildcardNeedsSchema),
+        }
+    }
+
+    /// Grow the maximal chain of single-child, child-axis steps from
+    /// `entry`, and render it (under `prefix`) as one suffix-path
+    /// selection. Returns `(chain selection, chain end, full tag path)`.
+    fn chain_selection(
+        &self,
+        entry: QNodeId,
+        prefix: &Prefix,
+    ) -> Result<(Plan, QNodeId, Vec<String>, u16), TranslateError> {
+        let mut chain = vec![entry];
+        loop {
+            let last = *chain.last().expect("chain non-empty");
+            let node = self.q.node(last);
+            let extend = node.children.len() == 1
+                && node.value_eq.is_none()
+                && last != self.q.output()
+                && self.q.node(node.children[0]).axis == Axis::Child
+                && matches!(self.q.node(node.children[0]).test, NodeTest::Tag(_));
+            if !extend {
+                break;
+            }
+            chain.push(node.children[0]);
+        }
+        let mut tags = prefix.tags.clone();
+        for &id in &chain {
+            tags.push(self.tag_of(id)?.to_string());
+        }
+        let chain_end = *chain.last().expect("chain non-empty");
+        let selection = Plan::Select(Selection {
+            source: SelectSource::Path { anchored: prefix.anchored, tags: tags.clone() },
+            value_eq: self.q.node(chain_end).value_eq.clone(),
+            level_eq: None,
+        });
+        Ok((selection, chain_end, tags, chain.len() as u16))
+    }
+
+    /// The prefix a child translated below `parent_tags` receives.
+    fn child_prefix(&self, prefix: &Prefix, parent_tags: &[String]) -> Prefix {
+        match self.mode {
+            Mode::Split => Prefix { anchored: false, tags: Vec::new() },
+            Mode::PushUp => {
+                Prefix { anchored: prefix.anchored, tags: parent_tags.to_vec() }
+            }
+        }
+    }
+
+    /// Resolve a run of *spacer* wildcards starting at `entry`: `*`
+    /// steps on the child axis with exactly one child (also on the
+    /// child axis), no value test, not the output and not a branching
+    /// point. Such steps constrain nothing but a level gap, which the
+    /// D-join's exact level predicate absorbs — an extension beyond the
+    /// paper (§7's "more complex XPath queries"), where Split/Push-up
+    /// otherwise defer wildcards to Unfold.
+    ///
+    /// Returns the first non-spacer node and the number of levels
+    /// skipped. Errors if a wildcard cannot be treated as a spacer or
+    /// terminal all-scan.
+    fn resolve_spacers(&self, mut entry: QNodeId) -> Result<(QNodeId, u16), TranslateError> {
+        let mut gap: u16 = 0;
+        loop {
+            let node = self.q.node(entry);
+            if !matches!(node.test, NodeTest::Wildcard) {
+                return Ok((entry, gap));
+            }
+            // Terminal wildcards (no children) are handled by callers
+            // as level-constrained all-scans.
+            if node.children.is_empty() {
+                return Ok((entry, gap));
+            }
+            let spacer = node.axis == Axis::Child
+                && node.children.len() == 1
+                && node.value_eq.is_none()
+                && entry != self.q.output()
+                && self.q.node(node.children[0]).axis == Axis::Child;
+            if !spacer {
+                return Err(TranslateError::WildcardNeedsSchema);
+            }
+            gap += 1;
+            entry = node.children[0];
+        }
+    }
+
+    /// A terminal `*` step: every node, filtered by an optional value
+    /// test. Joined with an exact level offset it implements `p/*`.
+    fn all_scan(&self, id: QNodeId) -> Plan {
+        Plan::Select(Selection {
+            source: SelectSource::All,
+            value_eq: self.q.node(id).value_eq.clone(),
+            level_eq: None,
+        })
+    }
+
+    /// Translate the spine segment entered at `entry`. `upstream` is the
+    /// plan producing bindings of the previous segment's end (already
+    /// filtered by its own branches); it is joined to this segment's
+    /// chain end first, then this segment's branch children filter the
+    /// result, then the next spine segment continues. `gap` counts
+    /// wildcard levels already skipped by the caller.
+    ///
+    /// Joining adjacent segment ends (rather than a closed sub-plan's
+    /// representative) is what keeps the child-axis level constraint on
+    /// every spine edge — cf. the composed SQL of Example 4.1, which
+    /// records "the D-labels of both pEntry and refinfo" so later joins
+    /// can use them.
+    fn trans_spine(
+        &self,
+        entry: QNodeId,
+        prefix: Prefix,
+        upstream: Option<Plan>,
+        gap: u16,
+    ) -> Result<Plan, TranslateError> {
+        let (entry, gap) = {
+            let (real, extra) = self.resolve_spacers(entry)?;
+            (real, gap + extra)
+        };
+        // Wildcards break the known tag prefix: fall back to an
+        // unanchored context after a gap.
+        let prefix = if gap > 0 { Prefix { anchored: false, tags: Vec::new() } } else { prefix };
+        let entry_node = self.q.node(entry);
+        let entry_axis = entry_node.axis;
+
+        // Terminal wildcard on the spine: an all-scan bound by level
+        // (`p/*`), or an unconstrained descendant scan (`p//*`).
+        if matches!(entry_node.test, NodeTest::Wildcard) {
+            if entry_axis == Axis::Descendant && (gap > 0 || upstream.is_none()) {
+                // `//*` at the root or after a gap needs a minimum-level
+                // predicate we do not model; Unfold handles it.
+                return Err(TranslateError::WildcardNeedsSchema);
+            }
+            let scan = self.all_scan(entry);
+            let level = match entry_axis {
+                Axis::Child => Some(gap + 1),
+                Axis::Descendant => None,
+            };
+            return Ok(match upstream {
+                // `/*` or `/*/*…` from the document root: pin the level.
+                None => match scan {
+                    Plan::Select(mut sel) => {
+                        sel.level_eq = Some(gap + 1);
+                        Plan::Select(sel)
+                    }
+                    other => other,
+                },
+                Some(prev) => Plan::DJoin(DJoinNode {
+                    anc: Box::new(prev),
+                    desc: Box::new(scan),
+                    level_diff: level,
+                    output: Side::Desc,
+                }),
+            });
+        }
+
+        let (selection, chain_end, tags, chain_len) = self.chain_selection(entry, &prefix)?;
+        // A root-side wildcard gap with no upstream: the selection is
+        // unanchored but its level is exactly known (gap + chain).
+        let selection = match (upstream.is_none() && gap > 0, selection) {
+            (true, Plan::Select(mut sel)) => {
+                sel.level_eq = Some(gap + chain_len);
+                Plan::Select(sel)
+            }
+            (_, sel) => sel,
+        };
+
+        // Join the incoming spine bindings to this segment's chain end.
+        let mut acc = match upstream {
+            None => selection,
+            Some(prev) => Plan::DJoin(DJoinNode {
+                anc: Box::new(prev),
+                desc: Box::new(selection),
+                level_diff: match entry_axis {
+                    Axis::Child => Some(gap + chain_len),
+                    Axis::Descendant => None,
+                },
+                output: Side::Desc,
+            }),
+        };
+
+        // Branch children filter the chain end; the spine child (if
+        // any) continues the walk.
+        let spine_child = self.q.spine_child(chain_end);
+        for &child in &self.q.node(chain_end).children {
+            if Some(child) == spine_child {
+                continue;
+            }
+            let (child_plan, child_offset) = self.trans_closed(child, &prefix, &tags)?;
+            acc = Plan::DJoin(DJoinNode {
+                anc: Box::new(acc),
+                desc: Box::new(child_plan),
+                level_diff: child_offset,
+                output: Side::Anc,
+            });
+        }
+        match spine_child {
+            None => Ok(acc),
+            Some(sc) => {
+                let child_prefix = match self.q.node(sc).axis {
+                    Axis::Child => self.child_prefix(&prefix, &tags),
+                    Axis::Descendant => Prefix { anchored: false, tags: Vec::new() },
+                };
+                self.trans_spine(sc, child_prefix, Some(acc), 0)
+            }
+        }
+    }
+
+    /// Translate a non-spine (predicate) subtree into a closed plan
+    /// whose bindings are its entry-chain end. Returns the plan and the
+    /// exact level offset of that chain end below the subtree's parent
+    /// (`None` for a descendant edge).
+    fn trans_closed(
+        &self,
+        entry: QNodeId,
+        prefix: &Prefix,
+        parent_tags: &[String],
+    ) -> Result<(Plan, Option<u16>), TranslateError> {
+        let first_axis = self.q.node(entry).axis;
+        let (entry, gap) = self.resolve_spacers(entry)?;
+        let entry_node = self.q.node(entry);
+
+        // Terminal wildcard predicate (`[*]`, `[* = 'v']`, `[a//*]`).
+        if matches!(entry_node.test, NodeTest::Wildcard) {
+            debug_assert!(entry_node.children.is_empty());
+            return match entry_node.axis {
+                Axis::Child => Ok((self.all_scan(entry), Some(gap + 1))),
+                Axis::Descendant if gap == 0 => Ok((self.all_scan(entry), None)),
+                Axis::Descendant => Err(TranslateError::WildcardNeedsSchema),
+            };
+        }
+
+        let entry_prefix = if gap > 0 {
+            Prefix { anchored: false, tags: Vec::new() }
+        } else {
+            match first_axis {
+                Axis::Child => self.child_prefix(prefix, parent_tags),
+                Axis::Descendant => Prefix { anchored: false, tags: Vec::new() },
+            }
+        };
+        let (selection, chain_end, tags, chain_len) = self.chain_selection(entry, &entry_prefix)?;
+        let mut acc = selection;
+        for &child in &self.q.node(chain_end).children {
+            let (child_plan, child_offset) = self.trans_closed(child, &entry_prefix, &tags)?;
+            acc = Plan::DJoin(DJoinNode {
+                anc: Box::new(acc),
+                desc: Box::new(child_plan),
+                level_diff: child_offset,
+                output: Side::Anc,
+            });
+        }
+        let offset = match first_axis {
+            Axis::Child => Some(gap + chain_len),
+            Axis::Descendant => None,
+        };
+        Ok((acc, offset))
+    }
+}
+
+/// The D-labeling baseline (§1, §5): one tag scan per step, one D-join
+/// per edge, child edges constrained to `level + 1`.
+pub fn translate_dlabeling(q: &QueryTree) -> Result<Plan, TranslateError> {
+    let spine = q.spine();
+    // Plan for `id` filtered by all its non-spine children.
+    fn node_plan(q: &QueryTree, spine: &[QNodeId], id: QNodeId) -> Plan {
+        let node = q.node(id);
+        // A leading child axis anchors the first step at the root
+        // (Fig. 11: `σ tag='PLAYS' ∧ level=1`).
+        let anchor = (id == q.root() && node.axis == Axis::Child).then_some(1);
+        let base = Plan::Select(Selection {
+            source: match &node.test {
+                NodeTest::Tag(t) => SelectSource::Tag(t.clone()),
+                NodeTest::Wildcard => SelectSource::All,
+            },
+            value_eq: node.value_eq.clone(),
+            level_eq: anchor,
+        });
+        node.children
+            .iter()
+            .filter(|c| !spine.contains(c))
+            .fold(base, |acc, &child| {
+                Plan::DJoin(DJoinNode {
+                    anc: Box::new(acc),
+                    desc: Box::new(node_plan(q, spine, child)),
+                    level_diff: match q.node(child).axis {
+                        Axis::Child => Some(1),
+                        Axis::Descendant => None,
+                    },
+                    output: Side::Anc,
+                })
+            })
+    }
+
+    let mut acc = node_plan(q, &spine, spine[0]);
+    for pair in spine.windows(2) {
+        let next = pair[1];
+        acc = Plan::DJoin(DJoinNode {
+            anc: Box::new(acc),
+            desc: Box::new(node_plan(q, &spine, next)),
+            level_diff: match q.node(next).axis {
+                Axis::Child => Some(1),
+                Axis::Descendant => None,
+            },
+            output: Side::Desc,
+        });
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blas_xpath::parse;
+
+    #[test]
+    fn suffix_path_is_single_selection_for_all_strategies() {
+        let q = parse("/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE").unwrap();
+        for plan in [translate_split(&q).unwrap(), translate_pushup(&q).unwrap()] {
+            let s = plan.summary();
+            assert_eq!(s.d_joins, 0);
+            assert_eq!(s.eq_selections, 1);
+            assert_eq!(s.range_selections, 0);
+            assert!(matches!(
+                plan,
+                Plan::Select(Selection { source: SelectSource::Path { anchored: true, ref tags }, .. })
+                    if tags.len() == 6
+            ));
+        }
+        // Baseline: l−1 = 5 D-joins over 6 tag scans.
+        let d = translate_dlabeling(&q).unwrap().summary();
+        assert_eq!(d.d_joins, 5);
+        assert_eq!(d.tag_scans, 6);
+        assert_eq!(d.level_constrained_joins, 5);
+    }
+
+    #[test]
+    fn unanchored_suffix_path_is_range_selection() {
+        let q = parse("//authors/author").unwrap();
+        let plan = translate_split(&q).unwrap();
+        let s = plan.summary();
+        assert_eq!((s.d_joins, s.range_selections, s.eq_selections), (0, 1, 0));
+    }
+
+    #[test]
+    fn interior_descendant_cuts_once() {
+        // QS2: /PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR
+        let q = parse("/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR").unwrap();
+        for translate in [translate_split, translate_pushup] {
+            let plan = translate(&q).unwrap();
+            let s = plan.summary();
+            assert_eq!(s.d_joins, 1, "{plan}");
+            assert_eq!(s.eq_selections, 1, "/PLAYS/PLAY/EPILOGUE");
+            assert_eq!(s.range_selections, 1, "//LINE/STAGEDIR");
+            // The cut join has no level constraint and outputs desc.
+            match plan {
+                Plan::DJoin(j) => {
+                    assert_eq!(j.level_diff, None);
+                    assert_eq!(j.output, Side::Desc);
+                }
+                other => panic!("expected join, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn qs3_matches_section_5_2_2_claims() {
+        // D-labeling 5 joins; Split 2 joins, 2 range + 1 eq; Push-up 2
+        // joins, 1 range + 2 eq.
+        let q = parse("/PLAYS/PLAY/ACT/SCENE[TITLE='SCENE III. A public place.']//LINE").unwrap();
+        let d = translate_dlabeling(&q).unwrap().summary();
+        assert_eq!((d.d_joins, d.tag_scans), (5, 6));
+        let s = translate_split(&q).unwrap().summary();
+        assert_eq!((s.d_joins, s.range_selections, s.eq_selections), (2, 2, 1));
+        let p = translate_pushup(&q).unwrap().summary();
+        assert_eq!((p.d_joins, p.range_selections, p.eq_selections), (2, 1, 2));
+        // The branch join keeps its level constraint in both (Ex. 4.1).
+        assert_eq!(s.level_constrained_joins, 1);
+        assert_eq!(p.level_constrained_joins, 1);
+        assert_eq!(s.value_filters, 1);
+    }
+
+    #[test]
+    fn figure2_query_join_bound() {
+        let q = parse(
+            "/proteinDatabase/proteinEntry[protein//superfamily='cytochrome c']/reference/refinfo[//author = 'Evans, M.J.' and year = '2001']/title",
+        )
+        .unwrap();
+        // l − 1 = 8 for the baseline (§1: "a total of 8 joins").
+        let d = translate_dlabeling(&q).unwrap().summary();
+        assert_eq!(d.d_joins, 8);
+        // Split/Push-up: b + d = 4 + 2 = 6 (§4.2).
+        let s = translate_split(&q).unwrap().summary();
+        assert_eq!(s.d_joins, 6);
+        let p = translate_pushup(&q).unwrap().summary();
+        assert_eq!(p.d_joins, 6);
+        // Push-up subqueries are anchored (more equality selections).
+        assert!(p.eq_selections > s.eq_selections);
+    }
+
+    #[test]
+    fn pushup_example_4_1_level_offset() {
+        // /proteinDatabase/proteinEntry[...]/reference/refinfo — the
+        // spine join between proteinEntry and refinfo carries level
+        // offset 2 ("pEntry.level = refinfo.level - 2").
+        let q = parse("/proteinDatabase/proteinEntry[protein]/reference/refinfo").unwrap();
+        let plan = translate_pushup(&q).unwrap();
+        // Outermost join is the spine join (processed last).
+        match &plan {
+            Plan::DJoin(j) => {
+                assert_eq!(j.output, Side::Desc);
+                assert_eq!(j.level_diff, Some(2));
+            }
+            other => panic!("expected join, got {other}"),
+        }
+    }
+
+    #[test]
+    fn split_branch_children_are_unanchored() {
+        let q = parse("/a/b[c]/d").unwrap();
+        let split = translate_split(&q).unwrap().summary();
+        // /a/b eq; //c and //d ranges.
+        assert_eq!((split.eq_selections, split.range_selections), (1, 2));
+        let push = translate_pushup(&q).unwrap().summary();
+        // /a/b, /a/b/c, /a/b/d all anchored.
+        assert_eq!((push.eq_selections, push.range_selections), (3, 0));
+    }
+
+    #[test]
+    fn value_predicate_attaches_to_selection() {
+        let q = parse("//refinfo[year='2001']").unwrap();
+        let plan = translate_pushup(&q).unwrap();
+        match &plan {
+            Plan::DJoin(j) => match j.desc.as_ref() {
+                Plan::Select(sel) => assert_eq!(sel.value_eq.as_deref(), Some("2001")),
+                other => panic!("{other}"),
+            },
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn spacer_wildcards_become_level_gaps() {
+        // /site/*/item: the `*` contributes only a level offset, so the
+        // plan is one unanchored selection joined at level +2.
+        let q = parse("/site/*/item").unwrap();
+        for translate in [translate_split, translate_pushup] {
+            let plan = translate(&q).unwrap();
+            match &plan {
+                Plan::DJoin(j) => {
+                    assert_eq!(j.level_diff, Some(2), "{plan}");
+                    assert_eq!(j.output, Side::Desc);
+                }
+                other => panic!("{other}"),
+            }
+            let s = plan.summary();
+            assert_eq!(s.all_scans, 0, "spacers need no scan");
+        }
+        // The baseline still scans everything for the `*` step.
+        let d = translate_dlabeling(&q).unwrap().summary();
+        assert_eq!(d.all_scans, 1);
+        assert_eq!(d.tag_scans, 2);
+    }
+
+    #[test]
+    fn terminal_wildcards_become_level_bound_all_scans() {
+        // Output wildcard.
+        let q = parse("/a/b/*").unwrap();
+        let plan = translate_pushup(&q).unwrap();
+        let s = plan.summary();
+        assert_eq!((s.all_scans, s.d_joins), (1, 1));
+        // Wildcard existence predicate.
+        let q = parse("/a/b[*]").unwrap();
+        let s = translate_pushup(&q).unwrap().summary();
+        assert_eq!((s.all_scans, s.d_joins), (1, 1));
+        // Root-level wildcard pins level 1 without a join.
+        let q = parse("/*").unwrap();
+        let plan = translate_split(&q).unwrap();
+        match &plan {
+            Plan::Select(sel) => assert_eq!(sel.level_eq, Some(1)),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_wildcards_still_rejected() {
+        // Descendant-axis wildcard with children needs schema info.
+        for src in ["//*/item", "/a//*/b", "//*"] {
+            let q = parse(src).unwrap();
+            assert_eq!(
+                translate_split(&q),
+                Err(TranslateError::WildcardNeedsSchema),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_with_predicate_children_keeps_representative() {
+        // /a/b[c] — output is b; c filters it.
+        let q = parse("/a/b[c]").unwrap();
+        let plan = translate_pushup(&q).unwrap();
+        match &plan {
+            Plan::DJoin(j) => {
+                assert_eq!(j.output, Side::Anc);
+                assert_eq!(j.level_diff, Some(1));
+            }
+            other => panic!("{other}"),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Translation errors.
+
+use std::fmt;
+
+/// Why a query could not be translated by a given strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// Split/Push-up met a `*` step: wildcards need schema information
+    /// (§4.1.3) — use Unfold or the D-labeling baseline.
+    WildcardNeedsSchema,
+    /// Unfolding produced more than the safety cap of simple paths
+    /// (extremely recursive schema + deep descendant edges).
+    TooManyUnfoldings {
+        /// The cap that was exceeded.
+        cap: usize,
+    },
+    /// Unfold was asked to expand a tag the schema does not contain.
+    /// (This yields an empty result set; surfaced as an error only in
+    /// strict contexts — translators normally emit an empty plan.)
+    UnknownTag(String),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WildcardNeedsSchema => {
+                write!(f, "wildcard steps require schema information (use Unfold)")
+            }
+            Self::TooManyUnfoldings { cap } => {
+                write!(f, "descendant-axis unfolding exceeded the cap of {cap} paths")
+            }
+            Self::UnknownTag(t) => write!(f, "tag {t:?} not present in the schema"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}

@@ -1,0 +1,347 @@
+//! The Unfold translator (§4.1.3): schema-driven descendant-axis
+//! elimination.
+//!
+//! `p//q` is rewritten into the union of `p/r1/…/q`, `p/r2/…/q`, … over
+//! every simple path the schema graph admits (bounded by the instance
+//! depth for recursive schemas). Wildcards are substituted with the
+//! concrete tags the schema allows. The rewritten queries contain only
+//! child axes and are then translated with Push-up, so every selection
+//! is an equality selection and D-joins remain only at branching points.
+
+use crate::decompose::translate_pushup;
+use crate::error::TranslateError;
+use crate::plan::Plan;
+use blas_xml::SchemaGraph;
+use blas_xpath::{Axis, NodeTest, QNode, QNodeId, QueryTree};
+
+/// Safety cap on the number of unfolded queries (cartesian product over
+/// descendant edges of a recursive schema can explode).
+pub const UNFOLD_CAP: usize = 4096;
+
+/// Translate `q` with the Unfold algorithm against `schema`.
+///
+/// Returns a [`Plan::Union`] over the unfolded alternatives (a single
+/// alternative is returned unwrapped). An empty union means the schema
+/// proves the query unsatisfiable.
+pub fn translate_unfold(q: &QueryTree, schema: &SchemaGraph) -> Result<Plan, TranslateError> {
+    let rewritings = unfold_rewritings(q, schema, UNFOLD_CAP)?;
+    let mut alts = Vec::with_capacity(rewritings.len());
+    for rw in &rewritings {
+        alts.push(translate_pushup(rw)?);
+    }
+    Ok(match alts.len() {
+        1 => alts.pop().expect("length checked"),
+        _ => Plan::Union(alts),
+    })
+}
+
+/// Enumerate all `//`- and `*`-free rewritings of `q` over `schema`.
+pub fn unfold_rewritings(
+    q: &QueryTree,
+    schema: &SchemaGraph,
+    cap: usize,
+) -> Result<Vec<QueryTree>, TranslateError> {
+    let rw = Rewriter { q, schema, cap };
+    let mut results = Vec::new();
+    let build = Build { nodes: Vec::new(), depths: Vec::new(), output_new: None };
+    rw.rec(
+        &[WorkItem { orig: q.root(), parent_new: None }],
+        build,
+        &mut results,
+    )?;
+    Ok(results)
+}
+
+#[derive(Clone, Copy)]
+struct WorkItem {
+    orig: QNodeId,
+    parent_new: Option<u32>,
+}
+
+#[derive(Clone)]
+struct Build {
+    nodes: Vec<QNode>,
+    depths: Vec<u16>,
+    output_new: Option<u32>,
+}
+
+impl Build {
+    /// Append one step; returns its index.
+    fn push_step(&mut self, axis: Axis, tag: &str, parent: Option<u32>) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(QNode {
+            axis,
+            test: NodeTest::Tag(tag.to_string()),
+            value_eq: None,
+            parent: parent.map(QNodeId),
+            children: Vec::new(),
+        });
+        if let Some(p) = parent {
+            self.nodes[p as usize].children.push(QNodeId(id));
+        }
+        let depth = parent.map_or(1, |p| self.depths[p as usize] + 1);
+        self.depths.push(depth);
+        id
+    }
+}
+
+struct Rewriter<'a> {
+    q: &'a QueryTree,
+    schema: &'a SchemaGraph,
+    cap: usize,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Enumerate the tag chains that can realize the edge into `orig`
+    /// from a parent with tag `parent_tag` at depth `parent_depth`.
+    /// Each chain ends with the tag substituted for `orig` itself.
+    fn edge_options(
+        &self,
+        orig: QNodeId,
+        parent_tag: Option<&str>,
+        parent_depth: u16,
+    ) -> Vec<Vec<String>> {
+        let node = self.q.node(orig);
+        let bound = self.schema.depth_bound();
+        let remaining = bound.saturating_sub(parent_depth);
+        match (parent_tag, node.axis, &node.test) {
+            // Root steps.
+            (None, Axis::Child, NodeTest::Tag(t)) => {
+                if self.schema.roots().any(|r| r == t.as_str()) {
+                    vec![vec![t.clone()]]
+                } else {
+                    Vec::new()
+                }
+            }
+            (None, Axis::Child, NodeTest::Wildcard) => {
+                self.schema.roots().map(|r| vec![r.to_string()]).collect()
+            }
+            (None, Axis::Descendant, NodeTest::Tag(t)) => self.schema.root_paths_to(t, bound),
+            (None, Axis::Descendant, NodeTest::Wildcard) => {
+                let mut all = Vec::new();
+                for tag in self.schema.tags() {
+                    all.extend(self.schema.root_paths_to(tag, bound));
+                }
+                all.sort();
+                all.dedup();
+                all
+            }
+            // Interior steps.
+            (Some(p), Axis::Child, NodeTest::Tag(t)) => {
+                if remaining >= 1 && self.schema.children_of(p).any(|c| c == t.as_str()) {
+                    vec![vec![t.clone()]]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(p), Axis::Child, NodeTest::Wildcard) => {
+                if remaining >= 1 {
+                    self.schema.children_of(p).map(|c| vec![c.to_string()]).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(p), Axis::Descendant, NodeTest::Tag(t)) => {
+                self.schema.paths_between(p, t, remaining)
+            }
+            (Some(p), Axis::Descendant, NodeTest::Wildcard) => {
+                let mut all = Vec::new();
+                for tag in self.schema.tags() {
+                    all.extend(self.schema.paths_between(p, tag, remaining));
+                }
+                all.sort();
+                all.dedup();
+                all
+            }
+        }
+    }
+
+    fn rec(
+        &self,
+        worklist: &[WorkItem],
+        build: Build,
+        out: &mut Vec<QueryTree>,
+    ) -> Result<(), TranslateError> {
+        let Some((item, rest)) = worklist.split_first() else {
+            // Complete rewriting.
+            if out.len() >= self.cap {
+                return Err(TranslateError::TooManyUnfoldings { cap: self.cap });
+            }
+            let output = QNodeId(build.output_new.expect("output processed"));
+            out.push(QueryTree::from_parts(build.nodes, QNodeId(0), output));
+            return Ok(());
+        };
+        let (parent_tag, parent_depth) = match item.parent_new {
+            Some(p) => (
+                Some(
+                    self_tag(&build.nodes[p as usize].test)
+                        .expect("built nodes are concrete")
+                        .to_string(),
+                ),
+                build.depths[p as usize],
+            ),
+            None => (None, 0),
+        };
+        let options = self.edge_options(item.orig, parent_tag.as_deref(), parent_depth);
+        let orig_node = self.q.node(item.orig);
+        for chain in options {
+            let mut b = build.clone();
+            let mut parent = item.parent_new;
+            let (last, intermediates) = chain.split_last().expect("chains are non-empty");
+            // Intermediate steps materialize the unfolded `//` edge; the
+            // first inserted step keeps a child axis (the whole
+            // rewriting is anchored at the schema root).
+            for mid in intermediates {
+                parent = Some(b.push_step(Axis::Child, mid, parent));
+            }
+            let new_id = b.push_step(Axis::Child, last, parent);
+            b.nodes[new_id as usize].value_eq = orig_node.value_eq.clone();
+            if item.orig == self.q.output() {
+                b.output_new = Some(new_id);
+            }
+            // Queue original children under the new node. Prepend so the
+            // traversal stays depth-first (children before pending
+            // siblings — required so predicate subtrees are complete
+            // before the spine continues, preserving child order).
+            let mut next: Vec<WorkItem> = orig_node
+                .children
+                .iter()
+                .map(|&c| WorkItem { orig: c, parent_new: Some(new_id) })
+                .collect();
+            next.extend_from_slice(rest);
+            self.rec(&next, b, out)?;
+        }
+        Ok(())
+    }
+}
+
+fn self_tag(test: &NodeTest) -> Option<&str> {
+    test.tag()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{SelectSource, Selection};
+    use blas_xpath::parse;
+
+    /// Protein-like tree schema.
+    fn protein_schema() -> SchemaGraph {
+        let mut s = SchemaGraph::new();
+        s.declare_root("db");
+        s.declare_edge("db", "entry");
+        s.declare_edge("entry", "protein");
+        s.declare_edge("protein", "classification");
+        s.declare_edge("classification", "superfamily");
+        s.declare_edge("entry", "reference");
+        s.declare_edge("reference", "refinfo");
+        s.declare_edge("refinfo", "authors");
+        s.declare_edge("authors", "author");
+        s.declare_edge("refinfo", "year");
+        s.set_depth_bound(6);
+        s
+    }
+
+    #[test]
+    fn unfolds_interior_descendant_to_equality_selection() {
+        // Example 4.2: protein//superfamily unfolds through
+        // classification.
+        let q = parse("/db/entry/protein//superfamily").unwrap();
+        let plan = translate_unfold(&q, &protein_schema()).unwrap();
+        let s = plan.summary();
+        assert_eq!(s.d_joins, 0, "{plan}");
+        assert_eq!(s.eq_selections, 1);
+        assert_eq!(s.range_selections, 0);
+        match &plan {
+            Plan::Select(Selection { source: SelectSource::Path { anchored, tags }, .. }) => {
+                assert!(anchored);
+                assert_eq!(
+                    tags,
+                    &["db", "entry", "protein", "classification", "superfamily"]
+                );
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn unfolds_leading_descendant() {
+        let q = parse("//authors/author").unwrap();
+        let plan = translate_unfold(&q, &protein_schema()).unwrap();
+        let s = plan.summary();
+        assert_eq!(s.d_joins, 0);
+        assert_eq!(s.eq_selections, 1);
+        match &plan {
+            Plan::Select(Selection { source: SelectSource::Path { anchored, tags }, .. }) => {
+                assert!(anchored, "unfolded paths are root-anchored");
+                assert_eq!(tags, &["db", "entry", "reference", "refinfo", "authors", "author"]);
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_substituted() {
+        let q = parse("/db/entry/*").unwrap();
+        let plan = translate_unfold(&q, &protein_schema()).unwrap();
+        // entry has two possible children → union of 2 equality selects.
+        let s = plan.summary();
+        assert_eq!(s.unions, 1);
+        assert_eq!(s.eq_selections, 2);
+    }
+
+    #[test]
+    fn unsatisfiable_query_yields_empty_union() {
+        let q = parse("/db/bogus//author").unwrap();
+        let plan = translate_unfold(&q, &protein_schema()).unwrap();
+        assert_eq!(plan, Plan::Union(Vec::new()));
+    }
+
+    #[test]
+    fn recursive_schema_bounded_by_depth() {
+        let mut s = SchemaGraph::new();
+        s.declare_root("site");
+        s.declare_edge("site", "parlist");
+        s.declare_edge("parlist", "listitem");
+        s.declare_edge("listitem", "parlist");
+        s.set_depth_bound(6);
+        let q = parse("//listitem").unwrap();
+        let plan = translate_unfold(&q, &s).unwrap();
+        // site/parlist/listitem and site/parlist/listitem/parlist/listitem.
+        let su = plan.summary();
+        assert_eq!(su.eq_selections, 2);
+        assert_eq!(su.d_joins, 0);
+    }
+
+    #[test]
+    fn branches_keep_joins_but_selections_become_equalities() {
+        let q = parse("/db/entry[reference//author]/protein").unwrap();
+        let plan = translate_unfold(&q, &protein_schema()).unwrap();
+        let s = plan.summary();
+        assert_eq!(s.d_joins, 2, "{plan}"); // entry⋈author-path, entry⋈protein
+        assert_eq!(s.range_selections, 0);
+        assert_eq!(s.eq_selections, 3);
+    }
+
+    #[test]
+    fn value_predicates_survive_unfolding() {
+        let q = parse("/db/entry//author='X'").unwrap();
+        let plan = translate_unfold(&q, &protein_schema()).unwrap();
+        let s = plan.summary();
+        assert_eq!(s.value_filters, 1);
+        assert_eq!(s.d_joins, 0);
+    }
+
+    #[test]
+    fn cap_enforced() {
+        // Deep recursion with a tiny cap.
+        let mut s = SchemaGraph::new();
+        s.declare_root("r");
+        s.declare_edge("r", "a");
+        s.declare_edge("a", "a");
+        s.set_depth_bound(12);
+        let q = parse("//a").unwrap();
+        let err = unfold_rewritings(&q, &s, 4).unwrap_err();
+        assert!(matches!(err, TranslateError::TooManyUnfoldings { cap: 4 }));
+    }
+}

@@ -1,0 +1,102 @@
+//! Parse errors with byte-offset context.
+
+use std::fmt;
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start/continue the current construct.
+    UnexpectedChar(char),
+    /// `</b>` closed `<a>`.
+    MismatchedEndTag { expected: String, found: String },
+    /// An end tag with no matching open element.
+    UnmatchedEndTag(String),
+    /// Document contains no root element.
+    NoRootElement,
+    /// More than one top-level element.
+    MultipleRoots,
+    /// Content after the root element closed (other than misc).
+    TrailingContent,
+    /// Tag or attribute name is empty or malformed.
+    InvalidName(String),
+    /// An attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// `&foo;` where `foo` is not a supported entity.
+    UnknownEntity(String),
+    /// Malformed numeric character reference.
+    BadCharRef(String),
+    /// Comment containing `--` or other malformed markup.
+    MalformedMarkup(&'static str),
+    /// Elements still open at end of input.
+    UnclosedElements(usize),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof => write!(f, "unexpected end of input"),
+            Self::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            Self::MismatchedEndTag { expected, found } => {
+                write!(f, "mismatched end tag: expected </{expected}>, found </{found}>")
+            }
+            Self::UnmatchedEndTag(t) => write!(f, "end tag </{t}> matches no open element"),
+            Self::NoRootElement => write!(f, "document has no root element"),
+            Self::MultipleRoots => write!(f, "document has more than one root element"),
+            Self::TrailingContent => write!(f, "content after the document root"),
+            Self::InvalidName(n) => write!(f, "invalid name {n:?}"),
+            Self::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            Self::UnknownEntity(e) => write!(f, "unknown entity &{e};"),
+            Self::BadCharRef(r) => write!(f, "bad character reference &#{r};"),
+            Self::MalformedMarkup(what) => write!(f, "malformed {what}"),
+            Self::UnclosedElements(n) => write!(f, "{n} element(s) left open at end of input"),
+        }
+    }
+}
+
+/// A parse error annotated with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// The specific failure.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, kind: ParseErrorKind) -> Self {
+        Self { offset, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.kind)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_kind() {
+        let e = ParseError::new(42, ParseErrorKind::UnexpectedEof);
+        let s = e.to_string();
+        assert!(s.contains("42"), "{s}");
+        assert!(s.contains("unexpected end of input"), "{s}");
+    }
+
+    #[test]
+    fn display_mismatched_end_tag_names_both_tags() {
+        let e = ParseError::new(
+            7,
+            ParseErrorKind::MismatchedEndTag { expected: "a".into(), found: "b".into() },
+        );
+        let s = e.to_string();
+        assert!(s.contains("</a>") && s.contains("</b>"), "{s}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Escaping and entity resolution for XML text and attribute values.
+
+use crate::error::{ParseError, ParseErrorKind};
+use std::borrow::Cow;
+
+/// Escape `text` for use as element content (`&`, `<`, `>`).
+///
+/// Returns a borrowed string when no escaping is needed, avoiding an
+/// allocation on the common path.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    escape_with(text, false)
+}
+
+/// Escape `text` for use inside a double-quoted attribute value
+/// (`&`, `<`, `>`, `"`).
+pub fn escape_attr(text: &str) -> Cow<'_, str> {
+    escape_with(text, true)
+}
+
+fn escape_with(text: &str, attr: bool) -> Cow<'_, str> {
+    let needs = text
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && b == b'"'));
+    if !needs {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve the five predefined entities plus decimal/hex character
+/// references in `raw`, which is the text between markup.
+///
+/// `base` is the byte offset of `raw` within the whole input, used for
+/// error reporting.
+pub fn unescape(raw: &str, base: usize) -> Result<Cow<'_, str>, ParseError> {
+    if !raw.contains('&') {
+        return Ok(Cow::Borrowed(raw));
+    }
+    let mut out = String::with_capacity(raw.len());
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < raw.len() {
+        if bytes[i] != b'&' {
+            // Copy a maximal run without '&' in one go.
+            let start = i;
+            while i < raw.len() && bytes[i] != b'&' {
+                i += 1;
+            }
+            out.push_str(&raw[start..i]);
+            continue;
+        }
+        let semi = raw[i..]
+            .find(';')
+            .ok_or_else(|| ParseError::new(base + i, ParseErrorKind::UnexpectedEof))?;
+        let name = &raw[i + 1..i + semi];
+        match name {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if name.starts_with('#') => {
+                let c = parse_char_ref(&name[1..])
+                    .ok_or_else(|| ParseError::new(base + i, ParseErrorKind::BadCharRef(name[1..].to_string())))?;
+                out.push(c);
+            }
+            _ => {
+                return Err(ParseError::new(
+                    base + i,
+                    ParseErrorKind::UnknownEntity(name.to_string()),
+                ))
+            }
+        }
+        i += semi + 1;
+    }
+    Ok(Cow::Owned(out))
+}
+
+fn parse_char_ref(body: &str) -> Option<char> {
+    let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<u32>().ok()?
+    };
+    char::from_u32(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_no_alloc_when_clean() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_text_replaces_specials() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+    }
+
+    #[test]
+    fn escape_attr_also_quotes() {
+        assert_eq!(escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn unescape_predefined_entities() {
+        assert_eq!(unescape("&lt;&gt;&amp;&apos;&quot;", 0).unwrap(), "<>&'\"");
+    }
+
+    #[test]
+    fn unescape_passthrough_is_borrowed() {
+        assert!(matches!(unescape("plain", 0).unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_decimal_and_hex_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", 0).unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_unknown_entity_errors_with_offset() {
+        let err = unescape("ab&bogus;cd", 10).unwrap_err();
+        assert_eq!(err.offset, 12);
+        assert_eq!(err.kind, ParseErrorKind::UnknownEntity("bogus".into()));
+    }
+
+    #[test]
+    fn unescape_unterminated_entity_is_eof() {
+        let err = unescape("x&amp", 0).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn unescape_bad_char_ref() {
+        let err = unescape("&#xZZ;", 0).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadCharRef(_)));
+        // Surrogate code point is not a char.
+        let err = unescape("&#xD800;", 0).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadCharRef(_)));
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let original = "R&D <dept> \"x\" 'y'";
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped, 0).unwrap(), original);
+    }
+}

@@ -1,0 +1,86 @@
+//! Serialize a [`Document`] back to XML text.
+//!
+//! Used by the data generators (which build trees programmatically) and
+//! by round-trip property tests (`parse ∘ serialize ∘ parse` is the
+//! identity on the tree).
+
+use crate::escape::{escape_attr, escape_text};
+use crate::tree::{Document, NodeId, NodeKind};
+
+/// Serialize the whole document (no XML declaration, no indentation —
+/// whitespace would perturb the paper's position counting).
+pub fn serialize_document(doc: &Document) -> String {
+    let mut out = String::with_capacity(doc.len() * 16);
+    write_node(doc, doc.root(), &mut out);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String) {
+    let node = doc.node(id);
+    debug_assert_eq!(node.kind, NodeKind::Element, "attributes serialized inline");
+    let name = doc.tag_name(id);
+    out.push('<');
+    out.push_str(name);
+    let mut element_children = Vec::new();
+    for &child in &node.children {
+        let c = doc.node(child);
+        match c.kind {
+            NodeKind::Attribute => {
+                out.push(' ');
+                // Strip the '@' pseudo-tag prefix.
+                out.push_str(&doc.tag_name(child)[1..]);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(c.text.as_deref().unwrap_or("")));
+                out.push('"');
+            }
+            NodeKind::Element => element_children.push(child),
+        }
+    }
+    let has_text = node.text.as_deref().is_some_and(|t| !t.is_empty());
+    if element_children.is_empty() && !has_text {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if let Some(text) = &node.text {
+        out.push_str(&escape_text(text));
+    }
+    for child in element_children {
+        write_node(doc, child, out);
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let src = "<a x=\"1\"><b>hi</b><c/></a>";
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(serialize_document(&doc), src);
+    }
+
+    #[test]
+    fn escapes_on_output() {
+        let doc = Document::parse("<a m=\"x &amp; y\">1 &lt; 2</a>").unwrap();
+        let out = serialize_document(&doc);
+        assert_eq!(out, "<a m=\"x &amp; y\">1 &lt; 2</a>");
+    }
+
+    #[test]
+    fn reparse_equals_original_tree() {
+        let src = "<db><e id=\"1\"><n>cyt &amp; c</n></e><e id=\"2\"/></db>";
+        let doc = Document::parse(src).unwrap();
+        let doc2 = Document::parse(&serialize_document(&doc)).unwrap();
+        assert_eq!(doc.len(), doc2.len());
+        for (a, b) in doc.node_ids().zip(doc2.node_ids()) {
+            assert_eq!(doc.tag_name(a), doc2.tag_name(b));
+            assert_eq!(doc.node(a).text, doc2.node(b).text);
+            assert_eq!(doc.node(a).level, doc2.node(b).level);
+        }
+    }
+}

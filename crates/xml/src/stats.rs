@@ -1,0 +1,70 @@
+//! Per-document statistics — the Fig. 12 dataset-characteristics table.
+
+use crate::tree::Document;
+
+/// The four characteristics the paper reports per dataset (Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocStats {
+    /// Serialized size in bytes ("Size" row).
+    pub bytes: usize,
+    /// Element + attribute node count ("Nodes" row).
+    pub nodes: usize,
+    /// Number of distinct tags ("Tags" row).
+    pub tags: usize,
+    /// Length of the longest simple path ("Depth" row; root = 1).
+    pub depth: u16,
+}
+
+impl DocStats {
+    /// Compute statistics for a parsed document given its serialized size.
+    pub fn new(doc: &Document, bytes: usize) -> Self {
+        Self {
+            bytes,
+            nodes: doc.len(),
+            tags: doc.tags().len(),
+            depth: doc.depth(),
+        }
+    }
+
+    /// Parse `input` and compute its statistics.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(input: &str) -> Result<Self, crate::ParseError> {
+        let doc = Document::parse(input)?;
+        Ok(Self::new(&doc, input.len()))
+    }
+
+    /// Human-readable size, e.g. `3.4MB`, matching the paper's table style.
+    pub fn size_display(&self) -> String {
+        let b = self.bytes as f64;
+        if b >= 1024.0 * 1024.0 {
+            format!("{:.1}MB", b / (1024.0 * 1024.0))
+        } else if b >= 1024.0 {
+            format!("{:.1}KB", b / 1024.0)
+        } else {
+            format!("{}B", self.bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_counts_nodes_tags_depth() {
+        let s = DocStats::from_str("<a><b i=\"1\"><c/></b><b i=\"2\"/></a>").unwrap();
+        // a, b, @i, c, b, @i
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.tags, 4); // a, b, @i, c
+        assert_eq!(s.depth, 3);
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn size_display_units() {
+        let mk = |bytes| DocStats { bytes, nodes: 0, tags: 0, depth: 0 };
+        assert_eq!(mk(512).size_display(), "512B");
+        assert_eq!(mk(2048).size_display(), "2.0KB");
+        assert_eq!(mk(3 * 1024 * 1024 + 400 * 1024).size_display(), "3.4MB");
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests: parser ↔ serializer round-trip and parser
+//! robustness on arbitrary input.
+
+use blas_xml::{serialize_document, Document, SaxParser};
+use proptest::prelude::*;
+
+/// A recursive strategy for XML fragments rendered directly as text.
+/// Tags come from a tiny alphabet; text avoids markup characters (the
+/// escaping path is covered separately below).
+fn xml_fragment(depth: u32) -> impl Strategy<Value = String> {
+    let tag = prop::sample::select(vec!["a", "b", "c", "item", "name"]);
+    let text = "[ -~&&[^<>&\"']]{0,12}"; // printable ASCII minus markup
+    let leaf = (tag.clone(), text)
+        .prop_map(|(t, body): (&str, String)| {
+            if body.trim().is_empty() {
+                format!("<{t}/>")
+            } else {
+                format!("<{t}>{body}</{t}>")
+            }
+        });
+    leaf.prop_recursive(depth, 64, 4, move |inner| {
+        let tag = prop::sample::select(vec!["a", "b", "c", "item", "name"]);
+        (tag, prop::collection::vec(inner, 1..4)).prop_map(|(t, kids)| {
+            format!("<{t}>{}</{t}>", kids.concat())
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn serialize_then_parse_preserves_tree(src in xml_fragment(3)) {
+        let doc = Document::parse(&src).unwrap();
+        let out = serialize_document(&doc);
+        let doc2 = Document::parse(&out).unwrap();
+        prop_assert_eq!(doc.len(), doc2.len());
+        for (x, y) in doc.node_ids().zip(doc2.node_ids()) {
+            prop_assert_eq!(doc.tag_name(x), doc2.tag_name(y));
+            prop_assert_eq!(&doc.node(x).text, &doc2.node(y).text);
+            prop_assert_eq!(doc.node(x).level, doc2.node(y).level);
+            prop_assert_eq!(doc.node(x).children.len(), doc2.node(y).children.len());
+        }
+    }
+
+    #[test]
+    fn escaped_text_round_trips(body in "[ -~]{0,24}") {
+        let src = format!("<a>{}</a>", blas_xml::escape::escape_text(&body));
+        let doc = Document::parse(&src).unwrap();
+        let got = doc.node(doc.root()).text.clone().unwrap_or_default();
+        // Whitespace-only text is dropped by design.
+        if body.trim().is_empty() {
+            prop_assert_eq!(got, "");
+        } else {
+            prop_assert_eq!(got, body);
+        }
+    }
+
+    /// The parser must never panic, whatever the input.
+    #[test]
+    fn parser_never_panics(input in "[<>a-z/\"'= &;#!\\[\\]?-]{0,64}") {
+        let _ = SaxParser::new(&input).collect::<Result<Vec<_>, _>>();
+        let _ = Document::parse(&input);
+    }
+
+    /// Levels increase by exactly one along parent→child edges.
+    #[test]
+    fn levels_consistent(src in xml_fragment(3)) {
+        let doc = Document::parse(&src).unwrap();
+        for id in doc.node_ids() {
+            let node = doc.node(id);
+            match node.parent {
+                Some(p) => prop_assert_eq!(node.level, doc.node(p).level + 1),
+                None => prop_assert_eq!(node.level, 1),
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The query-tree model of Fig. 3.
+
+use std::fmt;
+
+/// Axis connecting a step to its parent step (or to the document root,
+/// for the first step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/` — child axis.
+    Child,
+    /// `//` — descendant axis (descendant-or-self::node()/child:: in
+    /// full XPath terms; the paper treats it as "descendant").
+    Descendant,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Axis::Child => "/",
+            Axis::Descendant => "//",
+        })
+    }
+}
+
+/// Node test of a step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// A tag name (attributes use the `@name` convention).
+    Tag(String),
+    /// `*` — any tag.
+    Wildcard,
+}
+
+impl NodeTest {
+    /// The tag name, if this is a name test.
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            NodeTest::Tag(t) => Some(t),
+            NodeTest::Wildcard => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Tag(t) => f.write_str(t),
+            NodeTest::Wildcard => f.write_str("*"),
+        }
+    }
+}
+
+/// Identifier of a node in a [`QueryTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QNodeId(pub u32);
+
+impl QNodeId {
+    /// Arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One step of the query tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QNode {
+    /// Axis of the incoming edge (from parent step or document root).
+    pub axis: Axis,
+    /// Name test.
+    pub test: NodeTest,
+    /// Value predicate `= 'literal'` attached to this node (drawn as a
+    /// quoted leaf in Fig. 3).
+    pub value_eq: Option<String>,
+    /// Parent step.
+    pub parent: Option<QNodeId>,
+    /// Child steps: predicate subtrees first, then (if the main path
+    /// continues) the spine child last.
+    pub children: Vec<QNodeId>,
+}
+
+/// A parsed tree query (Fig. 3): a rooted tree of steps with a
+/// designated output node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTree {
+    nodes: Vec<QNode>,
+    root: QNodeId,
+    output: QNodeId,
+}
+
+impl QueryTree {
+    /// Assemble a tree from parts (used by the parser and by translator
+    /// tests that build queries programmatically).
+    pub fn from_parts(nodes: Vec<QNode>, root: QNodeId, output: QNodeId) -> Self {
+        debug_assert!(root.index() < nodes.len() && output.index() < nodes.len());
+        Self { nodes, root, output }
+    }
+
+    /// First step of the query.
+    pub fn root(&self) -> QNodeId {
+        self.root
+    }
+
+    /// The darkened output (return) node.
+    pub fn output(&self) -> QNodeId {
+        self.output
+    }
+
+    /// Borrow a step.
+    pub fn node(&self, id: QNodeId) -> &QNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty tree (never produced by the parser).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate all step ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = QNodeId> {
+        (0..self.nodes.len() as u32).map(QNodeId)
+    }
+
+    /// Is `id` a branching point? (More than one child, or the output
+    /// node when it is internal — §2.)
+    pub fn is_branching(&self, id: QNodeId) -> bool {
+        let n = self.node(id);
+        n.children.len() > 1 || (id == self.output && !n.children.is_empty())
+    }
+
+    /// Ids on the spine (root → output path), root first.
+    pub fn spine(&self) -> Vec<QNodeId> {
+        let mut path = Vec::new();
+        let mut cur = Some(self.output);
+        while let Some(id) = cur {
+            path.push(id);
+            cur = self.node(id).parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Does any step use a descendant axis (other than the leading one)?
+    pub fn has_interior_descendant(&self) -> bool {
+        self.node_ids()
+            .any(|id| id != self.root && self.node(id).axis == Axis::Descendant)
+    }
+
+    /// Number of steps `l` (tags in the query) — the paper's D-join
+    /// count for the baseline is `l − 1`.
+    pub fn step_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Render one subtree back to XPath syntax.
+    fn fmt_node(&self, id: QNodeId, out: &mut String, is_root_edge: bool) {
+        let n = self.node(id);
+        if !is_root_edge || n.axis == Axis::Descendant {
+            out.push_str(&n.axis.to_string());
+        } else {
+            out.push('/');
+        }
+        out.push_str(&n.test.to_string());
+        // Predicate children = all children except the spine child (the
+        // last child when the spine continues through this node).
+        let spine_next = self.spine_child(id);
+        for &child in &n.children {
+            if Some(child) == spine_next {
+                continue;
+            }
+            out.push('[');
+            self.fmt_node(child, out, false);
+            // Inner fmt starts with an axis; predicates conventionally
+            // drop the leading '/'.
+            out.push(']');
+        }
+        if let Some(v) = &n.value_eq {
+            out.push_str(" = '");
+            out.push_str(v);
+            out.push('\'');
+        }
+        if let Some(next) = spine_next {
+            self.fmt_node(next, out, false);
+        }
+    }
+
+    /// The child of `id` that lies on the spine, if any.
+    pub fn spine_child(&self, id: QNodeId) -> Option<QNodeId> {
+        let spine = self.spine();
+        let pos = spine.iter().position(|&s| s == id)?;
+        spine.get(pos + 1).copied()
+    }
+
+    /// A copy with every value predicate removed — the query form used
+    /// for the holistic twig join experiments (§5.3.1: "we therefore
+    /// removed value predicates from the queries").
+    pub fn without_value_predicates(&self) -> QueryTree {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| QNode { value_eq: None, ..n.clone() })
+            .collect();
+        QueryTree::from_parts(nodes, self.root, self.output)
+    }
+}
+
+impl fmt::Display for QueryTree {
+    /// Canonical XPath rendering. Predicate subtrees print with a
+    /// leading axis (`[/a/b]` prints as `[a/b]` is *not* attempted; we
+    /// keep the explicit form for round-trip fidelity).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.fmt_node(self.root, &mut out, true);
+        // Normalize "[/x" to "[x": predicates re-parse identically.
+        let out = out.replace("[//", "\u{0}").replace("[/", "[").replace('\u{0}', "[//");
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build /a/b[c]/d by hand.
+    fn sample() -> QueryTree {
+        let nodes = vec![
+            QNode {
+                axis: Axis::Child,
+                test: NodeTest::Tag("a".into()),
+                value_eq: None,
+                parent: None,
+                children: vec![QNodeId(1)],
+            },
+            QNode {
+                axis: Axis::Child,
+                test: NodeTest::Tag("b".into()),
+                value_eq: None,
+                parent: Some(QNodeId(0)),
+                children: vec![QNodeId(2), QNodeId(3)],
+            },
+            QNode {
+                axis: Axis::Child,
+                test: NodeTest::Tag("c".into()),
+                value_eq: None,
+                parent: Some(QNodeId(1)),
+                children: vec![],
+            },
+            QNode {
+                axis: Axis::Child,
+                test: NodeTest::Tag("d".into()),
+                value_eq: None,
+                parent: Some(QNodeId(1)),
+                children: vec![],
+            },
+        ];
+        QueryTree::from_parts(nodes, QNodeId(0), QNodeId(3))
+    }
+
+    #[test]
+    fn spine_walks_root_to_output() {
+        let q = sample();
+        assert_eq!(q.spine(), [QNodeId(0), QNodeId(1), QNodeId(3)]);
+        assert_eq!(q.spine_child(QNodeId(1)), Some(QNodeId(3)));
+        assert_eq!(q.spine_child(QNodeId(2)), None);
+    }
+
+    #[test]
+    fn branching_points() {
+        let q = sample();
+        assert!(!q.is_branching(QNodeId(0)));
+        assert!(q.is_branching(QNodeId(1)));
+        assert!(!q.is_branching(QNodeId(3)));
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let q = sample();
+        assert_eq!(q.to_string(), "/a/b[c]/d");
+    }
+
+    #[test]
+    fn interior_descendant_detection() {
+        let mut q = sample();
+        assert!(!q.has_interior_descendant());
+        q.nodes[3].axis = Axis::Descendant;
+        assert!(q.has_interior_descendant());
+    }
+}

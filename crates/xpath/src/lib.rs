@@ -1,0 +1,15 @@
+//! # blas-xpath — the XPath tree-query subset of the BLAS paper (§2)
+//!
+//! The paper processes XPath queries built from child axis steps (`/`),
+//! descendant axis steps (`//`), branches (`[..]`), name tests (with
+//! `*` wildcards for the Unfold discussion) and value equality
+//! predicates (`= 'literal'`). Such queries are trees ("tree queries",
+//! §2); this crate parses them into the query-tree model of Fig. 3:
+//! one node per step, darkened *output* node, edges annotated with the
+//! axis, and value predicates attached to the node they constrain.
+
+pub mod ast;
+pub mod parser;
+
+pub use ast::{Axis, NodeTest, QNode, QNodeId, QueryTree};
+pub use parser::{parse, XPathError};

@@ -1,0 +1,370 @@
+//! Recursive-descent parser for the tree-query subset.
+//!
+//! Grammar (whitespace insignificant between tokens):
+//!
+//! ```text
+//! query     := ('/' | '//') step (('/' | '//') step)* ('=' literal)?
+//! step      := nodetest predicate*
+//! nodetest  := NAME | '*'
+//! predicate := '[' conj ']'
+//! conj      := relterm ('and' relterm)*
+//! relterm   := relpath ('=' literal)?
+//! relpath   := ('//')? step (('/' | '//') step)*
+//! literal   := '\'' ... '\'' | '"' ... '"'
+//! ```
+//!
+//! A relative path inside a predicate starts with an implicit child
+//! axis unless written with `//`. The value comparison attaches to the
+//! last step of its path (the quoted leaves of Fig. 3).
+
+use crate::ast::{Axis, NodeTest, QNode, QNodeId, QueryTree};
+use std::fmt;
+
+/// Parse failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Byte offset in the query string.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath syntax error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Parse `input` into a [`QueryTree`].
+pub fn parse(input: &str) -> Result<QueryTree, XPathError> {
+    let mut p = Parser { input, pos: 0, nodes: Vec::new() };
+    p.skip_ws();
+    let axis = p.parse_axis()?.ok_or_else(|| p.error("query must start with '/' or '//'"))?;
+    let (first, last) = p.parse_path(axis, None)?;
+    p.skip_ws();
+    if p.pos < input.len() {
+        return Err(p.error("trailing input after query"));
+    }
+    Ok(QueryTree::from_parts(p.nodes, first, last))
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    nodes: Vec<QNode>,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> XPathError {
+        XPathError { pos: self.pos, msg: msg.to_string() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parse `//` or `/` if present.
+    fn parse_axis(&mut self) -> Result<Option<Axis>, XPathError> {
+        self.skip_ws();
+        if self.eat("//") {
+            Ok(Some(Axis::Descendant))
+        } else if self.eat("/") {
+            Ok(Some(Axis::Child))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn alloc(&mut self, node: QNode) -> QNodeId {
+        let id = QNodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Parse a path starting with the given axis; returns (first, last)
+    /// node ids. `parent` is the step the path hangs off (None for the
+    /// query root).
+    fn parse_path(
+        &mut self,
+        first_axis: Axis,
+        parent: Option<QNodeId>,
+    ) -> Result<(QNodeId, QNodeId), XPathError> {
+        let mut axis = first_axis;
+        let mut parent = parent;
+        let mut first = None;
+        loop {
+            let id = self.parse_step(axis, parent)?;
+            if first.is_none() {
+                first = Some(id);
+            }
+            if let Some(p) = parent {
+                self.nodes[p.index()].children.push(id);
+            }
+            parent = Some(id);
+            match self.parse_axis()? {
+                Some(next) => axis = next,
+                None => {
+                    // Optional trailing value comparison.
+                    self.skip_ws();
+                    if self.eat("=") {
+                        let lit = self.parse_literal()?;
+                        self.nodes[id.index()].value_eq = Some(lit);
+                    }
+                    return Ok((first.expect("at least one step"), id));
+                }
+            }
+        }
+    }
+
+    /// Parse one step: nodetest + predicates.
+    fn parse_step(&mut self, axis: Axis, parent: Option<QNodeId>) -> Result<QNodeId, XPathError> {
+        self.skip_ws();
+        let test = if self.eat("*") {
+            NodeTest::Wildcard
+        } else {
+            NodeTest::Tag(self.parse_name()?)
+        };
+        let id = self.alloc(QNode { axis, test, value_eq: None, parent, children: Vec::new() });
+        loop {
+            self.skip_ws();
+            if !self.eat("[") {
+                break;
+            }
+            self.parse_conj(id)?;
+            self.skip_ws();
+            if !self.eat("]") {
+                return Err(self.error("expected ']'"));
+            }
+        }
+        Ok(id)
+    }
+
+    /// Parse `relterm ('and' relterm)*`, attaching each term as a
+    /// predicate subtree of `owner`.
+    fn parse_conj(&mut self, owner: QNodeId) -> Result<(), XPathError> {
+        loop {
+            let axis = self.parse_axis()?.unwrap_or(Axis::Child);
+            let (first, last) = self.parse_path(axis, Some(owner))?;
+            // parse_path pushed `first` into owner's children via the
+            // parent linkage; ensure it really did (first's parent is
+            // owner).
+            debug_assert_eq!(self.nodes[first.index()].parent, Some(owner));
+            let _ = last;
+            self.skip_ws();
+            if self.rest().starts_with("and")
+                && !self.rest()[3..].starts_with(|c: char| c.is_alphanumeric() || c == '_')
+            {
+                self.pos += 3;
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XPathError> {
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_' || c == '@'
+            } else {
+                c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+            };
+            if !ok {
+                break;
+            }
+            end = i + c.len_utf8();
+        }
+        if end == 0 {
+            return Err(self.error("expected a name or '*'"));
+        }
+        let name = rest[..end].to_string();
+        self.pos += end;
+        Ok(name)
+    }
+
+    fn parse_literal(&mut self) -> Result<String, XPathError> {
+        self.skip_ws();
+        let quote = match self.rest().chars().next() {
+            Some(q @ ('\'' | '"')) => q,
+            _ => return Err(self.error("expected a quoted literal")),
+        };
+        self.pos += 1;
+        let rest = self.rest();
+        let end = rest
+            .find(quote)
+            .ok_or_else(|| self.error("unterminated literal"))?;
+        let lit = rest[..end].to_string();
+        self.pos += end + 1;
+        Ok(lit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(q: &QueryTree) -> Vec<String> {
+        q.node_ids().map(|id| q.node(id).test.to_string()).collect()
+    }
+
+    #[test]
+    fn simple_path() {
+        let q = parse("/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE").unwrap();
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.node(q.root()).axis, Axis::Child);
+        assert_eq!(q.node(q.output()).test.tag(), Some("LINE"));
+        assert!(q.node_ids().all(|id| q.node(id).axis == Axis::Child));
+        assert_eq!(q.spine().len(), 6);
+    }
+
+    #[test]
+    fn leading_descendant() {
+        let q = parse("//category/description").unwrap();
+        assert_eq!(q.node(q.root()).axis, Axis::Descendant);
+        assert_eq!(q.node(q.output()).axis, Axis::Child);
+    }
+
+    #[test]
+    fn interior_descendant() {
+        let q = parse("/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR").unwrap();
+        let spine = q.spine();
+        assert_eq!(q.node(spine[3]).axis, Axis::Descendant);
+        assert!(q.has_interior_descendant());
+    }
+
+    #[test]
+    fn value_predicate_in_branch() {
+        let q = parse("/PLAYS/PLAY/ACT/SCENE[TITLE = 'SCENE III. A public place.']//LINE").unwrap();
+        let scene = q.spine()[3];
+        assert_eq!(q.node(scene).test.tag(), Some("SCENE"));
+        assert_eq!(q.node(scene).children.len(), 2);
+        let title = q.node(scene).children[0];
+        assert_eq!(q.node(title).test.tag(), Some("TITLE"));
+        assert_eq!(q.node(title).value_eq.as_deref(), Some("SCENE III. A public place."));
+        assert_eq!(q.node(q.output()).test.tag(), Some("LINE"));
+        assert_eq!(q.node(q.output()).axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn trailing_value_comparison() {
+        let q = parse("/ProteinDatabase/ProteinEntry//authors/author='Daniel, M.'").unwrap();
+        assert_eq!(q.node(q.output()).value_eq.as_deref(), Some("Daniel, M."));
+        assert_eq!(q.node(q.output()).test.tag(), Some("author"));
+    }
+
+    #[test]
+    fn nested_predicates_and_conjunction() {
+        let q = parse("/ProteinDatabase/ProteinEntry[reference/refinfo[citation and year]]/protein/name")
+            .unwrap();
+        assert_eq!(q.len(), 8);
+        let entry = q.spine()[1];
+        // children: reference (predicate) + protein (spine).
+        assert_eq!(q.node(entry).children.len(), 2);
+        let reference = q.node(entry).children[0];
+        let refinfo = q.node(reference).children[0];
+        let kids: Vec<_> = q.node(refinfo).children.iter().map(|&c| q.node(c).test.to_string()).collect();
+        assert_eq!(kids, ["citation", "year"]);
+        assert_eq!(q.node(q.output()).test.tag(), Some("name"));
+    }
+
+    #[test]
+    fn figure2_query() {
+        let q = parse(
+            "/proteinDatabase/proteinEntry[protein//superfamily='cytochrome c']/reference/refinfo[//author = 'Evans, M.J.' and year = '2001']/title",
+        )
+        .unwrap();
+        assert_eq!(q.len(), 9);
+        assert_eq!(q.node(q.output()).test.tag(), Some("title"));
+        let refinfo = q.spine()[3];
+        assert_eq!(q.node(refinfo).test.tag(), Some("refinfo"));
+        // author (descendant), year, title children.
+        assert_eq!(q.node(refinfo).children.len(), 3);
+        let author = q.node(refinfo).children[0];
+        assert_eq!(q.node(author).axis, Axis::Descendant);
+        assert_eq!(q.node(author).value_eq.as_deref(), Some("Evans, M.J."));
+        let superf = {
+            let entry = q.spine()[1];
+            let protein = q.node(entry).children[0];
+            q.node(protein).children[0]
+        };
+        assert_eq!(q.node(superf).test.tag(), Some("superfamily"));
+        assert_eq!(q.node(superf).axis, Axis::Descendant);
+        assert_eq!(q.node(superf).value_eq.as_deref(), Some("cytochrome c"));
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let q = parse("/site/*/item").unwrap();
+        assert_eq!(tags(&q), ["site", "*", "item"]);
+        assert_eq!(q.node(q.spine()[1]).test, NodeTest::Wildcard);
+    }
+
+    #[test]
+    fn attribute_step() {
+        let q = parse("//item/@id").unwrap();
+        assert_eq!(q.node(q.output()).test.tag(), Some("@id"));
+    }
+
+    #[test]
+    fn double_quoted_literal() {
+        let q = parse("//year = \"2001\"").unwrap();
+        assert_eq!(q.node(q.output()).value_eq.as_deref(), Some("2001"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for src in [
+            "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE",
+            "/a/b[c]/d",
+            "//site/regions//item[shipping]/description",
+            "/ProteinDatabase/ProteinEntry[reference/refinfo[citation and year]]/protein/name",
+        ] {
+            let q = parse(src).unwrap();
+            let printed = q.to_string();
+            let q2 = parse(&printed).unwrap();
+            assert_eq!(q, q2, "{src} → {printed}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("a/b").is_err(), "must start with axis");
+        assert!(parse("/a[b").is_err(), "unclosed bracket");
+        assert!(parse("/a = 'x").is_err(), "unterminated literal");
+        assert!(parse("/a/b junk").is_err(), "trailing input");
+        assert!(parse("/a//").is_err(), "dangling axis");
+        assert!(parse("/a[]").is_err(), "empty predicate");
+        assert!(parse("/a = 5").is_err(), "unquoted literal");
+    }
+
+    #[test]
+    fn and_prefix_tag_not_conjunction() {
+        // A tag starting with "and" must not be taken as the keyword.
+        let q = parse("/a[b and android]").unwrap();
+        let kids: Vec<_> = q
+            .node(q.root())
+            .children
+            .iter()
+            .map(|&c| q.node(c).test.to_string())
+            .collect();
+        assert_eq!(kids, ["b", "android"]);
+    }
+}

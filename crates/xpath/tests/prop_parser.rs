@@ -1,0 +1,102 @@
+//! Property tests for the XPath parser: display round-trips, spine
+//! invariants, and no-panic robustness.
+
+use blas_xpath::{parse, QueryTree};
+use proptest::prelude::*;
+
+const TAGS: &[&str] = &["a", "b", "item", "name", "x1"];
+
+/// Random well-formed query text.
+fn query_text() -> impl Strategy<Value = String> {
+    let step = (
+        prop::bool::ANY,
+        0usize..TAGS.len(),
+        prop::option::of((prop::bool::ANY, 0usize..TAGS.len(), prop::option::of("[a-z]{1,4}"))),
+    );
+    (prop::collection::vec(step, 1..5), prop::option::of("[a-z]{1,4}")).prop_map(
+        |(steps, trailing)| {
+            let mut out = String::new();
+            let last = steps.len() - 1;
+            for (i, (deep, tag, pred)) in steps.into_iter().enumerate() {
+                out.push_str(if deep { "//" } else { "/" });
+                out.push_str(TAGS[tag]);
+                if let Some((pdeep, ptag, pval)) = pred {
+                    out.push('[');
+                    if pdeep {
+                        out.push_str("//");
+                    }
+                    out.push_str(TAGS[ptag]);
+                    if let Some(v) = pval {
+                        out.push_str(&format!(" = '{v}'"));
+                    }
+                    out.push(']');
+                }
+                if i == last {
+                    if let Some(v) = &trailing {
+                        out.push_str(&format!("='{v}'"));
+                    }
+                }
+            }
+            out
+        },
+    )
+}
+
+fn assert_trees_equal(a: &QueryTree, b: &QueryTree) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.node_ids().zip(b.node_ids()) {
+        assert_eq!(a.node(x).axis, b.node(y).axis);
+        assert_eq!(a.node(x).test, b.node(y).test);
+        assert_eq!(a.node(x).value_eq, b.node(y).value_eq);
+        assert_eq!(a.node(x).children.len(), b.node(y).children.len());
+    }
+    assert_eq!(a.output().index(), b.output().index());
+}
+
+proptest! {
+    /// parse ∘ display ∘ parse = parse.
+    #[test]
+    fn display_round_trips(src in query_text()) {
+        let q = parse(&src).unwrap();
+        let printed = q.to_string();
+        let q2 = parse(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
+        assert_trees_equal(&q, &q2);
+    }
+
+    /// The spine runs root → output along parent links, and every
+    /// non-spine node is reachable from a spine node.
+    #[test]
+    fn spine_invariants(src in query_text()) {
+        let q = parse(&src).unwrap();
+        let spine = q.spine();
+        prop_assert_eq!(spine[0], q.root());
+        prop_assert_eq!(*spine.last().unwrap(), q.output());
+        for pair in spine.windows(2) {
+            prop_assert_eq!(q.node(pair[1]).parent, Some(pair[0]));
+        }
+        // Parent links are acyclic and consistent with children lists.
+        for id in q.node_ids() {
+            for &c in &q.node(id).children {
+                prop_assert_eq!(q.node(c).parent, Some(id));
+            }
+        }
+    }
+
+    /// Stripping value predicates preserves structure.
+    #[test]
+    fn value_stripping_preserves_shape(src in query_text()) {
+        let q = parse(&src).unwrap();
+        let stripped = q.without_value_predicates();
+        prop_assert_eq!(q.len(), stripped.len());
+        for id in stripped.node_ids() {
+            prop_assert!(stripped.node(id).value_eq.is_none());
+        }
+        prop_assert_eq!(q.spine(), stripped.spine());
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "[/a-z\\[\\]*='\" @]{0,48}") {
+        let _ = parse(&input);
+    }
+}

@@ -1,0 +1,47 @@
+//! Plan explorer: print the logical plan and Fig.-11-style relational
+//! algebra that each translator generates for a query.
+//!
+//! ```sh
+//! cargo run --example plan_explorer -- "<xpath>"
+//! # default query: the paper's QS3
+//! cargo run --example plan_explorer
+//! ```
+
+use blas::{BlasDb, Translator};
+use blas_datagen::shakespeare;
+
+fn main() {
+    let query = std::env::args().nth(1).unwrap_or_else(|| {
+        "/PLAYS/PLAY/ACT/SCENE[TITLE='SCENE III. A public place.']//LINE".to_string()
+    });
+
+    // A small Shakespeare instance provides the tag inventory and
+    // schema the translators bind against.
+    let xml = shakespeare(1, 42);
+    let db = BlasDb::load(&xml).expect("generator output is well-formed");
+
+    println!("Query: {query}\n");
+    for (name, t) in [
+        ("D-labeling (baseline)", Translator::DLabeling),
+        ("Split", Translator::Split),
+        ("Push-up", Translator::PushUp),
+        ("Unfold", Translator::Unfold),
+    ] {
+        println!("=== {name} ===");
+        match db.plan(&query, t) {
+            Ok(plan) => {
+                let s = plan.summary();
+                println!(
+                    "d-joins: {}  eq-selections: {}  range-selections: {}  tag-scans: {}  unions: {}",
+                    s.d_joins, s.eq_selections, s.range_selections, s.tag_scans, s.unions
+                );
+                println!("{plan}");
+                match db.explain(&query, t) {
+                    Ok(algebra) => println!("{algebra}\n"),
+                    Err(e) => println!("(bind failed: {e})\n"),
+                }
+            }
+            Err(e) => println!("not translatable: {e}\n"),
+        }
+    }
+}

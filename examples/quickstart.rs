@@ -1,0 +1,74 @@
+//! Quickstart: load XML, run a query, inspect plans and statistics.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use blas::{BlasDb, Engine, Translator};
+
+fn main() {
+    // The paper's running example (Fig. 1): a protein repository.
+    let xml = r#"<ProteinDatabase>
+        <ProteinEntry>
+            <protein>
+                <name>cytochrome c [validated]</name>
+                <classification><superfamily>cytochrome c</superfamily></classification>
+            </protein>
+            <reference><refinfo>
+                <authors><author>Evans, M.J.</author></authors>
+                <year>2001</year>
+                <title>The human somatic cytochrome c gene</title>
+            </refinfo></reference>
+        </ProteinEntry>
+        <ProteinEntry>
+            <protein>
+                <name>hemoglobin alpha</name>
+                <classification><superfamily>globin</superfamily></classification>
+            </protein>
+            <reference><refinfo>
+                <authors><author>Smith, A.</author></authors>
+                <year>1998</year>
+                <title>Globin fold revisited</title>
+            </refinfo></reference>
+        </ProteinEntry>
+    </ProteinDatabase>"#;
+
+    let db = BlasDb::load(xml).expect("well-formed XML");
+    println!(
+        "Loaded: {} nodes, {} tags, depth {}",
+        db.stats(xml.len()).nodes,
+        db.stats(xml.len()).tags,
+        db.stats(xml.len()).depth
+    );
+    println!("P-label domain m = {}\n", db.domain().m());
+
+    // The paper's Fig. 2 query: titles of 2001 papers by Evans, M.J.
+    // about the cytochrome c superfamily.
+    let q = "/ProteinDatabase/ProteinEntry[protein//superfamily='cytochrome c']\
+             /reference/refinfo[//author='Evans, M.J.' and year='2001']/title";
+
+    let result = db.query(q).expect("valid query");
+    println!("Query: {q}");
+    for text in db.texts(&result).into_iter().flatten() {
+        println!("  → {text}");
+    }
+
+    // Compare the four translators on the same query.
+    println!("\n{:<12} {:>8} {:>10} {:>9}", "translator", "d-joins", "elements", "results");
+    for (name, t) in [
+        ("D-labeling", Translator::DLabeling),
+        ("Split", Translator::Split),
+        ("Push-up", Translator::PushUp),
+        ("Unfold", Translator::Unfold),
+    ] {
+        let r = db.query_with(q, t, Engine::Rdbms).unwrap();
+        println!(
+            "{:<12} {:>8} {:>10} {:>9}",
+            name, r.stats.d_joins, r.stats.elements_visited, r.stats.result_count
+        );
+    }
+
+    // Show the generated relational algebra (Fig. 11 style) and SQL.
+    println!("\nPush-up plan:\n{}", db.explain(q, Translator::PushUp).unwrap());
+    println!("\nGenerated SQL:\n{}", db.explain_sql(q, Translator::PushUp).unwrap());
+}

@@ -1,0 +1,66 @@
+//! Domain example: a concordance over the Shakespeare corpus —
+//! counting lines per act/scene, finding stage directions nested in
+//! epilogue lines (QS2), and scene lookup by title (QS3).
+//!
+//! ```sh
+//! cargo run --release --example shakespeare_concordance
+//! ```
+
+use blas::{BlasDb, Engine, Translator};
+use blas_datagen::shakespeare;
+
+fn main() {
+    let xml = shakespeare(1, 42);
+    println!("Generating + indexing Shakespeare corpus ({:.1} MB)…", xml.len() as f64 / 1e6);
+    let db = BlasDb::load(&xml).expect("generator output is well-formed");
+    let stats = db.stats(xml.len());
+    println!("Indexed {} nodes, {} tags, depth {}\n", stats.nodes, stats.tags, stats.depth);
+
+    // QS1: every spoken line — a 6-step child chain, answered by one
+    // P-label equality selection instead of five D-joins.
+    let lines = db.query("/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE").unwrap();
+    let baseline = db
+        .query_with("/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE", Translator::DLabeling, Engine::Rdbms)
+        .unwrap();
+    println!(
+        "QS1  lines: {} (BLAS read {} elements with {} joins; baseline read {} with {})",
+        lines.stats.result_count,
+        lines.stats.elements_visited,
+        lines.stats.d_joins,
+        baseline.stats.elements_visited,
+        baseline.stats.d_joins,
+    );
+
+    // Structure census via suffix path queries.
+    println!("\nCorpus census:");
+    for (what, q) in [
+        ("plays", "/PLAYS/PLAY"),
+        ("acts", "//ACT"),
+        ("scenes", "//ACT/SCENE"),
+        ("speeches", "//SPEECH"),
+        ("epilogues", "//EPILOGUE"),
+    ] {
+        println!("  {:<10} {:>7}", what, db.query(q).unwrap().stats.result_count);
+    }
+
+    // QS2: stage directions nested inside epilogue lines.
+    let qs2 = db.query("/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR").unwrap();
+    println!("\nQS2  stage directions in epilogue lines: {}", qs2.stats.result_count);
+    for t in db.texts(&qs2).into_iter().flatten().take(3) {
+        println!("  → [{t}]");
+    }
+
+    // QS3: all lines of scenes titled "SCENE III. A public place."
+    let qs3 = "/PLAYS/PLAY/ACT/SCENE[TITLE='SCENE III. A public place.']//LINE";
+    let hits = db.query(qs3).unwrap();
+    println!("\nQS3  lines in public-place third scenes: {}", hits.stats.result_count);
+
+    // Speakers of those scenes, by joining through the same predicate.
+    let speakers = db
+        .query("/PLAYS/PLAY/ACT/SCENE[TITLE='SCENE III. A public place.']/SPEECH/SPEAKER")
+        .unwrap();
+    let mut names: Vec<String> = db.texts(&speakers).into_iter().flatten().collect();
+    names.sort();
+    names.dedup();
+    println!("     spoken by {} distinct speakers: {}", names.len(), names.join(", "));
+}

@@ -1,0 +1,13 @@
+//! Workspace-root convenience crate for the BLAS reproduction.
+//!
+//! Re-exports the public APIs of every crate in the workspace so the
+//! top-level `examples/` and `tests/` can use one import root.
+
+pub use blas;
+pub use blas_datagen as datagen;
+pub use blas_engine as engine;
+pub use blas_labeling as labeling;
+pub use blas_storage as storage;
+pub use blas_translate as translate;
+pub use blas_xml as xml;
+pub use blas_xpath as xpath;

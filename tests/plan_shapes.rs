@@ -1,0 +1,117 @@
+//! Golden plan-shape tests: for every Fig. 10 query, pin the exact
+//! join/selection mix each translator produces. These are the §4.2 and
+//! §5.2.2 accounting claims, frozen so a translator regression is
+//! caught immediately.
+
+use blas::{BlasDb, PlanSummary, Translator};
+use blas_datagen::DatasetId;
+
+/// (query id, xpath, per-translator (d_joins, eq_sel, range_sel, tag_scans)).
+struct Golden {
+    id: &'static str,
+    xpath: &'static str,
+    dlabel: (u32, u32, u32, u32),
+    split: (u32, u32, u32, u32),
+    pushup: (u32, u32, u32, u32),
+}
+
+fn shape(s: PlanSummary) -> (u32, u32, u32, u32) {
+    (s.d_joins, s.eq_selections, s.range_selections, s.tag_scans)
+}
+
+#[test]
+fn fig10_plan_shapes_are_pinned() {
+    let goldens = [
+        Golden {
+            id: "QS1",
+            xpath: "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE",
+            dlabel: (5, 0, 0, 6),
+            split: (0, 1, 0, 0),
+            pushup: (0, 1, 0, 0),
+        },
+        Golden {
+            id: "QS2",
+            xpath: "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR",
+            dlabel: (4, 0, 0, 5),
+            split: (1, 1, 1, 0),
+            pushup: (1, 1, 1, 0),
+        },
+        Golden {
+            id: "QS3",
+            xpath: "/PLAYS/PLAY/ACT/SCENE[TITLE='SCENE III. A public place.']//LINE",
+            dlabel: (5, 0, 0, 6),
+            split: (2, 1, 2, 0),
+            pushup: (2, 2, 1, 0),
+        },
+        Golden {
+            id: "QP1",
+            xpath: "/ProteinDatabase/ProteinEntry/protein/name",
+            dlabel: (3, 0, 0, 4),
+            split: (0, 1, 0, 0),
+            pushup: (0, 1, 0, 0),
+        },
+        Golden {
+            id: "QP2",
+            xpath: "/ProteinDatabase/ProteinEntry//authors/author='Daniel, M.'",
+            dlabel: (3, 0, 0, 4),
+            split: (1, 1, 1, 0),
+            pushup: (1, 1, 1, 0),
+        },
+        Golden {
+            id: "QP3",
+            xpath: "/ProteinDatabase/ProteinEntry[reference/refinfo[citation and year]]/protein/name",
+            dlabel: (7, 0, 0, 8),
+            // Branch joins: refinfo-chain, citation, year, protein/name.
+            split: (4, 1, 4, 0),
+            pushup: (4, 5, 0, 0),
+        },
+        Golden {
+            id: "QA1",
+            xpath: "//category/description/parlist/listitem",
+            dlabel: (3, 0, 0, 4),
+            split: (0, 0, 1, 0),
+            pushup: (0, 0, 1, 0),
+        },
+        Golden {
+            id: "QA2",
+            xpath: "/site/regions//item/description",
+            dlabel: (3, 0, 0, 4),
+            split: (1, 1, 1, 0),
+            pushup: (1, 1, 1, 0),
+        },
+        Golden {
+            id: "QA3",
+            xpath: "/site/regions/asia/item[shipping]/description",
+            dlabel: (5, 0, 0, 6),
+            split: (2, 1, 2, 0),
+            pushup: (2, 3, 0, 0),
+        },
+    ];
+
+    // Any document suffices — plans are symbolic before binding.
+    let db = BlasDb::load("<x/>").unwrap();
+    for g in goldens {
+        let d = shape(db.plan(g.xpath, Translator::DLabeling).unwrap().summary());
+        assert_eq!(d, g.dlabel, "{} dlabel", g.id);
+        let s = shape(db.plan(g.xpath, Translator::Split).unwrap().summary());
+        assert_eq!(s, g.split, "{} split", g.id);
+        let p = shape(db.plan(g.xpath, Translator::PushUp).unwrap().summary());
+        assert_eq!(p, g.pushup, "{} pushup", g.id);
+        // Cross-checks from §4.2: baseline = l−1 joins; BLAS ≤ baseline.
+        assert!(s.0 <= d.0 && p.0 <= d.0, "{}", g.id);
+        // Push-up is at least as anchored as Split.
+        assert!(p.1 >= s.1, "{} eq-selections", g.id);
+    }
+}
+
+#[test]
+fn unfold_has_no_range_selections_on_fig10() {
+    for ds in DatasetId::ALL {
+        let db = BlasDb::load(&ds.generate(1)).unwrap();
+        for q in blas_datagen::query_set(ds) {
+            let s = db.plan(q.xpath, Translator::Unfold).unwrap().summary();
+            assert_eq!(s.range_selections, 0, "{}", q.id);
+            assert_eq!(s.tag_scans, 0, "{}", q.id);
+        }
+    }
+}

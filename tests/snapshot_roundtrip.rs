@@ -1,0 +1,85 @@
+//! Snapshot persistence: a database restored from its snapshot must be
+//! indistinguishable from the original — same labels, same plans, same
+//! answers, same statistics — on all three paper datasets.
+
+use blas::{BlasDb, Engine, Translator};
+use blas_datagen::{query_set, DatasetId};
+
+#[test]
+fn snapshot_round_trip_preserves_query_behavior() {
+    for ds in DatasetId::ALL {
+        let xml = ds.generate(1);
+        let original = BlasDb::load(&xml).unwrap();
+        let bytes = original.to_snapshot();
+        let restored = BlasDb::from_snapshot(&bytes).unwrap();
+
+        assert_eq!(original.store().len(), restored.store().len(), "{}", ds.name());
+        assert_eq!(original.domain(), restored.domain(), "{}", ds.name());
+        assert_eq!(
+            original.document().tags().len(),
+            restored.document().tags().len(),
+            "{}",
+            ds.name()
+        );
+
+        for q in query_set(ds) {
+            for t in [Translator::DLabeling, Translator::PushUp, Translator::Unfold] {
+                let a = original.query_with(q.xpath, t, Engine::Rdbms).unwrap();
+                let b = restored.query_with(q.xpath, t, Engine::Rdbms).unwrap();
+                assert_eq!(a.nodes, b.nodes, "{} {t:?}", q.id);
+                assert_eq!(
+                    a.stats.elements_visited, b.stats.elements_visited,
+                    "{} {t:?} visits",
+                    q.id
+                );
+                assert_eq!(original.texts(&a), restored.texts(&b), "{} {t:?} texts", q.id);
+            }
+            // Plans bind identically (same domain, same tag ids).
+            assert_eq!(
+                original.explain_sql(q.xpath, Translator::PushUp).unwrap(),
+                restored.explain_sql(q.xpath, Translator::PushUp).unwrap(),
+                "{}",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_is_compact() {
+    let xml = DatasetId::Shakespeare.generate(1);
+    let db = BlasDb::load(&xml).unwrap();
+    let bytes = db.to_snapshot();
+    // §7: labeled form is "comparable to the size of the original
+    // document".
+    assert!(
+        bytes.len() < 2 * xml.len(),
+        "snapshot {} vs xml {}",
+        bytes.len(),
+        xml.len()
+    );
+}
+
+#[test]
+fn corrupted_snapshot_rejected() {
+    let db = BlasDb::load("<a><b>x</b></a>").unwrap();
+    let mut bytes = db.to_snapshot();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    assert!(BlasDb::from_snapshot(&bytes).is_err());
+    assert!(BlasDb::from_snapshot(&[]).is_err());
+}
+
+#[test]
+fn snapshot_preserves_attributes_and_mixed_text() {
+    let src = "<db><e id=\"1\">head<n>x</n>tail</e></db>";
+    let db = BlasDb::load(src).unwrap();
+    let restored = BlasDb::from_snapshot(&db.to_snapshot()).unwrap();
+    let a = db.query("/db/e/@id").unwrap();
+    let b = restored.query("/db/e/@id").unwrap();
+    assert_eq!(db.texts(&a), restored.texts(&b));
+    assert_eq!(restored.texts(&b), [Some("1".to_string())]);
+    // Concatenated mixed text survives.
+    let e = restored.query("/db/e").unwrap();
+    assert_eq!(restored.texts(&e), [Some("headtail".to_string())]);
+}
