@@ -1,0 +1,210 @@
+//! Storage kernel suite: measures the columnar clustered-scan hot
+//! paths against the retained B+-tree reference implementation on
+//! Auction ×10 and writes `BENCH_storage.json` (median ns/op per
+//! kernel), establishing the perf trajectory for future PRs.
+//!
+//! Kernels:
+//! * `plabel_range_scan` — a P-label range selection (suffix-path
+//!   query) summed over its contiguous runs, columnar vs B+ tree;
+//! * `tag_scan` — one SD tag run, columnar vs B+ tree;
+//! * `structural_join` — the stack-merge D-join kernel over two tag
+//!   streams, with reused vs per-call-allocated flag buffers.
+//!
+//! Usage: `cargo run --release --bin bench_storage [--scale N]`
+//! (default scale 10, the acceptance configuration).
+
+use blas::BlasDb;
+use blas_bench::arg_value;
+use blas_engine::stjoin::{structural_match, structural_match_into, JoinScratch};
+use blas_labeling::DLabel;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Samples per kernel; the median is reported.
+const REPS: usize = 21;
+
+struct KernelResult {
+    name: &'static str,
+    median_ns: f64,
+    elements_per_op: u64,
+}
+
+fn measure(mut op: impl FnMut() -> u64) -> f64 {
+    // Warm-up (also keeps the optimizer honest via the checksum).
+    black_box(op());
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(op());
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let scale = arg_value("--scale").unwrap_or(10);
+    if scale == 0 {
+        eprintln!("bench_storage: --scale must be at least 1");
+        std::process::exit(2);
+    }
+    eprintln!("[bench_storage] generating Auction ×{scale}…");
+    let xml = blas_datagen::auction(scale, 42);
+    let db = BlasDb::load(&xml).expect("generator output is well-formed");
+    let store = db.store();
+    let tags = db.document().tags();
+    let domain = db.domain();
+    eprintln!(
+        "[bench_storage] {} nodes, {} source-path runs, {} tag runs, SP B+ tree height {}",
+        store.len(),
+        store.sp_run_count(),
+        store.sd_run_count(),
+        store.sp_index_height()
+    );
+
+    let mut results: Vec<KernelResult> = Vec::new();
+
+    // --- kernel 1: P-label range scan (suffix path //listitem) -------
+    // A one-tag suffix path covers every source path ending in the
+    // tag: a multi-run range selection, the paper's bread and butter.
+    let listitem = tags.get("listitem").expect("auction has listitem");
+    let interval = domain
+        .path_interval(false, &[listitem])
+        .expect("interval fits the domain");
+    let (p1, p2) = (interval.p1, interval.p2);
+
+    let range_elems: u64 = store.scan_plabel_range(p1, p2).map(|r| r.len() as u64).sum();
+    assert!(range_elems > 0, "kernel must scan real data");
+    results.push(KernelResult {
+        name: "plabel_range_scan/columnar",
+        median_ns: measure(|| {
+            let mut acc = 0u64;
+            for run in store.scan_plabel_range(p1, p2) {
+                for l in run.labels {
+                    acc = acc.wrapping_add(u64::from(l.start));
+                }
+            }
+            acc
+        }),
+        elements_per_op: range_elems,
+    });
+    results.push(KernelResult {
+        name: "plabel_range_scan/bptree_reference",
+        median_ns: measure(|| {
+            let mut acc = 0u64;
+            for (_, l) in store.ref_scan_plabel_range(p1, p2) {
+                acc = acc.wrapping_add(u64::from(l.start));
+            }
+            acc
+        }),
+        elements_per_op: range_elems,
+    });
+
+    // --- kernel 2: SD tag scan (//item) ------------------------------
+    let item = tags.get("item").expect("auction has item");
+    let tag_elems = store.scan_tag(item).len() as u64;
+    assert!(tag_elems > 0);
+    results.push(KernelResult {
+        name: "tag_scan/columnar",
+        median_ns: measure(|| {
+            let mut acc = 0u64;
+            for l in store.scan_tag(item).labels {
+                acc = acc.wrapping_add(u64::from(l.start));
+            }
+            acc
+        }),
+        elements_per_op: tag_elems,
+    });
+    results.push(KernelResult {
+        name: "tag_scan/bptree_reference",
+        median_ns: measure(|| {
+            let mut acc = 0u64;
+            for (_, l) in store.ref_scan_tag(item) {
+                acc = acc.wrapping_add(u64::from(l.start));
+            }
+            acc
+        }),
+        elements_per_op: tag_elems,
+    });
+
+    // --- kernel 3: structural join over two tag streams --------------
+    let description = tags.get("description").expect("auction has description");
+    let anc: Vec<DLabel> = store.scan_tag(item).labels.to_vec();
+    let desc: Vec<DLabel> = store.scan_tag(description).labels.to_vec();
+    let join_elems = (anc.len() + desc.len()) as u64;
+    let mut scratch = JoinScratch::default();
+    results.push(KernelResult {
+        name: "structural_join/scratch_reuse",
+        median_ns: measure(|| {
+            structural_match_into(&anc, &desc, None, &mut scratch);
+            scratch.pairs
+        }),
+        elements_per_op: join_elems,
+    });
+    results.push(KernelResult {
+        name: "structural_join/fresh_alloc",
+        median_ns: measure(|| structural_match(&anc, &desc, None).pairs),
+        elements_per_op: join_elems,
+    });
+
+    // --- report -------------------------------------------------------
+    println!(
+        "{:<38} {:>14} {:>12} {:>10}",
+        "kernel", "median ns/op", "elems/op", "ns/elem"
+    );
+    for r in &results {
+        println!(
+            "{:<38} {:>14.0} {:>12} {:>10.2}",
+            r.name,
+            r.median_ns,
+            r.elements_per_op,
+            r.median_ns / r.elements_per_op as f64
+        );
+    }
+    let speedup = |fast: &str, slow: &str| {
+        let get = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .expect("kernel present")
+                .median_ns
+        };
+        get(slow) / get(fast)
+    };
+    let range_speedup = speedup("plabel_range_scan/columnar", "plabel_range_scan/bptree_reference");
+    let tag_speedup = speedup("tag_scan/columnar", "tag_scan/bptree_reference");
+    println!("\ncolumnar vs B+-tree reference speedup:");
+    println!("  plabel_range_scan  {range_speedup:.2}x");
+    println!("  tag_scan           {tag_speedup:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"dataset\": \"Auction\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"nodes\": {},", store.len());
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    json.push_str("  \"kernels\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"median_ns_per_op\": {:.0}, \"elements_per_op\": {}}}{}",
+            r.name, r.median_ns, r.elements_per_op, comma
+        );
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"speedup_columnar_vs_bptree\": {\n");
+    let _ = writeln!(json, "    \"plabel_range_scan\": {range_speedup:.2},");
+    let _ = writeln!(json, "    \"tag_scan\": {tag_speedup:.2}");
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_storage.json", &json).expect("write BENCH_storage.json");
+    eprintln!("[bench_storage] wrote BENCH_storage.json");
+
+    assert!(
+        range_speedup >= 2.0 && tag_speedup >= 2.0,
+        "columnar scan kernels must beat the B+-tree reference by >=2x \
+         (got range {range_speedup:.2}x, tag {tag_speedup:.2}x)"
+    );
+}

@@ -4,7 +4,7 @@
 use crate::error::BlasError;
 use blas_engine::{rdbms, twigstack, ExecStats, TwigQuery};
 use blas_labeling::{label_document, DLabel, DocumentLabels, PLabelDomain};
-use blas_storage::{NodeRecord, NodeStore};
+use blas_storage::{NodeStore, RecordView};
 use blas_translate::{
     bind, render_algebra, render_sql, translate_dlabeling, translate_pushup, translate_split,
     translate_unfold, Plan,
@@ -152,19 +152,25 @@ impl BlasDb {
         Ok(render_sql(&bound))
     }
 
-    /// Fetch the stored tuples for a result (document order).
-    pub fn records<'a>(&'a self, result: &QueryResult) -> Vec<&'a NodeRecord> {
+    /// Fetch the stored tuples for a result (document order), as
+    /// zero-copy column views resolved by direct start-rank lookup (a
+    /// binary search over the start-ordered column — no per-result B+
+    /// tree descent).
+    pub fn records<'a>(&'a self, result: &QueryResult) -> Vec<RecordView<'a>> {
         result
             .nodes
             .iter()
-            .filter_map(|l| self.store.get_by_start(l.start).map(|(_, r)| r))
+            .filter_map(|l| self.store.row_of_start(l.start).map(|row| self.store.record(row)))
             .collect()
     }
 
     /// Text values of a result's nodes (document order; `None` for
     /// nodes with no PCDATA).
     pub fn texts(&self, result: &QueryResult) -> Vec<Option<String>> {
-        self.records(result).into_iter().map(|r| r.data.clone()).collect()
+        self.records(result)
+            .into_iter()
+            .map(|r| r.data.map(str::to_string))
+            .collect()
     }
 
     /// Tag names of a result's nodes.
@@ -212,15 +218,14 @@ impl BlasDb {
     /// Restore with [`BlasDb::from_snapshot`], skipping reparsing and
     /// relabeling entirely.
     pub fn to_snapshot(&self) -> Vec<u8> {
-        let records: Vec<NodeRecord> =
-            self.store.scan_all().map(|(_, r)| r.clone()).collect();
-        let snapshot = blas_storage::Snapshot {
-            records,
-            tag_names: self.doc.tags().iter().map(|(_, n)| n.to_string()).collect(),
-            num_tags: self.labels.domain.num_tags() as u32,
-            digits: self.labels.domain.digits(),
-        };
-        blas_storage::snapshot::encode(&snapshot)
+        let tag_names: Vec<String> =
+            self.doc.tags().iter().map(|(_, n)| n.to_string()).collect();
+        blas_storage::snapshot::encode_store(
+            &self.store,
+            &tag_names,
+            self.labels.domain.num_tags() as u32,
+            self.labels.domain.digits(),
+        )
     }
 
     /// Rebuild a queryable database from [`BlasDb::to_snapshot`] bytes.

@@ -36,7 +36,7 @@ pub use error::BlasError;
 // Re-export the building blocks for advanced use.
 pub use blas_engine::{ExecStats, TwigQuery};
 pub use blas_labeling::{DLabel, DocumentLabels, PInterval, PLabelDomain};
-pub use blas_storage::{NodeRecord, NodeStore};
+pub use blas_storage::{NodeRecord, NodeStore, RecordView};
 pub use blas_translate::{BoundPlan, Plan, PlanSummary};
 pub use blas_xml::{DocStats, Document, SchemaGraph};
 pub use blas_xpath::QueryTree;

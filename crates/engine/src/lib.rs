@@ -14,6 +14,9 @@
 //!   with an ancestor stack decides, for two start-sorted label lists,
 //!   which ancestors/descendants participate in a containment (or
 //!   exact-level) pair.
+//! * [`stream`] — zero-copy label streams over the columnar store's
+//!   clustered runs, plus the pooled scratch buffers
+//!   ([`ExecBuffers`]) every operator of one execution shares.
 //!
 //! Every tuple pulled from storage increments
 //! [`ExecStats::elements_visited`]; this is the deterministic
@@ -25,10 +28,12 @@ pub mod naive;
 pub mod rdbms;
 pub mod stats;
 pub mod stjoin;
+pub mod stream;
 pub mod twig;
 pub mod twigstack;
 
-pub use rdbms::execute_plan;
+pub use rdbms::{execute_plan, execute_plan_with};
 pub use stats::ExecStats;
+pub use stream::{ExecBuffers, Labels};
 pub use twig::{TwigError, TwigQuery};
 pub use twigstack::execute_twigstack;

@@ -2,9 +2,9 @@
 //! generated SQL of Fig. 11 runs inside an RDBMS (§5.2).
 //!
 //! Operators:
-//! * selections — B+-tree scans over the SP clustering (P-label
-//!   equality/range) or the SD clustering (tag), with optional `data =`
-//!   filters applied per tuple;
+//! * selections — contiguous clustered-run scans over the SP (P-label
+//!   equality/range) or SD (tag) clustering via [`crate::stream`],
+//!   zero-copy when no `data =` / level filter applies;
 //! * D-joins — the structural merge join of [`crate::stjoin`], keeping
 //!   the side the plan marks as the output side (the composed SQL
 //!   projects one side's columns; the other side acts as an existence
@@ -15,108 +15,93 @@
 //!   duplicates").
 //!
 //! Every operator returns bindings sorted by `start`, the invariant the
-//! merge join needs.
+//! merge join needs. Intermediate buffers are pooled in
+//! [`ExecBuffers`] and recycled operator-to-operator instead of being
+//! reallocated per step.
 
 use crate::stats::ExecStats;
-use crate::stjoin::{ensure_start_order, filter_flagged, structural_match};
+use crate::stjoin::{filter_flagged_into, structural_match_into};
+use crate::stream::{materialize, ExecBuffers, Labels};
 use blas_labeling::DLabel;
-use blas_storage::{NodeRecord, NodeStore};
-use blas_translate::{BoundPlan, BoundSelection, BoundSource, Side};
+use blas_storage::NodeStore;
+use blas_translate::{BoundPlan, BoundSelection, Side};
 use std::time::Instant;
 
 /// Execute `plan` against `store`, returning the output bindings
 /// (start-sorted, duplicate-free) and filling `stats`.
 pub fn execute_plan(plan: &BoundPlan, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
+    let mut bufs = ExecBuffers::default();
+    execute_plan_with(plan, store, stats, &mut bufs)
+}
+
+/// Like [`execute_plan`], reusing caller-held scratch buffers across
+/// executions (batch drivers, benches).
+pub fn execute_plan_with(
+    plan: &BoundPlan,
+    store: &NodeStore,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Vec<DLabel> {
     let t0 = Instant::now();
-    let result = exec(plan, store, stats);
+    let result = exec(plan, store, stats, bufs).into_vec(bufs);
     stats.result_count = result.len();
     stats.elapsed = t0.elapsed();
     result
 }
 
-fn exec(plan: &BoundPlan, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
+fn exec<'a>(
+    plan: &BoundPlan,
+    store: &'a NodeStore,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Labels<'a> {
     match plan {
-        BoundPlan::Select(sel) => exec_select(sel, store, stats),
+        BoundPlan::Select(sel) => exec_select(sel, store, stats, bufs),
         BoundPlan::DJoin { anc, desc, level_diff, output } => {
-            let a = exec(anc, store, stats);
-            let d = exec(desc, store, stats);
+            let a = exec(anc, store, stats, bufs);
+            let d = exec(desc, store, stats, bufs);
             stats.d_joins += 1;
             stats.join_input_tuples += (a.len() + d.len()) as u64;
-            let flags = structural_match(&a, &d, *level_diff);
+            structural_match_into(&a, &d, *level_diff, &mut bufs.join);
+            let mut out = bufs.take();
             match output {
-                Side::Anc => filter_flagged(&a, &flags.anc),
-                Side::Desc => filter_flagged(&d, &flags.desc),
+                Side::Anc => filter_flagged_into(&a, &bufs.join.anc, &mut out),
+                Side::Desc => filter_flagged_into(&d, &bufs.join.desc, &mut out),
             }
+            bufs.recycle(a);
+            bufs.recycle(d);
+            Labels::Owned(out)
         }
         BoundPlan::Union(alts) => {
-            let lists: Vec<Vec<DLabel>> = alts.iter().map(|a| exec(a, store, stats)).collect();
-            merge_dedup(lists)
-        }
-    }
-}
-
-fn exec_select(sel: &BoundSelection, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
-    let keep = |r: &NodeRecord| {
-        let value_ok = match &sel.value_eq {
-            Some(v) => r.data.as_deref() == Some(v.as_str()),
-            None => true,
-        };
-        let level_ok = match sel.level_eq {
-            Some(k) => r.level == k,
-            None => true,
-        };
-        value_ok && level_ok
-    };
-    let out: Vec<DLabel> = match &sel.source {
-        BoundSource::PLabelEq(p) => store
-            .scan_plabel_eq(*p)
-            .inspect(|_| stats.elements_visited += 1)
-            .filter(|(_, r)| keep(r))
-            .map(|(_, r)| r.dlabel())
-            .collect(),
-        BoundSource::PLabelRange(p1, p2) => store
-            .scan_plabel_range(*p1, *p2)
-            .inspect(|_| stats.elements_visited += 1)
-            .filter(|(_, r)| keep(r))
-            .map(|(_, r)| r.dlabel())
-            .collect(),
-        BoundSource::Tag(t) => store
-            .scan_tag(*t)
-            .inspect(|_| stats.elements_visited += 1)
-            .filter(|(_, r)| keep(r))
-            .map(|(_, r)| r.dlabel())
-            .collect(),
-        BoundSource::All => store
-            .scan_all()
-            .inspect(|_| stats.elements_visited += 1)
-            .filter(|(_, r)| keep(r))
-            .map(|(_, r)| r.dlabel())
-            .collect(),
-        BoundSource::Empty => Vec::new(),
-    };
-    // Range scans return (plabel, start) order; joins need start order.
-    // Equality/tag scans are already start-sorted; `ensure_start_order`
-    // is a no-op for them and a cheap run-merge for range scans.
-    ensure_start_order(out)
-}
-
-/// K-way merge of start-sorted lists, dropping duplicates (same start ⇒
-/// same node).
-fn merge_dedup(mut lists: Vec<Vec<DLabel>>) -> Vec<DLabel> {
-    match lists.len() {
-        0 => Vec::new(),
-        1 => lists.pop().expect("length checked"),
-        _ => {
-            let total = lists.iter().map(Vec::len).sum();
-            let mut all: Vec<DLabel> = Vec::with_capacity(total);
-            for list in lists {
-                all.extend(list);
+            // K-way merge of start-sorted lists, dropping duplicates
+            // (same start ⇒ same node).
+            let mut all = bufs.take();
+            for alt in alts {
+                let list = exec(alt, store, stats, bufs);
+                all.extend_from_slice(&list);
+                bufs.recycle(list);
             }
             all.sort_unstable_by_key(|l| l.start);
             all.dedup_by_key(|l| l.start);
-            all
+            Labels::Owned(all)
         }
     }
+}
+
+fn exec_select<'a>(
+    sel: &BoundSelection,
+    store: &'a NodeStore,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Labels<'a> {
+    materialize(
+        &sel.source,
+        sel.value_eq.as_deref(),
+        sel.level_eq,
+        store,
+        stats,
+        bufs,
+    )
 }
 
 #[cfg(test)]
@@ -265,5 +250,22 @@ mod tests {
         let fx = fixture();
         let (out, _) = run(&fx, "//f", "split");
         assert!(out.windows(2).all(|w| w[0].start < w[1].start));
+    }
+
+    #[test]
+    fn buffer_reuse_across_executions_is_clean() {
+        let fx = fixture();
+        let q = parse("/db/e[p//s='cyt']/r/f/t").unwrap();
+        let bound = bind(&translate_split(&q).unwrap(), fx.doc.tags(), &fx.domain);
+        let mut bufs = ExecBuffers::default();
+        let mut first: Option<Vec<DLabel>> = None;
+        for _ in 0..3 {
+            let mut stats = ExecStats::default();
+            let out = execute_plan_with(&bound, &fx.store, &mut stats, &mut bufs);
+            match &first {
+                None => first = Some(out),
+                Some(expect) => assert_eq!(&out, expect),
+            }
+        }
     }
 }

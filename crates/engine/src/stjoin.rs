@@ -8,6 +8,14 @@
 //! `d.level = a.level + k`). Because all labels come from one document
 //! tree, intervals are well nested, and a single merge pass with an
 //! ancestor stack visits each element O(depth) times.
+//!
+//! The kernel is allocation-free on the hot path: callers keep a
+//! [`JoinScratch`] (flag vectors + ancestor stack) alive across joins
+//! via [`structural_match_into`]; the [`structural_match`] wrapper
+//! allocates fresh [`MatchFlags`] for one-shot use. Start-order
+//! restoration after a multi-run clustered scan likewise reuses one
+//! [`MergeScratch`] and ping-pongs between two buffers
+//! ([`merge_segments`]) instead of allocating a `Vec` per run.
 
 use blas_labeling::DLabel;
 
@@ -23,16 +31,41 @@ pub struct MatchFlags {
     pub pairs: u64,
 }
 
-/// Run the structural join. Inputs must be sorted by `start` (document
-/// order); this is the invariant every scan and operator in the engines
-/// maintains.
-pub fn structural_match(a: &[DLabel], d: &[DLabel], level_diff: Option<u16>) -> MatchFlags {
+/// Reusable state for [`structural_match_into`]: the participation
+/// flags of the last join plus the ancestor stack, so repeated joins
+/// allocate nothing once the vectors reach steady-state capacity.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    /// `anc[i]` ⇔ `a[i]` has a matching descendant (last join).
+    pub anc: Vec<bool>,
+    /// `desc[j]` ⇔ `d[j]` has a matching ancestor (last join).
+    pub desc: Vec<bool>,
+    /// Join-pair count of the last join.
+    pub pairs: u64,
+    stack: Vec<usize>,
+}
+
+/// Run the structural join, writing participation flags into `scratch`
+/// (cleared and resized; capacity is reused across calls). Inputs must
+/// be sorted by `start` (document order); this is the invariant every
+/// scan and operator in the engines maintains.
+pub fn structural_match_into(
+    a: &[DLabel],
+    d: &[DLabel],
+    level_diff: Option<u16>,
+    scratch: &mut JoinScratch,
+) {
     debug_assert!(a.windows(2).all(|w| w[0].start <= w[1].start));
     debug_assert!(d.windows(2).all(|w| w[0].start <= w[1].start));
-    let mut flags = MatchFlags { anc: vec![false; a.len()], desc: vec![false; d.len()], pairs: 0 };
+    scratch.anc.clear();
+    scratch.anc.resize(a.len(), false);
+    scratch.desc.clear();
+    scratch.desc.resize(d.len(), false);
+    scratch.pairs = 0;
     // Stack of indices into `a` whose intervals contain the current
     // position; nested by construction.
-    let mut stack: Vec<usize> = Vec::new();
+    let stack = &mut scratch.stack;
+    stack.clear();
     let mut next_a = 0usize;
     for (j, dj) in d.iter().enumerate() {
         // Admit ancestors starting before this descendant.
@@ -64,65 +97,93 @@ pub fn structural_match(a: &[DLabel], d: &[DLabel], level_diff: Option<u16>) -> 
                 None => true,
             };
             if level_ok {
-                flags.anc[ai] = true;
-                flags.desc[j] = true;
-                flags.pairs += 1;
+                scratch.anc[ai] = true;
+                scratch.desc[j] = true;
+                scratch.pairs += 1;
             }
         }
     }
-    flags
+}
+
+/// One-shot structural join returning freshly allocated flags (tests
+/// and kernel benches; the engines use [`structural_match_into`]).
+pub fn structural_match(a: &[DLabel], d: &[DLabel], level_diff: Option<u16>) -> MatchFlags {
+    let mut scratch = JoinScratch::default();
+    structural_match_into(a, d, level_diff, &mut scratch);
+    MatchFlags { anc: scratch.anc, desc: scratch.desc, pairs: scratch.pairs }
+}
+
+/// Append the flagged elements to `out` (preserves order).
+pub fn filter_flagged_into(items: &[DLabel], flags: &[bool], out: &mut Vec<DLabel>) {
+    debug_assert_eq!(items.len(), flags.len());
+    out.extend(
+        items
+            .iter()
+            .zip(flags)
+            .filter_map(|(item, &keep)| keep.then_some(*item)),
+    );
 }
 
 /// Keep only the flagged elements (preserves order).
 pub fn filter_flagged(items: &[DLabel], flags: &[bool]) -> Vec<DLabel> {
-    items
-        .iter()
-        .zip(flags)
-        .filter_map(|(item, &keep)| keep.then_some(*item))
-        .collect()
+    let mut out = Vec::with_capacity(items.len());
+    filter_flagged_into(items, flags, &mut out);
+    out
 }
 
-/// Restore start (document) order after a `(plabel, start)`-clustered
-/// range scan.
+/// Reusable state for [`merge_segments`]: the segment boundary lists of
+/// the current and next round plus the ping-pong partner buffer.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    /// End offset of each start-sorted segment in the buffer being
+    /// merged. Callers push one entry per non-empty run.
+    pub bounds: Vec<usize>,
+    bounds_next: Vec<usize>,
+    spare: Vec<DLabel>,
+}
+
+/// Restore global start order over a buffer holding the concatenation
+/// of start-sorted segments (one per clustered run), delimited by
+/// `scratch.bounds` (end offsets, ascending, last = `buf.len()`).
 ///
-/// Such a scan emits one start-sorted run per distinct P-label, so the
-/// input is a concatenation of a few ascending runs: detect them and
-/// merge pairwise instead of running a full sort — the run count is the
-/// number of distinct source paths in the range (a handful), far below
-/// `log n`.
-pub fn ensure_start_order(input: Vec<DLabel>) -> Vec<DLabel> {
-    if input.windows(2).all(|w| w[0].start <= w[1].start) {
-        return input;
-    }
-    // Split into maximal ascending runs.
-    let mut runs: Vec<Vec<DLabel>> = Vec::new();
-    let mut current: Vec<DLabel> = Vec::new();
-    for item in input {
-        if let Some(last) = current.last() {
-            if item.start < last.start {
-                runs.push(std::mem::take(&mut current));
+/// Merges adjacent segment pairs per round, ping-ponging between `buf`
+/// and one spare buffer — two allocations total at steady state, versus
+/// the per-run `Vec<Vec<DLabel>>` this replaces. The run count is the
+/// number of distinct source paths in a P-label range (a handful), so
+/// rounds are few and each is a sequential two-pointer merge.
+pub fn merge_segments(buf: &mut Vec<DLabel>, scratch: &mut MergeScratch) {
+    debug_assert!(scratch.bounds.windows(2).all(|w| w[0] < w[1]));
+    debug_assert_eq!(scratch.bounds.last().copied().unwrap_or(0), buf.len());
+    while scratch.bounds.len() > 1 {
+        let src: &[DLabel] = buf;
+        let dst = &mut scratch.spare;
+        dst.clear();
+        dst.reserve(src.len());
+        scratch.bounds_next.clear();
+        let mut seg_start = 0usize;
+        let mut i = 0usize;
+        while i < scratch.bounds.len() {
+            let first_end = scratch.bounds[i];
+            if i + 1 < scratch.bounds.len() {
+                let second_end = scratch.bounds[i + 1];
+                merge_two_into(&src[seg_start..first_end], &src[first_end..second_end], dst);
+                seg_start = second_end;
+                i += 2;
+            } else {
+                // Odd segment out: carried to the next round unchanged.
+                dst.extend_from_slice(&src[seg_start..first_end]);
+                seg_start = first_end;
+                i += 1;
             }
+            scratch.bounds_next.push(dst.len());
         }
-        current.push(item);
+        std::mem::swap(buf, &mut scratch.spare);
+        std::mem::swap(&mut scratch.bounds, &mut scratch.bounds_next);
     }
-    runs.push(current);
-    // Pairwise merge rounds.
-    while runs.len() > 1 {
-        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
-        let mut iter = runs.into_iter();
-        while let Some(a) = iter.next() {
-            match iter.next() {
-                Some(b) => next.push(merge_two(a, b)),
-                None => next.push(a),
-            }
-        }
-        runs = next;
-    }
-    runs.pop().unwrap_or_default()
+    scratch.bounds.clear();
 }
 
-fn merge_two(a: Vec<DLabel>, b: Vec<DLabel>) -> Vec<DLabel> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+fn merge_two_into(a: &[DLabel], b: &[DLabel], out: &mut Vec<DLabel>) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         if a[i].start <= b[j].start {
@@ -135,7 +196,30 @@ fn merge_two(a: Vec<DLabel>, b: Vec<DLabel>) -> Vec<DLabel> {
     }
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
-    out
+}
+
+/// Restore start (document) order after a `(plabel, start)`-clustered
+/// range scan returned as one flat buffer.
+///
+/// Such a scan emits one start-sorted run per distinct P-label, so the
+/// input is a concatenation of a few ascending runs: detect them and
+/// hand the boundaries to [`merge_segments`]. Kept as the standalone
+/// entry point for callers (and the ablation bench) that do not track
+/// run boundaries themselves; the engines' scan path pushes exact
+/// boundaries instead of re-detecting them.
+pub fn ensure_start_order(mut input: Vec<DLabel>) -> Vec<DLabel> {
+    if input.windows(2).all(|w| w[0].start <= w[1].start) {
+        return input;
+    }
+    let mut scratch = MergeScratch::default();
+    for i in 1..input.len() {
+        if input[i].start < input[i - 1].start {
+            scratch.bounds.push(i);
+        }
+    }
+    scratch.bounds.push(input.len());
+    merge_segments(&mut input, &mut scratch);
+    input
 }
 
 #[cfg(test)]
@@ -208,6 +292,23 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_resets_state() {
+        let mut scratch = JoinScratch::default();
+        let a = vec![l(0, 10, 1)];
+        let d = vec![l(2, 3, 2)];
+        structural_match_into(&a, &d, None, &mut scratch);
+        assert_eq!(scratch.anc, [true]);
+        assert_eq!(scratch.pairs, 1);
+        // Second join with disjoint inputs must not inherit flags.
+        let a2 = vec![l(0, 1, 1), l(4, 5, 1)];
+        let d2 = vec![l(7, 8, 2)];
+        structural_match_into(&a2, &d2, None, &mut scratch);
+        assert_eq!(scratch.anc, [false, false]);
+        assert_eq!(scratch.desc, [false]);
+        assert_eq!(scratch.pairs, 0);
+    }
+
+    #[test]
     fn ensure_start_order_no_op_when_sorted() {
         let v: Vec<DLabel> = (0..100).map(|i| l(i, i + 1, 1)).collect();
         assert_eq!(ensure_start_order(v.clone()), v);
@@ -237,6 +338,28 @@ mod tests {
         let merged = ensure_start_order(v);
         assert!(merged.windows(2).all(|w| w[0].start <= w[1].start));
         assert_eq!(merged.len(), 50);
+    }
+
+    #[test]
+    fn merge_segments_handles_odd_counts_and_reuse() {
+        let mut scratch = MergeScratch::default();
+        for rounds in 1..=5usize {
+            // `rounds` interleaved segments of unequal lengths.
+            let mut buf: Vec<DLabel> = Vec::new();
+            scratch.bounds.clear();
+            for seg in 0..rounds {
+                for i in 0..(10 + seg as u32) {
+                    let s = i * rounds as u32 + seg as u32;
+                    buf.push(l(s, s + 1, 1));
+                }
+                scratch.bounds.push(buf.len());
+            }
+            let mut expected: Vec<u32> = buf.iter().map(|x| x.start).collect();
+            expected.sort_unstable();
+            merge_segments(&mut buf, &mut scratch);
+            let got: Vec<u32> = buf.iter().map(|x| x.start).collect();
+            assert_eq!(got, expected, "{rounds} segments");
+        }
     }
 
     #[test]

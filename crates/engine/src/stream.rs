@@ -1,0 +1,325 @@
+//! Zero-copy label streams and the scratch buffers the operators share.
+//!
+//! The columnar store returns clustered scans as borrowed
+//! `&[DLabel]` runs (see `blas_storage::relation`). [`Labels`] lets an
+//! operator pass those slices through *without copying* when no filter
+//! or reordering applies, and fall back to a pooled owned buffer when
+//! one does. [`ExecBuffers`] owns every scratch allocation of one query
+//! execution — operator output buffers are recycled through a pool, the
+//! join kernel's flag vectors are reused across joins, and multi-run
+//! merges ping-pong between two persistent buffers — so executing a
+//! plan allocates O(plan size) buffers total instead of O(operators ×
+//! tuples).
+
+use crate::stats::ExecStats;
+use crate::stjoin::{merge_segments, JoinScratch, MergeScratch};
+use blas_labeling::DLabel;
+use blas_storage::{NodeStore, Run, NO_VALUE};
+use blas_translate::BoundSource;
+use std::ops::Deref;
+
+/// A start-sorted label stream: borrowed straight from the store's
+/// clustered columns, or owned (filtered / merged / joined) in a
+/// pooled buffer.
+#[derive(Debug)]
+pub enum Labels<'a> {
+    /// Zero-copy slice of a clustered run.
+    Borrowed(&'a [DLabel]),
+    /// Materialized stream in a pooled buffer.
+    Owned(Vec<DLabel>),
+}
+
+impl Deref for Labels<'_> {
+    type Target = [DLabel];
+    #[inline]
+    fn deref(&self) -> &[DLabel] {
+        match self {
+            Labels::Borrowed(s) => s,
+            Labels::Owned(v) => v,
+        }
+    }
+}
+
+impl Labels<'_> {
+    /// Materialize into an owned `Vec`, reusing a pooled buffer for the
+    /// borrowed case.
+    pub fn into_vec(self, bufs: &mut ExecBuffers) -> Vec<DLabel> {
+        match self {
+            Labels::Borrowed(s) => {
+                let mut v = bufs.take();
+                v.extend_from_slice(s);
+                v
+            }
+            Labels::Owned(v) => v,
+        }
+    }
+}
+
+/// Scratch state for one query execution.
+#[derive(Debug, Default)]
+pub struct ExecBuffers {
+    pool: Vec<Vec<DLabel>>,
+    /// Reused flag/stack storage for the structural-join kernel.
+    pub join: JoinScratch,
+    /// Reused segment-merge state for multi-run range scans.
+    pub merge: MergeScratch,
+}
+
+impl ExecBuffers {
+    /// Take a cleared buffer from the pool (or allocate the first
+    /// time).
+    pub fn take(&mut self) -> Vec<DLabel> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Return a stream's buffer to the pool, if it owned one.
+    pub fn recycle(&mut self, labels: Labels<'_>) {
+        if let Labels::Owned(v) = labels {
+            self.recycle_vec(v);
+        }
+    }
+
+    /// Return a raw buffer to the pool.
+    pub fn recycle_vec(&mut self, v: Vec<DLabel>) {
+        self.pool.push(v);
+    }
+}
+
+/// Per-tuple stream filters of a selection (`data = 'v'`, `level = k`).
+#[derive(Debug, Clone, Copy)]
+struct Filter {
+    /// Interned id the row's value must equal; `None` = no data filter;
+    /// `Some(NO_VALUE)` = the value occurs nowhere in the document, so
+    /// nothing passes.
+    value_id: Option<u32>,
+    level_eq: Option<u16>,
+}
+
+impl Filter {
+    fn resolve(value_eq: Option<&str>, level_eq: Option<u16>, store: &NodeStore) -> Self {
+        Self {
+            value_id: value_eq.map(|v| store.value_id(v).unwrap_or(NO_VALUE)),
+            level_eq,
+        }
+    }
+
+    #[inline]
+    fn is_pass_through(&self) -> bool {
+        self.value_id.is_none() && self.level_eq.is_none()
+    }
+
+    #[inline]
+    fn admits(&self, label: &DLabel, value_id: u32) -> bool {
+        let value_ok = match self.value_id {
+            Some(want) => want != NO_VALUE && value_id == want,
+            None => true,
+        };
+        let level_ok = match self.level_eq {
+            Some(k) => label.level == k,
+            None => true,
+        };
+        value_ok && level_ok
+    }
+}
+
+/// Materialize the stream of one bound selection / twig node: count
+/// every scanned tuple in `stats` (the paper's "elements read" — the
+/// whole clustered run is read, filters apply after), return the
+/// stream start-sorted, borrowing the store's columns whenever no
+/// filter or merge forces a copy.
+pub fn materialize<'a>(
+    source: &BoundSource,
+    value_eq: Option<&str>,
+    level_eq: Option<u16>,
+    store: &'a NodeStore,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Labels<'a> {
+    let filter = Filter::resolve(value_eq, level_eq, store);
+    match source {
+        BoundSource::PLabelEq(p) => single_run(store.scan_plabel_eq(*p), filter, stats, bufs),
+        BoundSource::Tag(t) => single_run(store.scan_tag(*t), filter, stats, bufs),
+        BoundSource::All => single_run(store.scan_doc(), filter, stats, bufs),
+        BoundSource::PLabelRange(p1, p2) => {
+            multi_run(store.scan_plabel_range(*p1, *p2), filter, stats, bufs)
+        }
+        BoundSource::Empty => Labels::Borrowed(&[]),
+    }
+}
+
+/// Equality/tag/full scans yield one start-sorted run: zero-copy unless
+/// a filter applies.
+fn single_run<'a>(
+    run: Run<'a>,
+    filter: Filter,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Labels<'a> {
+    stats.elements_visited += run.len() as u64;
+    if filter.is_pass_through() {
+        return Labels::Borrowed(run.labels);
+    }
+    let mut out = bufs.take();
+    filter_run(run, filter, &mut out);
+    Labels::Owned(out)
+}
+
+/// A P-label range scan yields one start-sorted run per distinct
+/// P-label in the range; restore document order by merging the runs
+/// with ping-pong rounds between two persistent buffers (no per-run
+/// allocation).
+fn multi_run<'a>(
+    mut runs: impl Iterator<Item = Run<'a>>,
+    filter: Filter,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Labels<'a> {
+    let Some(head) = runs.next() else {
+        return Labels::Borrowed(&[]);
+    };
+    let Some(second) = runs.next() else {
+        // A range selecting a single P-label stays zero-copy.
+        return single_run(head, filter, stats, bufs);
+    };
+    let mut out = bufs.take();
+    bufs.merge.bounds.clear();
+    for run in [head, second].into_iter().chain(runs) {
+        stats.elements_visited += run.len() as u64;
+        let before = out.len();
+        filter_run(run, filter, &mut out);
+        if out.len() > before {
+            bufs.merge.bounds.push(out.len());
+        }
+    }
+    merge_segments(&mut out, &mut bufs.merge);
+    Labels::Owned(out)
+}
+
+#[inline]
+fn filter_run(run: Run<'_>, filter: Filter, out: &mut Vec<DLabel>) {
+    if filter.is_pass_through() {
+        out.extend_from_slice(run.labels);
+        return;
+    }
+    for (label, &value_id) in run.labels.iter().zip(run.value_ids) {
+        if filter.admits(label, value_id) {
+            out.push(*label);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blas_labeling::label_document;
+    use blas_xml::Document;
+
+    const SAMPLE: &str = "<db><e><n>a</n></e><x><e><n>b</n></e></x><n>c</n></db>";
+
+    fn fixture() -> (Document, NodeStore, blas_labeling::PLabelDomain) {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let labels = label_document(&doc).unwrap();
+        let store = NodeStore::build(&doc, &labels);
+        (doc, store, labels.domain)
+    }
+
+    #[test]
+    fn tag_scan_is_zero_copy() {
+        let (doc, store, _) = fixture();
+        let n = doc.tags().get("n").unwrap();
+        let mut stats = ExecStats::default();
+        let mut bufs = ExecBuffers::default();
+        let out = materialize(
+            &BoundSource::Tag(n),
+            None,
+            None,
+            &store,
+            &mut stats,
+            &mut bufs,
+        );
+        assert!(matches!(out, Labels::Borrowed(_)), "unfiltered tag scan must not copy");
+        assert_eq!(out.len(), 3);
+        assert_eq!(stats.elements_visited, 3);
+    }
+
+    #[test]
+    fn value_filter_materializes_and_counts_whole_run() {
+        let (doc, store, _) = fixture();
+        let n = doc.tags().get("n").unwrap();
+        let mut stats = ExecStats::default();
+        let mut bufs = ExecBuffers::default();
+        let out = materialize(
+            &BoundSource::Tag(n),
+            Some("b"),
+            None,
+            &store,
+            &mut stats,
+            &mut bufs,
+        );
+        assert!(matches!(out, Labels::Owned(_)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.elements_visited, 3, "filters do not reduce elements read");
+    }
+
+    #[test]
+    fn absent_value_passes_nothing() {
+        let (doc, store, _) = fixture();
+        let n = doc.tags().get("n").unwrap();
+        let mut stats = ExecStats::default();
+        let mut bufs = ExecBuffers::default();
+        let out = materialize(
+            &BoundSource::Tag(n),
+            Some("no-such-value"),
+            None,
+            &store,
+            &mut stats,
+            &mut bufs,
+        );
+        assert!(out.is_empty());
+        assert_eq!(stats.elements_visited, 3);
+    }
+
+    #[test]
+    fn range_scan_merges_runs_to_start_order() {
+        let (_, store, dom) = fixture();
+        let _ = dom;
+        let mut stats = ExecStats::default();
+        let mut bufs = ExecBuffers::default();
+        let out = materialize(
+            &BoundSource::PLabelRange(0, u128::MAX),
+            None,
+            None,
+            &store,
+            &mut stats,
+            &mut bufs,
+        );
+        assert_eq!(out.len(), store.len());
+        assert!(out.windows(2).all(|w| w[0].start < w[1].start));
+        assert_eq!(stats.elements_visited, store.len() as u64);
+    }
+
+    #[test]
+    fn single_run_range_is_zero_copy() {
+        let (doc, store, dom) = fixture();
+        let db = doc.tags().get("db").unwrap();
+        let q = dom.path_interval(true, &[db]).unwrap();
+        let mut stats = ExecStats::default();
+        let mut bufs = ExecBuffers::default();
+        let out = materialize(
+            &BoundSource::PLabelRange(q.p1, q.p2),
+            None,
+            None,
+            &store,
+            &mut stats,
+            &mut bufs,
+        );
+        assert!(matches!(out, Labels::Borrowed(_)));
+        assert_eq!(out.len(), 1);
+    }
+}

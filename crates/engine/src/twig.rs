@@ -20,9 +20,10 @@
 //! table.
 
 use crate::stats::ExecStats;
-use crate::stjoin::{ensure_start_order, filter_flagged, structural_match};
+use crate::stjoin::{filter_flagged_into, structural_match_into};
+use crate::stream::{materialize, ExecBuffers, Labels};
 use blas_labeling::DLabel;
-use blas_storage::{NodeRecord, NodeStore};
+use blas_storage::NodeStore;
 use blas_translate::{BoundPlan, BoundSelection, BoundSource, Side};
 use std::fmt;
 use std::time::Instant;
@@ -89,41 +90,67 @@ impl TwigQuery {
     }
 
     /// Execute against a store: materialize one stream per node
-    /// (counting visited elements), then match with two stack passes.
+    /// (counting visited elements; zero-copy for unfiltered clustered
+    /// runs), then match with two stack passes reusing one scratch set.
     pub fn execute(&self, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
+        let mut bufs = ExecBuffers::default();
+        self.execute_with(store, stats, &mut bufs)
+    }
+
+    /// Like [`TwigQuery::execute`], reusing caller-held scratch buffers
+    /// across executions.
+    pub fn execute_with(
+        &self,
+        store: &NodeStore,
+        stats: &mut ExecStats,
+        bufs: &mut ExecBuffers,
+    ) -> Vec<DLabel> {
         let t0 = Instant::now();
-        let streams: Vec<Vec<DLabel>> = self
+        let streams: Vec<Labels<'_>> = self
             .nodes
             .iter()
-            .map(|n| materialize_stream(n, store, stats))
+            .map(|n| materialize_stream(n, store, stats, bufs))
             .collect();
 
         // Bottom-up: sat[q] = stream elements whose subtree constraints
-        // are satisfiable.
+        // are satisfiable. Each join writes its flags into the shared
+        // scratch and compacts into a pooled buffer.
         let order = self.post_order();
-        let mut sat: Vec<Vec<DLabel>> = streams;
+        let mut sat: Vec<Labels<'_>> = streams;
         for &q in &order {
             for &c in &self.nodes[q].children {
                 stats.d_joins += 1;
                 stats.join_input_tuples += (sat[q].len() + sat[c].len()) as u64;
-                let flags = structural_match(&sat[q], &sat[c], self.nodes[c].level_diff);
-                sat[q] = filter_flagged(&sat[q], &flags.anc);
+                structural_match_into(&sat[q], &sat[c], self.nodes[c].level_diff, &mut bufs.join);
+                let mut out = bufs.take();
+                filter_flagged_into(&sat[q], &bufs.join.anc, &mut out);
+                let old = std::mem::replace(&mut sat[q], Labels::Owned(out));
+                bufs.recycle(old);
             }
         }
 
         // Top-down: alive[q] = sat elements reachable from a satisfying
-        // root chain.
-        let mut alive: Vec<Option<Vec<DLabel>>> = vec![None; self.nodes.len()];
-        alive[self.root] = Some(sat[self.root].clone());
+        // root chain. The root's sat list is moved, not cloned — it is
+        // nobody's child, so the bottom-up pass never reads it again.
+        let mut alive: Vec<Option<Labels<'_>>> = (0..self.nodes.len()).map(|_| None).collect();
+        alive[self.root] = Some(std::mem::replace(&mut sat[self.root], Labels::Borrowed(&[])));
         for &q in order.iter().rev() {
             for &c in &self.nodes[q].children {
                 let parent_alive = alive[q].as_ref().expect("parents processed first");
-                let flags = structural_match(parent_alive, &sat[c], self.nodes[c].level_diff);
-                alive[c] = Some(filter_flagged(&sat[c], &flags.desc));
+                structural_match_into(parent_alive, &sat[c], self.nodes[c].level_diff, &mut bufs.join);
+                let mut out = bufs.take();
+                filter_flagged_into(&sat[c], &bufs.join.desc, &mut out);
+                alive[c] = Some(Labels::Owned(out));
             }
         }
 
-        let result = alive[self.output].take().expect("output visited");
+        for labels in sat {
+            bufs.recycle(labels);
+        }
+        let result = alive[self.output].take().expect("output visited").into_vec(bufs);
+        for labels in alive.into_iter().flatten() {
+            bufs.recycle(labels);
+        }
         stats.result_count = result.len();
         stats.elapsed = t0.elapsed();
         result
@@ -200,46 +227,22 @@ fn conv(plan: &BoundPlan, nodes: &mut Vec<TwigNode>) -> Result<Conv, TwigError> 
     }
 }
 
-pub(crate) fn materialize_stream(node: &TwigNode, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
-    let keep = |r: &NodeRecord| {
-        let value_ok = match &node.value_eq {
-            Some(v) => r.data.as_deref() == Some(v.as_str()),
-            None => true,
-        };
-        let level_ok = match node.level_eq {
-            Some(k) => r.level == k,
-            None => true,
-        };
-        value_ok && level_ok
-    };
-    let out: Vec<DLabel> = match &node.source {
-        BoundSource::PLabelEq(p) => store
-            .scan_plabel_eq(*p)
-            .inspect(|_| stats.elements_visited += 1)
-            .filter(|(_, r)| keep(r))
-            .map(|(_, r)| r.dlabel())
-            .collect(),
-        BoundSource::PLabelRange(p1, p2) => store
-            .scan_plabel_range(*p1, *p2)
-            .inspect(|_| stats.elements_visited += 1)
-            .filter(|(_, r)| keep(r))
-            .map(|(_, r)| r.dlabel())
-            .collect(),
-        BoundSource::Tag(t) => store
-            .scan_tag(*t)
-            .inspect(|_| stats.elements_visited += 1)
-            .filter(|(_, r)| keep(r))
-            .map(|(_, r)| r.dlabel())
-            .collect(),
-        BoundSource::All => store
-            .scan_all()
-            .inspect(|_| stats.elements_visited += 1)
-            .filter(|(_, r)| keep(r))
-            .map(|(_, r)| r.dlabel())
-            .collect(),
-        BoundSource::Empty => Vec::new(),
-    };
-    ensure_start_order(out)
+/// Materialize one twig node's stream: a zero-copy clustered run when
+/// no filter applies, a pooled filtered/merged buffer otherwise.
+pub(crate) fn materialize_stream<'a>(
+    node: &TwigNode,
+    store: &'a NodeStore,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Labels<'a> {
+    materialize(
+        &node.source,
+        node.value_eq.as_deref(),
+        node.level_eq,
+        store,
+        stats,
+        bufs,
+    )
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 //! Criterion bench compares the two.
 
 use crate::stats::ExecStats;
+use crate::stream::{ExecBuffers, Labels};
 use crate::twig::{materialize_stream, TwigQuery};
 use blas_labeling::DLabel;
 use blas_storage::NodeStore;
@@ -38,10 +39,11 @@ pub fn execute_twigstack(
     stats: &mut ExecStats,
 ) -> Vec<DLabel> {
     let t0 = Instant::now();
-    let streams: Vec<Vec<DLabel>> = query
+    let mut bufs = ExecBuffers::default();
+    let streams: Vec<Labels<'_>> = query
         .nodes
         .iter()
-        .map(|n| materialize_stream(n, store, stats))
+        .map(|n| materialize_stream(n, store, stats, &mut bufs))
         .collect();
     let mut ts = TwigStack::new(query, streams);
     ts.run(stats);
@@ -66,7 +68,7 @@ type PathSolution = Vec<(usize, DLabel)>;
 
 struct TwigStack<'a> {
     q: &'a TwigQuery,
-    streams: Vec<Vec<DLabel>>,
+    streams: Vec<Labels<'a>>,
     cursor: Vec<usize>,
     stacks: Vec<Vec<Entry>>,
     /// Path solutions per leaf twig node.
@@ -76,7 +78,7 @@ struct TwigStack<'a> {
 }
 
 impl<'a> TwigStack<'a> {
-    fn new(q: &'a TwigQuery, streams: Vec<Vec<DLabel>>) -> Self {
+    fn new(q: &'a TwigQuery, streams: Vec<Labels<'a>>) -> Self {
         let n = q.nodes.len();
         let path_to: Vec<Vec<usize>> = (0..n)
             .map(|id| {

@@ -1,11 +1,20 @@
-//! # blas-storage — relational storage substrate for BLAS
+//! # blas-storage — columnar clustered storage for BLAS
 //!
 //! The paper stores labeled XML in relations inside an RDBMS (DB2 in
-//! §5.2). This crate is the from-scratch stand-in: a B+ tree
-//! ([`bptree`]) and an indexed tuple store ([`relation`]) exposing the
-//! two clusterings the paper creates — SP `{plabel, start}` for BLAS and
-//! SD `{tag, start}` for the D-labeling baseline — plus `start` and
-//! `data` indexes.
+//! §5.2), physically clustered as SP `{plabel, start}` for BLAS and SD
+//! `{tag, start}` for the D-labeling baseline. This crate is the
+//! from-scratch stand-in:
+//!
+//! * [`relation`] — the columnar [`NodeStore`]: the label/tag/value
+//!   columns held in **two physical sort orders** with per-key run
+//!   directories, so clustered scans return zero-copy `&[DLabel]`
+//!   slices (see the module docs for the layout);
+//! * [`bptree`] — a from-scratch B+ tree, retained for the `start`
+//!   primary-key and `data` value indexes, the paper's index-height
+//!   accounting, and the reference scan path the columnar layout is
+//!   tested and benchmarked against;
+//! * [`snapshot`] — versioned, checksummed binary persistence of the
+//!   labeled form, encoding straight from the columns.
 //!
 //! Access-path choice and tuple-visit accounting live in `blas-engine`;
 //! this crate only guarantees that every scan yields tuples in exactly
@@ -16,5 +25,5 @@ pub mod relation;
 pub mod snapshot;
 
 pub use bptree::BPlusTree;
-pub use relation::{NodeRecord, NodeStore, RowId};
+pub use relation::{NodeRecord, NodeStore, RecordView, RowId, Run, NO_VALUE};
 pub use snapshot::{Snapshot, SnapshotError};

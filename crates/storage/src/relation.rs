@@ -1,36 +1,80 @@
-//! The labeled-node relations of §4/§5.2.1 and their indexes.
+//! The labeled-node relations of §4/§5.2.1 as **physically clustered
+//! columnar storage**.
 //!
 //! The paper stores one tuple `<plabel, start, end, level, data>` per
 //! node in relation **SP** (clustered by `{plabel, start}`) and, for the
 //! D-labeling baseline, the same tuples with a `tag` attribute in
-//! relation **SD** (clustered by `{tag, start}`). Both relations carry
-//! B+ tree indexes on the clustering key, on `start`, and on `data`.
+//! relation **SD** (clustered by `{tag, start}`). Its whole performance
+//! argument rests on those clusterings being *physical*: a P-label
+//! range selection is one contiguous sequential read.
 //!
-//! We keep the tuples once ([`NodeRecord`] carries *both* `plabel` and
-//! `tag`) and expose the two clusterings as index-ordered scans. Every
-//! scan yields tuples exactly as the corresponding clustered relation
-//! would, so "elements visited" accounting is identical to having two
-//! physical tables.
+//! # Layout
+//!
+//! [`NodeStore`] keeps the columns once in document (`start`) order —
+//! [`DLabel`]s, P-labels, tags, interned data values — plus **two
+//! physical permutations** of the label/value columns:
+//!
+//! ```text
+//! document order (RowId):  labels[i], plabels[i], tags[i], values[i]
+//!
+//! SP clustering:  sp_labels / sp_rows / sp_values   sorted by (plabel, start)
+//!                 sp_dir: one PlabelRun {plabel, rows: begin..end} per
+//!                 distinct plabel, sorted by plabel
+//!
+//! SD clustering:  sd_labels / sd_rows / sd_values   sorted by (tag, start)
+//!                 sd_dir: one TagRun {tag, rows: begin..end} per
+//!                 distinct tag, sorted by tag
+//! ```
+//!
+//! A **run** is the contiguous row range of one distinct clustering-key
+//! value; inside a run, rows are `start`-ascending. Scans therefore
+//! binary-search the run *directory* (a handful of entries) and return
+//! borrowed slices:
+//!
+//! * [`NodeStore::scan_plabel_eq`] / [`NodeStore::scan_tag`] — exactly
+//!   one run ⇒ one zero-copy `&[DLabel]` already in document order;
+//! * [`NodeStore::scan_plabel_range`] — the consecutive runs of every
+//!   distinct P-label in `[p1, p2]`, each a zero-copy slice (the engine
+//!   merges them back to document order with a ping-pong buffer merge).
+//!
+//! There is **no per-tuple B+ tree traversal on the hot path**. The B+
+//! trees are retained for three colder purposes: the paper's index
+//! accounting ([`NodeStore::sp_index_height`]), the `start` primary-key
+//! and `data` value indexes, and a reference scan path
+//! ([`NodeStore::ref_scan_plabel_range`], [`NodeStore::ref_scan_tag`])
+//! that the property tests and the `BENCH_storage.json` kernel bench
+//! compare the columnar path against.
+//!
+//! PCDATA is interned: each distinct string is stored once in a value
+//! pool and rows carry a `u32` value id, so a `data = 'x'` filter over
+//! a run is an integer compare over a contiguous `&[u32]`, and building
+//! snapshots never clones row strings.
 
 use crate::bptree::BPlusTree;
 use blas_labeling::{DLabel, DocumentLabels};
 use blas_xml::{Document, TagId};
 use std::collections::BTreeMap;
+use std::ops::Range;
 
-/// Physical row identifier (position in the heap).
+/// Physical row identifier (position in the document-order columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RowId(pub u32);
 
 impl RowId {
-    /// Heap position.
+    /// Column position.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
 }
 
-/// One stored tuple: the paper's `<plabel, start, end, level, data>`
-/// plus the `tag` attribute of the SD schema.
+/// Sentinel value id for rows without PCDATA.
+pub const NO_VALUE: u32 = u32::MAX;
+
+/// One tuple in owned form: the paper's `<plabel, start, end, level,
+/// data>` plus the `tag` attribute of the SD schema. Used at API
+/// boundaries (store construction, snapshot decoding, tests); the
+/// store itself holds columns, not records.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeRecord {
     /// P-label of the node (Def. 3.3).
@@ -55,19 +99,132 @@ impl NodeRecord {
     }
 }
 
-/// The indexed store for one labeled document.
+/// Zero-copy view of one stored tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordView<'a> {
+    /// P-label of the node.
+    pub plabel: u128,
+    /// D-label `start`.
+    pub start: u32,
+    /// D-label `end`.
+    pub end: u32,
+    /// D-label `level`.
+    pub level: u16,
+    /// The node's tag.
+    pub tag: TagId,
+    /// PCDATA value, borrowed from the store's intern pool.
+    pub data: Option<&'a str>,
+}
+
+impl<'a> RecordView<'a> {
+    /// The D-label view of this tuple.
+    #[inline]
+    pub fn dlabel(&self) -> DLabel {
+        DLabel { start: self.start, end: self.end, level: self.level }
+    }
+
+    /// Clone into an owned record.
+    pub fn to_owned(&self) -> NodeRecord {
+        NodeRecord {
+            plabel: self.plabel,
+            start: self.start,
+            end: self.end,
+            level: self.level,
+            tag: self.tag,
+            data: self.data.map(str::to_string),
+        }
+    }
+}
+
+/// One contiguous clustered run: parallel `labels` / `rows` /
+/// `value_ids` slices, `start`-ascending.
+///
+/// `rows` is either parallel to `labels` (SP/SD runs: the permuted
+/// document-order row of each position) or empty, which signals the
+/// **identity** mapping (document-order runs from
+/// [`NodeStore::scan_doc`], where position `i` *is* row `i`). Use
+/// [`Run::row_at`] to resolve positions uniformly instead of zipping
+/// `rows` directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Run<'a> {
+    /// D-labels of the run, in document order.
+    pub labels: &'a [DLabel],
+    /// Document-order row per run position, or empty for identity.
+    pub rows: &'a [u32],
+    /// Interned value id ([`NO_VALUE`] for no PCDATA) per run position.
+    pub value_ids: &'a [u32],
+}
+
+impl<'a> Run<'a> {
+    /// Tuples in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the run holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Document-order row of run position `i`, resolving the empty
+    /// `rows` slice as the identity mapping.
+    #[inline]
+    pub fn row_at(&self, i: usize) -> RowId {
+        debug_assert!(i < self.labels.len());
+        if self.rows.is_empty() {
+            RowId(i as u32)
+        } else {
+            RowId(self.rows[i])
+        }
+    }
+
+    const EMPTY: Run<'static> = Run { labels: &[], rows: &[], value_ids: &[] };
+}
+
+/// Run-directory entry of the SP clustering.
+#[derive(Debug, Clone)]
+struct PlabelRun {
+    plabel: u128,
+    rows: Range<u32>,
+}
+
+/// Run-directory entry of the SD clustering.
+#[derive(Debug, Clone)]
+struct TagRun {
+    tag: u32,
+    rows: Range<u32>,
+}
+
+/// The columnar, doubly clustered store for one labeled document.
 #[derive(Debug)]
 pub struct NodeStore {
-    /// Heap of tuples in document (start) order: `RowId(i).index() == i`
-    /// and `records[i].start` is increasing.
-    records: Vec<NodeRecord>,
-    /// SP clustering: B+ tree on `(plabel, start)`.
+    // --- document-order columns (RowId = position) -----------------
+    labels: Vec<DLabel>,
+    plabels: Vec<u128>,
+    tags: Vec<u32>,
+    value_ids: Vec<u32>,
+    /// Interned PCDATA pool; `value_ids` index into it.
+    values: Vec<String>,
+
+    // --- SP clustering: permutation sorted by (plabel, start) ------
+    sp_labels: Vec<DLabel>,
+    sp_rows: Vec<u32>,
+    sp_values: Vec<u32>,
+    sp_dir: Vec<PlabelRun>,
+
+    // --- SD clustering: permutation sorted by (tag, start) ---------
+    sd_labels: Vec<DLabel>,
+    sd_rows: Vec<u32>,
+    sd_values: Vec<u32>,
+    sd_dir: Vec<TagRun>,
+
+    // --- retained B+ tree indexes (accounting + reference path) ----
     sp_index: BPlusTree<(u128, u32), RowId>,
-    /// SD clustering: B+ tree on `(tag, start)`.
     sd_index: BPlusTree<(u32, u32), RowId>,
-    /// Index on `start` (the primary key).
     start_index: BPlusTree<u32, RowId>,
-    /// Index on `data`: value → rows in start order.
+    /// Index on `data`: value id → rows in start order.
     value_index: BTreeMap<String, Vec<RowId>>,
 }
 
@@ -75,102 +232,245 @@ impl NodeStore {
     /// Build the store from a parsed document and its labels (the
     /// index-generator output of Fig. 6).
     pub fn build(doc: &Document, labels: &DocumentLabels) -> Self {
-        let mut records: Vec<NodeRecord> = doc
-            .node_ids()
-            .map(|id| {
-                let d = labels.dlabels[id.index()];
-                NodeRecord {
-                    plabel: labels.plabels[id.index()],
-                    start: d.start,
-                    end: d.end,
-                    level: d.level,
-                    tag: doc.node(id).tag,
-                    data: doc.node(id).text.clone(),
-                }
-            })
-            .collect();
-        records.sort_unstable_by_key(|r| r.start);
-        Self::from_records(records)
+        let mut order: Vec<u32> = (0..doc.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| labels.dlabels[i as usize].start);
+        let mut columns = Columns::with_capacity(doc.len());
+        for &i in &order {
+            let id = blas_xml::NodeId(i);
+            columns.push(
+                labels.plabels[i as usize],
+                labels.dlabels[i as usize],
+                doc.node(id).tag,
+                doc.node(id).text.as_deref(),
+            );
+        }
+        Self::from_columns(columns)
     }
 
-    /// Build from pre-labeled records (tests and generators).
-    pub fn from_records(records: Vec<NodeRecord>) -> Self {
+    /// Build from pre-labeled records (tests, generators, snapshot
+    /// restore). Consumes the records; data strings are interned, not
+    /// cloned.
+    pub fn from_records(mut records: Vec<NodeRecord>) -> Self {
+        records.sort_unstable_by_key(|r| r.start);
+        let mut columns = Columns::with_capacity(records.len());
+        for r in records {
+            let d = DLabel { start: r.start, end: r.end, level: r.level };
+            columns.push_owned(r.plabel, d, r.tag, r.data);
+        }
+        Self::from_columns(columns)
+    }
+
+    fn from_columns(columns: Columns) -> Self {
+        let Columns { labels, plabels, tags, value_ids, values, .. } = columns;
+        let n = labels.len();
+
+        // SP permutation: stable clustering by plabel keeps the
+        // start-ascending document order inside each run.
+        let mut sp_perm: Vec<u32> = (0..n as u32).collect();
+        sp_perm.sort_unstable_by_key(|&i| (plabels[i as usize], labels[i as usize].start));
+        let sp_labels: Vec<DLabel> = sp_perm.iter().map(|&i| labels[i as usize]).collect();
+        let sp_values: Vec<u32> = sp_perm.iter().map(|&i| value_ids[i as usize]).collect();
+        let mut sp_dir: Vec<PlabelRun> = Vec::new();
+        for (pos, &row) in sp_perm.iter().enumerate() {
+            let p = plabels[row as usize];
+            match sp_dir.last_mut() {
+                Some(run) if run.plabel == p => run.rows.end = pos as u32 + 1,
+                _ => sp_dir.push(PlabelRun { plabel: p, rows: pos as u32..pos as u32 + 1 }),
+            }
+        }
+
+        // SD permutation, same construction keyed by tag.
+        let mut sd_perm: Vec<u32> = (0..n as u32).collect();
+        sd_perm.sort_unstable_by_key(|&i| (tags[i as usize], labels[i as usize].start));
+        let sd_labels: Vec<DLabel> = sd_perm.iter().map(|&i| labels[i as usize]).collect();
+        let sd_values: Vec<u32> = sd_perm.iter().map(|&i| value_ids[i as usize]).collect();
+        let mut sd_dir: Vec<TagRun> = Vec::new();
+        for (pos, &row) in sd_perm.iter().enumerate() {
+            let t = tags[row as usize];
+            match sd_dir.last_mut() {
+                Some(run) if run.tag == t => run.rows.end = pos as u32 + 1,
+                _ => sd_dir.push(TagRun { tag: t, rows: pos as u32..pos as u32 + 1 }),
+            }
+        }
+
+        // Retained B+ tree indexes and the value index. Rows are
+        // grouped by interned value id first so the index clones each
+        // distinct string once, not once per occurrence.
         let mut sp_index = BPlusTree::new();
         let mut sd_index = BPlusTree::new();
         let mut start_index = BPlusTree::new();
-        let mut value_index: BTreeMap<String, Vec<RowId>> = BTreeMap::new();
-        for (i, r) in records.iter().enumerate() {
+        let mut rows_by_value: Vec<Vec<RowId>> = vec![Vec::new(); values.len()];
+        for i in 0..n {
             let row = RowId(i as u32);
-            sp_index.insert((r.plabel, r.start), row);
-            sd_index.insert((r.tag.0, r.start), row);
-            start_index.insert(r.start, row);
-            if let Some(data) = &r.data {
-                value_index.entry(data.clone()).or_default().push(row);
+            sp_index.insert((plabels[i], labels[i].start), row);
+            sd_index.insert((tags[i], labels[i].start), row);
+            start_index.insert(labels[i].start, row);
+            if value_ids[i] != NO_VALUE {
+                rows_by_value[value_ids[i] as usize].push(row);
             }
         }
-        Self { records, sp_index, sd_index, start_index, value_index }
+        let value_index: BTreeMap<String, Vec<RowId>> = values
+            .iter()
+            .zip(rows_by_value)
+            .map(|(value, rows)| (value.clone(), rows))
+            .collect();
+
+        Self {
+            labels,
+            plabels,
+            tags,
+            value_ids,
+            values,
+            sp_labels,
+            sp_rows: sp_perm,
+            sp_values,
+            sp_dir,
+            sd_labels,
+            sd_rows: sd_perm,
+            sd_values,
+            sd_dir,
+            sp_index,
+            sd_index,
+            start_index,
+            value_index,
+        }
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.labels.len()
     }
 
     /// True when the store holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.labels.is_empty()
     }
 
-    /// Fetch one tuple by row id.
+    /// Fetch one tuple by row id (zero-copy view).
     #[inline]
-    pub fn record(&self, row: RowId) -> &NodeRecord {
-        &self.records[row.index()]
+    pub fn record(&self, row: RowId) -> RecordView<'_> {
+        let i = row.index();
+        let d = self.labels[i];
+        RecordView {
+            plabel: self.plabels[i],
+            start: d.start,
+            end: d.end,
+            level: d.level,
+            tag: TagId(self.tags[i]),
+            data: self.value(self.value_ids[i]),
+        }
+    }
+
+    /// Resolve an interned value id.
+    #[inline]
+    pub fn value(&self, value_id: u32) -> Option<&str> {
+        if value_id == NO_VALUE {
+            None
+        } else {
+            Some(&self.values[value_id as usize])
+        }
+    }
+
+    /// The intern id of a PCDATA string, if any row carries it. Lets a
+    /// `data = 'x'` filter run as an integer compare over a run's
+    /// `value_ids`.
+    pub fn value_id(&self, value: &str) -> Option<u32> {
+        // The value index maps each distinct stored string to its rows;
+        // any row's id works since equal strings share one id.
+        self.value_index
+            .get(value)
+            .and_then(|rows| rows.first())
+            .map(|row| self.value_ids[row.index()])
     }
 
     /// All tuples in start (document) order.
-    pub fn scan_all(&self) -> impl Iterator<Item = (RowId, &NodeRecord)> {
-        self.records
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (RowId(i as u32), r))
+    pub fn scan_all(&self) -> impl Iterator<Item = (RowId, RecordView<'_>)> {
+        (0..self.labels.len()).map(|i| (RowId(i as u32), self.record(RowId(i as u32))))
     }
 
-    /// SP-clustered scan: all tuples with `p1 ≤ plabel ≤ p2`, ordered by
-    /// `(plabel, start)`. This is the paper's range selection on
-    /// P-labels.
-    pub fn scan_plabel_range(
-        &self,
-        p1: u128,
-        p2: u128,
-    ) -> impl Iterator<Item = (RowId, &NodeRecord)> {
-        self.sp_index
-            .range(&(p1, 0), &(p2, u32::MAX))
-            .map(move |(_, &row)| (row, self.record(row)))
+    /// The document-order columns as one run (the baseline's full
+    /// scan). The row of position `i` is `i` by construction, so
+    /// `rows` is left empty rather than materializing an identity map;
+    /// resolve positions with [`Run::row_at`].
+    pub fn scan_doc(&self) -> Run<'_> {
+        Run {
+            labels: &self.labels,
+            rows: &[],
+            value_ids: &self.value_ids,
+        }
     }
 
-    /// SP-clustered equality scan (`plabel = p`), ordered by `start`.
-    pub fn scan_plabel_eq(&self, p: u128) -> impl Iterator<Item = (RowId, &NodeRecord)> {
-        self.scan_plabel_range(p, p)
+    /// All D-labels in document order (zero-copy).
+    pub fn doc_labels(&self) -> &[DLabel] {
+        &self.labels
     }
 
-    /// SD-clustered scan: all tuples with the given tag, ordered by
-    /// `start`. This is what the D-labeling baseline reads per query tag.
-    pub fn scan_tag(&self, tag: TagId) -> impl Iterator<Item = (RowId, &NodeRecord)> {
-        self.sd_index
-            .range(&(tag.0, 0), &(tag.0, u32::MAX))
-            .map(move |(_, &row)| (row, self.record(row)))
+    /// SP-clustered range scan: the contiguous run of every distinct
+    /// P-label in `[p1, p2]`, in P-label order. Each run is a borrowed
+    /// slice; no per-tuple index traversal happens.
+    pub fn scan_plabel_range(&self, p1: u128, p2: u128) -> impl Iterator<Item = Run<'_>> {
+        let from = self.sp_dir.partition_point(|r| r.plabel < p1);
+        let to = self.sp_dir.partition_point(|r| r.plabel <= p2);
+        self.sp_dir[from..to].iter().map(move |run| {
+            let r = run.rows.start as usize..run.rows.end as usize;
+            Run {
+                labels: &self.sp_labels[r.clone()],
+                rows: &self.sp_rows[r.clone()],
+                value_ids: &self.sp_values[r],
+            }
+        })
+    }
+
+    /// SP-clustered equality scan (`plabel = p`): exactly one
+    /// contiguous, start-ordered run (empty when `p` is unused).
+    pub fn scan_plabel_eq(&self, p: u128) -> Run<'_> {
+        match self.sp_dir.binary_search_by(|r| r.plabel.cmp(&p)) {
+            Ok(at) => {
+                let r = self.sp_dir[at].rows.start as usize..self.sp_dir[at].rows.end as usize;
+                Run {
+                    labels: &self.sp_labels[r.clone()],
+                    rows: &self.sp_rows[r.clone()],
+                    value_ids: &self.sp_values[r],
+                }
+            }
+            Err(_) => Run::EMPTY,
+        }
+    }
+
+    /// SD-clustered scan: the one contiguous, start-ordered run of a
+    /// tag (what the D-labeling baseline reads per query tag).
+    pub fn scan_tag(&self, tag: TagId) -> Run<'_> {
+        match self.sd_dir.binary_search_by(|r| r.tag.cmp(&tag.0)) {
+            Ok(at) => {
+                let r = self.sd_dir[at].rows.start as usize..self.sd_dir[at].rows.end as usize;
+                Run {
+                    labels: &self.sd_labels[r.clone()],
+                    rows: &self.sd_rows[r.clone()],
+                    value_ids: &self.sd_values[r],
+                }
+            }
+            Err(_) => Run::EMPTY,
+        }
+    }
+
+    /// Row of the tuple with the given `start`, by binary search over
+    /// the start-ordered column (the "direct start-rank lookup" the
+    /// result-fetch path uses instead of a B+ tree descent).
+    pub fn row_of_start(&self, start: u32) -> Option<RowId> {
+        self.labels
+            .binary_search_by(|l| l.start.cmp(&start))
+            .ok()
+            .map(|i| RowId(i as u32))
     }
 
     /// Point lookup on the primary key `start`.
-    pub fn get_by_start(&self, start: u32) -> Option<(RowId, &NodeRecord)> {
-        self.start_index
-            .get(&start)
-            .map(|&row| (row, self.record(row)))
+    pub fn get_by_start(&self, start: u32) -> Option<(RowId, RecordView<'_>)> {
+        self.row_of_start(start).map(|row| (row, self.record(row)))
     }
 
     /// Value-index lookup: rows whose `data` equals `value`, in start
     /// order.
-    pub fn scan_value(&self, value: &str) -> impl Iterator<Item = (RowId, &NodeRecord)> {
+    pub fn scan_value(&self, value: &str) -> impl Iterator<Item = (RowId, RecordView<'_>)> {
         self.value_index
             .get(value)
             .into_iter()
@@ -178,9 +478,112 @@ impl NodeStore {
             .map(move |&row| (row, self.record(row)))
     }
 
-    /// Height of the SP B+ tree (storage accounting).
+    // --- reference (B+ tree) scan path ------------------------------
+
+    /// Reference SP range scan through the retained B+ tree: one index
+    /// traversal plus a heap-style column lookup *per tuple*. This is
+    /// the access path the seed used everywhere; it is kept as the
+    /// oracle the columnar path is property-tested and benchmarked
+    /// against.
+    pub fn ref_scan_plabel_range(
+        &self,
+        p1: u128,
+        p2: u128,
+    ) -> impl Iterator<Item = (RowId, DLabel)> + '_ {
+        self.sp_index
+            .range(&(p1, 0), &(p2, u32::MAX))
+            .map(move |(_, &row)| (row, self.labels[row.index()]))
+    }
+
+    /// Reference SD tag scan through the retained B+ tree.
+    pub fn ref_scan_tag(&self, tag: TagId) -> impl Iterator<Item = (RowId, DLabel)> + '_ {
+        self.sd_index
+            .range(&(tag.0, 0), &(tag.0, u32::MAX))
+            .map(move |(_, &row)| (row, self.labels[row.index()]))
+    }
+
+    /// Reference point lookup through the retained `start` B+ tree.
+    pub fn ref_get_by_start(&self, start: u32) -> Option<(RowId, RecordView<'_>)> {
+        self.start_index
+            .get(&start)
+            .map(|&row| (row, self.record(row)))
+    }
+
+    /// Height of the SP B+ tree (the paper's storage accounting).
     pub fn sp_index_height(&self) -> usize {
         self.sp_index.height()
+    }
+
+    /// Number of distinct P-label runs in the SP clustering (equals the
+    /// number of distinct source paths in the document).
+    pub fn sp_run_count(&self) -> usize {
+        self.sp_dir.len()
+    }
+
+    /// Number of distinct tag runs in the SD clustering.
+    pub fn sd_run_count(&self) -> usize {
+        self.sd_dir.len()
+    }
+}
+
+/// Column accumulator shared by the construction paths.
+struct Columns {
+    labels: Vec<DLabel>,
+    plabels: Vec<u128>,
+    tags: Vec<u32>,
+    value_ids: Vec<u32>,
+    values: Vec<String>,
+    intern: BTreeMap<String, u32>,
+}
+
+impl Columns {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(n),
+            plabels: Vec::with_capacity(n),
+            tags: Vec::with_capacity(n),
+            value_ids: Vec::with_capacity(n),
+            values: Vec::new(),
+            intern: BTreeMap::new(),
+        }
+    }
+
+    fn push(&mut self, plabel: u128, label: DLabel, tag: TagId, data: Option<&str>) {
+        // Look up by `&str` first so duplicate occurrences (the common
+        // case interning exists for) allocate nothing.
+        let value_id = match data {
+            None => NO_VALUE,
+            Some(s) => match self.intern.get(s) {
+                Some(&id) => id,
+                None => self.intern_new(s.to_string()),
+            },
+        };
+        self.push_columns(plabel, label, tag, value_id);
+    }
+
+    fn push_owned(&mut self, plabel: u128, label: DLabel, tag: TagId, data: Option<String>) {
+        let value_id = match data {
+            None => NO_VALUE,
+            Some(s) => match self.intern.get(&s) {
+                Some(&id) => id,
+                None => self.intern_new(s),
+            },
+        };
+        self.push_columns(plabel, label, tag, value_id);
+    }
+
+    fn intern_new(&mut self, s: String) -> u32 {
+        let id = self.values.len() as u32;
+        self.intern.insert(s.clone(), id);
+        self.values.push(s);
+        id
+    }
+
+    fn push_columns(&mut self, plabel: u128, label: DLabel, tag: TagId, value_id: u32) {
+        self.labels.push(label);
+        self.plabels.push(plabel);
+        self.tags.push(tag.0);
+        self.value_ids.push(value_id);
     }
 }
 
@@ -202,19 +605,20 @@ mod tests {
     fn build_creates_one_tuple_per_node() {
         let (doc, s) = store(SAMPLE);
         assert_eq!(s.len(), doc.len());
-        // Heap is start-ordered.
+        // Document-order column is start-ordered.
         let starts: Vec<u32> = s.scan_all().map(|(_, r)| r.start).collect();
         assert!(starts.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
-    fn scan_tag_returns_start_ordered_tag_matches() {
+    fn scan_tag_returns_one_start_ordered_run() {
         let (doc, s) = store(SAMPLE);
         let n = doc.tags().get("n").unwrap();
-        let rows: Vec<&NodeRecord> = s.scan_tag(n).map(|(_, r)| r).collect();
-        assert_eq!(rows.len(), 3);
-        assert!(rows.windows(2).all(|w| w[0].start < w[1].start));
-        assert!(rows.iter().all(|r| r.tag == n));
+        let run = s.scan_tag(n);
+        assert_eq!(run.len(), 3);
+        assert!(run.labels.windows(2).all(|w| w[0].start < w[1].start));
+        assert!(run.rows.iter().all(|&row| s.record(RowId(row)).tag == n));
+        assert!(s.scan_tag(TagId(999)).is_empty());
     }
 
     #[test]
@@ -226,29 +630,94 @@ mod tests {
         let q = labels.domain.path_interval(false, &[e, n]).unwrap();
         let data: Vec<&str> = s
             .scan_plabel_range(q.p1, q.p2)
-            .map(|(_, r)| r.data.as_deref().unwrap())
+            .flat_map(|run| run.value_ids.iter().map(|&v| s.value(v).unwrap()))
             .collect();
         assert_eq!(data, ["a", "b"]); // not "c" (source path db/n)
     }
 
     #[test]
-    fn value_index_finds_rows() {
+    fn columnar_scans_agree_with_reference_btree_scans() {
+        let (doc, s) = store(SAMPLE);
+        // Tag scans.
+        for name in ["db", "e", "n", "x"] {
+            let tag = doc.tags().get(name).unwrap();
+            let fast: Vec<DLabel> = s.scan_tag(tag).labels.to_vec();
+            let slow: Vec<DLabel> = s.ref_scan_tag(tag).map(|(_, l)| l).collect();
+            assert_eq!(fast, slow, "{name}");
+        }
+        // Full plabel range (all runs, plabel order).
+        let fast: Vec<DLabel> = s
+            .scan_plabel_range(0, u128::MAX)
+            .flat_map(|run| run.labels.iter().copied())
+            .collect();
+        let slow: Vec<DLabel> = s.ref_scan_plabel_range(0, u128::MAX).map(|(_, l)| l).collect();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), s.len());
+    }
+
+    #[test]
+    fn runs_are_contiguous_and_start_sorted() {
         let (_, s) = store(SAMPLE);
-        let rows: Vec<&NodeRecord> = s.scan_value("b").map(|(_, r)| r).collect();
+        let mut total = 0;
+        for run in s.scan_plabel_range(0, u128::MAX) {
+            assert!(!run.is_empty());
+            assert!(run.labels.windows(2).all(|w| w[0].start < w[1].start));
+            // One distinct plabel per run.
+            let plabels: Vec<u128> =
+                run.rows.iter().map(|&r| s.record(RowId(r)).plabel).collect();
+            assert!(plabels.windows(2).all(|w| w[0] == w[1]));
+            total += run.len();
+        }
+        assert_eq!(total, s.len());
+        // Distinct source paths of SAMPLE: db, db/e, db/e/n, db/n,
+        // db/x, db/x/e, db/x/e/n.
+        assert_eq!(s.sp_run_count(), 7);
+        // Distinct tags: db, e, n, x.
+        assert_eq!(s.sd_run_count(), 4);
+    }
+
+    #[test]
+    fn value_interning_and_index() {
+        let (_, s) = store(SAMPLE);
+        let rows: Vec<RecordView> = s.scan_value("b").map(|(_, r)| r).collect();
         assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].data.as_deref(), Some("b"));
+        assert_eq!(rows[0].data, Some("b"));
         assert_eq!(s.scan_value("zzz").count(), 0);
+        let id = s.value_id("b").unwrap();
+        assert_eq!(s.value(id), Some("b"));
+        assert_eq!(s.value_id("zzz"), None);
+        assert_eq!(s.value(NO_VALUE), None);
     }
 
     #[test]
     fn get_by_start_roundtrip() {
         let (_, s) = store(SAMPLE);
-        for (row, r) in s.scan_all() {
+        for (row, r) in s.scan_all().collect::<Vec<_>>() {
             let (row2, r2) = s.get_by_start(r.start).unwrap();
             assert_eq!(row, row2);
             assert_eq!(r, r2);
+            // Reference B+ tree path agrees.
+            let (row3, r3) = s.ref_get_by_start(r.start).unwrap();
+            assert_eq!(row, row3);
+            assert_eq!(r, r3);
         }
         assert!(s.get_by_start(10_000).is_none());
+    }
+
+    #[test]
+    fn scan_doc_row_at_is_identity_and_clustered_rows_resolve() {
+        let (_, s) = store(SAMPLE);
+        let doc_run = s.scan_doc();
+        assert_eq!(doc_run.len(), s.len());
+        for i in 0..doc_run.len() {
+            assert_eq!(doc_run.row_at(i), RowId(i as u32));
+        }
+        for run in s.scan_plabel_range(0, u128::MAX) {
+            for i in 0..run.len() {
+                let row = run.row_at(i);
+                assert_eq!(s.record(row).dlabel(), run.labels[i]);
+            }
+        }
     }
 
     #[test]
@@ -259,5 +728,22 @@ mod tests {
             assert!(d.is_valid());
             assert_eq!(d.level, r.level);
         }
+    }
+
+    #[test]
+    fn from_records_interns_duplicate_values() {
+        let recs = vec![
+            NodeRecord { plabel: 9, start: 0, end: 7, level: 1, tag: TagId(0), data: None },
+            NodeRecord { plabel: 5, start: 1, end: 2, level: 2, tag: TagId(1), data: Some("v".into()) },
+            NodeRecord { plabel: 5, start: 3, end: 4, level: 2, tag: TagId(1), data: Some("v".into()) },
+            NodeRecord { plabel: 6, start: 5, end: 6, level: 2, tag: TagId(1), data: Some("w".into()) },
+        ];
+        let s = NodeStore::from_records(recs);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.values.len(), 2, "duplicate strings share one pool entry");
+        let run = s.scan_plabel_eq(5);
+        assert_eq!(run.len(), 2);
+        assert_eq!(run.value_ids[0], run.value_ids[1]);
+        assert_eq!(s.scan_value("v").count(), 2);
     }
 }

@@ -22,7 +22,7 @@
 //! Indexes are rebuilt on load — they are derived data, and rebuilding
 //! keeps the format independent of B+ tree layout choices.
 
-use crate::relation::NodeRecord;
+use crate::relation::{NodeRecord, NodeStore, RecordView};
 use blas_xml::TagId;
 use std::fmt;
 
@@ -76,23 +76,66 @@ pub struct Snapshot {
 
 /// Serialize a snapshot.
 pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 + snapshot.records.len() * 48);
+    encode_rows(
+        snapshot.records.len(),
+        snapshot.records.iter().map(|r| RecordView {
+            plabel: r.plabel,
+            start: r.start,
+            end: r.end,
+            level: r.level,
+            tag: r.tag,
+            data: r.data.as_deref(),
+        }),
+        &snapshot.tag_names,
+        snapshot.num_tags,
+        snapshot.digits,
+    )
+}
+
+/// Serialize straight from a store's columns — no intermediate
+/// [`NodeRecord`] materialization and no string clones; data values are
+/// written from the store's intern pool.
+pub fn encode_store(
+    store: &NodeStore,
+    tag_names: &[String],
+    num_tags: u32,
+    digits: u32,
+) -> Vec<u8> {
+    encode_rows(
+        store.len(),
+        store.scan_all().map(|(_, view)| view),
+        tag_names,
+        num_tags,
+        digits,
+    )
+}
+
+/// Shared encoder over zero-copy row views (the wire format of the
+/// module docs).
+fn encode_rows<'a>(
+    record_count: usize,
+    rows: impl Iterator<Item = RecordView<'a>>,
+    tag_names: &[String],
+    num_tags: u32,
+    digits: u32,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + record_count * 48);
     out.extend_from_slice(MAGIC);
     put_u32(&mut out, VERSION);
-    put_u32(&mut out, snapshot.num_tags);
-    put_u32(&mut out, snapshot.digits);
-    put_u32(&mut out, snapshot.tag_names.len() as u32);
-    for name in &snapshot.tag_names {
+    put_u32(&mut out, num_tags);
+    put_u32(&mut out, digits);
+    put_u32(&mut out, tag_names.len() as u32);
+    for name in tag_names {
         put_bytes(&mut out, name.as_bytes());
     }
-    put_u32(&mut out, snapshot.records.len() as u32);
-    for r in &snapshot.records {
+    put_u32(&mut out, record_count as u32);
+    for r in rows {
         out.extend_from_slice(&r.plabel.to_le_bytes());
         put_u32(&mut out, r.start);
         put_u32(&mut out, r.end);
         out.extend_from_slice(&r.level.to_le_bytes());
         put_u32(&mut out, r.tag.0);
-        match &r.data {
+        match r.data {
             Some(d) => {
                 out.push(1);
                 put_bytes(&mut out, d.as_bytes());
@@ -233,6 +276,16 @@ mod tests {
         let snap = sample();
         let bytes = encode(&snap);
         assert_eq!(decode(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn encode_store_is_byte_identical_to_encode() {
+        let snap = sample();
+        let store = NodeStore::from_records(snap.records.clone());
+        let from_records = encode(&snap);
+        let from_store = encode_store(&store, &snap.tag_names, snap.num_tags, snap.digits);
+        assert_eq!(from_records, from_store);
+        assert_eq!(decode(&from_store).unwrap(), snap);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Provides the API subset this workspace's property tests use, with
+//! deterministic generation (seeded per test from the test's module
+//! path) and failure reporting of the generated inputs. Shrinking is
+//! intentionally not implemented: on failure the full failing inputs
+//! are printed instead.
+
+pub mod strategy;
+pub mod string_pattern;
+pub mod test_runner;
+
+/// Strategy namespace mirroring the real crate's `proptest::prop_oneof`
+/// sibling modules (`prop::collection`, `prop::option`, …).
+pub mod prop {
+    /// Collection strategies (`vec`, `btree_set`).
+    pub mod collection {
+        pub use crate::strategy::collection::{btree_set, vec, SizeRange};
+    }
+    /// `Option` strategies.
+    pub mod option {
+        pub use crate::strategy::option::of;
+    }
+    /// Boolean strategies.
+    pub mod bool {
+        pub use crate::strategy::bool_strategy::{BoolStrategy, ANY};
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::sample::select;
+    }
+}
+
+/// `any::<T>()` support: types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::bool_strategy::BoolStrategy;
+    fn arbitrary() -> Self::Strategy {
+        strategy::bool_strategy::BoolStrategy
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` and friends).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary};
+}
+
+/// The proptest harness macro: expands each `fn name(arg in strategy)`
+/// item into a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let cases = $crate::test_runner::resolve_cases(config.cases);
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let described = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {case} of {cases} failed: {err}\n  inputs: {inputs}",
+                            case = case,
+                            cases = cases,
+                            err = err,
+                            inputs = described
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Soft assertion: fails the current case (with the generated inputs
+/// reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Soft equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Soft inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}

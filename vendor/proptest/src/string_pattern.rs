@@ -1,0 +1,171 @@
+//! The `&str`-as-strategy pattern subset: a single character class with
+//! an optional repetition count — `[class]`, `[class]{m,n}`,
+//! `[class]{n}` — where `class` supports literals, `\`-escapes, `a-z`
+//! ranges and one `&&[^…]` subtraction term (the forms the workspace's
+//! property tests use). Anything else is rejected loudly so a silently
+//! wrong generator can't masquerade as coverage.
+
+use crate::test_runner::TestRng;
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let (chars, lo, hi) = parse(pattern)
+        .unwrap_or_else(|e| panic!("unsupported string pattern {pattern:?}: {e}"));
+    let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+    (0..n)
+        .map(|_| chars[rng.below(chars.len() as u64) as usize])
+        .collect()
+}
+
+/// Parse `pattern` into (alphabet, min len, max len).
+fn parse(pattern: &str) -> Result<(Vec<char>, usize, usize), String> {
+    let rest = pattern
+        .strip_prefix('[')
+        .ok_or_else(|| "expected a character class".to_string())?;
+    let (mut include, rest) = parse_class(rest)?;
+    let rest = match rest.strip_prefix("&&[") {
+        Some(sub) => {
+            let sub = sub
+                .strip_prefix('^')
+                .ok_or_else(|| "only negated `&&[^…]` subtraction is supported".to_string())?;
+            let (exclude, rest) = parse_class(sub)?;
+            include.retain(|c| !exclude.contains(c));
+            rest.strip_prefix(']')
+                .ok_or_else(|| "unterminated subtraction class".to_string())?
+        }
+        None => rest,
+    };
+    let rest = rest
+        .strip_prefix(']')
+        .ok_or_else(|| "unterminated character class".to_string())?;
+    if include.is_empty() {
+        return Err("empty character class".to_string());
+    }
+    let (lo, hi) = parse_count(rest)?;
+    Ok((include, lo, hi))
+}
+
+/// Parse class items up to (but not consuming) the closing `]` or a
+/// `&&` subtraction marker. Returns the alphabet and the unparsed rest.
+fn parse_class(body: &str) -> Result<(Vec<char>, &str), String> {
+    let mut chars: Vec<char> = Vec::new();
+    let mut iter = body.char_indices().peekable();
+    while let Some(&(at, c)) = iter.peek() {
+        match c {
+            ']' => return Ok((chars, &body[at..])),
+            '&' if body[at..].starts_with("&&") => return Ok((chars, &body[at..])),
+            _ => {}
+        }
+        iter.next();
+        let lit = if c == '\\' {
+            let (_, esc) = iter
+                .next()
+                .ok_or_else(|| "dangling escape".to_string())?;
+            esc
+        } else {
+            c
+        };
+        // Range `lit-X` unless the `-` is last-in-class (then literal).
+        let is_range = matches!(iter.peek(), Some(&(dash_at, '-'))
+            if !body[dash_at + 1..].starts_with(']') && !body[dash_at + 1..].is_empty());
+        if is_range {
+            iter.next(); // consume '-'
+            let (_, end) = iter
+                .next()
+                .ok_or_else(|| "dangling range".to_string())?;
+            let end = if end == '\\' {
+                iter.next().ok_or_else(|| "dangling escape".to_string())?.1
+            } else {
+                end
+            };
+            if (end as u32) < (lit as u32) {
+                return Err(format!("inverted range {lit:?}-{end:?}"));
+            }
+            for code in (lit as u32)..=(end as u32) {
+                if let Some(ch) = char::from_u32(code) {
+                    chars.push(ch);
+                }
+            }
+        } else {
+            chars.push(lit);
+        }
+    }
+    Err("unterminated character class".to_string())
+}
+
+/// Parse an optional `{n}` / `{m,n}` suffix; the default is one char.
+fn parse_count(rest: &str) -> Result<(usize, usize), String> {
+    if rest.is_empty() {
+        return Ok((1, 1));
+    }
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or_else(|| format!("unsupported pattern suffix {rest:?}"))?;
+    let parse_num =
+        |s: &str| s.trim().parse::<usize>().map_err(|_| format!("bad count {s:?}"));
+    match body.split_once(',') {
+        Some((lo, hi)) => {
+            let (lo, hi) = (parse_num(lo)?, parse_num(hi)?);
+            if lo > hi {
+                return Err("inverted count range".to_string());
+            }
+            Ok((lo, hi))
+        }
+        None => {
+            let n = parse_num(body)?;
+            Ok((n, n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn alphabet(pattern: &str) -> Vec<char> {
+        parse(pattern).unwrap().0
+    }
+
+    #[test]
+    fn simple_class() {
+        assert_eq!(alphabet("[xyz]"), ['x', 'y', 'z']);
+        assert_eq!(parse("[xyz]").unwrap().1..=parse("[xyz]").unwrap().2, 1..=1);
+    }
+
+    #[test]
+    fn ranges_and_counts() {
+        let (chars, lo, hi) = parse("[a-z]{1,4}").unwrap();
+        assert_eq!(chars.len(), 26);
+        assert_eq!((lo, hi), (1, 4));
+    }
+
+    #[test]
+    fn printable_ascii_with_subtraction() {
+        let (chars, lo, hi) = parse("[ -~&&[^<>&\"']]{0,12}").unwrap();
+        assert_eq!((lo, hi), (0, 12));
+        assert!(chars.contains(&'a') && chars.contains(&' '));
+        for banned in ['<', '>', '&', '"', '\''] {
+            assert!(!chars.contains(&banned), "{banned}");
+        }
+    }
+
+    #[test]
+    fn escapes_and_literal_dash() {
+        let chars = alphabet("[<>a-z/\"'= &;#!\\[\\]?-]");
+        for expected in ['<', '>', 'q', '/', '"', '\'', '=', ' ', '&', ';', '#', '!', '[', ']', '?', '-'] {
+            assert!(chars.contains(&expected), "{expected}");
+        }
+    }
+
+    #[test]
+    fn generates_within_bounds() {
+        let mut rng = TestRng::for_test("string_pattern");
+        for _ in 0..200 {
+            let s = generate("[a-c]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

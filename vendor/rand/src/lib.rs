@@ -1,0 +1,171 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Implements exactly the surface the workspace uses: a seedable,
+//! deterministic generator behind `rand::rngs::StdRng` with
+//! `Rng::gen_bool` and `Rng::gen_range`. The core generator is
+//! SplitMix64, which passes the statistical bar the synthetic data
+//! generators need (uniform, uncorrelated low/high bits).
+
+/// Sources of randomness: the subset of the real `RngCore` the
+/// workspace needs.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (the real crate's `SeedableRng`, reduced to
+/// the one constructor used here).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `gen_range` can sample uniformly. The blanket `SampleRange`
+/// impls below mirror the real crate's shape so integer-literal
+/// inference behaves identically (`b'A' + rng.gen_range(0..26)`
+/// resolves the literal to `u8`).
+pub trait SampleUniform: Copy {
+    /// Widen to `i128` (lossless for every integer type up to 64 bits).
+    fn to_i128(self) -> i128;
+    /// Narrow back; the value is guaranteed in range by construction.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            #[inline]
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range sampling support for `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+fn sample_closed<T: SampleUniform>(lo: i128, hi: i128, rng: &mut dyn RngCore) -> T {
+    assert!(lo <= hi, "gen_range: empty range");
+    let span = (hi - lo + 1) as u128;
+    let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+    T::from_i128(lo + (wide % span) as i128)
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        sample_closed(self.start.to_i128(), self.end.to_i128() - 1, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        sample_closed(self.start().to_i128(), self.end().to_i128(), rng)
+    }
+}
+
+/// The user-facing sampling trait.
+pub trait Rng: RngCore {
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // 53 uniform mantissa bits → [0, 1) double.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Uniform draw from an integer range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Generator namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for the real
+    /// `StdRng`; same trait surface, different stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100).all(|_| {
+            StdRng::seed_from_u64(42); // unrelated construction
+            a.gen_range(0u64..u64::MAX) == c.gen_range(0u64..u64::MAX)
+        });
+        assert!(!same, "different seeds must diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let v = rng.gen_range(3usize..=5);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+}
