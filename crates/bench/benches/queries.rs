@@ -1,7 +1,7 @@
 //! End-to-end query benchmarks mirroring the Fig. 13/14 groups: every
 //! Fig. 10 query × translator on both engines, Criterion-measured.
 
-use blas::{BlasDb, Engine, Translator};
+use blas::{BlasDb, Engine, EngineChoice, Translator};
 use blas_datagen::{query_set, DatasetId};
 use blas_xpath::parse;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -33,7 +33,12 @@ fn bench_dataset(c: &mut Criterion, ds: DatasetId) {
             ("pushup", Translator::PushUp),
         ] {
             g.bench_with_input(BenchmarkId::new(q.id, name), &t, |b, &t| {
-                b.iter(|| db.run(&stripped, t, Engine::Twig).unwrap().stats.result_count)
+                b.iter(|| {
+                    db.run(&stripped, EngineChoice::twig().with_translator(t))
+                        .unwrap()
+                        .stats
+                        .result_count
+                })
             });
         }
     }

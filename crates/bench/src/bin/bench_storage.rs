@@ -1,7 +1,10 @@
-//! Storage kernel suite: measures the columnar clustered-scan hot
-//! paths against the retained B+-tree reference implementation on
-//! Auction ×10 and writes `BENCH_storage.json` (median ns/op per
-//! kernel), establishing the perf trajectory for future PRs.
+//! Storage kernel + engine-level suite: measures the columnar
+//! clustered-scan hot paths against the retained B+-tree reference on
+//! Auction ×10, then the three engines (rdbms vs twig vs twigstack)
+//! on the Fig. 13/14 Auction queries — including a
+//! parallel-vs-sequential column for the sharded scan path — and
+//! writes everything to `BENCH_storage.json`, so both kernel *and*
+//! translator/engine regressions are caught.
 //!
 //! Kernels:
 //! * `plabel_range_scan` — a P-label range selection (suffix-path
@@ -10,11 +13,21 @@
 //! * `structural_join` — the stack-merge D-join kernel over two tag
 //!   streams, with reused vs per-call-allocated flag buffers.
 //!
+//! Engine-level (Push-up translator, the configuration every engine
+//! can run): per Fig. 10 auction query, trimmed-mean wall-clock on
+//! each engine plus the relational engine under 4-way sharded scans.
+//! The ≥1.5× parallel-speedup gate applies only on hosts that can
+//! actually run 4 workers (`available_parallelism ≥ 4`) at the
+//! acceptance scale (×10) — on a single-core host the honest number
+//! is recorded without being asserted.
+//!
 //! Usage: `cargo run --release --bin bench_storage [--scale N]`
 //! (default scale 10, the acceptance configuration).
 
-use blas::BlasDb;
+use blas::{BlasDb, Engine, EngineChoice, Translator};
+use blas_bench::bench_query;
 use blas_bench::arg_value;
+use blas_datagen::query_set;
 use blas_engine::stjoin::{structural_match, structural_match_into, JoinScratch};
 use blas_labeling::DLabel;
 use std::fmt::Write as _;
@@ -149,6 +162,73 @@ fn main() {
         elements_per_op: join_elems,
     });
 
+    // --- engine-level Fig. 13/14 numbers ------------------------------
+    // Push-up is the one translator every engine runs (the twig
+    // engines have no unions); the paper's Fig. 13/14 comparison of
+    // interest at the engine level is rdbms vs twig vs twigstack, and
+    // since the sharded-scan refactor, sequential vs parallel rdbms.
+    //
+    // The Fig. 10 auction queries are joined by two *range-scan-heavy*
+    // suffix paths (every listitem / keyword anywhere): at ×10 their
+    // SP range scans cover tens of thousands of tuples across ~a
+    // hundred runs, which is the workload the sharded scan path
+    // exists for (the Fig. 10 scans are mostly below the sharding
+    // threshold and run sequentially either way).
+    struct EngineRow {
+        id: &'static str,
+        kind: &'static str,
+        rdbms_ns: f64,
+        twig_ns: f64,
+        twigstack_ns: f64,
+        rdbms_par4_ns: f64,
+        parallel_speedup: f64,
+        elements: u64,
+    }
+    let pushup = |e: Engine| EngineChoice::auto().with_engine(e).with_translator(Translator::PushUp);
+    let mut queries: Vec<(&'static str, &'static str, &'static str)> = Vec::new();
+    for q in query_set(blas_datagen::DatasetId::Auction) {
+        queries.push((
+            q.id,
+            q.xpath,
+            match q.kind {
+                blas_datagen::QueryKind::SuffixPath => "suffix_path",
+                blas_datagen::QueryKind::Path => "path",
+                blas_datagen::QueryKind::Tree => "tree",
+            },
+        ));
+    }
+    queries.push(("QH1", "//listitem", "range_scan_heavy"));
+    queries.push(("QH2", "//text", "range_scan_heavy"));
+    let mut engine_rows: Vec<EngineRow> = Vec::new();
+    eprintln!("[bench_storage] engine-level queries (Fig. 13/14, Auction ×{scale})…");
+    for (id, xpath, kind) in queries {
+        // Warm every configuration once before measuring any of them,
+        // so the sequential-vs-parallel comparison is not biased by
+        // which run paged the columns in first.
+        for choice in [
+            pushup(Engine::Rdbms),
+            pushup(Engine::Twig),
+            pushup(Engine::TwigStack),
+            pushup(Engine::Rdbms).with_shards(4),
+        ] {
+            let _ = blas_bench::run_once(&db, xpath, choice);
+        }
+        let (rdbms, stats) = bench_query(&db, xpath, pushup(Engine::Rdbms));
+        let (twig, _) = bench_query(&db, xpath, pushup(Engine::Twig));
+        let (twigstack, _) = bench_query(&db, xpath, pushup(Engine::TwigStack));
+        let (par, _) = bench_query(&db, xpath, pushup(Engine::Rdbms).with_shards(4));
+        engine_rows.push(EngineRow {
+            id,
+            kind,
+            rdbms_ns: rdbms.as_nanos() as f64,
+            twig_ns: twig.as_nanos() as f64,
+            twigstack_ns: twigstack.as_nanos() as f64,
+            rdbms_par4_ns: par.as_nanos() as f64,
+            parallel_speedup: rdbms.as_nanos() as f64 / par.as_nanos() as f64,
+            elements: stats.elements_visited,
+        });
+    }
+
     // --- report -------------------------------------------------------
     println!(
         "{:<38} {:>14} {:>12} {:>10}",
@@ -179,12 +259,29 @@ fn main() {
     println!("  plabel_range_scan  {range_speedup:.2}x");
     println!("  tag_scan           {tag_speedup:.2}x");
 
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\nengine-level (Fig. 13/14, Push-up, Auction ×{scale}, {cores} core(s)):"
+    );
+    println!(
+        "{:<5} {:<12} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "query", "kind", "rdbms ns", "twig ns", "twigstack", "rdbms ∥4", "par ×"
+    );
+    for r in &engine_rows {
+        println!(
+            "{:<5} {:<12} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>8.2}x",
+            r.id, r.kind, r.rdbms_ns, r.twig_ns, r.twigstack_ns, r.rdbms_par4_ns,
+            r.parallel_speedup
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"dataset\": \"Auction\",");
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"nodes\": {},", store.len());
     let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
     json.push_str("  \"kernels\": {\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
@@ -192,6 +289,26 @@ fn main() {
             json,
             "    \"{}\": {{\"median_ns_per_op\": {:.0}, \"elements_per_op\": {}}}{}",
             r.name, r.median_ns, r.elements_per_op, comma
+        );
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"engine_queries\": {\n");
+    for (i, r) in engine_rows.iter().enumerate() {
+        let comma = if i + 1 == engine_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"kind\": \"{}\", \"elements_visited\": {}, \"rdbms_ns\": {:.0}, \
+             \"twig_ns\": {:.0}, \"twigstack_ns\": {:.0}, \"rdbms_parallel4_ns\": {:.0}, \
+             \"parallel_speedup\": {:.2}}}{}",
+            r.id,
+            r.kind,
+            r.elements,
+            r.rdbms_ns,
+            r.twig_ns,
+            r.twigstack_ns,
+            r.rdbms_par4_ns,
+            r.parallel_speedup,
+            comma
         );
     }
     json.push_str("  },\n");
@@ -207,4 +324,22 @@ fn main() {
         "columnar scan kernels must beat the B+-tree reference by >=2x \
          (got range {range_speedup:.2}x, tag {tag_speedup:.2}x)"
     );
+    // Parallel-speedup gate: the range-scan-heavy queries (tens of
+    // thousands of tuples across ~a hundred SP runs — the scans the
+    // sharded path exists for) must win ≥1.5× under 4-way sharding at
+    // the acceptance scale. Only meaningful where 4 workers can
+    // actually run in parallel; a 1-core host records the honest
+    // (≈1×) number unasserted.
+    if scale >= 10 && cores >= 4 {
+        let best = engine_rows
+            .iter()
+            .filter(|r| r.kind == "range_scan_heavy")
+            .map(|r| r.parallel_speedup)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best >= 1.5,
+            "4-way sharded scans must win >=1.5x on a range-scan-heavy query \
+             (best {best:.2}x)"
+        );
+    }
 }

@@ -6,34 +6,39 @@
 //! between D-labeling and the BLAS translators, and the ordering
 //! Split ≥ Push-up ≥ Unfold.
 
-use blas::Engine;
-use blas_bench::{bench_query, load_dataset, secs, RDBMS_TRANSLATORS};
+use blas::EngineChoice;
+use blas_bench::{arg_value, bench_query, load_dataset, secs, RDBMS_TRANSLATORS};
 use blas_datagen::{query_set, DatasetId};
 
 fn main() {
+    let scale = arg_value("--scale").unwrap_or(1);
     println!("Fig. 13 — RDBMS engine, query time in seconds (avg of 8/10 runs)\n");
     for ds in DatasetId::ALL {
-        let (db, _) = load_dataset(ds, 1);
+        let (db, _) = load_dataset(ds, scale);
         println!("({}) {}", ds.name().chars().next().unwrap().to_lowercase(), ds.name());
         println!(
-            "{:<5} {:>12} {:>12} {:>12} {:>12}   {:>10} {:>9}",
-            "query", "D-labeling", "Split", "Push Up", "Unfold", "elems(D)", "elems(U)"
+            "{:<5} {:>12} {:>12} {:>12} {:>12} {:>12}   {:>10} {:>9}",
+            "query", "D-labeling", "Split", "Push Up", "Unfold", "Unfold∥4", "elems(D)", "elems(U)"
         );
         for q in query_set(ds) {
             let mut times = Vec::new();
             let mut elems = Vec::new();
             for (_, t) in RDBMS_TRANSLATORS {
-                let (elapsed, stats) = bench_query(&db, q.xpath, t, Engine::Rdbms);
+                let (elapsed, stats) =
+                    bench_query(&db, q.xpath, EngineChoice::rdbms().with_translator(t));
                 times.push(elapsed);
                 elems.push(stats.elements_visited);
             }
+            // The same recommended plan with 4-way sharded scans.
+            let (par, _) = bench_query(&db, q.xpath, EngineChoice::parallel(4));
             println!(
-                "{:<5} {:>12} {:>12} {:>12} {:>12}   {:>10} {:>9}",
+                "{:<5} {:>12} {:>12} {:>12} {:>12} {:>12}   {:>10} {:>9}",
                 q.id,
                 secs(times[0]),
                 secs(times[1]),
                 secs(times[2]),
                 secs(times[3]),
+                secs(par),
                 elems[0],
                 elems[3]
             );

@@ -3,7 +3,7 @@
 //! the number of elements read. Value predicates are stripped (§5.3.1)
 //! and Unfold is excluded (no unions on the twig engine).
 
-use blas::Engine;
+use blas::EngineChoice;
 use blas_bench::{arg_value, bench_query, load_dataset, secs, TWIG_TRANSLATORS};
 use blas_datagen::{query_set, DatasetId};
 
@@ -20,7 +20,8 @@ fn main() {
             let mut times = Vec::new();
             let mut elems = Vec::new();
             for (_, t) in TWIG_TRANSLATORS {
-                let (elapsed, stats) = bench_query(&db, q.xpath, t, Engine::Twig);
+                let (elapsed, stats) =
+                    bench_query(&db, q.xpath, EngineChoice::twig().with_translator(t));
                 times.push(elapsed);
                 elems.push(stats.elements_visited / 1000);
             }

@@ -2,7 +2,7 @@
 //! the ×20 auction data (≈ the paper's 69.7 MB instance), holistic twig
 //! engine, times and elements read.
 
-use blas::Engine;
+use blas::EngineChoice;
 use blas_bench::{arg_value, bench_query, load_dataset, secs, TWIG_TRANSLATORS};
 use blas_datagen::{xmark_benchmark, DatasetId};
 
@@ -21,7 +21,8 @@ fn main() {
         let mut times = Vec::new();
         let mut elems = Vec::new();
         for (_, t) in TWIG_TRANSLATORS {
-            let (elapsed, stats) = bench_query(&db, q.xpath, t, Engine::Twig);
+            let (elapsed, stats) =
+                bench_query(&db, q.xpath, EngineChoice::twig().with_translator(t));
             times.push(elapsed);
             elems.push(stats.elements_visited / 1000);
         }

@@ -16,7 +16,7 @@
 //!
 //! Criterion micro/kernel benches live in `benches/`.
 
-use blas::{BlasDb, Engine, ExecStats, Translator};
+use blas::{BlasDb, Engine, EngineChoice, ExecStats, Translator};
 use blas_datagen::DatasetId;
 use blas_xpath::parse;
 use std::time::{Duration, Instant};
@@ -34,35 +34,26 @@ pub fn measure<F: FnMut() -> Duration>(mut f: F) -> Duration {
     trimmed.iter().sum::<Duration>() / trimmed.len() as u32
 }
 
-/// One timed query execution: returns wall-clock and the engine stats.
-pub fn run_once(
-    db: &BlasDb,
-    xpath: &str,
-    translator: Translator,
-    engine: Engine,
-) -> (Duration, ExecStats) {
+/// One timed query execution through the one-call API: returns
+/// wall-clock and the engine stats.
+pub fn run_once(db: &BlasDb, xpath: &str, choice: EngineChoice) -> (Duration, ExecStats) {
     let t0 = Instant::now();
-    let result = match engine {
+    let result = match choice.engine {
         // The twig engines run value-stripped queries (§5.3.1).
         Engine::Twig | Engine::TwigStack => {
             let q = parse(xpath).expect("query parses").without_value_predicates();
-            db.run(&q, translator, engine)
+            db.run(&q, choice)
         }
-        Engine::Rdbms => db.query_with(xpath, translator, engine),
+        Engine::Rdbms => db.query(xpath, choice),
     }
     .expect("query executes");
     (t0.elapsed(), result.stats)
 }
 
 /// Timed measurement following the paper's protocol.
-pub fn bench_query(
-    db: &BlasDb,
-    xpath: &str,
-    translator: Translator,
-    engine: Engine,
-) -> (Duration, ExecStats) {
-    let (_, stats) = run_once(db, xpath, translator, engine);
-    let elapsed = measure(|| run_once(db, xpath, translator, engine).0);
+pub fn bench_query(db: &BlasDb, xpath: &str, choice: EngineChoice) -> (Duration, ExecStats) {
+    let (_, stats) = run_once(db, xpath, choice);
+    let elapsed = measure(|| run_once(db, xpath, choice).0);
     (elapsed, stats)
 }
 
@@ -119,7 +110,8 @@ pub fn scalability_sweep(figure: &str, query_id: &str, xpath: &str, max_scale: u
         let mut times = Vec::new();
         let mut elems = Vec::new();
         for (_, t) in TWIG_TRANSLATORS {
-            let (elapsed, stats) = bench_query(&db, xpath, t, Engine::Twig);
+            let (elapsed, stats) =
+                bench_query(&db, xpath, EngineChoice::twig().with_translator(t));
             times.push(elapsed);
             elems.push(stats.elements_visited / 1000);
         }
@@ -174,7 +166,11 @@ mod tests {
             let xml = "<a><b><c>x</c></b></a>";
             (BlasDb::load(xml).unwrap(), xml.len())
         };
-        let (elapsed, stats) = bench_query(&db, "/a/b/c", Translator::PushUp, Engine::Rdbms);
+        let (elapsed, stats) = bench_query(
+            &db,
+            "/a/b/c",
+            EngineChoice::rdbms().with_translator(Translator::PushUp),
+        );
         assert_eq!(stats.result_count, 1);
         assert!(elapsed.as_nanos() > 0);
     }

@@ -9,7 +9,7 @@
 //! keep Unfold precise, while [`BlasCollection::merged_schema`] exposes
 //! the union schema for cross-corpus reasoning.
 
-use crate::db::{BlasDb, Engine, QueryResult, Translator};
+use crate::db::{BlasDb, Engine, EngineChoice, QueryResult, Translator};
 use crate::error::BlasError;
 use blas_xml::SchemaGraph;
 use blas_xpath::QueryTree;
@@ -76,41 +76,46 @@ impl BlasCollection {
             .map(|(i, db)| (DocId(i as u32), db))
     }
 
-    /// Run `xpath` over every member (default configuration), returning
-    /// per-document results. Documents where the query binds nothing
-    /// still appear, with empty results — callers often want the zeros.
-    pub fn query(&self, xpath: &str) -> Result<Vec<(DocId, QueryResult)>, BlasError> {
-        self.query_with(xpath, Translator::Auto, Engine::Rdbms)
+    /// Run `xpath` over every member under one [`EngineChoice`],
+    /// returning per-document results. Documents where the query binds
+    /// nothing still appear, with empty results — callers often want
+    /// the zeros.
+    pub fn query(
+        &self,
+        xpath: &str,
+        choice: EngineChoice,
+    ) -> Result<Vec<(DocId, QueryResult)>, BlasError> {
+        // Parse once; bind per document.
+        let query = blas_xpath::parse(xpath)?;
+        self.run(&query, choice)
     }
 
-    /// Run `xpath` over every member with explicit translator × engine.
+    /// Run `xpath` over every member with explicit translator × engine
+    /// (sequential scans).
     pub fn query_with(
         &self,
         xpath: &str,
         translator: Translator,
         engine: Engine,
     ) -> Result<Vec<(DocId, QueryResult)>, BlasError> {
-        // Parse once; bind per document.
-        let query = blas_xpath::parse(xpath)?;
-        self.run(&query, translator, engine)
+        self.query(xpath, EngineChoice { engine, translator, shards: 1 })
     }
 
     /// Run a parsed query over every member.
     pub fn run(
         &self,
         query: &QueryTree,
-        translator: Translator,
-        engine: Engine,
+        choice: EngineChoice,
     ) -> Result<Vec<(DocId, QueryResult)>, BlasError> {
         self.iter()
-            .map(|(id, db)| Ok((id, db.run(query, translator, engine)?)))
+            .map(|(id, db)| Ok((id, db.run(query, choice)?)))
             .collect()
     }
 
     /// Total matches of a query across the collection.
     pub fn count(&self, xpath: &str) -> Result<usize, BlasError> {
         Ok(self
-            .query(xpath)?
+            .query(xpath, EngineChoice::auto())?
             .iter()
             .map(|(_, r)| r.stats.result_count)
             .sum())
@@ -149,7 +154,7 @@ mod tests {
     #[test]
     fn query_fans_out_with_doc_ids() {
         let c = sample();
-        let results = c.query("/db/e/n").unwrap();
+        let results = c.query("/db/e/n", EngineChoice::auto()).unwrap();
         assert_eq!(results.len(), 3);
         let counts: Vec<usize> = results.iter().map(|(_, r)| r.stats.result_count).collect();
         assert_eq!(counts, [2, 1, 0]);
@@ -164,7 +169,7 @@ mod tests {
         let a = c.doc(DocId(0)).domain().m();
         let b = c.doc(DocId(2)).domain().m();
         assert_ne!(a, b, "domains sized per document");
-        for (_, r) in c.query("//n='cyt'").unwrap() {
+        for (_, r) in c.query("//n='cyt'", EngineChoice::auto()).unwrap() {
             for t in c.dbs[0].texts(&r).into_iter().flatten() {
                 assert_eq!(t, "cyt");
             }

@@ -2,7 +2,7 @@
 //! engine behind one API (the architecture of Fig. 6).
 
 use crate::error::BlasError;
-use blas_engine::{rdbms, twigstack, ExecStats, TwigQuery};
+use blas_engine::{exec, lower_plan, lower_twig, lower_twigstack, ExecConfig, ExecStats, TwigQuery};
 use blas_labeling::{label_document, DLabel, DocumentLabels, PLabelDomain};
 use blas_storage::{NodeStore, RecordView};
 use blas_translate::{
@@ -42,6 +42,89 @@ pub enum Engine {
     TwigStack,
 }
 
+/// The one-call execution configuration: engine × translator × scan
+/// parallelism. [`BlasDb::query`] takes an `EngineChoice` and runs the
+/// whole pipeline — parse → decompose → bind → lower → execute — in
+/// one call.
+///
+/// ```
+/// use blas::{BlasDb, EngineChoice};
+///
+/// let db = BlasDb::load("<db><e><n>x</n></e></db>").unwrap();
+/// // The paper's recommended configuration:
+/// let r = db.query("/db/e/n", EngineChoice::auto()).unwrap();
+/// // Explicit engine, four-way sharded parallel scans:
+/// let p = db.query("/db/e/n", EngineChoice::parallel(4)).unwrap();
+/// assert_eq!(r.nodes, p.nodes);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineChoice {
+    /// Execution engine (§5).
+    pub engine: Engine,
+    /// Translation algorithm (§4.1).
+    pub translator: Translator,
+    /// Worker count for sharded parallel scans; `1` = sequential.
+    pub shards: usize,
+}
+
+impl Default for EngineChoice {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl EngineChoice {
+    /// The paper's §7 recommendation: Unfold on the relational engine
+    /// (Push-up when a twig engine is selected), sequential scans.
+    pub const fn auto() -> Self {
+        Self { engine: Engine::Rdbms, translator: Translator::Auto, shards: 1 }
+    }
+
+    /// The relational engine (§5.2) with the recommended translator.
+    pub const fn rdbms() -> Self {
+        Self { engine: Engine::Rdbms, ..Self::auto() }
+    }
+
+    /// The holistic twig semi-join engine (§5.3) with the recommended
+    /// translator (Push-up — the twig engines run no unions).
+    pub const fn twig() -> Self {
+        Self { engine: Engine::Twig, ..Self::auto() }
+    }
+
+    /// The literal TwigStack engine with the recommended translator.
+    pub const fn twigstack() -> Self {
+        Self { engine: Engine::TwigStack, ..Self::auto() }
+    }
+
+    /// The relational engine with clustered scans sharded across
+    /// `shards` worker threads (small scans stay sequential).
+    pub const fn parallel(shards: usize) -> Self {
+        Self { shards, ..Self::auto() }
+    }
+
+    /// Override the translator.
+    pub const fn with_translator(mut self, translator: Translator) -> Self {
+        self.translator = translator;
+        self
+    }
+
+    /// Override the engine.
+    pub const fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Override the scan shard count (`1` = sequential).
+    pub const fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig::sharded(self.shards)
+    }
+}
+
 /// Query output: matched nodes (as D-labels, in document order) plus
 /// execution statistics.
 #[derive(Debug, Clone)]
@@ -76,41 +159,40 @@ impl BlasDb {
         Ok(Self { doc, labels, store, schema })
     }
 
-    /// Run `xpath` with the paper's recommended configuration
-    /// (Unfold on the relational engine).
-    pub fn query(&self, xpath: &str) -> Result<QueryResult, BlasError> {
-        self.query_with(xpath, Translator::Auto, Engine::Rdbms)
+    /// Run `xpath` in one call under an [`EngineChoice`]: parse →
+    /// decompose (translate) → bind → lower → execute. This is the
+    /// whole pipeline of Fig. 6 behind a single method;
+    /// `EngineChoice::auto()` is the paper's recommended
+    /// configuration (Unfold on the relational engine).
+    pub fn query(&self, xpath: &str, choice: EngineChoice) -> Result<QueryResult, BlasError> {
+        let query = blas_xpath::parse(xpath)?;
+        self.run(&query, choice)
     }
 
-    /// Run `xpath` with an explicit translator × engine choice.
+    /// Run `xpath` with an explicit translator × engine choice
+    /// (sequential scans). Equivalent to [`BlasDb::query`] with a
+    /// hand-built [`EngineChoice`].
     pub fn query_with(
         &self,
         xpath: &str,
         translator: Translator,
         engine: Engine,
     ) -> Result<QueryResult, BlasError> {
-        let query = blas_xpath::parse(xpath)?;
-        self.run(&query, translator, engine)
+        self.query(xpath, EngineChoice { engine, translator, shards: 1 })
     }
 
-    /// Run an already parsed query tree.
-    pub fn run(
-        &self,
-        query: &QueryTree,
-        translator: Translator,
-        engine: Engine,
-    ) -> Result<QueryResult, BlasError> {
-        let plan = self.translate(query, translator, engine)?;
+    /// Run an already parsed query tree: decompose → bind → lower →
+    /// execute on the shared physical-plan executor.
+    pub fn run(&self, query: &QueryTree, choice: EngineChoice) -> Result<QueryResult, BlasError> {
+        let plan = self.translate(query, choice.translator, choice.engine)?;
         let bound = bind(&plan, self.doc.tags(), &self.labels.domain);
-        let mut stats = ExecStats::default();
-        let nodes = match engine {
-            Engine::Rdbms => rdbms::execute_plan(&bound, &self.store, &mut stats),
-            Engine::Twig => TwigQuery::from_plan(&bound)?.execute(&self.store, &mut stats),
-            Engine::TwigStack => {
-                let twig = TwigQuery::from_plan(&bound)?;
-                twigstack::execute_twigstack(&twig, &self.store, &mut stats)
-            }
+        let phys = match choice.engine {
+            Engine::Rdbms => lower_plan(&bound),
+            Engine::Twig => lower_twig(&TwigQuery::from_plan(&bound)?),
+            Engine::TwigStack => lower_twigstack(&TwigQuery::from_plan(&bound)?),
         };
+        let mut stats = ExecStats::default();
+        let nodes = exec::execute(&phys, &self.store, &choice.exec_config(), &mut stats);
         Ok(QueryResult { nodes, stats })
     }
 
@@ -293,7 +375,7 @@ mod tests {
     #[test]
     fn load_and_query_defaults() {
         let db = BlasDb::load(SAMPLE).unwrap();
-        let result = db.query("/db/e/p/n").unwrap();
+        let result = db.query("/db/e/p/n", EngineChoice::auto()).unwrap();
         assert_eq!(result.nodes.len(), 2);
         assert_eq!(
             db.texts(&result),
@@ -305,7 +387,7 @@ mod tests {
     #[test]
     fn all_translator_engine_combinations_agree() {
         let db = BlasDb::load(SAMPLE).unwrap();
-        let expected = db.query("/db/e[r/y='2001']/p/n").unwrap().nodes;
+        let expected = db.query("/db/e[r/y='2001']/p/n", EngineChoice::auto()).unwrap().nodes;
         assert_eq!(expected.len(), 1);
         for t in [Translator::DLabeling, Translator::Split, Translator::PushUp, Translator::Unfold, Translator::Auto] {
             for e in [Engine::Rdbms, Engine::Twig, Engine::TwigStack] {
@@ -349,7 +431,7 @@ mod tests {
     fn bad_inputs_error() {
         assert!(matches!(BlasDb::load("<a><b></a>"), Err(BlasError::Parse(_))));
         let db = BlasDb::load(SAMPLE).unwrap();
-        assert!(matches!(db.query("e/p"), Err(BlasError::XPath(_))));
+        assert!(matches!(db.query("e/p", EngineChoice::auto()), Err(BlasError::XPath(_))));
         // Spacer wildcards now translate under Split (paper extension);
         // descendant-axis wildcards still need Unfold.
         assert_eq!(
@@ -370,9 +452,32 @@ mod tests {
     }
 
     #[test]
+    fn engine_choices_agree_including_parallel() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        let q = "/db/e[r/y]/p/n";
+        let expected = db.query(q, EngineChoice::auto()).unwrap();
+        for choice in [
+            EngineChoice::rdbms(),
+            EngineChoice::twig(),
+            EngineChoice::twigstack(),
+            EngineChoice::parallel(4),
+            EngineChoice::twig().with_shards(3),
+            EngineChoice::rdbms().with_translator(Translator::DLabeling),
+        ] {
+            let got = db.query(q, choice).unwrap();
+            assert_eq!(got.nodes, expected.nodes, "{choice:?}");
+        }
+        // Parallel and sequential agree on the stats counters too.
+        let seq = db.query(q, EngineChoice::rdbms()).unwrap().stats;
+        let par = db.query(q, EngineChoice::parallel(4)).unwrap().stats;
+        assert_eq!(seq.elements_visited, par.elements_visited);
+        assert_eq!(seq.d_joins, par.d_joins);
+    }
+
+    #[test]
     fn query_result_round_trips_to_records() {
         let db = BlasDb::load(SAMPLE).unwrap();
-        let result = db.query("//y").unwrap();
+        let result = db.query("//y", EngineChoice::auto()).unwrap();
         let records = db.records(&result);
         assert_eq!(records.len(), 2);
         assert!(records.iter().all(|r| db.document().tags().name(r.tag) == "y"));

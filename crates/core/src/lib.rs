@@ -11,18 +11,25 @@
 //!
 //! ## Quick start
 //!
+//! One call runs the whole pipeline — parse → decompose → bind →
+//! lower → execute on the shared physical-plan executor:
+//!
 //! ```
-//! use blas::{BlasDb, Translator, Engine};
+//! use blas::{BlasDb, EngineChoice, Translator};
 //!
 //! let db = BlasDb::load("<db><e><n>cytochrome c</n></e><e><n>hb</n></e></db>").unwrap();
-//! let result = db.query("/db/e/n").unwrap();
+//! let result = db.query("/db/e/n", EngineChoice::auto()).unwrap();
 //! assert_eq!(result.nodes.len(), 2);
 //! assert_eq!(db.texts(&result)[0].as_deref(), Some("cytochrome c"));
 //!
-//! // Compare translators / engines explicitly:
-//! let baseline = db.query_with("/db/e/n", Translator::DLabeling, Engine::Rdbms).unwrap();
+//! // Explicit engine / translator / scan-parallelism configurations:
+//! let baseline = db
+//!     .query("/db/e/n", EngineChoice::rdbms().with_translator(Translator::DLabeling))
+//!     .unwrap();
 //! assert_eq!(baseline.nodes, result.nodes);
 //! assert!(baseline.stats.d_joins > result.stats.d_joins);
+//! let sharded = db.query("/db/e/n", EngineChoice::parallel(4)).unwrap();
+//! assert_eq!(sharded.nodes, result.nodes);
 //! ```
 
 mod collection;
@@ -30,8 +37,12 @@ mod db;
 mod error;
 
 pub use collection::{BlasCollection, DocId};
-pub use db::{BlasDb, Engine, QueryResult, Translator};
+pub use db::{BlasDb, Engine, EngineChoice, QueryResult, Translator};
 pub use error::BlasError;
+
+// Re-export the executor configuration for callers that drive the
+// engine crates directly.
+pub use blas_engine::ExecConfig;
 
 // Re-export the building blocks for advanced use.
 pub use blas_engine::{ExecStats, TwigQuery};

@@ -1,0 +1,516 @@
+//! The shared physical-plan executor with sharded parallel scans.
+//!
+//! One loop executes any [`PhysPlan`] (see [`crate::physical`] for the
+//! operator ↔ paper-section map): operators run in arena order, each
+//! result parks in its slot until its last consumer has read it, and
+//! buffers recycle through the pooled [`ExecBuffers`] exactly as the
+//! old per-engine loops did. All three engines — relational, holistic
+//! twig, TwigStack — funnel through [`execute_with`]; they differ only
+//! in how they *lower* (and, for TwigStack, in the one holistic
+//! operator they configure).
+//!
+//! # Sharded scans
+//!
+//! With [`ExecConfig::shards`] > 1, every [`PhysOp::ClusteredScan`]
+//! large enough to be worth it fans out across scoped worker threads
+//! (spawned per scan — `shards − 1` spawns, the coordinating thread
+//! takes the first shard; a persistent pool reused across scans is a
+//! ROADMAP item):
+//!
+//! 1. storage partitions the scan's clustered runs into balanced
+//!    groups of zero-copy pieces (`blas_storage::shard_runs`,
+//!    splitting oversized runs);
+//! 2. each worker filters its pieces into a private buffer, restores
+//!    start order among *its own* pieces with the ping-pong segment
+//!    merge of [`crate::stjoin`], and tallies tuples into a private
+//!    per-shard [`ExecStats`] accumulator — no shared counters, so no
+//!    double-count risk;
+//! 3. the coordinating thread merges the per-shard accumulators
+//!    **once**, asserts every tuple was counted exactly once, and
+//!    restores global start order across shard outputs with one final
+//!    segment merge (coalescing shard boundaries that are already
+//!    ordered, the common case for single-run scans).
+//!
+//! Because starts are unique within a document, the sharded path is
+//! byte-identical to the sequential one — same labels, same order,
+//! same `elements_visited` — which the equivalence property suite
+//! checks at 2, 4 and 7 shards. `shards == 1` (the default) takes the
+//! zero-copy sequential path untouched.
+
+use crate::physical::{PhysOp, PhysPlan};
+use crate::stats::ExecStats;
+use crate::stjoin::{filter_flagged_into, merge_segments, structural_match_into, MergeScratch};
+use crate::stream::{filter_run, materialize, ExecBuffers, Filter, Labels};
+use crate::twigstack;
+use blas_labeling::DLabel;
+use blas_storage::{NodeStore, Run};
+use blas_translate::{BoundSource, Side};
+use std::time::Instant;
+
+/// Tuples a shard must at least receive before a scan is parallelized;
+/// below `2 ×` this, thread fan-out costs more than it saves.
+pub const DEFAULT_MIN_SHARD_ELEMS: usize = 4096;
+
+/// Executor configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker count for sharded scans. `1` (the default) executes
+    /// every operator sequentially on the calling thread.
+    pub shards: usize,
+    /// Minimum tuples per shard before a scan fans out; tests force
+    /// the parallel path on tiny stores by setting this to 1.
+    pub min_shard_elems: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self { shards: 1, min_shard_elems: DEFAULT_MIN_SHARD_ELEMS }
+    }
+}
+
+impl ExecConfig {
+    /// Sequential execution (the default).
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// Sharded scans across `shards` workers.
+    pub fn sharded(shards: usize) -> Self {
+        Self { shards: shards.max(1), ..Self::default() }
+    }
+}
+
+/// Execute a physical plan, returning the root's output (start-sorted,
+/// owned) and filling `stats` (counters, `result_count`, `elapsed`).
+pub fn execute(
+    plan: &PhysPlan,
+    store: &NodeStore,
+    config: &ExecConfig,
+    stats: &mut ExecStats,
+) -> Vec<DLabel> {
+    let mut bufs = ExecBuffers::default();
+    execute_with(plan, store, config, stats, &mut bufs)
+}
+
+/// Like [`execute`], reusing caller-held scratch buffers across
+/// executions (batch drivers, benches).
+pub fn execute_with(
+    plan: &PhysPlan,
+    store: &NodeStore,
+    config: &ExecConfig,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Vec<DLabel> {
+    let t0 = Instant::now();
+    let n = plan.ops().len();
+    // Remaining-consumer counts: a slot recycles the moment its last
+    // consumer has read it (+1 on the root so it survives the loop).
+    let mut uses = vec![0usize; n];
+    for op in plan.ops() {
+        op.for_each_input(|i| uses[i] += 1);
+    }
+    uses[plan.root()] += 1;
+    let mut results: Vec<Option<Labels<'_>>> = (0..n).map(|_| None).collect();
+    for id in 0..n {
+        let out = exec_op(plan.op(id), &mut results, &mut uses, store, config, stats, bufs);
+        results[id] = Some(out);
+        plan.op(id).for_each_input(|i| release(&mut results, &mut uses, i, bufs));
+    }
+    let result = results[plan.root()]
+        .take()
+        .expect("root result present")
+        .into_vec(bufs);
+    for r in results.into_iter().flatten() {
+        bufs.recycle(r);
+    }
+    stats.result_count = result.len();
+    stats.elapsed = t0.elapsed();
+    result
+}
+
+fn release<'a>(
+    results: &mut [Option<Labels<'a>>],
+    uses: &mut [usize],
+    id: usize,
+    bufs: &mut ExecBuffers,
+) {
+    uses[id] = uses[id].saturating_sub(1);
+    if uses[id] == 0 {
+        if let Some(l) = results[id].take() {
+            bufs.recycle(l);
+        }
+    }
+}
+
+/// The parked result of an earlier operator.
+fn input<'s, 'a>(results: &'s [Option<Labels<'a>>], id: usize) -> &'s [DLabel] {
+    results[id].as_ref().expect("inputs precede consumers")
+}
+
+fn exec_op<'a>(
+    op: &PhysOp,
+    results: &mut [Option<Labels<'a>>],
+    uses: &mut [usize],
+    store: &'a NodeStore,
+    config: &ExecConfig,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Labels<'a> {
+    match op {
+        PhysOp::ClusteredScan { source, value_eq, level_eq } => {
+            scan_clustered(source, value_eq.as_deref(), *level_eq, store, config, stats, bufs)
+        }
+        PhysOp::ValueFilter { input: inp, value_eq, level_eq } => {
+            // Scans carry their value filters fused (pushdown), so this
+            // operator usually sees only a level predicate; a value
+            // predicate over a non-scan stream resolves each label's
+            // PCDATA through its start rank.
+            let mut out = bufs.take();
+            let want = value_eq.as_deref();
+            out.extend(input(results, *inp).iter().filter(|l| {
+                let level_ok = level_eq.is_none_or(|k| l.level == k);
+                let value_ok = want.is_none_or(|v| {
+                    store
+                        .row_of_start(l.start)
+                        .and_then(|row| store.record(row).data)
+                        == Some(v)
+                });
+                level_ok && value_ok
+            }));
+            Labels::Owned(out)
+        }
+        PhysOp::StructuralJoin { anc, desc, level_diff, keep, tally } => {
+            let a = input(results, *anc);
+            let d = input(results, *desc);
+            if *tally {
+                stats.d_joins += 1;
+                stats.join_input_tuples += (a.len() + d.len()) as u64;
+            }
+            structural_match_into(a, d, *level_diff, &mut bufs.join);
+            let mut out = bufs.take();
+            match keep {
+                Side::Anc => filter_flagged_into(a, &bufs.join.anc, &mut out),
+                Side::Desc => filter_flagged_into(d, &bufs.join.desc, &mut out),
+            }
+            Labels::Owned(out)
+        }
+        PhysOp::Union { inputs } => {
+            // K-way merge of start-sorted lists, dropping duplicates
+            // (same start ⇒ same node).
+            let mut all = bufs.take();
+            for &i in inputs {
+                all.extend_from_slice(input(results, i));
+            }
+            all.sort_unstable_by_key(|l| l.start);
+            all.dedup_by_key(|l| l.start);
+            Labels::Owned(all)
+        }
+        PhysOp::TwigStackMatch { streams, pattern } => {
+            let stream_slices: Vec<&[DLabel]> =
+                streams.iter().map(|&s| input(results, s)).collect();
+            Labels::Owned(twigstack::run_match(pattern, &stream_slices, stats))
+        }
+        PhysOp::Materialize { input: inp } => {
+            // Move the input when this is its last consumer; copy when
+            // it is shared.
+            if uses[*inp] == 1 {
+                let l = results[*inp].take().expect("input present");
+                Labels::Owned(l.into_vec(bufs))
+            } else {
+                let mut v = bufs.take();
+                v.extend_from_slice(input(results, *inp));
+                Labels::Owned(v)
+            }
+        }
+    }
+}
+
+/// The clustered-scan operator: sequential (zero-copy where possible)
+/// by default, sharded across scoped worker threads when the
+/// configuration asks for it and the scan is large enough to pay.
+fn scan_clustered<'a>(
+    source: &BoundSource,
+    value_eq: Option<&str>,
+    level_eq: Option<u16>,
+    store: &'a NodeStore,
+    config: &ExecConfig,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Labels<'a> {
+    if config.shards > 1 {
+        if let Some(out) = scan_sharded(source, value_eq, level_eq, store, config, stats, bufs) {
+            return out;
+        }
+    }
+    materialize(source, value_eq, level_eq, store, stats, bufs)
+}
+
+/// Parallel scan path; `None` when the scan is too small to shard (the
+/// caller falls back to the sequential path).
+fn scan_sharded<'a>(
+    source: &BoundSource,
+    value_eq: Option<&str>,
+    level_eq: Option<u16>,
+    store: &'a NodeStore,
+    config: &ExecConfig,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Option<Labels<'a>> {
+    // Storage owns shard-aware run iteration: one balanced group of
+    // zero-copy run pieces per prospective worker.
+    let groups: Vec<Vec<Run<'a>>> = match source {
+        BoundSource::PLabelEq(p) => store.shard_plabel_eq(*p, config.shards),
+        BoundSource::Tag(t) => store.shard_tag(*t, config.shards),
+        BoundSource::All => store.shard_doc(config.shards),
+        BoundSource::PLabelRange(p1, p2) => store.shard_plabel_range(*p1, *p2, config.shards),
+        BoundSource::Empty => return Some(Labels::Borrowed(&[])),
+    };
+    let total: usize = groups.iter().flatten().map(Run::len).sum();
+    // Respect the per-shard minimum by coalescing adjacent groups
+    // (each group holds consecutive pieces, so merging neighbours
+    // keeps the partition order-preserving and balanced).
+    let desired = config.shards.min(total / config.min_shard_elems.max(1));
+    if desired < 2 || groups.len() < 2 {
+        return None;
+    }
+    let groups = coalesce_groups(groups, desired);
+    let filter = Filter::resolve(value_eq, level_eq, store);
+
+    // Fan out: the spawned workers take groups 1…, the coordinating
+    // thread scans group 0 itself. Each worker owns its output buffer
+    // and its ExecStats accumulator.
+    let mut shard_out: Vec<(Vec<DLabel>, ExecStats)> = Vec::with_capacity(groups.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups[1..]
+            .iter()
+            .map(|g| scope.spawn(move || scan_shard(g, filter)))
+            .collect();
+        shard_out.push(scan_shard(&groups[0], filter));
+        for h in handles {
+            shard_out.push(h.join().expect("shard worker panicked"));
+        }
+    });
+
+    // Merge the per-shard accumulators exactly once, and check that
+    // the partition counted every tuple of the scan exactly once.
+    let mut shard_total = ExecStats::default();
+    for (_, s) in &shard_out {
+        shard_total.absorb(s);
+    }
+    debug_assert_eq!(
+        shard_total.elements_visited, total as u64,
+        "sharded scan must count each tuple exactly once"
+    );
+    stats.absorb(&shard_total);
+
+    // Restore global start order: per-shard outputs are already
+    // sorted, so they form segments for one final ping-pong merge.
+    // Consecutive shards that are already ordered (single-run scans
+    // split into consecutive pieces) coalesce into one segment, making
+    // the merge a no-op for that common case.
+    let mut out = bufs.take();
+    bufs.merge.bounds.clear();
+    for (shard, _) in &shard_out {
+        if shard.is_empty() {
+            continue;
+        }
+        let ordered = out.last().is_none_or(|l| l.start <= shard[0].start);
+        out.extend_from_slice(shard);
+        match bufs.merge.bounds.last_mut() {
+            Some(b) if ordered => *b = out.len(),
+            _ => bufs.merge.bounds.push(out.len()),
+        }
+    }
+    merge_segments(&mut out, &mut bufs.merge);
+    Some(Labels::Owned(out))
+}
+
+/// Merge adjacent shard groups until at most `desired` remain (the
+/// per-shard minimum asked for fewer workers than storage prepared).
+fn coalesce_groups<'a>(groups: Vec<Vec<Run<'a>>>, desired: usize) -> Vec<Vec<Run<'a>>> {
+    if groups.len() <= desired {
+        return groups;
+    }
+    let per_bucket = groups.len().div_ceil(desired);
+    let mut out: Vec<Vec<Run<'a>>> = Vec::with_capacity(desired);
+    for (i, group) in groups.into_iter().enumerate() {
+        if i % per_bucket == 0 {
+            out.push(group);
+        } else {
+            out.last_mut().expect("bucket opened").extend(group);
+        }
+    }
+    out
+}
+
+/// One worker's share of a sharded scan: filter its run pieces and
+/// restore start order among them, tallying into a private
+/// accumulator.
+fn scan_shard(runs: &[Run<'_>], filter: Filter) -> (Vec<DLabel>, ExecStats) {
+    let mut stats = ExecStats::default();
+    let mut out = Vec::new();
+    let mut scratch = MergeScratch::default();
+    for run in runs {
+        stats.elements_visited += run.len() as u64;
+        let before = out.len();
+        filter_run(*run, filter, &mut out);
+        if out.len() > before {
+            scratch.bounds.push(out.len());
+        }
+    }
+    merge_segments(&mut out, &mut scratch);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{lower_plan, lower_twig, lower_twigstack};
+    use crate::twig::TwigQuery;
+    use blas_labeling::label_document;
+    use blas_translate::{bind, translate_pushup, translate_split, BoundPlan};
+    use blas_xml::Document;
+    use blas_xpath::parse;
+
+    const SAMPLE: &str = concat!(
+        "<db>",
+        "<e><p><c><s>cyt</s></c></p><r><f><a>Evans</a><y>2001</y><t>T1</t></f></r></e>",
+        "<e><p><c><s>hb</s></c></p><r><f><a>Smith</a><y>1999</y><t>T2</t></f></r></e>",
+        "<e><p><c><s>cyt</s></c></p><r><f><a>Evans</a><y>1999</y><t>T3</t></f></r></e>",
+        "</db>"
+    );
+
+    fn fixture(src: &str) -> (Document, NodeStore, blas_labeling::PLabelDomain) {
+        let doc = Document::parse(src).unwrap();
+        let labels = label_document(&doc).unwrap();
+        let store = NodeStore::build(&doc, &labels);
+        (doc, store, labels.domain)
+    }
+
+    fn bound(doc: &Document, dom: &blas_labeling::PLabelDomain, xpath: &str) -> BoundPlan {
+        let q = parse(xpath).unwrap();
+        bind(&translate_pushup(&q).unwrap(), doc.tags(), dom)
+    }
+
+    fn forced_parallel(shards: usize) -> ExecConfig {
+        ExecConfig { shards, min_shard_elems: 1 }
+    }
+
+    #[test]
+    fn sharded_scan_equals_sequential_scan() {
+        let (doc, store, dom) = fixture(SAMPLE);
+        for xpath in ["/db/e/r/f/t", "//f", "/db/e[p//s='cyt']/r/f[y='2001']/t", "//s='cyt'"] {
+            let b = bound(&doc, &dom, xpath);
+            let plan = lower_plan(&b);
+            let mut seq_stats = ExecStats::default();
+            let seq = execute(&plan, &store, &ExecConfig::default(), &mut seq_stats);
+            for shards in [2, 3, 7] {
+                let mut par_stats = ExecStats::default();
+                let par = execute(&plan, &store, &forced_parallel(shards), &mut par_stats);
+                assert_eq!(par, seq, "{xpath} @ {shards}");
+                assert_eq!(
+                    par_stats.elements_visited, seq_stats.elements_visited,
+                    "{xpath} @ {shards}"
+                );
+                assert_eq!(par_stats.d_joins, seq_stats.d_joins);
+                assert_eq!(par_stats.join_input_tuples, seq_stats.join_input_tuples);
+            }
+        }
+    }
+
+    #[test]
+    fn all_lowerings_agree_on_one_executor() {
+        let (doc, store, dom) = fixture(SAMPLE);
+        let b = bound(&doc, &dom, "/db/e[p/c/s]/r/f/t");
+        let twig = TwigQuery::from_plan(&b).unwrap();
+        let mut s1 = ExecStats::default();
+        let rdbms = execute(&lower_plan(&b), &store, &ExecConfig::default(), &mut s1);
+        let mut s2 = ExecStats::default();
+        let semi = execute(&lower_twig(&twig), &store, &ExecConfig::default(), &mut s2);
+        let mut s3 = ExecStats::default();
+        let holistic = execute(&lower_twigstack(&twig), &store, &ExecConfig::default(), &mut s3);
+        assert_eq!(rdbms, semi);
+        assert_eq!(rdbms, holistic);
+        assert_eq!(s2.elements_visited, s3.elements_visited);
+    }
+
+    #[test]
+    fn small_scans_fall_back_to_sequential() {
+        let (doc, store, dom) = fixture(SAMPLE);
+        let b = bound(&doc, &dom, "//f");
+        let plan = lower_plan(&b);
+        let mut stats = ExecStats::default();
+        // Default min_shard_elems (4096) far exceeds this store's size,
+        // so the parallel config must silently take the sequential path.
+        let out = execute(&plan, &store, &ExecConfig::sharded(4), &mut stats);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn standalone_value_filter_executes_over_shared_scan() {
+        use crate::physical::PhysOp;
+        use blas_translate::BoundSource;
+        // Hand-build the DAG pushdown refuses to fuse: one scan feeding
+        // both a ValueFilter and a join, so the filter runs standalone.
+        let (_, store, _) = fixture(SAMPLE);
+        let ops = vec![
+            PhysOp::ClusteredScan {
+                source: BoundSource::All,
+                value_eq: None,
+                level_eq: None,
+            },
+            PhysOp::ValueFilter { input: 0, value_eq: Some("cyt".into()), level_eq: None },
+            PhysOp::StructuralJoin {
+                anc: 0,
+                desc: 1,
+                level_diff: None,
+                keep: blas_translate::Side::Desc,
+                tally: true,
+            },
+            PhysOp::Materialize { input: 2 },
+        ];
+        let plan = plan_from(ops, 3);
+        let mut stats = ExecStats::default();
+        let out = execute(&plan, &store, &ExecConfig::default(), &mut stats);
+        assert_eq!(out.len(), 2, "two s-nodes carry 'cyt'");
+        // Level-only standalone filter.
+        let ops = vec![
+            PhysOp::ClusteredScan {
+                source: BoundSource::All,
+                value_eq: None,
+                level_eq: None,
+            },
+            PhysOp::ValueFilter { input: 0, value_eq: None, level_eq: Some(1) },
+            PhysOp::StructuralJoin {
+                anc: 0,
+                desc: 1,
+                level_diff: None,
+                keep: blas_translate::Side::Desc,
+                tally: false,
+            },
+            PhysOp::Materialize { input: 2 },
+        ];
+        let plan = plan_from(ops, 3);
+        let mut stats = ExecStats::default();
+        let out = execute(&plan, &store, &ExecConfig::default(), &mut stats);
+        assert!(out.is_empty(), "the root has no ancestor to join with");
+    }
+
+    fn plan_from(ops: Vec<crate::physical::PhysOp>, root: usize) -> crate::physical::PhysPlan {
+        // Round-trip through pushdown to obtain a PhysPlan (its fields
+        // are private); these DAGs are already fusion-free.
+        crate::physical::plan_for_tests(ops, root)
+    }
+
+    #[test]
+    fn sharded_union_plan_stays_duplicate_free() {
+        let (doc, store, dom) = fixture(SAMPLE);
+        let q = parse("//s").unwrap();
+        let b = bind(&translate_split(&q).unwrap(), doc.tags(), &dom);
+        let plan = lower_plan(&b);
+        let mut stats = ExecStats::default();
+        let out = execute(&plan, &store, &forced_parallel(4), &mut stats);
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0].start < w[1].start));
+    }
+}

@@ -1,18 +1,30 @@
-//! # blas-engine — the two query engines of the BLAS system (§4, §5)
+//! # blas-engine — the query engines of the BLAS system (§4, §5)
 //!
-//! * [`rdbms`] — the relational engine: executes a [`BoundPlan`]
-//!   (selections over the B+-tree-indexed store, structural merge
-//!   D-joins, unions) the way the generated SQL of Fig. 11 would run
-//!   inside an RDBMS.
-//! * [`twig`] — the file-system engine: converts a plan into a twig
-//!   query over label *streams* (one sorted stream per twig node) and
-//!   matches it holistically with stack-based structural semi-joins
-//!   (bottom-up satisfaction + top-down reachability). Following
+//! Every engine is a **lowering strategy plus an operator
+//! configuration** over one shared physical-plan executor:
+//!
+//! * [`physical`] — the physical-plan IR: explicit operators
+//!   (`ClusteredScan{SP|SD}`, `ValueFilter`, `StructuralJoin`,
+//!   `Union`, `Materialize`, `TwigStackMatch`) in a flat arena DAG,
+//!   plus the three lowering strategies and the filter-pushdown pass.
+//! * [`exec`] — the one executor: runs any physical plan with pooled
+//!   buffers, and **shards clustered scans across worker threads**
+//!   ([`ExecConfig::shards`]) with per-shard stats accumulators and a
+//!   final ping-pong segment merge; `shards == 1` is the zero-copy
+//!   sequential path.
+//! * [`rdbms`] — the relational engine (§5.2): lowers a [`BoundPlan`]
+//!   into the Fig. 11 operator shape (selections, semi-join D-joins,
+//!   unions).
+//! * [`twig`] — the file-system engine (§5.3): lowers a plan into a
+//!   twig query over label *streams* and expresses the holistic
+//!   bottom-up/top-down stack passes as a semi-join DAG. Following
 //!   §5.3.1, it rejects plans with unions (Unfold) — the paper excluded
 //!   Unfold from the twig experiments for the same reason.
-//! * [`stjoin`] — the shared structural-join kernel: one merge pass
-//!   with an ancestor stack decides, for two start-sorted label lists,
-//!   which ancestors/descendants participate in a containment (or
+//! * [`twigstack`] — the literal TwigStack algorithm (Bruno et al.,
+//!   SIGMOD'02) packaged as the executor's holistic match operator.
+//! * [`stjoin`] — the structural-join kernel: one merge pass with an
+//!   ancestor stack decides, for two start-sorted label lists, which
+//!   ancestors/descendants participate in a containment (or
 //!   exact-level) pair.
 //! * [`stream`] — zero-copy label streams over the columnar store's
 //!   clustered runs, plus the pooled scratch buffers
@@ -20,11 +32,16 @@
 //!
 //! Every tuple pulled from storage increments
 //! [`ExecStats::elements_visited`]; this is the deterministic
-//! "Number of elements read" metric of Figs. 14–18.
+//! "Number of elements read" metric of Figs. 14–18. Sharded scans
+//! tally into per-shard accumulators merged once, so the counts are
+//! identical to sequential execution.
 //!
 //! [`BoundPlan`]: blas_translate::BoundPlan
+//! [`ExecConfig::shards`]: exec::ExecConfig
 
+pub mod exec;
 pub mod naive;
+pub mod physical;
 pub mod rdbms;
 pub mod stats;
 pub mod stjoin;
@@ -32,8 +49,10 @@ pub mod stream;
 pub mod twig;
 pub mod twigstack;
 
-pub use rdbms::{execute_plan, execute_plan_with};
+pub use exec::{ExecConfig, DEFAULT_MIN_SHARD_ELEMS};
+pub use physical::{lower_plan, lower_twig, lower_twigstack, PhysOp, PhysPlan, TwigPattern};
+pub use rdbms::{execute_plan, execute_plan_config, execute_plan_with};
 pub use stats::ExecStats;
 pub use stream::{ExecBuffers, Labels};
 pub use twig::{TwigError, TwigQuery};
-pub use twigstack::execute_twigstack;
+pub use twigstack::{execute_twigstack, execute_twigstack_config};

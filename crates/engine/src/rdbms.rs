@@ -1,31 +1,29 @@
 //! The relational query engine: executes bound plans the way the
 //! generated SQL of Fig. 11 runs inside an RDBMS (§5.2).
 //!
-//! Operators:
-//! * selections — contiguous clustered-run scans over the SP (P-label
-//!   equality/range) or SD (tag) clustering via [`crate::stream`],
-//!   zero-copy when no `data =` / level filter applies;
-//! * D-joins — the structural merge join of [`crate::stjoin`], keeping
-//!   the side the plan marks as the output side (the composed SQL
-//!   projects one side's columns; the other side acts as an existence
-//!   filter, which is exactly how the semi-join reduction of a tree
-//!   query behaves);
-//! * unions — duplicate-free merges (§4.1.3: unfolded paths are
-//!   disjoint, "the union is very simple since there are no
-//!   duplicates").
+//! Since the physical-plan refactor this module is a *lowering
+//! strategy*, not an execution loop: [`crate::physical::lower_plan`]
+//! turns the bound plan into the Fig. 11 operator shape —
+//! [`PhysOp::ClusteredScan`] `σ` selections over the SP/SD
+//! clusterings (with `data =` / `level =` conjuncts fused in),
+//! [`PhysOp::StructuralJoin`] semi-join `⋈`s keeping the side the
+//! plan projects, duplicate-free [`PhysOp::Union`]s for unfolded
+//! alternatives (§4.1.3), and a final [`PhysOp::Materialize`] `π` —
+//! and the shared executor in [`crate::exec`] runs it, sequentially
+//! or with sharded parallel scans.
 //!
-//! Every operator returns bindings sorted by `start`, the invariant the
-//! merge join needs. Intermediate buffers are pooled in
-//! [`ExecBuffers`] and recycled operator-to-operator instead of being
-//! reallocated per step.
+//! [`PhysOp::ClusteredScan`]: crate::physical::PhysOp::ClusteredScan
+//! [`PhysOp::StructuralJoin`]: crate::physical::PhysOp::StructuralJoin
+//! [`PhysOp::Union`]: crate::physical::PhysOp::Union
+//! [`PhysOp::Materialize`]: crate::physical::PhysOp::Materialize
 
+use crate::exec::{self, ExecConfig};
+use crate::physical::lower_plan;
 use crate::stats::ExecStats;
-use crate::stjoin::{filter_flagged_into, structural_match_into};
-use crate::stream::{materialize, ExecBuffers, Labels};
+use crate::stream::ExecBuffers;
 use blas_labeling::DLabel;
 use blas_storage::NodeStore;
-use blas_translate::{BoundPlan, BoundSelection, Side};
-use std::time::Instant;
+use blas_translate::BoundPlan;
 
 /// Execute `plan` against `store`, returning the output bindings
 /// (start-sorted, duplicate-free) and filling `stats`.
@@ -42,66 +40,18 @@ pub fn execute_plan_with(
     stats: &mut ExecStats,
     bufs: &mut ExecBuffers,
 ) -> Vec<DLabel> {
-    let t0 = Instant::now();
-    let result = exec(plan, store, stats, bufs).into_vec(bufs);
-    stats.result_count = result.len();
-    stats.elapsed = t0.elapsed();
-    result
+    exec::execute_with(&lower_plan(plan), store, &ExecConfig::default(), stats, bufs)
 }
 
-fn exec<'a>(
+/// Like [`execute_plan`], with an explicit executor configuration
+/// (sharded parallel scans).
+pub fn execute_plan_config(
     plan: &BoundPlan,
-    store: &'a NodeStore,
+    store: &NodeStore,
+    config: &ExecConfig,
     stats: &mut ExecStats,
-    bufs: &mut ExecBuffers,
-) -> Labels<'a> {
-    match plan {
-        BoundPlan::Select(sel) => exec_select(sel, store, stats, bufs),
-        BoundPlan::DJoin { anc, desc, level_diff, output } => {
-            let a = exec(anc, store, stats, bufs);
-            let d = exec(desc, store, stats, bufs);
-            stats.d_joins += 1;
-            stats.join_input_tuples += (a.len() + d.len()) as u64;
-            structural_match_into(&a, &d, *level_diff, &mut bufs.join);
-            let mut out = bufs.take();
-            match output {
-                Side::Anc => filter_flagged_into(&a, &bufs.join.anc, &mut out),
-                Side::Desc => filter_flagged_into(&d, &bufs.join.desc, &mut out),
-            }
-            bufs.recycle(a);
-            bufs.recycle(d);
-            Labels::Owned(out)
-        }
-        BoundPlan::Union(alts) => {
-            // K-way merge of start-sorted lists, dropping duplicates
-            // (same start ⇒ same node).
-            let mut all = bufs.take();
-            for alt in alts {
-                let list = exec(alt, store, stats, bufs);
-                all.extend_from_slice(&list);
-                bufs.recycle(list);
-            }
-            all.sort_unstable_by_key(|l| l.start);
-            all.dedup_by_key(|l| l.start);
-            Labels::Owned(all)
-        }
-    }
-}
-
-fn exec_select<'a>(
-    sel: &BoundSelection,
-    store: &'a NodeStore,
-    stats: &mut ExecStats,
-    bufs: &mut ExecBuffers,
-) -> Labels<'a> {
-    materialize(
-        &sel.source,
-        sel.value_eq.as_deref(),
-        sel.level_eq,
-        store,
-        stats,
-        bufs,
-    )
+) -> Vec<DLabel> {
+    exec::execute(&lower_plan(plan), store, config, stats)
 }
 
 #[cfg(test)]

@@ -1,4 +1,17 @@
 //! Per-query execution statistics.
+//!
+//! Under sharded parallel scans the counters follow an
+//! **accumulator-per-shard** discipline: no `&mut ExecStats` is ever
+//! shared with a worker thread. Each shard tallies into its own
+//! private `ExecStats` and the coordinating thread [`absorb`]s every
+//! accumulator exactly once after the workers join, so a tuple can
+//! never be counted twice no matter how runs were split — the
+//! executor additionally asserts that the absorbed
+//! `elements_visited` equals the scan's total tuple count, and the
+//! equivalence property suite checks parallel counts equal sequential
+//! counts plan-for-plan.
+//!
+//! [`absorb`]: ExecStats::absorb
 
 use std::time::Duration;
 
@@ -21,8 +34,9 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
-    /// Merge counters from a sub-execution (used by engines that run
-    /// plans in stages).
+    /// Merge counters from a sub-execution: staged plans, or one
+    /// shard's private accumulator at the parallel-scan join point
+    /// (call it exactly once per shard).
     pub fn absorb(&mut self, other: &ExecStats) {
         self.elements_visited += other.elements_visited;
         self.d_joins += other.d_joins;

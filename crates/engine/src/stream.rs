@@ -93,7 +93,7 @@ impl ExecBuffers {
 
 /// Per-tuple stream filters of a selection (`data = 'v'`, `level = k`).
 #[derive(Debug, Clone, Copy)]
-struct Filter {
+pub(crate) struct Filter {
     /// Interned id the row's value must equal; `None` = no data filter;
     /// `Some(NO_VALUE)` = the value occurs nowhere in the document, so
     /// nothing passes.
@@ -102,7 +102,7 @@ struct Filter {
 }
 
 impl Filter {
-    fn resolve(value_eq: Option<&str>, level_eq: Option<u16>, store: &NodeStore) -> Self {
+    pub(crate) fn resolve(value_eq: Option<&str>, level_eq: Option<u16>, store: &NodeStore) -> Self {
         Self {
             value_id: value_eq.map(|v| store.value_id(v).unwrap_or(NO_VALUE)),
             level_eq,
@@ -202,7 +202,7 @@ fn multi_run<'a>(
 }
 
 #[inline]
-fn filter_run(run: Run<'_>, filter: Filter, out: &mut Vec<DLabel>) {
+pub(crate) fn filter_run(run: Run<'_>, filter: Filter, out: &mut Vec<DLabel>) {
     if filter.is_pass_through() {
         out.extend_from_slice(run.labels);
         return;

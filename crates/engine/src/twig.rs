@@ -18,15 +18,25 @@
 //! preserved (each stream is still scanned once per incident edge with
 //! O(depth) stack work per element); see DESIGN.md's substitution
 //! table.
+//!
+//! Since the physical-plan refactor this module owns no execution
+//! loop: [`TwigQuery`] is a *lowering strategy*. `crate::physical`'s
+//! [`lower_twig`] turns it into a DAG of shared [`PhysOp::ClusteredScan`]
+//! streams (sharded under a parallel [`ExecConfig`]) and
+//! [`PhysOp::StructuralJoin`] semi-joins — the two stack passes made
+//! explicit — which the one executor in [`crate::exec`] runs.
+//!
+//! [`PhysOp::ClusteredScan`]: crate::physical::PhysOp::ClusteredScan
+//! [`PhysOp::StructuralJoin`]: crate::physical::PhysOp::StructuralJoin
 
+use crate::exec::{self, ExecConfig};
+use crate::physical::lower_twig;
 use crate::stats::ExecStats;
-use crate::stjoin::{filter_flagged_into, structural_match_into};
-use crate::stream::{materialize, ExecBuffers, Labels};
+use crate::stream::ExecBuffers;
 use blas_labeling::DLabel;
 use blas_storage::NodeStore;
 use blas_translate::{BoundPlan, BoundSelection, BoundSource, Side};
 use std::fmt;
-use std::time::Instant;
 
 /// Why a plan cannot run on the twig engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,9 +99,9 @@ impl TwigQuery {
         self.nodes.len().saturating_sub(1)
     }
 
-    /// Execute against a store: materialize one stream per node
-    /// (counting visited elements; zero-copy for unfiltered clustered
-    /// runs), then match with two stack passes reusing one scratch set.
+    /// Execute against a store: lower into the shared physical-plan
+    /// executor — one clustered-scan stream per node, then the two
+    /// stack passes as an explicit semi-join DAG.
     pub fn execute(&self, store: &NodeStore, stats: &mut ExecStats) -> Vec<DLabel> {
         let mut bufs = ExecBuffers::default();
         self.execute_with(store, stats, &mut bufs)
@@ -105,73 +115,20 @@ impl TwigQuery {
         stats: &mut ExecStats,
         bufs: &mut ExecBuffers,
     ) -> Vec<DLabel> {
-        let t0 = Instant::now();
-        let streams: Vec<Labels<'_>> = self
-            .nodes
-            .iter()
-            .map(|n| materialize_stream(n, store, stats, bufs))
-            .collect();
-
-        // Bottom-up: sat[q] = stream elements whose subtree constraints
-        // are satisfiable. Each join writes its flags into the shared
-        // scratch and compacts into a pooled buffer.
-        let order = self.post_order();
-        let mut sat: Vec<Labels<'_>> = streams;
-        for &q in &order {
-            for &c in &self.nodes[q].children {
-                stats.d_joins += 1;
-                stats.join_input_tuples += (sat[q].len() + sat[c].len()) as u64;
-                structural_match_into(&sat[q], &sat[c], self.nodes[c].level_diff, &mut bufs.join);
-                let mut out = bufs.take();
-                filter_flagged_into(&sat[q], &bufs.join.anc, &mut out);
-                let old = std::mem::replace(&mut sat[q], Labels::Owned(out));
-                bufs.recycle(old);
-            }
-        }
-
-        // Top-down: alive[q] = sat elements reachable from a satisfying
-        // root chain. The root's sat list is moved, not cloned — it is
-        // nobody's child, so the bottom-up pass never reads it again.
-        let mut alive: Vec<Option<Labels<'_>>> = (0..self.nodes.len()).map(|_| None).collect();
-        alive[self.root] = Some(std::mem::replace(&mut sat[self.root], Labels::Borrowed(&[])));
-        for &q in order.iter().rev() {
-            for &c in &self.nodes[q].children {
-                let parent_alive = alive[q].as_ref().expect("parents processed first");
-                structural_match_into(parent_alive, &sat[c], self.nodes[c].level_diff, &mut bufs.join);
-                let mut out = bufs.take();
-                filter_flagged_into(&sat[c], &bufs.join.desc, &mut out);
-                alive[c] = Some(Labels::Owned(out));
-            }
-        }
-
-        for labels in sat {
-            bufs.recycle(labels);
-        }
-        let result = alive[self.output].take().expect("output visited").into_vec(bufs);
-        for labels in alive.into_iter().flatten() {
-            bufs.recycle(labels);
-        }
-        stats.result_count = result.len();
-        stats.elapsed = t0.elapsed();
-        result
+        exec::execute_with(&lower_twig(self), store, &ExecConfig::default(), stats, bufs)
     }
 
-    /// Children-before-parents order.
-    fn post_order(&self) -> Vec<usize> {
-        let mut order = Vec::with_capacity(self.nodes.len());
-        let mut stack = vec![(self.root, false)];
-        while let Some((q, expanded)) = stack.pop() {
-            if expanded {
-                order.push(q);
-            } else {
-                stack.push((q, true));
-                for &c in &self.nodes[q].children {
-                    stack.push((c, false));
-                }
-            }
-        }
-        order
+    /// Like [`TwigQuery::execute`], with an explicit executor
+    /// configuration (sharded parallel stream scans).
+    pub fn execute_config(
+        &self,
+        store: &NodeStore,
+        config: &ExecConfig,
+        stats: &mut ExecStats,
+    ) -> Vec<DLabel> {
+        exec::execute(&lower_twig(self), store, config, stats)
     }
+
 }
 
 struct Conv {
@@ -225,24 +182,6 @@ fn conv(plan: &BoundPlan, nodes: &mut Vec<TwigNode>) -> Result<Conv, TwigError> 
         }
         BoundPlan::Union(_) => Err(TwigError::UnionUnsupported),
     }
-}
-
-/// Materialize one twig node's stream: a zero-copy clustered run when
-/// no filter applies, a pooled filtered/merged buffer otherwise.
-pub(crate) fn materialize_stream<'a>(
-    node: &TwigNode,
-    store: &'a NodeStore,
-    stats: &mut ExecStats,
-    bufs: &mut ExecBuffers,
-) -> Labels<'a> {
-    materialize(
-        &node.source,
-        node.value_eq.as_deref(),
-        node.level_eq,
-        store,
-        stats,
-        bufs,
-    )
 }
 
 #[cfg(test)]
@@ -363,7 +302,9 @@ mod tests {
         let q = parse("/db/e[p][r]/r/f").unwrap();
         let bound = bind(&translate_pushup(&q).unwrap(), doc.tags(), &dom);
         let twig = TwigQuery::from_plan(&bound).unwrap();
-        let order = twig.post_order();
+        // The lowering orders the bottom-up joins by the pattern's
+        // post order: children always precede their parents.
+        let order = crate::physical::TwigPattern::from_query(&twig).post_order();
         for (pos, &q_) in order.iter().enumerate() {
             for &c in &twig.nodes[q_].children {
                 assert!(order.iter().position(|&x| x == c).unwrap() < pos);

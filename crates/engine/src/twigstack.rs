@@ -16,18 +16,26 @@
 //! preserves completeness) and the level constraints are enforced on
 //! the enumerated path solutions.
 //!
-//! The default twig engine in [`crate::twig`] computes the same answer
-//! with structural semi-joins; this module exists (a) for fidelity to
-//! the cited algorithm and (b) as an ablation point — the `ablation`
-//! Criterion bench compares the two.
+//! Since the physical-plan refactor this module no longer owns an
+//! execution loop: the algorithm is packaged as [`run_match`], the
+//! implementation of the [`PhysOp::TwigStackMatch`] operator. The
+//! engine entry point [`execute_twigstack`] is a lowering strategy —
+//! per-node [`PhysOp::ClusteredScan`] streams (sharded under a
+//! parallel [`ExecConfig`]) feeding the one holistic operator — over
+//! the shared executor in [`crate::exec`]. The default twig engine in
+//! [`crate::twig`] computes the same answer with a semi-join DAG; the
+//! `ablation` Criterion bench compares the two.
+//!
+//! [`PhysOp::TwigStackMatch`]: crate::physical::PhysOp::TwigStackMatch
+//! [`PhysOp::ClusteredScan`]: crate::physical::PhysOp::ClusteredScan
 
+use crate::exec::{self, ExecConfig};
+use crate::physical::{lower_twigstack, TwigPattern};
 use crate::stats::ExecStats;
-use crate::stream::{ExecBuffers, Labels};
-use crate::twig::{materialize_stream, TwigQuery};
+use crate::twig::TwigQuery;
 use blas_labeling::DLabel;
 use blas_storage::NodeStore;
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 const INF: u32 = u32::MAX;
 
@@ -38,19 +46,33 @@ pub fn execute_twigstack(
     store: &NodeStore,
     stats: &mut ExecStats,
 ) -> Vec<DLabel> {
-    let t0 = Instant::now();
-    let mut bufs = ExecBuffers::default();
-    let streams: Vec<Labels<'_>> = query
-        .nodes
-        .iter()
-        .map(|n| materialize_stream(n, store, stats, &mut bufs))
-        .collect();
-    let mut ts = TwigStack::new(query, streams);
+    execute_twigstack_config(query, store, &ExecConfig::default(), stats)
+}
+
+/// Like [`execute_twigstack`], with an explicit executor
+/// configuration (sharded parallel stream scans).
+pub fn execute_twigstack_config(
+    query: &TwigQuery,
+    store: &NodeStore,
+    config: &ExecConfig,
+    stats: &mut ExecStats,
+) -> Vec<DLabel> {
+    exec::execute(&lower_twigstack(query), store, config, stats)
+}
+
+/// The [`PhysOp::TwigStackMatch`] operator: match `pattern` over one
+/// start-sorted stream per pattern node, tallying pushed elements into
+/// `join_input_tuples` and the twig's edges into `d_joins`.
+///
+/// [`PhysOp::TwigStackMatch`]: crate::physical::PhysOp::TwigStackMatch
+pub(crate) fn run_match(
+    pattern: &TwigPattern,
+    streams: &[&[DLabel]],
+    stats: &mut ExecStats,
+) -> Vec<DLabel> {
+    let mut ts = TwigStack::new(pattern, streams);
     ts.run(stats);
-    let result = ts.merge_solutions();
-    stats.result_count = result.len();
-    stats.elapsed = t0.elapsed();
-    result
+    ts.merge_solutions()
 }
 
 /// A stack entry: the element plus the index of the topmost entry of
@@ -67,8 +89,8 @@ struct Entry {
 type PathSolution = Vec<(usize, DLabel)>;
 
 struct TwigStack<'a> {
-    q: &'a TwigQuery,
-    streams: Vec<Labels<'a>>,
+    q: &'a TwigPattern,
+    streams: &'a [&'a [DLabel]],
     cursor: Vec<usize>,
     stacks: Vec<Vec<Entry>>,
     /// Path solutions per leaf twig node.
@@ -78,15 +100,16 @@ struct TwigStack<'a> {
 }
 
 impl<'a> TwigStack<'a> {
-    fn new(q: &'a TwigQuery, streams: Vec<Labels<'a>>) -> Self {
-        let n = q.nodes.len();
+    fn new(q: &'a TwigPattern, streams: &'a [&'a [DLabel]]) -> Self {
+        let n = q.len();
+        debug_assert_eq!(streams.len(), n, "one stream per pattern node");
         let path_to: Vec<Vec<usize>> = (0..n)
             .map(|id| {
                 let mut path = vec![id];
-                let mut cur = q.nodes[id].parent;
+                let mut cur = q.parent[id];
                 while let Some(p) = cur {
                     path.push(p);
-                    cur = q.nodes[p].parent;
+                    cur = q.parent[p];
                 }
                 path.reverse();
                 path
@@ -117,7 +140,7 @@ impl<'a> TwigStack<'a> {
     }
 
     fn is_leaf(&self, q: usize) -> bool {
-        self.q.nodes[q].children.is_empty()
+        self.q.children[q].is_empty()
     }
 
     /// Algorithm 2's `getNext`: the next node whose head element is
@@ -133,7 +156,7 @@ impl<'a> TwigStack<'a> {
         if self.is_leaf(q) {
             return q;
         }
-        let children = self.q.nodes[q].children.clone();
+        let children = self.q.children[q].clone();
         let mut live: Vec<usize> = Vec::with_capacity(children.len());
         let mut any_dead = false;
         let mut max_child_start: u32 = 0;
@@ -188,7 +211,7 @@ impl<'a> TwigStack<'a> {
             if self.next_start(q) == INF {
                 break;
             }
-            let parent = self.q.nodes[q].parent;
+            let parent = self.q.parent[q];
             if let Some(p) = parent {
                 self.clean_stack(p, self.next_start(q));
             }
@@ -251,7 +274,7 @@ impl<'a> TwigStack<'a> {
             // (the last pushed pair, which is q's twig child).
             if let Some(&(child_q, child_label)) = current.last() {
                 let ok_struct = entry.label.is_ancestor_of(&child_label);
-                let ok_level = match self.q.nodes[child_q].level_diff {
+                let ok_level = match self.q.level_diff[child_q] {
                     Some(k) => entry.label.level + k == child_label.level,
                     None => true,
                 };
@@ -275,7 +298,7 @@ impl<'a> TwigStack<'a> {
     /// node's bindings. For tree patterns, per-edge semi-join reduction
     /// over the solution pair sets is exact.
     fn merge_solutions(&self) -> Vec<DLabel> {
-        let n = self.q.nodes.len();
+        let n = self.q.len();
         let leaves: Vec<usize> = (0..n).filter(|&q| self.is_leaf(q)).collect();
         // A leaf with no solutions ⇒ no twig match at all.
         if leaves.iter().any(|l| !self.solutions.contains_key(l)) {
@@ -298,11 +321,11 @@ impl<'a> TwigStack<'a> {
             }
         }
         // Bottom-up then top-down reduction over the twig tree.
-        let order = self.post_order();
+        let order = self.q.post_order();
         let mut alive: Vec<HashSet<u32>> =
             cand.iter().map(|m| m.keys().copied().collect()).collect();
         for &q in &order {
-            for &c in &self.q.nodes[q].children {
+            for &c in &self.q.children[q] {
                 let empty = HashSet::new();
                 let edge = pairs.get(&(q, c)).unwrap_or(&empty);
                 let keep: HashSet<u32> = edge
@@ -314,7 +337,7 @@ impl<'a> TwigStack<'a> {
             }
         }
         for &q in order.iter().rev() {
-            for &c in &self.q.nodes[q].children {
+            for &c in &self.q.children[q] {
                 let empty = HashSet::new();
                 let edge = pairs.get(&(q, c)).unwrap_or(&empty);
                 let keep: HashSet<u32> = edge
@@ -331,22 +354,6 @@ impl<'a> TwigStack<'a> {
             .collect();
         result.sort_unstable_by_key(|l| l.start);
         result
-    }
-
-    fn post_order(&self) -> Vec<usize> {
-        let mut order = Vec::with_capacity(self.q.nodes.len());
-        let mut stack = vec![(self.q.root, false)];
-        while let Some((q, expanded)) = stack.pop() {
-            if expanded {
-                order.push(q);
-            } else {
-                stack.push((q, true));
-                for &c in &self.q.nodes[q].children {
-                    stack.push((c, false));
-                }
-            }
-        }
-        order
     }
 }
 
@@ -434,5 +441,21 @@ mod tests {
         let twig = TwigQuery::from_plan(&bound).unwrap();
         let mut stats = ExecStats::default();
         assert!(execute_twigstack(&twig, &store, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn sharded_streams_match_sequential() {
+        let (doc, store, dom) = fixture();
+        let q = parse("/db/e[p//s]/r/f/t").unwrap();
+        let bound = bind(&translate_pushup(&q).unwrap(), doc.tags(), &dom);
+        let twig = TwigQuery::from_plan(&bound).unwrap();
+        let mut seq = ExecStats::default();
+        let expect = execute_twigstack(&twig, &store, &mut seq);
+        let config = ExecConfig { shards: 4, min_shard_elems: 1 };
+        let mut par = ExecStats::default();
+        let got = execute_twigstack_config(&twig, &store, &config, &mut par);
+        assert_eq!(got, expect);
+        assert_eq!(seq.elements_visited, par.elements_visited);
+        assert_eq!(seq.join_input_tuples, par.join_input_tuples);
     }
 }

@@ -4,6 +4,8 @@
 //! set of the naive tree-walking evaluator, on random documents and
 //! random tree queries.
 
+use blas_engine::exec::{execute, ExecConfig};
+use blas_engine::physical::{lower_plan, lower_twig, lower_twigstack};
 use blas_engine::{naive, rdbms::execute_plan, twigstack::execute_twigstack, ExecStats, TwigQuery};
 use blas_labeling::label_document;
 use blas_storage::NodeStore;
@@ -113,6 +115,66 @@ proptest! {
                     .map(|l| l.start)
                     .collect();
                 prop_assert_eq!(&got, &expected, "twigstack/{} on {} over {}", name, qsrc, src);
+            }
+        }
+    }
+
+    /// Sharded parallel scans are an execution detail: for random
+    /// plans over random stores, executing with 2, 4 or 7 shards
+    /// (forced on by `min_shard_elems: 1`) returns byte-identical
+    /// results and identical stats counters to single-shard execution,
+    /// on every lowering strategy (relational tree, twig semi-join
+    /// DAG, holistic TwigStack).
+    #[test]
+    fn sharded_execution_matches_sequential(src in xml_doc(), qsrc in xpath_query()) {
+        let doc = Document::parse(&src).unwrap();
+        let labels = label_document(&doc).unwrap();
+        let store = NodeStore::build(&doc, &labels);
+        let schema = SchemaGraph::infer(&doc);
+        let q = parse(&qsrc).unwrap();
+
+        let mut plans = vec![
+            ("dlabel", translate_dlabeling(&q).unwrap()),
+            ("unfold", translate_unfold(&q, &schema).unwrap()),
+        ];
+        if let Ok(p) = translate_pushup(&q) {
+            plans.push(("pushup", p));
+        }
+        for (name, plan) in &plans {
+            let bound = bind(plan, doc.tags(), &labels.domain);
+            let mut phys = vec![("rdbms", lower_plan(&bound))];
+            if let Ok(twig) = TwigQuery::from_plan(&bound) {
+                phys.push(("twig", lower_twig(&twig)));
+                phys.push(("twigstack", lower_twigstack(&twig)));
+            }
+            for (engine, pplan) in &phys {
+                let mut seq_stats = ExecStats::default();
+                let seq = execute(pplan, &store, &ExecConfig::default(), &mut seq_stats);
+                for shards in [2usize, 4, 7] {
+                    let config = ExecConfig { shards, min_shard_elems: 1 };
+                    let mut par_stats = ExecStats::default();
+                    let par = execute(pplan, &store, &config, &mut par_stats);
+                    prop_assert_eq!(
+                        &par, &seq,
+                        "{}/{} @ {} shards on {} over {}", engine, name, shards, qsrc, src
+                    );
+                    prop_assert_eq!(
+                        (
+                            par_stats.elements_visited,
+                            par_stats.d_joins,
+                            par_stats.join_input_tuples,
+                            par_stats.result_count,
+                        ),
+                        (
+                            seq_stats.elements_visited,
+                            seq_stats.d_joins,
+                            seq_stats.join_input_tuples,
+                            seq_stats.result_count,
+                        ),
+                        "stats must not depend on sharding: {}/{} @ {} shards on {} over {}",
+                        engine, name, shards, qsrc, src
+                    );
+                }
             }
         }
     }

@@ -8,7 +8,11 @@
 //! * [`relation`] — the columnar [`NodeStore`]: the label/tag/value
 //!   columns held in **two physical sort orders** with per-key run
 //!   directories, so clustered scans return zero-copy `&[DLabel]`
-//!   slices (see the module docs for the layout);
+//!   slices (see the module docs for the layout). Scans are also
+//!   available in *sharded* form ([`shard_runs`] and the
+//!   `NodeStore::shard_*` methods): balanced groups of zero-copy run
+//!   pieces — oversized runs are split with [`Run::slice`] — that the
+//!   engine's parallel scan operator fans out across worker threads;
 //! * [`bptree`] — a from-scratch B+ tree, retained for the `start`
 //!   primary-key and `data` value indexes, the paper's index-height
 //!   accounting, and the reference scan path the columnar layout is
@@ -25,5 +29,5 @@ pub mod relation;
 pub mod snapshot;
 
 pub use bptree::BPlusTree;
-pub use relation::{NodeRecord, NodeStore, RecordView, RowId, Run, NO_VALUE};
+pub use relation::{shard_runs, NodeRecord, NodeStore, RecordView, RowId, Run, NO_VALUE};
 pub use snapshot::{Snapshot, SnapshotError};

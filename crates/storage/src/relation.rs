@@ -141,10 +141,11 @@ impl<'a> RecordView<'a> {
 ///
 /// `rows` is either parallel to `labels` (SP/SD runs: the permuted
 /// document-order row of each position) or empty, which signals the
-/// **identity** mapping (document-order runs from
-/// [`NodeStore::scan_doc`], where position `i` *is* row `i`). Use
-/// [`Run::row_at`] to resolve positions uniformly instead of zipping
-/// `rows` directly.
+/// **identity-plus-offset** mapping (document-order runs from
+/// [`NodeStore::scan_doc`], where position `i` is row `row_base + i`;
+/// `row_base` is non-zero only for slices produced by [`Run::slice`]).
+/// Use [`Run::row_at`] to resolve positions uniformly instead of
+/// zipping `rows` directly.
 #[derive(Debug, Clone, Copy)]
 pub struct Run<'a> {
     /// D-labels of the run, in document order.
@@ -153,6 +154,8 @@ pub struct Run<'a> {
     pub rows: &'a [u32],
     /// Interned value id ([`NO_VALUE`] for no PCDATA) per run position.
     pub value_ids: &'a [u32],
+    /// Row offset of position 0 when `rows` is the identity mapping.
+    pub row_base: u32,
 }
 
 impl<'a> Run<'a> {
@@ -169,18 +172,82 @@ impl<'a> Run<'a> {
     }
 
     /// Document-order row of run position `i`, resolving the empty
-    /// `rows` slice as the identity mapping.
+    /// `rows` slice as the identity(-plus-offset) mapping.
     #[inline]
     pub fn row_at(&self, i: usize) -> RowId {
         debug_assert!(i < self.labels.len());
         if self.rows.is_empty() {
-            RowId(i as u32)
+            RowId(self.row_base + i as u32)
         } else {
             RowId(self.rows[i])
         }
     }
 
-    const EMPTY: Run<'static> = Run { labels: &[], rows: &[], value_ids: &[] };
+    /// The contiguous sub-run of positions `range`. Slices stay
+    /// `start`-ascending (they are consecutive positions of a sorted
+    /// run), which is the invariant shard splitting relies on.
+    pub fn slice(&self, range: Range<usize>) -> Run<'a> {
+        Run {
+            labels: &self.labels[range.clone()],
+            rows: if self.rows.is_empty() { &[] } else { &self.rows[range.clone()] },
+            value_ids: &self.value_ids[range.clone()],
+            row_base: if self.rows.is_empty() {
+                self.row_base + range.start as u32
+            } else {
+                0
+            },
+        }
+    }
+
+    const EMPTY: Run<'static> = Run { labels: &[], rows: &[], value_ids: &[], row_base: 0 };
+}
+
+/// Partition a scan's runs into at most `shards` balanced groups for
+/// parallel execution, **splitting oversized runs** into consecutive
+/// [`Run::slice`] pieces so no group exceeds ⌈total ∕ shards⌉ tuples.
+///
+/// Pieces appear in the same order as the input runs and exactly
+/// partition them (every tuple lands in exactly one piece of one
+/// group — the invariant that makes per-shard `elements_visited`
+/// accumulators sum to the sequential count). Empty runs are dropped;
+/// the result may hold fewer than `shards` groups, and each group is
+/// non-empty.
+pub fn shard_runs<'a>(runs: Vec<Run<'a>>, shards: usize) -> Vec<Vec<Run<'a>>> {
+    let total: usize = runs.iter().map(Run::len).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    if shards <= 1 {
+        return vec![runs.into_iter().filter(|r| !r.is_empty()).collect()];
+    }
+    let target = total.div_ceil(shards);
+    let mut groups: Vec<Vec<Run<'a>>> = Vec::with_capacity(shards);
+    let mut current: Vec<Run<'a>> = Vec::new();
+    let mut filled = 0usize;
+    for run in runs {
+        let mut offset = 0usize;
+        while offset < run.len() {
+            let room = target - filled;
+            let take = room.min(run.len() - offset);
+            current.push(run.slice(offset..offset + take));
+            offset += take;
+            filled += take;
+            if filled == target {
+                groups.push(std::mem::take(&mut current));
+                filled = 0;
+            }
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    debug_assert!(groups.len() <= shards);
+    debug_assert_eq!(
+        groups.iter().flatten().map(Run::len).sum::<usize>(),
+        total,
+        "shard groups must exactly partition the scan"
+    );
+    groups
 }
 
 /// Run-directory entry of the SP clustering.
@@ -397,6 +464,7 @@ impl NodeStore {
             labels: &self.labels,
             rows: &[],
             value_ids: &self.value_ids,
+            row_base: 0,
         }
     }
 
@@ -417,6 +485,7 @@ impl NodeStore {
                 labels: &self.sp_labels[r.clone()],
                 rows: &self.sp_rows[r.clone()],
                 value_ids: &self.sp_values[r],
+                row_base: 0,
             }
         })
     }
@@ -431,6 +500,7 @@ impl NodeStore {
                     labels: &self.sp_labels[r.clone()],
                     rows: &self.sp_rows[r.clone()],
                     value_ids: &self.sp_values[r],
+                    row_base: 0,
                 }
             }
             Err(_) => Run::EMPTY,
@@ -447,6 +517,7 @@ impl NodeStore {
                     labels: &self.sd_labels[r.clone()],
                     rows: &self.sd_rows[r.clone()],
                     value_ids: &self.sd_values[r],
+                    row_base: 0,
                 }
             }
             Err(_) => Run::EMPTY,
@@ -476,6 +547,32 @@ impl NodeStore {
             .into_iter()
             .flatten()
             .map(move |&row| (row, self.record(row)))
+    }
+
+    // --- shard-aware run iteration (parallel scan support) ----------
+
+    /// The SP range scan of `[p1, p2]` partitioned into at most
+    /// `shards` balanced groups of run pieces (see [`shard_runs`]).
+    pub fn shard_plabel_range(&self, p1: u128, p2: u128, shards: usize) -> Vec<Vec<Run<'_>>> {
+        shard_runs(self.scan_plabel_range(p1, p2).collect(), shards)
+    }
+
+    /// The single SP equality run of `p` partitioned into at most
+    /// `shards` consecutive pieces.
+    pub fn shard_plabel_eq(&self, p: u128, shards: usize) -> Vec<Vec<Run<'_>>> {
+        shard_runs(vec![self.scan_plabel_eq(p)], shards)
+    }
+
+    /// The single SD tag run partitioned into at most `shards`
+    /// consecutive pieces.
+    pub fn shard_tag(&self, tag: TagId, shards: usize) -> Vec<Vec<Run<'_>>> {
+        shard_runs(vec![self.scan_tag(tag)], shards)
+    }
+
+    /// The document-order full scan partitioned into at most `shards`
+    /// consecutive pieces.
+    pub fn shard_doc(&self, shards: usize) -> Vec<Vec<Run<'_>>> {
+        shard_runs(vec![self.scan_doc()], shards)
     }
 
     // --- reference (B+ tree) scan path ------------------------------
@@ -718,6 +815,69 @@ mod tests {
                 assert_eq!(s.record(row).dlabel(), run.labels[i]);
             }
         }
+    }
+
+    #[test]
+    fn run_slice_preserves_row_resolution() {
+        let (_, s) = store(SAMPLE);
+        // Identity-mapped document run: slices must offset rows.
+        let doc_run = s.scan_doc();
+        let piece = doc_run.slice(2..5);
+        assert_eq!(piece.len(), 3);
+        for i in 0..piece.len() {
+            assert_eq!(piece.row_at(i), RowId(2 + i as u32));
+            assert_eq!(s.record(piece.row_at(i)).dlabel(), piece.labels[i]);
+        }
+        // Explicit-rows clustered run: slices carry the permutation.
+        for run in s.scan_plabel_range(0, u128::MAX).filter(|r| r.len() > 1) {
+            let piece = run.slice(1..run.len());
+            for i in 0..piece.len() {
+                assert_eq!(s.record(piece.row_at(i)).dlabel(), piece.labels[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_runs_partitions_exactly() {
+        let (_, s) = store(SAMPLE);
+        let all: Vec<Run> = s.scan_plabel_range(0, u128::MAX).collect();
+        let flat: Vec<u32> = all.iter().flat_map(|r| r.labels.iter().map(|l| l.start)).collect();
+        for shards in [1usize, 2, 3, 4, 7, 100] {
+            let groups = shard_runs(all.clone(), shards);
+            assert!(groups.len() <= shards.max(1));
+            assert!(groups.iter().all(|g| !g.is_empty()), "no empty shard groups");
+            let got: Vec<u32> = groups
+                .iter()
+                .flatten()
+                .flat_map(|r| r.labels.iter().map(|l| l.start))
+                .collect();
+            assert_eq!(got, flat, "{shards} shards must preserve piece order");
+            // Balance: no group exceeds the ceiling target.
+            let target = s.len().div_ceil(shards);
+            for g in &groups {
+                assert!(g.iter().map(Run::len).sum::<usize>() <= target);
+            }
+        }
+        assert!(shard_runs(Vec::new(), 4).is_empty());
+        assert!(shard_runs(vec![Run::EMPTY], 4).is_empty());
+    }
+
+    #[test]
+    fn store_shard_helpers_cover_their_scans() {
+        let (doc, s) = store(SAMPLE);
+        let n = doc.tags().get("n").unwrap();
+        let tag_total: usize = s
+            .shard_tag(n, 2)
+            .iter()
+            .flatten()
+            .map(Run::len)
+            .sum();
+        assert_eq!(tag_total, s.scan_tag(n).len());
+        let doc_groups = s.shard_doc(3);
+        assert_eq!(doc_groups.iter().flatten().map(Run::len).sum::<usize>(), s.len());
+        let range_groups = s.shard_plabel_range(0, u128::MAX, 3);
+        assert_eq!(range_groups.iter().flatten().map(Run::len).sum::<usize>(), s.len());
+        assert!(s.shard_plabel_eq(u128::MAX, 2).is_empty(), "unused plabel has no runs");
     }
 
     #[test]

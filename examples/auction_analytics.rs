@@ -6,7 +6,7 @@
 //! cargo run --release --example auction_analytics
 //! ```
 
-use blas::{BlasDb, Engine, Translator};
+use blas::{BlasDb, EngineChoice, Translator};
 use blas_datagen::{auction, xmark_benchmark};
 
 fn main() {
@@ -26,21 +26,35 @@ fn main() {
     println!("Items per continent:");
     for continent in ["africa", "asia", "australia", "europe", "namerica", "samerica"] {
         let q = format!("/site/regions/{continent}/item");
-        let r = db.query(&q).unwrap();
+        let r = db.query(&q, EngineChoice::auto()).unwrap();
         println!("  {continent:<10} {:>6}", r.stats.result_count);
     }
 
     // Deep recursion: listitems at any depth under category descriptions
     // (QA1). The recursive DTD makes Unfold enumerate every unrolling.
-    let qa1 = db.query("//category/description/parlist/listitem").unwrap();
+    // Range-scan-heavy queries like this are where sharded parallel
+    // scans pay off: same plan, four scan workers.
+    let qa1 = db.query("//category/description/parlist/listitem", EngineChoice::auto()).unwrap();
+    let qa1_par = db
+        .query("//category/description/parlist/listitem", EngineChoice::parallel(4))
+        .unwrap();
+    assert_eq!(qa1.nodes, qa1_par.nodes, "sharding is an execution detail");
     println!("\nQA1 listitems under category descriptions: {}", qa1.stats.result_count);
+    println!(
+        "  sequential {:?} vs 4-way sharded {:?}",
+        qa1.stats.elapsed, qa1_par.stats.elapsed
+    );
 
     // Items with shipping available in Asia (QA3 twig).
-    let qa3 = db.query("/site/regions/asia/item[shipping]/description").unwrap();
+    let qa3 = db
+        .query("/site/regions/asia/item[shipping]/description", EngineChoice::auto())
+        .unwrap();
     println!("QA3 shippable Asian item descriptions: {}", qa3.stats.result_count);
 
     // Attribute nodes are first-class: auction references to people.
-    let sellers = db.query("/site/open_auctions/open_auction/seller/@person").unwrap();
+    let sellers = db
+        .query("/site/open_auctions/open_auction/seller/@person", EngineChoice::auto())
+        .unwrap();
     println!("Auctions with a seller attribute: {}", sellers.stats.result_count);
 
     // The XMark benchmark queries of Fig. 15 across translators (twig
@@ -52,7 +66,7 @@ fn main() {
     for bq in xmark_benchmark() {
         let mut cells = Vec::new();
         for t in [Translator::DLabeling, Translator::Split, Translator::PushUp] {
-            let r = db.query_with(bq.xpath, t, Engine::Twig).unwrap();
+            let r = db.query(bq.xpath, EngineChoice::twig().with_translator(t)).unwrap();
             cells.push(r.stats.elements_visited);
         }
         println!(

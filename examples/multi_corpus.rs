@@ -6,7 +6,7 @@
 //! cargo run --release --example multi_corpus
 //! ```
 
-use blas::{BlasCollection, Engine, Translator};
+use blas::{BlasCollection, Engine, EngineChoice, Translator};
 use blas_datagen::DatasetId;
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
         "//TITLE",             // Shakespeare only
         "//author",            // protein references + auction annotations
     ] {
-        let results = collection.query(q).expect("valid query");
+        let results = collection.query(q, EngineChoice::auto()).expect("valid query");
         let cells: Vec<String> = results
             .iter()
             .map(|(id, r)| format!("{}={}", collection.name(*id), r.stats.result_count))

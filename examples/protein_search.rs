@@ -6,7 +6,7 @@
 //! cargo run --release --example protein_search
 //! ```
 
-use blas::{BlasDb, Engine, Translator};
+use blas::{BlasDb, Engine, EngineChoice, Translator};
 use blas_datagen::protein;
 
 fn main() {
@@ -21,7 +21,9 @@ fn main() {
 
     // 1. All protein names (QP1, a suffix path query → one equality
     //    selection on P-labels).
-    let names = db.query("/ProteinDatabase/ProteinEntry/protein/name").unwrap();
+    let names = db
+        .query("/ProteinDatabase/ProteinEntry/protein/name", EngineChoice::auto())
+        .unwrap();
     println!(
         "QP1  protein names: {} results, {} elements read, {} joins",
         names.stats.result_count, names.stats.elements_visited, names.stats.d_joins
@@ -29,7 +31,10 @@ fn main() {
 
     // 2. Papers by a specific author (QP2, path with interior //).
     let by_daniel = db
-        .query("/ProteinDatabase/ProteinEntry//authors/author='Daniel, M.'")
+        .query(
+            "/ProteinDatabase/ProteinEntry//authors/author='Daniel, M.'",
+            EngineChoice::auto(),
+        )
         .unwrap();
     println!(
         "QP2  papers by Daniel, M.: {} results, {} elements read",
@@ -39,7 +44,7 @@ fn main() {
     // 3. Names of proteins whose references carry both citation and
     //    year (QP3, a twig).
     let qp3 = "/ProteinDatabase/ProteinEntry[reference/refinfo[citation and year]]/protein/name";
-    let full = db.query(qp3).unwrap();
+    let full = db.query(qp3, EngineChoice::auto()).unwrap();
     println!("QP3  fully-cited proteins: {} results", full.stats.result_count);
 
     // 4. The biologist's query from the introduction (Fig. 2 shape):
@@ -48,7 +53,7 @@ fn main() {
     //    relax it so the synthetic corpus reliably has hits.)
     let fig2 = "/ProteinDatabase/ProteinEntry[protein//superfamily='cytochrome c']\
                 /reference/refinfo[//author='Daniel, M.']/title";
-    let result = db.query(fig2).unwrap();
+    let result = db.query(fig2, EngineChoice::auto()).unwrap();
     println!("\nFig. 2-style query → {} title(s):", result.stats.result_count);
     for t in db.texts(&result).into_iter().flatten().take(3) {
         println!("  → {t}");
@@ -66,7 +71,8 @@ fn main() {
         ("Unfold", Translator::Unfold),
     ] {
         for (ename, e) in [("rdbms", Engine::Rdbms), ("twig", Engine::Twig)] {
-            let Ok(r) = db.query_with(qp3, t, e) else {
+            let choice = EngineChoice::auto().with_engine(e).with_translator(t);
+            let Ok(r) = db.query(qp3, choice) else {
                 continue; // Unfold unions don't run on the twig engine
             };
             println!(

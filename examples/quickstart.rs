@@ -4,7 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use blas::{BlasDb, Engine, Translator};
+use blas::{BlasDb, EngineChoice, Translator};
 
 fn main() {
     // The paper's running example (Fig. 1): a protein repository.
@@ -47,7 +47,9 @@ fn main() {
     let q = "/ProteinDatabase/ProteinEntry[protein//superfamily='cytochrome c']\
              /reference/refinfo[//author='Evans, M.J.' and year='2001']/title";
 
-    let result = db.query(q).expect("valid query");
+    // One call runs the whole pipeline: parse → decompose → bind →
+    // lower → execute, here under the paper's recommended config.
+    let result = db.query(q, EngineChoice::auto()).expect("valid query");
     println!("Query: {q}");
     for text in db.texts(&result).into_iter().flatten() {
         println!("  → {text}");
@@ -61,7 +63,7 @@ fn main() {
         ("Push-up", Translator::PushUp),
         ("Unfold", Translator::Unfold),
     ] {
-        let r = db.query_with(q, t, Engine::Rdbms).unwrap();
+        let r = db.query(q, EngineChoice::rdbms().with_translator(t)).unwrap();
         println!(
             "{:<12} {:>8} {:>10} {:>9}",
             name, r.stats.d_joins, r.stats.elements_visited, r.stats.result_count

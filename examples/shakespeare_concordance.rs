@@ -6,7 +6,7 @@
 //! cargo run --release --example shakespeare_concordance
 //! ```
 
-use blas::{BlasDb, Engine, Translator};
+use blas::{BlasDb, EngineChoice, Translator};
 use blas_datagen::shakespeare;
 
 fn main() {
@@ -18,9 +18,12 @@ fn main() {
 
     // QS1: every spoken line — a 6-step child chain, answered by one
     // P-label equality selection instead of five D-joins.
-    let lines = db.query("/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE").unwrap();
+    let lines = db.query("/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE", EngineChoice::auto()).unwrap();
     let baseline = db
-        .query_with("/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE", Translator::DLabeling, Engine::Rdbms)
+        .query(
+            "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE",
+            EngineChoice::rdbms().with_translator(Translator::DLabeling),
+        )
         .unwrap();
     println!(
         "QS1  lines: {} (BLAS read {} elements with {} joins; baseline read {} with {})",
@@ -40,11 +43,15 @@ fn main() {
         ("speeches", "//SPEECH"),
         ("epilogues", "//EPILOGUE"),
     ] {
-        println!("  {:<10} {:>7}", what, db.query(q).unwrap().stats.result_count);
+        println!(
+            "  {:<10} {:>7}",
+            what,
+            db.query(q, EngineChoice::auto()).unwrap().stats.result_count
+        );
     }
 
     // QS2: stage directions nested inside epilogue lines.
-    let qs2 = db.query("/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR").unwrap();
+    let qs2 = db.query("/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR", EngineChoice::auto()).unwrap();
     println!("\nQS2  stage directions in epilogue lines: {}", qs2.stats.result_count);
     for t in db.texts(&qs2).into_iter().flatten().take(3) {
         println!("  → [{t}]");
@@ -52,12 +59,15 @@ fn main() {
 
     // QS3: all lines of scenes titled "SCENE III. A public place."
     let qs3 = "/PLAYS/PLAY/ACT/SCENE[TITLE='SCENE III. A public place.']//LINE";
-    let hits = db.query(qs3).unwrap();
+    let hits = db.query(qs3, EngineChoice::auto()).unwrap();
     println!("\nQS3  lines in public-place third scenes: {}", hits.stats.result_count);
 
     // Speakers of those scenes, by joining through the same predicate.
     let speakers = db
-        .query("/PLAYS/PLAY/ACT/SCENE[TITLE='SCENE III. A public place.']/SPEECH/SPEAKER")
+        .query(
+            "/PLAYS/PLAY/ACT/SCENE[TITLE='SCENE III. A public place.']/SPEECH/SPEAKER",
+            EngineChoice::auto(),
+        )
         .unwrap();
     let mut names: Vec<String> = db.texts(&speakers).into_iter().flatten().collect();
     names.sort();

@@ -3,7 +3,7 @@
 //! with every translator × engine combination agreeing and the paper's
 //! qualitative claims holding.
 
-use blas::{BlasDb, Engine, Translator};
+use blas::{BlasDb, Engine, EngineChoice, Translator};
 use blas_datagen::{query_set, xmark_benchmark, DatasetId};
 use blas_xpath::parse;
 
@@ -34,8 +34,10 @@ fn fig10_queries_agree_across_strategies_and_engines() {
                 // compare against the rdbms run of the same stripped
                 // query.
                 let stripped = parse(q.xpath).unwrap().without_value_predicates();
-                let want = db.run(&stripped, Translator::DLabeling, Engine::Rdbms).unwrap();
-                let got = db.run(&stripped, t, Engine::Twig).unwrap();
+                let want = db
+                    .run(&stripped, EngineChoice::rdbms().with_translator(Translator::DLabeling))
+                    .unwrap();
+                let got = db.run(&stripped, EngineChoice::twig().with_translator(t)).unwrap();
                 assert_eq!(got.nodes, want.nodes, "{} twig/{t:?}", q.id);
             }
         }
@@ -132,9 +134,38 @@ fn unfold_eliminates_descendant_joins() {
 #[test]
 fn attribute_queries_work_end_to_end() {
     let db = load(DatasetId::Auction);
-    let r = db.query("/site/people/person/@id").unwrap();
+    let r = db.query("/site/people/person/@id", EngineChoice::auto()).unwrap();
     assert!(r.stats.result_count > 0);
     assert!(db.texts(&r).iter().flatten().all(|t| t.starts_with("person")));
+}
+
+/// Release-mode smoke for the sharded scan path on a real dataset:
+/// every Fig. 10 auction query under 2- and 4-way sharding returns the
+/// same nodes and counters as sequential execution, on all engines.
+/// Ignored by default (it generates Auction ×2); the CI
+/// `--include-ignored` release job runs it.
+#[test]
+#[ignore = "release-mode parallel-equivalence smoke; run via --include-ignored"]
+fn parallel_execution_smoke_on_auction() {
+    let db = BlasDb::load(&DatasetId::Auction.generate(2)).expect("well-formed");
+    for q in query_set(DatasetId::Auction) {
+        for engine in [Engine::Rdbms, Engine::Twig, Engine::TwigStack] {
+            let stripped = parse(q.xpath).unwrap().without_value_predicates();
+            let base = EngineChoice::auto().with_engine(engine).with_translator(Translator::PushUp);
+            let seq = db.run(&stripped, base).unwrap();
+            for shards in [2, 4] {
+                let par = db.run(&stripped, base.with_shards(shards)).unwrap();
+                assert_eq!(par.nodes, seq.nodes, "{} {engine:?} @ {shards}", q.id);
+                assert_eq!(
+                    par.stats.elements_visited, seq.stats.elements_visited,
+                    "{} {engine:?} @ {shards}",
+                    q.id
+                );
+                assert_eq!(par.stats.d_joins, seq.stats.d_joins);
+                assert_eq!(par.stats.join_input_tuples, seq.stats.join_input_tuples);
+            }
+        }
+    }
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! indistinguishable from the original — same labels, same plans, same
 //! answers, same statistics — on all three paper datasets.
 
-use blas::{BlasDb, Engine, Translator};
+use blas::{BlasDb, Engine, EngineChoice, Translator};
 use blas_datagen::{query_set, DatasetId};
 
 #[test]
@@ -75,11 +75,11 @@ fn snapshot_preserves_attributes_and_mixed_text() {
     let src = "<db><e id=\"1\">head<n>x</n>tail</e></db>";
     let db = BlasDb::load(src).unwrap();
     let restored = BlasDb::from_snapshot(&db.to_snapshot()).unwrap();
-    let a = db.query("/db/e/@id").unwrap();
-    let b = restored.query("/db/e/@id").unwrap();
+    let a = db.query("/db/e/@id", EngineChoice::auto()).unwrap();
+    let b = restored.query("/db/e/@id", EngineChoice::auto()).unwrap();
     assert_eq!(db.texts(&a), restored.texts(&b));
     assert_eq!(restored.texts(&b), [Some("1".to_string())]);
     // Concatenated mixed text survives.
-    let e = restored.query("/db/e").unwrap();
+    let e = restored.query("/db/e", EngineChoice::auto()).unwrap();
     assert_eq!(restored.texts(&e), [Some("headtail".to_string())]);
 }
