@@ -1,16 +1,33 @@
 //! The BLAS system façade: index generator + query translator + query
 //! engine behind one API (the architecture of Fig. 6).
+//!
+//! A [`BlasDb`] comes into existence three ways, with very different
+//! cold-start costs:
+//!
+//! * [`BlasDb::load`] — parse, label and index XML text (O(document));
+//! * [`BlasDb::from_snapshot`] — fully decode a snapshot into owned
+//!   columns (O(data), but no parsing or relabeling);
+//! * [`BlasDb::open_mapped`] — **memory-map a snapshot file and query
+//!   it in place** (O(1) in the data size: header validation only).
+//!
+//! Whichever way, the same executor answers queries from the same
+//! clustered scans. The mapped path keeps nothing but the store's
+//! columns; the document tree, the schema graph and the per-node label
+//! vectors are *derived* views, rebuilt lazily on first use (only the
+//! Unfold translator and the debugging accessors need them).
 
 use crate::error::BlasError;
 use blas_engine::{exec, lower_plan, lower_twig, lower_twigstack, ExecConfig, ExecStats, TwigQuery};
 use blas_labeling::{label_document, DLabel, DocumentLabels, PLabelDomain};
-use blas_storage::{NodeStore, RecordView};
+use blas_storage::{MappedBytes, NodeStore, RecordView};
 use blas_translate::{
     bind, render_algebra, render_sql, translate_dlabeling, translate_pushup, translate_split,
     translate_unfold, Plan,
 };
-use blas_xml::{DocStats, Document, SchemaGraph};
+use blas_xml::{DocStats, Document, SchemaGraph, TagInterner};
 use blas_xpath::QueryTree;
+use std::path::Path;
+use std::sync::OnceLock;
 
 /// Which query translation algorithm to run (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +49,7 @@ pub enum Translator {
 /// Which query engine to run (§5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
-    /// Relational-style executor over the B+-tree-indexed store.
+    /// Relational-style executor over the clustered columnar store.
     Rdbms,
     /// Holistic twig matching via structural semi-joins over label
     /// streams (the default file-system engine).
@@ -136,17 +153,25 @@ pub struct QueryResult {
 }
 
 /// A loaded, labeled, indexed XML document — the unit of querying.
+///
+/// Only the clustered store, the tag table and the P-label domain are
+/// materialized eagerly; the document tree, schema graph and label
+/// vectors are rebuilt on demand (which is what lets
+/// [`BlasDb::open_mapped`] return in O(1)).
 #[derive(Debug)]
 pub struct BlasDb {
-    doc: Document,
-    labels: DocumentLabels,
     store: NodeStore,
-    schema: SchemaGraph,
+    tags: TagInterner,
+    domain: PLabelDomain,
+    doc: OnceLock<Document>,
+    labels: OnceLock<DocumentLabels>,
+    schema: OnceLock<SchemaGraph>,
 }
 
 impl BlasDb {
     /// Parse, label and index an XML document (the index generator of
-    /// Fig. 6). The schema graph is inferred from the instance.
+    /// Fig. 6). The schema graph is inferred from the instance on
+    /// first use.
     pub fn load(xml: &str) -> Result<Self, BlasError> {
         Self::from_document(Document::parse(xml)?)
     }
@@ -155,8 +180,79 @@ impl BlasDb {
     pub fn from_document(doc: Document) -> Result<Self, BlasError> {
         let labels = label_document(&doc)?;
         let store = NodeStore::build(&doc, &labels);
-        let schema = SchemaGraph::infer(&doc);
-        Ok(Self { doc, labels, store, schema })
+        let tags = doc.tags().clone();
+        let domain = labels.domain;
+        let db = Self::assemble(store, tags, domain);
+        let _ = db.doc.set(doc);
+        let _ = db.labels.set(labels);
+        Ok(db)
+    }
+
+    /// Rebuild a queryable database from [`BlasDb::to_snapshot`] bytes:
+    /// the **fully decoding** path. Every byte is checksum-verified and
+    /// every record validated, columns are rebuilt in owned memory, and
+    /// the document tree is reconstructed eagerly — O(data), the cost
+    /// [`BlasDb::open_mapped`] exists to avoid.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, BlasError> {
+        let snap = blas_storage::snapshot::decode(bytes)
+            .map_err(|e| BlasError::Snapshot(e.to_string()))?;
+        let tags = interner_from_names(&snap.tag_names)?;
+        let domain = PLabelDomain::with_digits(snap.num_tags as usize, snap.digits)?;
+        let store = NodeStore::from_records(snap.records);
+        let db = Self::assemble(store, tags, domain);
+        // Materialize (and thereby validate) the tree now, preserving
+        // this path's historical load-time strictness.
+        let doc = document_from_store(&db.store, &db.tags)?;
+        let _ = db.doc.set(doc);
+        Ok(db)
+    }
+
+    /// Open a snapshot **file** and query it in place: the columns,
+    /// both clustered permutations, the run directories and the string
+    /// arena are served straight from a read-only mapping (an aligned
+    /// heap read where `mmap` is unavailable). Cold start is O(1) in
+    /// the data size — only the header page and the run directories
+    /// are validated; pages fault in as scans touch them.
+    ///
+    /// Integrity: the header checksum is always verified. The
+    /// whole-file footer checksum is **not** streamed on this path (it
+    /// would fault in every page and defeat the point); run
+    /// [`blas_storage::snapshot::verify_checksum`] over the file when
+    /// end-to-end verification is wanted.
+    ///
+    /// ```
+    /// use blas::{BlasDb, EngineChoice};
+    ///
+    /// let db = BlasDb::load("<db><e><n>x</n></e></db>").unwrap();
+    /// let path = std::env::temp_dir().join("blas_doctest_open_mapped.snap");
+    /// std::fs::write(&path, db.to_snapshot()).unwrap();
+    ///
+    /// let mapped = BlasDb::open_mapped(&path).unwrap();
+    /// let owned = db.query("/db/e/n", EngineChoice::auto()).unwrap();
+    /// let fast = mapped.query("/db/e/n", EngineChoice::auto()).unwrap();
+    /// assert_eq!(owned.nodes, fast.nodes);
+    /// # std::fs::remove_file(&path).unwrap();
+    /// ```
+    pub fn open_mapped(path: impl AsRef<Path>) -> Result<Self, BlasError> {
+        let path = path.as_ref();
+        let mapped = MappedBytes::open(path)
+            .map_err(|e| BlasError::Io(format!("{}: {e}", path.display())))?;
+        let (store, meta) = NodeStore::from_mapped(mapped)
+            .map_err(|e| BlasError::Snapshot(e.to_string()))?;
+        let tags = interner_from_names(&meta.tag_names)?;
+        let domain = PLabelDomain::with_digits(meta.num_tags as usize, meta.digits)?;
+        Ok(Self::assemble(store, tags, domain))
+    }
+
+    fn assemble(store: NodeStore, tags: TagInterner, domain: PLabelDomain) -> Self {
+        Self {
+            store,
+            tags,
+            domain,
+            doc: OnceLock::new(),
+            labels: OnceLock::new(),
+            schema: OnceLock::new(),
+        }
     }
 
     /// Run `xpath` in one call under an [`EngineChoice`]: parse →
@@ -164,6 +260,15 @@ impl BlasDb {
     /// whole pipeline of Fig. 6 behind a single method;
     /// `EngineChoice::auto()` is the paper's recommended
     /// configuration (Unfold on the relational engine).
+    ///
+    /// ```
+    /// use blas::{BlasDb, EngineChoice};
+    ///
+    /// let db = BlasDb::load("<db><e><n>alpha</n></e><e><n>beta</n></e></db>").unwrap();
+    /// let result = db.query("/db/e/n", EngineChoice::auto()).unwrap();
+    /// assert_eq!(result.nodes.len(), 2);
+    /// assert_eq!(db.texts(&result)[0].as_deref(), Some("alpha"));
+    /// ```
     pub fn query(&self, xpath: &str, choice: EngineChoice) -> Result<QueryResult, BlasError> {
         let query = blas_xpath::parse(xpath)?;
         self.run(&query, choice)
@@ -185,7 +290,7 @@ impl BlasDb {
     /// execute on the shared physical-plan executor.
     pub fn run(&self, query: &QueryTree, choice: EngineChoice) -> Result<QueryResult, BlasError> {
         let plan = self.translate(query, choice.translator, choice.engine)?;
-        let bound = bind(&plan, self.doc.tags(), &self.labels.domain);
+        let bound = bind(&plan, &self.tags, &self.domain);
         let phys = match choice.engine {
             Engine::Rdbms => lower_plan(&bound),
             Engine::Twig => lower_twig(&TwigQuery::from_plan(&bound)?),
@@ -206,8 +311,8 @@ impl BlasDb {
             (Translator::DLabeling, _) => translate_dlabeling(query)?,
             (Translator::Split, _) => translate_split(query)?,
             (Translator::PushUp, _) => translate_pushup(query)?,
-            (Translator::Unfold, _) => translate_unfold(query, &self.schema)?,
-            (Translator::Auto, Engine::Rdbms) => translate_unfold(query, &self.schema)?,
+            (Translator::Unfold, _) => translate_unfold(query, self.schema())?,
+            (Translator::Auto, Engine::Rdbms) => translate_unfold(query, self.schema())?,
             (Translator::Auto, Engine::Twig | Engine::TwigStack) => translate_pushup(query)?,
         })
     }
@@ -222,15 +327,15 @@ impl BlasDb {
     /// translator.
     pub fn explain(&self, xpath: &str, translator: Translator) -> Result<String, BlasError> {
         let plan = self.plan(xpath, translator)?;
-        let bound = bind(&plan, self.doc.tags(), &self.labels.domain);
-        Ok(render_algebra(&bound, self.doc.tags()))
+        let bound = bind(&plan, &self.tags, &self.domain);
+        Ok(render_algebra(&bound, &self.tags))
     }
 
     /// The standard SQL the translator generates for `xpath`
     /// (Example 3.1 style).
     pub fn explain_sql(&self, xpath: &str, translator: Translator) -> Result<String, BlasError> {
         let plan = self.plan(xpath, translator)?;
-        let bound = bind(&plan, self.doc.tags(), &self.labels.domain);
+        let bound = bind(&plan, &self.tags, &self.domain);
         Ok(render_sql(&bound))
     }
 
@@ -259,29 +364,55 @@ impl BlasDb {
     pub fn tag_names(&self, result: &QueryResult) -> Vec<&str> {
         self.records(result)
             .into_iter()
-            .map(|r| self.doc.tags().name(r.tag))
+            .map(|r| self.tags.name(r.tag))
             .collect()
     }
 
     /// Dataset statistics (the Fig. 12 row for this document), given
-    /// the serialized size.
+    /// the serialized size. Rebuilds the document tree if this
+    /// database came from a snapshot and it has not been needed yet.
     pub fn stats(&self, bytes: usize) -> DocStats {
-        DocStats::new(&self.doc, bytes)
+        DocStats::new(self.document(), bytes)
     }
 
-    /// The parsed document.
+    /// The document's tag table (name ↔ [`blas_xml::TagId`]), available
+    /// on every construction path without materializing the tree.
+    pub fn tags(&self) -> &TagInterner {
+        &self.tags
+    }
+
+    /// The parsed document. For snapshot-born databases the tree is
+    /// **rebuilt from the stored D-labels on first call** (tuples in
+    /// start order nest by their intervals) and cached; query execution
+    /// itself never needs it.
+    ///
+    /// # Panics
+    ///
+    /// If a mapped snapshot that escaped full-checksum verification
+    /// encodes an inconsistent tree. [`BlasDb::from_snapshot`] and
+    /// [`blas_storage::snapshot::verify_checksum`] both reject such
+    /// inputs with typed errors instead.
     pub fn document(&self) -> &Document {
-        &self.doc
+        self.doc.get_or_init(|| {
+            document_from_store(&self.store, &self.tags)
+                .expect("snapshot columns encode a consistent tree")
+        })
     }
 
-    /// The bi-labeling of every node.
+    /// The bi-labeling of every node, indexed by `NodeId`. Derived
+    /// lazily from the store's columns for snapshot-born databases
+    /// (node ids are assigned in document order, which is row order).
     pub fn labels(&self) -> &DocumentLabels {
-        &self.labels
+        self.labels.get_or_init(|| DocumentLabels {
+            dlabels: self.store.doc_labels().to_vec(),
+            plabels: self.store.doc_plabels().to_vec(),
+            domain: self.domain,
+        })
     }
 
     /// The P-label domain shared by nodes and queries.
     pub fn domain(&self) -> &PLabelDomain {
-        &self.labels.domain
+        &self.domain
     }
 
     /// The indexed tuple store.
@@ -289,76 +420,75 @@ impl BlasDb {
         &self.store
     }
 
-    /// The inferred schema graph.
+    /// The schema graph, inferred from the instance on first use (the
+    /// Unfold translator's input).
     pub fn schema(&self) -> &SchemaGraph {
-        &self.schema
+        self.schema.get_or_init(|| SchemaGraph::infer(self.document()))
     }
 
     /// Serialize the labeled, indexed form of this database — the
     /// paper's primary representation ("the XML data is stored in
-    /// labeled form") — as a versioned, checksummed byte buffer.
-    /// Restore with [`BlasDb::from_snapshot`], skipping reparsing and
-    /// relabeling entirely.
+    /// labeled form") — in the sectioned, checksummed, mappable format
+    /// of [`blas_storage::snapshot`]. Restore with
+    /// [`BlasDb::from_snapshot`] (full decode) or write to a file and
+    /// reopen with [`BlasDb::open_mapped`] (zero decode).
     pub fn to_snapshot(&self) -> Vec<u8> {
         let tag_names: Vec<String> =
-            self.doc.tags().iter().map(|(_, n)| n.to_string()).collect();
+            self.tags.iter().map(|(_, n)| n.to_string()).collect();
         blas_storage::snapshot::encode_store(
             &self.store,
             &tag_names,
-            self.labels.domain.num_tags() as u32,
-            self.labels.domain.digits(),
+            self.domain.num_tags() as u32,
+            self.domain.digits(),
         )
     }
+}
 
-    /// Rebuild a queryable database from [`BlasDb::to_snapshot`] bytes.
-    ///
-    /// The document tree is reconstructed from the stored D-labels
-    /// (tuples in start order nest by their intervals), indexes are
-    /// rebuilt, and the P-label domain is restored from its parameters
-    /// — no XML parsing or relabeling happens.
-    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, BlasError> {
-        let snap = blas_storage::snapshot::decode(bytes)
-            .map_err(|e| BlasError::Snapshot(e.to_string()))?;
-        // Rebuild the tree: records are in start (pre-)order; a tuple
-        // is a child of the nearest open interval containing it.
-        let mut builder = blas_xml::DocumentBuilder::new();
-        let mut open: Vec<u32> = Vec::new(); // end positions of open nodes
-        for r in &snap.records {
-            while open.last().is_some_and(|&end| end < r.start) {
-                builder.close();
-                open.pop();
-            }
-            builder.open(&snap.tag_names[r.tag.index()]);
-            if let Some(d) = &r.data {
-                builder.text(d);
-            }
-            open.push(r.end);
-        }
-        for _ in open {
-            builder.close();
-        }
-        let doc = builder
-            .finish()
-            .map_err(|e| BlasError::Snapshot(format!("inconsistent snapshot tree: {e}")))?;
-        // The rebuilt interner assigns TagIds in first-appearance order,
-        // which is exactly the original order; verify rather than trust.
-        for (id, name) in doc.tags().iter() {
-            if snap.tag_names.get(id.index()).map(String::as_str) != Some(name) {
-                return Err(BlasError::Snapshot("tag table order mismatch".to_string()));
-            }
-        }
-        let domain = PLabelDomain::with_digits(snap.num_tags as usize, snap.digits)?;
-        let dlabels = snap
-            .records
-            .iter()
-            .map(|r| DLabel { start: r.start, end: r.end, level: r.level })
-            .collect();
-        let plabels = snap.records.iter().map(|r| r.plabel).collect();
-        let labels = DocumentLabels { dlabels, plabels, domain };
-        let store = NodeStore::from_records(snap.records);
-        let schema = SchemaGraph::infer(&doc);
-        Ok(Self { doc, labels, store, schema })
+/// Build a tag interner from a snapshot's tag table, rejecting
+/// duplicate names (interning would collapse them, leaving dangling
+/// tag ids that panic on later name lookups).
+fn interner_from_names(names: &[String]) -> Result<TagInterner, BlasError> {
+    let mut tags = TagInterner::new();
+    for name in names {
+        tags.intern(name);
     }
+    if tags.len() != names.len() {
+        return Err(BlasError::Snapshot("duplicate names in tag table".to_string()));
+    }
+    Ok(tags)
+}
+
+/// Rebuild the document tree from a store's columns: records are in
+/// start (pre-)order; a tuple is a child of the nearest open interval
+/// containing it.
+fn document_from_store(store: &NodeStore, tags: &TagInterner) -> Result<Document, BlasError> {
+    let mut builder = blas_xml::DocumentBuilder::new();
+    let mut open: Vec<u32> = Vec::new(); // end positions of open nodes
+    for (_, r) in store.scan_all() {
+        while open.last().is_some_and(|&end| end < r.start) {
+            builder.close();
+            open.pop();
+        }
+        builder.open(tags.name(r.tag));
+        if let Some(d) = r.data {
+            builder.text(d);
+        }
+        open.push(r.end);
+    }
+    for _ in open {
+        builder.close();
+    }
+    let doc = builder
+        .finish()
+        .map_err(|e| BlasError::Snapshot(format!("inconsistent snapshot tree: {e}")))?;
+    // The rebuilt interner assigns TagIds in first-appearance order,
+    // which is exactly the original order; verify rather than trust.
+    for (id, name) in doc.tags().iter() {
+        if id.index() >= tags.len() || tags.name(id) != name {
+            return Err(BlasError::Snapshot("tag table order mismatch".to_string()));
+        }
+    }
+    Ok(doc)
 }
 
 #[cfg(test)]
@@ -480,6 +610,39 @@ mod tests {
         let result = db.query("//y", EngineChoice::auto()).unwrap();
         let records = db.records(&result);
         assert_eq!(records.len(), 2);
-        assert!(records.iter().all(|r| db.document().tags().name(r.tag) == "y"));
+        assert!(records.iter().all(|r| db.tags().name(r.tag) == "y"));
+    }
+
+    #[test]
+    fn open_mapped_answers_like_owned() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        let path = std::env::temp_dir()
+            .join(format!("blas_db_mapped_{}.snap", std::process::id()));
+        std::fs::write(&path, db.to_snapshot()).unwrap();
+        let mapped = BlasDb::open_mapped(&path).unwrap();
+        assert!(mapped.store().is_mapped());
+        for q in ["/db/e/p/n", "//y", "/db/e[r/y='2001']/p/n"] {
+            for choice in [
+                EngineChoice::auto(),
+                EngineChoice::twig(),
+                EngineChoice::rdbms().with_translator(Translator::DLabeling),
+            ] {
+                let a = db.query(q, choice).unwrap();
+                let b = mapped.query(q, choice).unwrap();
+                assert_eq!(a.nodes, b.nodes, "{q} {choice:?}");
+                assert_eq!(db.texts(&a), mapped.texts(&b), "{q} {choice:?}");
+            }
+        }
+        // Lazily derived views agree with the owned ones.
+        assert_eq!(mapped.labels(), db.labels());
+        assert_eq!(mapped.document().len(), db.document().len());
+        assert_eq!(mapped.stats(SAMPLE.len()).nodes, 11);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_mapped_missing_file_is_io_error() {
+        let err = BlasDb::open_mapped("/no/such/dir/file.snap");
+        assert!(matches!(err, Err(BlasError::Io(_))), "{err:?}");
     }
 }

@@ -17,6 +17,8 @@ pub enum BlasError {
     Twig(blas_engine::TwigError),
     /// A snapshot could not be decoded or was internally inconsistent.
     Snapshot(String),
+    /// A snapshot file could not be read or mapped.
+    Io(String),
 }
 
 impl fmt::Display for BlasError {
@@ -28,6 +30,7 @@ impl fmt::Display for BlasError {
             Self::Translate(e) => write!(f, "{e}"),
             Self::Twig(e) => write!(f, "{e}"),
             Self::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            Self::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

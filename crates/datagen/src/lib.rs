@@ -4,9 +4,9 @@
 //!
 //! | paper dataset | DTD shape | size | nodes | tags | depth | here |
 //! |---|---|---|---|---|---|---|
-//! | Shakespeare (Bosak) | graph | 1.3 MB | 31 975 | 19 | 7 | [`shakespeare`] |
-//! | Protein (Georgetown PIR) | tree | 3.5 MB | 113 831 | 66 | 7 | [`protein`] |
-//! | Auction (XMark) | recursive | 3.4 MB | 61 890 | 77 | 12 | [`auction`] |
+//! | Shakespeare (Bosak) | graph | 1.3 MB | 31 975 | 19 | 7 | [`shakespeare()`] |
+//! | Protein (Georgetown PIR) | tree | 3.5 MB | 113 831 | 66 | 7 | [`protein()`] |
+//! | Auction (XMark) | recursive | 3.4 MB | 61 890 | 77 | 12 | [`auction()`] |
 //!
 //! Each generator is seeded and deterministic, reproduces the DTD
 //! *shape* (tag inventory, fan-out, recursion, depth) and the features

@@ -17,8 +17,9 @@
 //! the enumerated path solutions.
 //!
 //! Since the physical-plan refactor this module no longer owns an
-//! execution loop: the algorithm is packaged as [`run_match`], the
-//! implementation of the [`PhysOp::TwigStackMatch`] operator. The
+//! execution loop: the algorithm is packaged as the crate-internal
+//! `run_match`, the implementation of the
+//! [`PhysOp::TwigStackMatch`] operator. The
 //! engine entry point [`execute_twigstack`] is a lowering strategy —
 //! per-node [`PhysOp::ClusteredScan`] streams (sharded under a
 //! parallel [`ExecConfig`]) feeding the one holistic operator — over

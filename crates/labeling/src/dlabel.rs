@@ -6,7 +6,14 @@ use blas_xml::{Document, NodeId};
 /// [31, 13]: `start`/`end` are the positions of the node's start and end
 /// tags in the document, counting each start tag, end tag and text datum
 /// as one unit. `level` is the node's depth (root = 1).
+///
+/// The layout is `repr(C)` — `start` at offset 0, `end` at 4, `level`
+/// at 8, two trailing padding bytes, 12 bytes total — because
+/// `blas-storage` persists label columns in exactly this layout and
+/// serves them back as `&[DLabel]` straight out of a read-only file
+/// mapping without decoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)]
 pub struct DLabel {
     /// Position of the start tag.
     pub start: u32,

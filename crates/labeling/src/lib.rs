@@ -31,7 +31,7 @@ pub use plabel::{PInterval, PLabelDomain};
 use blas_xml::Document;
 
 /// All labels for one document: parallel to `Document` node ids.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DocumentLabels {
     /// D-label per node, indexed by `NodeId::index()`.
     pub dlabels: Vec<DLabel>,

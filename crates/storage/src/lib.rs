@@ -8,26 +8,39 @@
 //! * [`relation`] — the columnar [`NodeStore`]: the label/tag/value
 //!   columns held in **two physical sort orders** with per-key run
 //!   directories, so clustered scans return zero-copy `&[DLabel]`
-//!   slices (see the module docs for the layout). Scans are also
+//!   slices (see the module docs for the layout). Every column is a
+//!   *column source* that is either owned memory or a borrowed extent
+//!   of a read-only snapshot mapping — scans, and therefore the
+//!   engines above, cannot tell the difference. Scans are also
 //!   available in *sharded* form ([`shard_runs`] and the
 //!   `NodeStore::shard_*` methods): balanced groups of zero-copy run
 //!   pieces — oversized runs are split with [`Run::slice`] — that the
 //!   engine's parallel scan operator fans out across worker threads;
-//! * [`bptree`] — a from-scratch B+ tree, retained for the `start`
-//!   primary-key and `data` value indexes, the paper's index-height
-//!   accounting, and the reference scan path the columnar layout is
-//!   tested and benchmarked against;
-//! * [`snapshot`] — versioned, checksummed binary persistence of the
-//!   labeled form, encoding straight from the columns.
+//! * [`snapshot`] — the sectioned, page-aligned, checksummed on-disk
+//!   format: one aligned little-endian extent per column (both
+//!   clusterings, both run directories, the interned-string arena), so
+//!   a mapping of the file *is* the store. Two read paths: full
+//!   validating decode ([`snapshot::decode`]) and O(1) zero-decode
+//!   open (`NodeStore::from_mapped`);
+//! * [`mapped`] — the no-dependency read-only file mapping
+//!   ([`MappedBytes`]): `mmap` via direct FFI on 64-bit Unix, an
+//!   aligned heap read everywhere else;
+//! * [`bptree`] — a from-scratch B+ tree, now **lazily derived** from
+//!   the columns (never persisted, never built on open): retained for
+//!   the paper's index-height accounting and the reference scan path
+//!   the columnar layout is tested and benchmarked against.
 //!
 //! Access-path choice and tuple-visit accounting live in `blas-engine`;
 //! this crate only guarantees that every scan yields tuples in exactly
-//! the order the corresponding clustered relation would.
+//! the order the corresponding clustered relation would — from either
+//! column source.
 
 pub mod bptree;
+pub mod mapped;
 pub mod relation;
 pub mod snapshot;
 
 pub use bptree::BPlusTree;
+pub use mapped::MappedBytes;
 pub use relation::{shard_runs, NodeRecord, NodeStore, RecordView, RowId, Run, NO_VALUE};
-pub use snapshot::{Snapshot, SnapshotError};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotMeta};

@@ -1,0 +1,262 @@
+//! Read-only file mappings for zero-decode snapshot access.
+//!
+//! [`MappedBytes`] is the byte substrate [`crate::snapshot`]'s mapped
+//! open path casts its column extents out of. Two acquisition modes
+//! behind one type:
+//!
+//! * **`mmap`** (64-bit Unix): the file is mapped `PROT_READ` /
+//!   `MAP_PRIVATE` via a direct FFI declaration of `mmap`/`munmap` —
+//!   no external crate; `std` already links the platform C library.
+//!   The kernel guarantees page (≥ 4096) alignment of the base
+//!   pointer, pages fault in lazily, and clean pages stay evictable,
+//!   so "opening" a multi-gigabyte snapshot costs a handful of
+//!   syscalls.
+//! * **aligned heap read** (everywhere else, or when `mmap` fails):
+//!   the whole file is read into one allocation aligned to
+//!   [`PAGE_ALIGN`]. Same alignment guarantee, same lifetime rules,
+//!   O(file) open cost — the portable fallback.
+//!
+//! Either way the buffer address is **stable for the lifetime of the
+//! value** (the region is never remapped, reallocated or mutated),
+//! which is the property `NodeStore`'s mapped columns rely on when they
+//! retain raw pointers into it.
+//!
+//! # Caveat
+//!
+//! A `MAP_PRIVATE` mapping observes external modification of the
+//! underlying file in an unspecified way (and `SIGBUS` on truncation),
+//! exactly like every other mmap-backed store. Treat snapshot files as
+//! immutable once written; the writer side
+//! ([`crate::snapshot::encode_store`]) emits them in one shot.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+use std::ptr::NonNull;
+
+/// Alignment guaranteed for the base of every [`MappedBytes`] buffer.
+/// Section offsets inside a snapshot are aligned relative to the file
+/// start, so a `PAGE_ALIGN`-aligned base makes every column extent at
+/// least 64-byte aligned — enough for `u128` columns and then some.
+pub const PAGE_ALIGN: usize = 4096;
+
+/// An immutable, page-aligned byte buffer holding one whole snapshot
+/// file: either an `mmap` region or an aligned heap copy.
+pub struct MappedBytes {
+    ptr: NonNull<u8>,
+    len: usize,
+    backing: Backing,
+}
+
+enum Backing {
+    /// `munmap(ptr, len)` on drop.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mmap,
+    /// `dealloc(ptr, layout)` on drop; `None` for the empty buffer
+    /// (dangling pointer, nothing to free).
+    Heap(Option<std::alloc::Layout>),
+}
+
+// SAFETY: the buffer is immutable and private to this value; sharing
+// read-only bytes across threads is sound.
+unsafe impl Send for MappedBytes {}
+unsafe impl Sync for MappedBytes {}
+
+impl MappedBytes {
+    /// Map `path` read-only, preferring `mmap` and falling back to an
+    /// aligned heap read where mapping is unavailable or fails.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space"))?;
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            if let Some(mapped) = Self::try_mmap(&file, len) {
+                return Ok(mapped);
+            }
+        }
+        Self::read_aligned(file, len)
+    }
+
+    /// True when this buffer is an `mmap` region (false: heap copy).
+    pub fn is_mmap(&self) -> bool {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            matches!(self.backing, Backing::Mmap)
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            false
+        }
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    fn try_mmap(file: &File, len: usize) -> Option<Self> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return None; // mmap(len = 0) is EINVAL; empty goes to heap.
+        }
+        // SAFETY: standard read-only private mapping of an open fd; the
+        // region outlives nothing but ourselves and is unmapped in Drop.
+        let addr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if addr == sys::MAP_FAILED || addr.is_null() {
+            return None;
+        }
+        debug_assert_eq!(addr as usize % PAGE_ALIGN, 0, "kernel maps on page boundaries");
+        Some(Self {
+            ptr: NonNull::new(addr.cast())?,
+            len,
+            backing: Backing::Mmap,
+        })
+    }
+
+    /// The portable path: one page-aligned allocation filled by
+    /// `read_exact` — O(file) but identical alignment guarantees.
+    fn read_aligned(mut file: File, len: usize) -> io::Result<Self> {
+        if len == 0 {
+            return Ok(Self {
+                ptr: NonNull::<u8>::dangling(),
+                len: 0,
+                backing: Backing::Heap(None),
+            });
+        }
+        let layout = std::alloc::Layout::from_size_align(len, PAGE_ALIGN)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to buffer"))?;
+        // SAFETY: layout has non-zero size; allocation failure handled.
+        let raw = unsafe { std::alloc::alloc(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            std::alloc::handle_alloc_error(layout);
+        };
+        let buf = Self { ptr, len, backing: Backing::Heap(Some(layout)) };
+        // SAFETY: `buf` owns `len` freshly allocated bytes.
+        let dst = unsafe { std::slice::from_raw_parts_mut(buf.ptr.as_ptr(), len) };
+        file.read_exact(dst)?;
+        Ok(buf)
+    }
+
+    /// Bytes of the file.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe the owned (or mapped) region, which
+        // stays valid and unmodified until Drop.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Deref for MappedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl std::fmt::Debug for MappedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedBytes")
+            .field("len", &self.len)
+            .field("mmap", &self.is_mmap())
+            .finish()
+    }
+}
+
+impl Drop for MappedBytes {
+    fn drop(&mut self) {
+        match self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mmap => {
+                // SAFETY: exactly the region try_mmap mapped.
+                unsafe { sys::munmap(self.ptr.as_ptr().cast(), self.len) };
+            }
+            Backing::Heap(Some(layout)) => {
+                // SAFETY: exactly the allocation read_aligned made.
+                unsafe { std::alloc::dealloc(self.ptr.as_ptr(), layout) };
+            }
+            Backing::Heap(None) => {}
+        }
+    }
+}
+
+/// Minimal FFI surface of the platform C library — declared directly so
+/// the crate stays dependency-free (`std` already links libc on Unix).
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = -1isize as *mut c_void;
+
+    extern "C" {
+        /// 64-bit Unix `mmap`: `off_t` is `i64` on every LP64 target.
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("blas_mapped_{name}_{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn open_reads_whole_file_page_aligned() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let path = tmp("whole", &data);
+        let m = MappedBytes::open(&path).unwrap();
+        assert_eq!(&*m, &data[..]);
+        assert_eq!(m.as_bytes().as_ptr() as usize % PAGE_ALIGN, 0);
+        drop(m);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp("empty", b"");
+        let m = MappedBytes::open(&path).unwrap();
+        assert!(m.is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn heap_fallback_matches_mmap() {
+        let data = b"snapshot bytes, any alignment".repeat(333);
+        let path = tmp("fallback", &data);
+        let file = File::open(&path).unwrap();
+        let heap = MappedBytes::read_aligned(file, data.len()).unwrap();
+        assert!(!heap.is_mmap());
+        assert_eq!(&*heap, &data[..]);
+        assert_eq!(heap.as_bytes().as_ptr() as usize % PAGE_ALIGN, 0);
+        let via_open = MappedBytes::open(&path).unwrap();
+        assert_eq!(&*via_open, &*heap);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(MappedBytes::open(Path::new("/no/such/blas/file")).is_err());
+    }
+}

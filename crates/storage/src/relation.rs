@@ -15,15 +15,16 @@
 //! physical permutations** of the label/value columns:
 //!
 //! ```text
-//! document order (RowId):  labels[i], plabels[i], tags[i], values[i]
+//! document order (RowId):  labels[i], plabels[i], tags[i], value_ids[i]
 //!
 //! SP clustering:  sp_labels / sp_rows / sp_values   sorted by (plabel, start)
-//!                 sp_dir: one PlabelRun {plabel, rows: begin..end} per
-//!                 distinct plabel, sorted by plabel
+//!                 sp_keys/sp_ends: one (plabel, exclusive end position)
+//!                 pair per distinct plabel, sorted by plabel — run i
+//!                 covers positions sp_ends[i-1]..sp_ends[i]
 //!
 //! SD clustering:  sd_labels / sd_rows / sd_values   sorted by (tag, start)
-//!                 sd_dir: one TagRun {tag, rows: begin..end} per
-//!                 distinct tag, sorted by tag
+//!                 sd_keys/sd_ends: the same flat run directory keyed
+//!                 by tag
 //! ```
 //!
 //! A **run** is the contiguous row range of one distinct clustering-key
@@ -37,24 +38,41 @@
 //!   distinct P-label in `[p1, p2]`, each a zero-copy slice (the engine
 //!   merges them back to document order with a ping-pong buffer merge).
 //!
+//! # Column sources: owned vs mapped
+//!
+//! Every column is a `Col` — either an owned `Vec` (the in-memory
+//! build path: [`NodeStore::build`] / [`NodeStore::from_records`]) or a
+//! borrowed extent of a read-only file mapping
+//! ([`NodeStore::from_mapped`], over the sectioned snapshot format of
+//! [`crate::snapshot`]). Scans are source-agnostic: the same
+//! `&[DLabel]` run slices come back either way, so the engines —
+//! including the sharded parallel scan path built on [`shard_runs`] —
+//! query a mapped snapshot with **zero upfront decode**.
+//!
 //! There is **no per-tuple B+ tree traversal on the hot path**. The B+
-//! trees are retained for three colder purposes: the paper's index
-//! accounting ([`NodeStore::sp_index_height`]), the `start` primary-key
-//! and `data` value indexes, and a reference scan path
+//! trees are *derived* data, built lazily on first use (so a mapped
+//! open stays O(1)) and retained for three colder purposes: the paper's
+//! index accounting ([`NodeStore::sp_index_height`]), the `start`
+//! primary-key reference lookup, and a reference scan path
 //! ([`NodeStore::ref_scan_plabel_range`], [`NodeStore::ref_scan_tag`])
 //! that the property tests and the `BENCH_storage.json` kernel bench
 //! compare the columnar path against.
 //!
 //! PCDATA is interned: each distinct string is stored once in a value
-//! pool and rows carry a `u32` value id, so a `data = 'x'` filter over
-//! a run is an integer compare over a contiguous `&[u32]`, and building
-//! snapshots never clones row strings.
+//! table and rows carry a `u32` value id, so a `data = 'x'` filter over
+//! a run is an integer compare over a contiguous `&[u32]`. Value-id
+//! lookup ([`NodeStore::value_id`]) binary-searches `value_sorted`, the
+//! permutation of value ids ordered by their strings — which persists
+//! as just another column, keeping the mapped path index-free.
 
 use crate::bptree::BPlusTree;
+use crate::mapped::MappedBytes;
+use crate::snapshot::{self, SnapshotError, SnapshotMeta};
 use blas_labeling::{DLabel, DocumentLabels};
 use blas_xml::{Document, TagId};
 use std::collections::BTreeMap;
-use std::ops::Range;
+use std::ops::{Deref, Range};
+use std::sync::OnceLock;
 
 /// Physical row identifier (position in the document-order columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -70,6 +88,89 @@ impl RowId {
 
 /// Sentinel value id for rows without PCDATA.
 pub const NO_VALUE: u32 = u32::MAX;
+
+/// One column, from either source: owned by the store, or a borrowed
+/// extent of the read-only mapping the store keeps alive.
+///
+/// The `Mapped` variant stores raw slice parts instead of a `&[T]`
+/// because the referent is a sibling field (the [`MappedBytes`] in
+/// [`NodeStore::source`]); the buffer address is stable for the
+/// store's lifetime (mmap regions and page-aligned heap reads are
+/// never moved, mutated, or freed before drop), which is what makes
+/// reconstructing the slice in [`Col::deref`] sound.
+pub(crate) enum Col<T: 'static> {
+    Owned(Vec<T>),
+    Mapped { ptr: *const T, len: usize },
+}
+
+// SAFETY: a mapped column is an immutable view of immutable bytes; the
+// raw pointer is only ever read, so sharing follows `&[T]` rules.
+unsafe impl<T: Send> Send for Col<T> {}
+unsafe impl<T: Sync> Sync for Col<T> {}
+
+impl<T> Col<T> {
+    /// Capture a mapped extent as raw parts (see type-level safety
+    /// argument).
+    pub(crate) fn from_mapped_slice(s: &[T]) -> Self {
+        Col::Mapped { ptr: s.as_ptr(), len: s.len() }
+    }
+}
+
+impl<T> Deref for Col<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            Col::Owned(v) => v,
+            // SAFETY: ptr/len came from a live slice of the mapping the
+            // owning store keeps alive and never mutates.
+            Col::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Col<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Col[{}; {}]", if matches!(self, Col::Owned(_)) { "owned" } else { "mapped" }, self.len())
+    }
+}
+
+/// The interned-PCDATA table, from either source: owned strings, or
+/// the snapshot's string arena (an offsets column into a byte column)
+/// served in place.
+#[derive(Debug)]
+pub(crate) enum StrTable {
+    Owned(Vec<String>),
+    /// `offsets.len() == count + 1`; string `i` is
+    /// `bytes[offsets[i]..offsets[i+1]]`. Offsets are validated
+    /// monotonic and in-bounds when the snapshot is opened; UTF-8 is
+    /// checked per access (each string once per read, not the whole
+    /// arena up front).
+    Mapped { offsets: Col<u64>, bytes: Col<u8> },
+}
+
+impl StrTable {
+    fn len(&self) -> usize {
+        match self {
+            StrTable::Owned(v) => v.len(),
+            StrTable::Mapped { offsets, .. } => offsets.len().saturating_sub(1),
+        }
+    }
+
+    /// String `i`, or `None` when `i` is out of range (or, for a mapped
+    /// arena that escaped checksum verification, not valid UTF-8 —
+    /// treated as absent rather than a panic).
+    fn get(&self, i: usize) -> Option<&str> {
+        match self {
+            StrTable::Owned(v) => v.get(i).map(String::as_str),
+            StrTable::Mapped { offsets, bytes } => {
+                let from = *offsets.get(i)? as usize;
+                let to = *offsets.get(i + 1)? as usize;
+                std::str::from_utf8(bytes.get(from..to)?).ok()
+            }
+        }
+    }
+}
 
 /// One tuple in owned form: the paper's `<plabel, start, end, level,
 /// data>` plus the `tag` attribute of the SD schema. Used at API
@@ -112,7 +213,7 @@ pub struct RecordView<'a> {
     pub level: u16,
     /// The node's tag.
     pub tag: TagId,
-    /// PCDATA value, borrowed from the store's intern pool.
+    /// PCDATA value, borrowed from the store's intern table.
     pub data: Option<&'a str>,
 }
 
@@ -250,49 +351,81 @@ pub fn shard_runs<'a>(runs: Vec<Run<'a>>, shards: usize) -> Vec<Vec<Run<'a>>> {
     groups
 }
 
-/// Run-directory entry of the SP clustering.
-#[derive(Debug, Clone)]
-struct PlabelRun {
-    plabel: u128,
-    rows: Range<u32>,
-}
-
-/// Run-directory entry of the SD clustering.
-#[derive(Debug, Clone)]
-struct TagRun {
-    tag: u32,
-    rows: Range<u32>,
+/// The derived B+ tree indexes, built lazily from the columns on first
+/// use. Keeping them out of the construction path is what lets a
+/// mapped snapshot open in O(1): nothing here is needed by the
+/// clustered-scan hot paths.
+#[derive(Debug)]
+struct RefIndexes {
+    sp: BPlusTree<(u128, u32), RowId>,
+    sd: BPlusTree<(u32, u32), RowId>,
+    start: BPlusTree<u32, RowId>,
 }
 
 /// The columnar, doubly clustered store for one labeled document.
+///
+/// Built three ways: from a parsed document ([`NodeStore::build`]),
+/// from owned records ([`NodeStore::from_records`]), or directly over
+/// a read-only snapshot mapping ([`NodeStore::from_mapped`]) — the
+/// zero-decode path. Scans behave identically across all three.
 #[derive(Debug)]
 pub struct NodeStore {
     // --- document-order columns (RowId = position) -----------------
-    labels: Vec<DLabel>,
-    plabels: Vec<u128>,
-    tags: Vec<u32>,
-    value_ids: Vec<u32>,
-    /// Interned PCDATA pool; `value_ids` index into it.
-    values: Vec<String>,
+    pub(crate) labels: Col<DLabel>,
+    pub(crate) plabels: Col<u128>,
+    pub(crate) tags: Col<u32>,
+    pub(crate) value_ids: Col<u32>,
+    /// Interned PCDATA table; `value_ids` index into it.
+    pub(crate) values: StrTable,
+    /// Value ids ordered by their strings (the persistent, mapping-
+    /// friendly replacement for a value B-tree): `value_id` lookup is
+    /// a binary search over this column.
+    pub(crate) value_sorted: Col<u32>,
 
     // --- SP clustering: permutation sorted by (plabel, start) ------
-    sp_labels: Vec<DLabel>,
-    sp_rows: Vec<u32>,
-    sp_values: Vec<u32>,
-    sp_dir: Vec<PlabelRun>,
+    pub(crate) sp_labels: Col<DLabel>,
+    pub(crate) sp_rows: Col<u32>,
+    pub(crate) sp_values: Col<u32>,
+    /// Run directory: distinct plabels, ascending.
+    pub(crate) sp_keys: Col<u128>,
+    /// Exclusive end position of each run; run `i` covers
+    /// `sp_ends[i-1]..sp_ends[i]` (0-based start for `i == 0`).
+    pub(crate) sp_ends: Col<u32>,
 
     // --- SD clustering: permutation sorted by (tag, start) ---------
-    sd_labels: Vec<DLabel>,
-    sd_rows: Vec<u32>,
-    sd_values: Vec<u32>,
-    sd_dir: Vec<TagRun>,
+    pub(crate) sd_labels: Col<DLabel>,
+    pub(crate) sd_rows: Col<u32>,
+    pub(crate) sd_values: Col<u32>,
+    pub(crate) sd_keys: Col<u32>,
+    pub(crate) sd_ends: Col<u32>,
 
-    // --- retained B+ tree indexes (accounting + reference path) ----
-    sp_index: BPlusTree<(u128, u32), RowId>,
-    sd_index: BPlusTree<(u32, u32), RowId>,
-    start_index: BPlusTree<u32, RowId>,
-    /// Index on `data`: value id → rows in start order.
-    value_index: BTreeMap<String, Vec<RowId>>,
+    // --- lazily derived B+ tree indexes (reference/accounting) -----
+    ref_indexes: OnceLock<RefIndexes>,
+    /// Keep-alive for the mapping the `Col::Mapped` columns point into.
+    #[allow(dead_code)]
+    source: Option<MappedBytes>,
+}
+
+/// The mapped columns of one snapshot, produced inside
+/// [`NodeStore::from_mapped`] while the parse borrow is live and then
+/// married to the mapping itself.
+struct MappedCols {
+    labels: Col<DLabel>,
+    plabels: Col<u128>,
+    tags: Col<u32>,
+    value_ids: Col<u32>,
+    values: StrTable,
+    value_sorted: Col<u32>,
+    sp_labels: Col<DLabel>,
+    sp_rows: Col<u32>,
+    sp_values: Col<u32>,
+    sp_keys: Col<u128>,
+    sp_ends: Col<u32>,
+    sd_labels: Col<DLabel>,
+    sd_rows: Col<u32>,
+    sd_values: Col<u32>,
+    sd_keys: Col<u32>,
+    sd_ends: Col<u32>,
 }
 
 impl NodeStore {
@@ -327,8 +460,87 @@ impl NodeStore {
         Self::from_columns(columns)
     }
 
+    /// Open a store **directly over a snapshot mapping** with zero
+    /// upfront decode: every column — both clusterings, both run
+    /// directories, the string arena — is served in place from the
+    /// file's sectioned extents. Validation is O(header + directory),
+    /// not O(data); see [`crate::snapshot`] for what is (and is not)
+    /// checked on this path.
+    ///
+    /// Returns the store plus the snapshot's metadata (tag table and
+    /// P-label domain parameters), which the caller needs to bind
+    /// queries.
+    ///
+    /// On big-endian targets the sectioned little-endian extents cannot
+    /// be served in place; this falls back to a full decode into owned
+    /// columns (correct, but O(data) like [`NodeStore::from_records`]).
+    pub fn from_mapped(source: MappedBytes) -> Result<(Self, SnapshotMeta), SnapshotError> {
+        #[cfg(target_endian = "little")]
+        {
+            let (cols, meta) = {
+                let view = snapshot::TypedView::parse(&source)?;
+                let meta = view.meta()?;
+                let cols = MappedCols {
+                    labels: Col::from_mapped_slice(view.doc_labels),
+                    plabels: Col::from_mapped_slice(view.doc_plabels),
+                    tags: Col::from_mapped_slice(view.doc_tags),
+                    value_ids: Col::from_mapped_slice(view.doc_value_ids),
+                    values: StrTable::Mapped {
+                        offsets: Col::from_mapped_slice(view.value_offsets),
+                        bytes: Col::from_mapped_slice(view.value_bytes),
+                    },
+                    value_sorted: Col::from_mapped_slice(view.value_sorted),
+                    sp_labels: Col::from_mapped_slice(view.sp_labels),
+                    sp_rows: Col::from_mapped_slice(view.sp_rows),
+                    sp_values: Col::from_mapped_slice(view.sp_values),
+                    sp_keys: Col::from_mapped_slice(view.sp_keys),
+                    sp_ends: Col::from_mapped_slice(view.sp_ends),
+                    sd_labels: Col::from_mapped_slice(view.sd_labels),
+                    sd_rows: Col::from_mapped_slice(view.sd_rows),
+                    sd_values: Col::from_mapped_slice(view.sd_values),
+                    sd_keys: Col::from_mapped_slice(view.sd_keys),
+                    sd_ends: Col::from_mapped_slice(view.sd_ends),
+                };
+                (cols, meta)
+            };
+            let store = Self {
+                labels: cols.labels,
+                plabels: cols.plabels,
+                tags: cols.tags,
+                value_ids: cols.value_ids,
+                values: cols.values,
+                value_sorted: cols.value_sorted,
+                sp_labels: cols.sp_labels,
+                sp_rows: cols.sp_rows,
+                sp_values: cols.sp_values,
+                sp_keys: cols.sp_keys,
+                sp_ends: cols.sp_ends,
+                sd_labels: cols.sd_labels,
+                sd_rows: cols.sd_rows,
+                sd_values: cols.sd_values,
+                sd_keys: cols.sd_keys,
+                sd_ends: cols.sd_ends,
+                ref_indexes: OnceLock::new(),
+                source: Some(source),
+            };
+            Ok((store, meta))
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            // Portable fallback: decode the little-endian snapshot into
+            // owned, native-endian columns.
+            let snap = snapshot::decode(&source)?;
+            let meta = SnapshotMeta {
+                tag_names: snap.tag_names.clone(),
+                num_tags: snap.num_tags,
+                digits: snap.digits,
+            };
+            Ok((Self::from_records(snap.records), meta))
+        }
+    }
+
     fn from_columns(columns: Columns) -> Self {
-        let Columns { labels, plabels, tags, value_ids, values, .. } = columns;
+        let Columns { labels, plabels, tags, value_ids, values, intern } = columns;
         let n = labels.len();
 
         // SP permutation: stable clustering by plabel keeps the
@@ -337,12 +549,16 @@ impl NodeStore {
         sp_perm.sort_unstable_by_key(|&i| (plabels[i as usize], labels[i as usize].start));
         let sp_labels: Vec<DLabel> = sp_perm.iter().map(|&i| labels[i as usize]).collect();
         let sp_values: Vec<u32> = sp_perm.iter().map(|&i| value_ids[i as usize]).collect();
-        let mut sp_dir: Vec<PlabelRun> = Vec::new();
+        let mut sp_keys: Vec<u128> = Vec::new();
+        let mut sp_ends: Vec<u32> = Vec::new();
         for (pos, &row) in sp_perm.iter().enumerate() {
             let p = plabels[row as usize];
-            match sp_dir.last_mut() {
-                Some(run) if run.plabel == p => run.rows.end = pos as u32 + 1,
-                _ => sp_dir.push(PlabelRun { plabel: p, rows: pos as u32..pos as u32 + 1 }),
+            match sp_keys.last() {
+                Some(&last) if last == p => *sp_ends.last_mut().expect("parallel") = pos as u32 + 1,
+                _ => {
+                    sp_keys.push(p);
+                    sp_ends.push(pos as u32 + 1);
+                }
             }
         }
 
@@ -351,56 +567,65 @@ impl NodeStore {
         sd_perm.sort_unstable_by_key(|&i| (tags[i as usize], labels[i as usize].start));
         let sd_labels: Vec<DLabel> = sd_perm.iter().map(|&i| labels[i as usize]).collect();
         let sd_values: Vec<u32> = sd_perm.iter().map(|&i| value_ids[i as usize]).collect();
-        let mut sd_dir: Vec<TagRun> = Vec::new();
+        let mut sd_keys: Vec<u32> = Vec::new();
+        let mut sd_ends: Vec<u32> = Vec::new();
         for (pos, &row) in sd_perm.iter().enumerate() {
             let t = tags[row as usize];
-            match sd_dir.last_mut() {
-                Some(run) if run.tag == t => run.rows.end = pos as u32 + 1,
-                _ => sd_dir.push(TagRun { tag: t, rows: pos as u32..pos as u32 + 1 }),
+            match sd_keys.last() {
+                Some(&last) if last == t => *sd_ends.last_mut().expect("parallel") = pos as u32 + 1,
+                _ => {
+                    sd_keys.push(t);
+                    sd_ends.push(pos as u32 + 1);
+                }
             }
         }
 
-        // Retained B+ tree indexes and the value index. Rows are
-        // grouped by interned value id first so the index clones each
-        // distinct string once, not once per occurrence.
-        let mut sp_index = BPlusTree::new();
-        let mut sd_index = BPlusTree::new();
-        let mut start_index = BPlusTree::new();
-        let mut rows_by_value: Vec<Vec<RowId>> = vec![Vec::new(); values.len()];
-        for i in 0..n {
-            let row = RowId(i as u32);
-            sp_index.insert((plabels[i], labels[i].start), row);
-            sd_index.insert((tags[i], labels[i].start), row);
-            start_index.insert(labels[i].start, row);
-            if value_ids[i] != NO_VALUE {
-                rows_by_value[value_ids[i] as usize].push(row);
-            }
-        }
-        let value_index: BTreeMap<String, Vec<RowId>> = values
-            .iter()
-            .zip(rows_by_value)
-            .map(|(value, rows)| (value.clone(), rows))
-            .collect();
+        // The intern map iterates in string order, which is exactly the
+        // sorted-value-id column the binary-search lookup needs.
+        let value_sorted: Vec<u32> = intern.values().copied().collect();
 
         Self {
-            labels,
-            plabels,
-            tags,
-            value_ids,
-            values,
-            sp_labels,
-            sp_rows: sp_perm,
-            sp_values,
-            sp_dir,
-            sd_labels,
-            sd_rows: sd_perm,
-            sd_values,
-            sd_dir,
-            sp_index,
-            sd_index,
-            start_index,
-            value_index,
+            labels: Col::Owned(labels),
+            plabels: Col::Owned(plabels),
+            tags: Col::Owned(tags),
+            value_ids: Col::Owned(value_ids),
+            values: StrTable::Owned(values),
+            value_sorted: Col::Owned(value_sorted),
+            sp_labels: Col::Owned(sp_labels),
+            sp_rows: Col::Owned(sp_perm),
+            sp_values: Col::Owned(sp_values),
+            sp_keys: Col::Owned(sp_keys),
+            sp_ends: Col::Owned(sp_ends),
+            sd_labels: Col::Owned(sd_labels),
+            sd_rows: Col::Owned(sd_perm),
+            sd_values: Col::Owned(sd_values),
+            sd_keys: Col::Owned(sd_keys),
+            sd_ends: Col::Owned(sd_ends),
+            ref_indexes: OnceLock::new(),
+            source: None,
         }
+    }
+
+    /// The lazily built reference indexes (see [`RefIndexes`]).
+    fn refs(&self) -> &RefIndexes {
+        self.ref_indexes.get_or_init(|| {
+            let mut sp = BPlusTree::new();
+            let mut sd = BPlusTree::new();
+            let mut start = BPlusTree::new();
+            for i in 0..self.labels.len() {
+                let row = RowId(i as u32);
+                sp.insert((self.plabels[i], self.labels[i].start), row);
+                sd.insert((self.tags[i], self.labels[i].start), row);
+                start.insert(self.labels[i].start, row);
+            }
+            RefIndexes { sp, sd, start }
+        })
+    }
+
+    /// True when this store serves its columns from a read-only
+    /// snapshot mapping rather than owned memory.
+    pub fn is_mapped(&self) -> bool {
+        self.source.is_some()
     }
 
     /// Number of tuples.
@@ -434,20 +659,27 @@ impl NodeStore {
         if value_id == NO_VALUE {
             None
         } else {
-            Some(&self.values[value_id as usize])
+            self.values.get(value_id as usize)
         }
     }
 
     /// The intern id of a PCDATA string, if any row carries it. Lets a
     /// `data = 'x'` filter run as an integer compare over a run's
-    /// `value_ids`.
+    /// `value_ids`. Implemented as a binary search over the
+    /// string-ordered `value_sorted` column, so it works identically
+    /// over owned and mapped stores.
     pub fn value_id(&self, value: &str) -> Option<u32> {
-        // The value index maps each distinct stored string to its rows;
-        // any row's id works since equal strings share one id.
-        self.value_index
-            .get(value)
-            .and_then(|rows| rows.first())
-            .map(|row| self.value_ids[row.index()])
+        self.value_sorted
+            .binary_search_by(|&id| {
+                self.values.get(id as usize).unwrap_or("").cmp(value)
+            })
+            .ok()
+            .map(|pos| self.value_sorted[pos])
+    }
+
+    /// Number of distinct interned PCDATA strings.
+    pub fn value_count(&self) -> usize {
+        self.values.len()
     }
 
     /// All tuples in start (document) order.
@@ -473,14 +705,33 @@ impl NodeStore {
         &self.labels
     }
 
+    /// All P-labels in document order (zero-copy).
+    pub fn doc_plabels(&self) -> &[u128] {
+        &self.plabels
+    }
+
+    /// Positions `sp_ends[i-1]..sp_ends[i]` of SP run `i`.
+    #[inline]
+    fn sp_run_range(&self, i: usize) -> Range<usize> {
+        let begin = if i == 0 { 0 } else { self.sp_ends[i - 1] as usize };
+        begin..self.sp_ends[i] as usize
+    }
+
+    /// Positions of SD run `i`.
+    #[inline]
+    fn sd_run_range(&self, i: usize) -> Range<usize> {
+        let begin = if i == 0 { 0 } else { self.sd_ends[i - 1] as usize };
+        begin..self.sd_ends[i] as usize
+    }
+
     /// SP-clustered range scan: the contiguous run of every distinct
     /// P-label in `[p1, p2]`, in P-label order. Each run is a borrowed
     /// slice; no per-tuple index traversal happens.
     pub fn scan_plabel_range(&self, p1: u128, p2: u128) -> impl Iterator<Item = Run<'_>> {
-        let from = self.sp_dir.partition_point(|r| r.plabel < p1);
-        let to = self.sp_dir.partition_point(|r| r.plabel <= p2);
-        self.sp_dir[from..to].iter().map(move |run| {
-            let r = run.rows.start as usize..run.rows.end as usize;
+        let from = self.sp_keys.partition_point(|&k| k < p1);
+        let to = self.sp_keys.partition_point(|&k| k <= p2);
+        (from..to).map(move |i| {
+            let r = self.sp_run_range(i);
             Run {
                 labels: &self.sp_labels[r.clone()],
                 rows: &self.sp_rows[r.clone()],
@@ -493,9 +744,9 @@ impl NodeStore {
     /// SP-clustered equality scan (`plabel = p`): exactly one
     /// contiguous, start-ordered run (empty when `p` is unused).
     pub fn scan_plabel_eq(&self, p: u128) -> Run<'_> {
-        match self.sp_dir.binary_search_by(|r| r.plabel.cmp(&p)) {
+        match self.sp_keys.binary_search(&p) {
             Ok(at) => {
-                let r = self.sp_dir[at].rows.start as usize..self.sp_dir[at].rows.end as usize;
+                let r = self.sp_run_range(at);
                 Run {
                     labels: &self.sp_labels[r.clone()],
                     rows: &self.sp_rows[r.clone()],
@@ -510,9 +761,9 @@ impl NodeStore {
     /// SD-clustered scan: the one contiguous, start-ordered run of a
     /// tag (what the D-labeling baseline reads per query tag).
     pub fn scan_tag(&self, tag: TagId) -> Run<'_> {
-        match self.sd_dir.binary_search_by(|r| r.tag.cmp(&tag.0)) {
+        match self.sd_keys.binary_search(&tag.0) {
             Ok(at) => {
-                let r = self.sd_dir[at].rows.start as usize..self.sd_dir[at].rows.end as usize;
+                let r = self.sd_run_range(at);
                 Run {
                     labels: &self.sd_labels[r.clone()],
                     rows: &self.sd_rows[r.clone()],
@@ -539,14 +790,21 @@ impl NodeStore {
         self.row_of_start(start).map(|row| (row, self.record(row)))
     }
 
-    /// Value-index lookup: rows whose `data` equals `value`, in start
-    /// order.
-    pub fn scan_value(&self, value: &str) -> impl Iterator<Item = (RowId, RecordView<'_>)> {
-        self.value_index
-            .get(value)
-            .into_iter()
-            .flatten()
-            .map(move |&row| (row, self.record(row)))
+    /// Rows whose `data` equals `value`, in start order: resolve the
+    /// value id once (O(log n); an un-interned value returns an empty
+    /// iterator without touching the columns), then filter the
+    /// document-order value-id column (an O(n) integer sweep — this is
+    /// a cold path; hot value predicates are fused into clustered
+    /// scans by the engine).
+    pub fn scan_value<'a>(
+        &'a self,
+        value: &str,
+    ) -> impl Iterator<Item = (RowId, RecordView<'a>)> + 'a {
+        let want = self.value_id(value);
+        let end = if want.is_some() { self.value_ids.len() } else { 0 };
+        (0..end)
+            .filter(move |&i| Some(self.value_ids[i]) == want)
+            .map(move |i| (RowId(i as u32), self.record(RowId(i as u32))))
     }
 
     // --- shard-aware run iteration (parallel scan support) ----------
@@ -577,49 +835,53 @@ impl NodeStore {
 
     // --- reference (B+ tree) scan path ------------------------------
 
-    /// Reference SP range scan through the retained B+ tree: one index
-    /// traversal plus a heap-style column lookup *per tuple*. This is
-    /// the access path the seed used everywhere; it is kept as the
-    /// oracle the columnar path is property-tested and benchmarked
+    /// Reference SP range scan through the (lazily built) B+ tree: one
+    /// index traversal plus a heap-style column lookup *per tuple*.
+    /// This is the access path the seed used everywhere; it is kept as
+    /// the oracle the columnar path is property-tested and benchmarked
     /// against.
     pub fn ref_scan_plabel_range(
         &self,
         p1: u128,
         p2: u128,
     ) -> impl Iterator<Item = (RowId, DLabel)> + '_ {
-        self.sp_index
+        self.refs()
+            .sp
             .range(&(p1, 0), &(p2, u32::MAX))
             .map(move |(_, &row)| (row, self.labels[row.index()]))
     }
 
-    /// Reference SD tag scan through the retained B+ tree.
+    /// Reference SD tag scan through the lazily built B+ tree.
     pub fn ref_scan_tag(&self, tag: TagId) -> impl Iterator<Item = (RowId, DLabel)> + '_ {
-        self.sd_index
+        self.refs()
+            .sd
             .range(&(tag.0, 0), &(tag.0, u32::MAX))
             .map(move |(_, &row)| (row, self.labels[row.index()]))
     }
 
-    /// Reference point lookup through the retained `start` B+ tree.
+    /// Reference point lookup through the lazily built `start` B+ tree.
     pub fn ref_get_by_start(&self, start: u32) -> Option<(RowId, RecordView<'_>)> {
-        self.start_index
+        self.refs()
+            .start
             .get(&start)
             .map(|&row| (row, self.record(row)))
     }
 
     /// Height of the SP B+ tree (the paper's storage accounting).
+    /// Builds the reference indexes if they have not been touched yet.
     pub fn sp_index_height(&self) -> usize {
-        self.sp_index.height()
+        self.refs().sp.height()
     }
 
     /// Number of distinct P-label runs in the SP clustering (equals the
     /// number of distinct source paths in the document).
     pub fn sp_run_count(&self) -> usize {
-        self.sp_dir.len()
+        self.sp_keys.len()
     }
 
     /// Number of distinct tag runs in the SD clustering.
     pub fn sd_run_count(&self) -> usize {
-        self.sd_dir.len()
+        self.sd_keys.len()
     }
 }
 
@@ -705,6 +967,7 @@ mod tests {
         // Document-order column is start-ordered.
         let starts: Vec<u32> = s.scan_all().map(|(_, r)| r.start).collect();
         assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        assert!(!s.is_mapped());
     }
 
     #[test]
@@ -774,7 +1037,7 @@ mod tests {
     }
 
     #[test]
-    fn value_interning_and_index() {
+    fn value_interning_and_lookup() {
         let (_, s) = store(SAMPLE);
         let rows: Vec<RecordView> = s.scan_value("b").map(|(_, r)| r).collect();
         assert_eq!(rows.len(), 1);
@@ -784,6 +1047,7 @@ mod tests {
         assert_eq!(s.value(id), Some("b"));
         assert_eq!(s.value_id("zzz"), None);
         assert_eq!(s.value(NO_VALUE), None);
+        assert_eq!(s.value_count(), 3);
     }
 
     #[test]
@@ -900,10 +1164,52 @@ mod tests {
         ];
         let s = NodeStore::from_records(recs);
         assert_eq!(s.len(), 4);
-        assert_eq!(s.values.len(), 2, "duplicate strings share one pool entry");
+        assert_eq!(s.value_count(), 2, "duplicate strings share one pool entry");
         let run = s.scan_plabel_eq(5);
         assert_eq!(run.len(), 2);
         assert_eq!(run.value_ids[0], run.value_ids[1]);
         assert_eq!(s.scan_value("v").count(), 2);
+    }
+
+    #[test]
+    fn mapped_store_scans_equal_owned_store_scans() {
+        use std::io::Write;
+        let (doc, owned) = store(SAMPLE);
+        let tag_names: Vec<String> =
+            doc.tags().iter().map(|(_, n)| n.to_string()).collect();
+        let bytes = snapshot::encode_store(&owned, &tag_names, tag_names.len() as u32, 5);
+        let path = std::env::temp_dir()
+            .join(format!("blas_relation_mapped_{}.snap", std::process::id()));
+        std::fs::File::create(&path).unwrap().write_all(&bytes).unwrap();
+        let (mapped, meta) = NodeStore::from_mapped(MappedBytes::open(&path).unwrap()).unwrap();
+        assert!(mapped.is_mapped());
+        assert_eq!(meta.tag_names, tag_names);
+        assert_eq!(mapped.len(), owned.len());
+        // Every record identical.
+        for (row, r) in owned.scan_all() {
+            assert_eq!(mapped.record(row), r);
+        }
+        // Every clustered scan identical.
+        for name in ["db", "e", "n", "x"] {
+            let tag = doc.tags().get(name).unwrap();
+            assert_eq!(mapped.scan_tag(tag).labels, owned.scan_tag(tag).labels);
+            assert_eq!(mapped.scan_tag(tag).rows, owned.scan_tag(tag).rows);
+        }
+        let a: Vec<DLabel> = owned
+            .scan_plabel_range(0, u128::MAX)
+            .flat_map(|r| r.labels.iter().copied())
+            .collect();
+        let b: Vec<DLabel> = mapped
+            .scan_plabel_range(0, u128::MAX)
+            .flat_map(|r| r.labels.iter().copied())
+            .collect();
+        assert_eq!(a, b);
+        // Value machinery identical.
+        assert_eq!(mapped.value_id("b"), owned.value_id("b"));
+        assert_eq!(mapped.value_id("zzz"), None);
+        assert_eq!(mapped.scan_value("c").count(), 1);
+        // Reference indexes build lazily over mapped columns too.
+        assert_eq!(mapped.sp_index_height(), owned.sp_index_height());
+        std::fs::remove_file(path).unwrap();
     }
 }

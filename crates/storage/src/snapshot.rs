@@ -1,49 +1,151 @@
-//! Binary snapshots of a labeled store: persist the index-generator
-//! output (labels + data values + tag table + P-label domain
-//! parameters) and load it back without reparsing or relabeling the
-//! XML.
+//! The sectioned, page-aligned snapshot format — the persistent form
+//! of a [`NodeStore`] that can be **memory-mapped and queried without
+//! decoding**.
 //!
-//! The paper's system keeps the labeled form as the *primary*
-//! representation — "The XML data is stored in labeled form, and
-//! indexed" (abstract) — stored in DB2 tables or files for the twig
-//! engine. This module is our file-format equivalent: a versioned,
-//! checksummed, little-endian layout:
+//! The paper keeps the labeled form as the *primary* representation —
+//! "The XML data is stored in labeled form, and indexed" (abstract).
+//! PR 1's format persisted that form row-by-row, so opening meant
+//! re-materializing every column: cold start was O(data). Version 2
+//! persists the store's **physical layout itself**: each column (the
+//! document-order columns, both SP/SD clustered permutations, both run
+//! directories, the interned-string arena) is one aligned little-endian
+//! extent, so a read-only mapping of the file *is* the store.
+//!
+//! # On-disk layout (version 2)
 //!
 //! ```text
-//! magic "BLASSNAP"  version u32
-//! num_tags u32  digits u32                  (P-label domain parameters)
-//! tag_count u32  { len u32, utf8 bytes }*   (tag table, TagId order)
-//! record_count u32
-//!   { plabel u128, start u32, end u32, level u16, tag u32,
-//!     has_data u8, [len u32, utf8 bytes] }*
-//! fnv1a-64 checksum over everything above
+//! ┌────────────────────────────────────────────────────────┐ 0
+//! │ header page (4096 B)                                   │
+//! │   magic "BLASSNAP" · version · counts · file_len       │
+//! │   section table: 19 × { id, offset, len }              │
+//! │   … zero padding …                                     │
+//! │   header checksum (fnv1a-64 over the page)             │
+//! ├────────────────────────────────────────────────────────┤ 4096
+//! │ sections, each offset 64-byte aligned:                 │
+//! │   doc columns   labels·plabels·tags·value_ids          │
+//! │   SP clustering labels·rows·values·run keys·run ends   │
+//! │   SD clustering labels·rows·values·run keys·run ends   │
+//! │   tag table     offsets·utf8 bytes                     │
+//! │   value arena   offsets·utf8 bytes·sorted value ids    │
+//! ├────────────────────────────────────────────────────────┤
+//! │ footer checksum (fnv1a-64 over everything above)       │
+//! └────────────────────────────────────────────────────────┘ file_len
 //! ```
 //!
-//! Indexes are rebuilt on load — they are derived data, and rebuilding
-//! keeps the format independent of B+ tree layout choices.
+//! Label extents store the `repr(C)` layout of
+//! [`blas_labeling::DLabel`] (12 bytes, zeroed padding); `u128`
+//! P-label extents are 16-byte values. Because every section offset is
+//! 64-byte aligned *relative to the file start* and
+//! [`crate::mapped::MappedBytes`] guarantees a page-aligned base,
+//! every extent can be cast in place to its typed slice on a
+//! little-endian target.
+//!
+//! # Two read paths, two validation depths
+//!
+//! * [`decode`] — the owned path ([`Snapshot`] out): verifies the
+//!   **footer checksum over the whole file**, re-validates every
+//!   record (tag ids, value ids, UTF-8), and materializes owned
+//!   records. O(data), maximally defensive.
+//! * the crate-internal `TypedView` (behind `NodeStore::from_mapped`) — the
+//!   zero-decode path: verifies the **header checksum**, the section
+//!   table (bounds, order, alignment, expected lengths), the run
+//!   directories and arena offset tables — O(header + directory), so
+//!   opening stays O(1) in the data size. The body checksum is *not*
+//!   streamed on this path (that would re-read every page and defeat
+//!   lazy faulting); [`verify_checksum`] exists for callers that want
+//!   the full pass, and all write paths emit both checksums.
+//!
+//! Every malformed input that reaches a validation check returns a
+//! typed [`SnapshotError`] — never a panic. On the mapped path the
+//! checks cover the header, the section table, the run directories
+//! and the arenas; per-row content (the row permutations, tag and
+//! value-id columns) is protected only by the footer checksum, so a
+//! file corrupted *there* can open successfully and then panic with an
+//! out-of-bounds index when a query touches the damaged rows — the
+//! same trust model as any page-cached mmap store. Run
+//! [`verify_checksum`] first when the file's provenance is doubtful;
+//! [`decode`] always does.
 
-use crate::relation::{NodeRecord, NodeStore, RecordView};
+use crate::relation::{NodeRecord, NodeStore, NO_VALUE};
+use blas_labeling::DLabel;
 use blas_xml::TagId;
 use std::fmt;
 
 const MAGIC: &[u8; 8] = b"BLASSNAP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Size of the header page; also the alignment of the first section.
+pub const HEADER_LEN: usize = 4096;
+/// Alignment of every section offset (relative to the file start).
+pub const SECTION_ALIGN: usize = 64;
 
-/// Why a snapshot failed to decode.
+// Section ids, in file order.
+const SEC_DOC_LABELS: u32 = 1;
+const SEC_DOC_PLABELS: u32 = 2;
+const SEC_DOC_TAGS: u32 = 3;
+const SEC_DOC_VALUE_IDS: u32 = 4;
+const SEC_SP_LABELS: u32 = 5;
+const SEC_SP_ROWS: u32 = 6;
+const SEC_SP_VALUES: u32 = 7;
+const SEC_SP_KEYS: u32 = 8;
+const SEC_SP_ENDS: u32 = 9;
+const SEC_SD_LABELS: u32 = 10;
+const SEC_SD_ROWS: u32 = 11;
+const SEC_SD_VALUES: u32 = 12;
+const SEC_SD_KEYS: u32 = 13;
+const SEC_SD_ENDS: u32 = 14;
+const SEC_TAG_OFFSETS: u32 = 15;
+const SEC_TAG_BYTES: u32 = 16;
+const SEC_VALUE_OFFSETS: u32 = 17;
+const SEC_VALUE_BYTES: u32 = 18;
+const SEC_VALUE_SORTED: u32 = 19;
+const SECTION_IDS: [u32; 19] = [
+    SEC_DOC_LABELS,
+    SEC_DOC_PLABELS,
+    SEC_DOC_TAGS,
+    SEC_DOC_VALUE_IDS,
+    SEC_SP_LABELS,
+    SEC_SP_ROWS,
+    SEC_SP_VALUES,
+    SEC_SP_KEYS,
+    SEC_SP_ENDS,
+    SEC_SD_LABELS,
+    SEC_SD_ROWS,
+    SEC_SD_VALUES,
+    SEC_SD_KEYS,
+    SEC_SD_ENDS,
+    SEC_TAG_OFFSETS,
+    SEC_TAG_BYTES,
+    SEC_VALUE_OFFSETS,
+    SEC_VALUE_BYTES,
+    SEC_VALUE_SORTED,
+];
+
+const DLABEL_BYTES: usize = 12;
+// The mapped path casts label extents to `&[DLabel]`; that is only
+// sound while the repr(C) struct is exactly the 12-byte wire layout.
+const _: () = assert!(std::mem::size_of::<DLabel>() == DLABEL_BYTES);
+const _: () = assert!(std::mem::align_of::<DLabel>() == 4);
+
+/// Why a snapshot failed to open or decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotError {
     /// Missing or wrong magic bytes.
     BadMagic,
     /// Unsupported format version.
     BadVersion(u32),
-    /// Input ended early or a length field overran the buffer.
+    /// Input ended early, or the header's `file_len` disagrees with
+    /// the bytes actually present.
     Truncated,
-    /// Checksum mismatch (corruption).
+    /// Header or footer checksum mismatch (corruption).
     ChecksumMismatch,
     /// A string field was not valid UTF-8.
     BadUtf8,
     /// A record references a tag id outside the tag table.
     DanglingTag(u32),
+    /// The section table or a section's contents are structurally
+    /// inconsistent (bad bounds, misalignment, non-monotonic
+    /// directory, …). The message names the check that failed.
+    Corrupt(&'static str),
 }
 
 impl fmt::Display for SnapshotError {
@@ -55,13 +157,15 @@ impl fmt::Display for SnapshotError {
             Self::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
             Self::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
             Self::DanglingTag(t) => write!(f, "record references unknown tag {t}"),
+            Self::Corrupt(what) => write!(f, "snapshot structurally corrupt: {what}"),
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
 
-/// A decoded snapshot: everything needed to rebuild a queryable store.
+/// A fully decoded snapshot: everything needed to rebuild a queryable
+/// store in owned memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
     /// Tuples in start order.
@@ -74,83 +178,455 @@ pub struct Snapshot {
     pub digits: u32,
 }
 
-/// Serialize a snapshot.
-pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
-    encode_rows(
-        snapshot.records.len(),
-        snapshot.records.iter().map(|r| RecordView {
-            plabel: r.plabel,
-            start: r.start,
-            end: r.end,
-            level: r.level,
-            tag: r.tag,
-            data: r.data.as_deref(),
-        }),
-        &snapshot.tag_names,
-        snapshot.num_tags,
-        snapshot.digits,
-    )
+/// The non-column payload of a snapshot: what a caller needs besides
+/// the [`NodeStore`] itself to bind and answer queries (tag table and
+/// P-label domain parameters). Returned by `NodeStore::from_mapped`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Tag names in `TagId` order.
+    pub tag_names: Vec<String>,
+    /// P-label domain: number of tags.
+    pub num_tags: u32,
+    /// P-label domain: digit count `H`.
+    pub digits: u32,
 }
 
-/// Serialize straight from a store's columns — no intermediate
-/// [`NodeRecord`] materialization and no string clones; data values are
-/// written from the store's intern pool.
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Serialize an owned snapshot. Builds the clustered store first (the
+/// format persists the physical layout, so the permutations must
+/// exist) — [`encode_store`] is the allocation-free path when a store
+/// is already at hand.
+pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
+    let store = NodeStore::from_records(snapshot.records.clone());
+    encode_store(&store, &snapshot.tag_names, snapshot.num_tags, snapshot.digits)
+}
+
+/// Serialize a store into the sectioned format, straight from its
+/// columns — no intermediate [`NodeRecord`] materialization and no
+/// string clones.
 pub fn encode_store(
     store: &NodeStore,
     tag_names: &[String],
     num_tags: u32,
     digits: u32,
 ) -> Vec<u8> {
-    encode_rows(
-        store.len(),
-        store.scan_all().map(|(_, view)| view),
-        tag_names,
-        num_tags,
-        digits,
-    )
-}
+    let n = store.len();
+    let value_count = store.value_count();
+    let mut out = vec![0u8; HEADER_LEN];
+    let mut table: Vec<(u32, u64, u64)> = Vec::with_capacity(SECTION_IDS.len());
 
-/// Shared encoder over zero-copy row views (the wire format of the
-/// module docs).
-fn encode_rows<'a>(
-    record_count: usize,
-    rows: impl Iterator<Item = RecordView<'a>>,
-    tag_names: &[String],
-    num_tags: u32,
-    digits: u32,
-) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 + record_count * 48);
-    out.extend_from_slice(MAGIC);
-    put_u32(&mut out, VERSION);
-    put_u32(&mut out, num_tags);
-    put_u32(&mut out, digits);
-    put_u32(&mut out, tag_names.len() as u32);
-    for name in tag_names {
-        put_bytes(&mut out, name.as_bytes());
-    }
-    put_u32(&mut out, record_count as u32);
-    for r in rows {
-        out.extend_from_slice(&r.plabel.to_le_bytes());
-        put_u32(&mut out, r.start);
-        put_u32(&mut out, r.end);
-        out.extend_from_slice(&r.level.to_le_bytes());
-        put_u32(&mut out, r.tag.0);
-        match r.data {
-            Some(d) => {
-                out.push(1);
-                put_bytes(&mut out, d.as_bytes());
-            }
-            None => out.push(0),
+    let mut section = |out: &mut Vec<u8>, id: u32, write: &dyn Fn(&mut Vec<u8>)| {
+        while !out.len().is_multiple_of(SECTION_ALIGN) {
+            out.push(0);
         }
+        let off = out.len();
+        write(out);
+        table.push((id, off as u64, (out.len() - off) as u64));
+    };
+
+    section(&mut out, SEC_DOC_LABELS, &|o| put_labels(o, &store.labels));
+    section(&mut out, SEC_DOC_PLABELS, &|o| put_u128s(o, &store.plabels));
+    section(&mut out, SEC_DOC_TAGS, &|o| put_u32s(o, &store.tags));
+    section(&mut out, SEC_DOC_VALUE_IDS, &|o| put_u32s(o, &store.value_ids));
+    section(&mut out, SEC_SP_LABELS, &|o| put_labels(o, &store.sp_labels));
+    section(&mut out, SEC_SP_ROWS, &|o| put_u32s(o, &store.sp_rows));
+    section(&mut out, SEC_SP_VALUES, &|o| put_u32s(o, &store.sp_values));
+    section(&mut out, SEC_SP_KEYS, &|o| put_u128s(o, &store.sp_keys));
+    section(&mut out, SEC_SP_ENDS, &|o| put_u32s(o, &store.sp_ends));
+    section(&mut out, SEC_SD_LABELS, &|o| put_labels(o, &store.sd_labels));
+    section(&mut out, SEC_SD_ROWS, &|o| put_u32s(o, &store.sd_rows));
+    section(&mut out, SEC_SD_VALUES, &|o| put_u32s(o, &store.sd_values));
+    section(&mut out, SEC_SD_KEYS, &|o| put_u32s(o, &store.sd_keys));
+    section(&mut out, SEC_SD_ENDS, &|o| put_u32s(o, &store.sd_ends));
+
+    // Tag table: u32 offset column + one UTF-8 byte extent.
+    section(&mut out, SEC_TAG_OFFSETS, &|out: &mut Vec<u8>| {
+        let mut off = 0u32;
+        out.extend_from_slice(&off.to_le_bytes());
+        for name in tag_names {
+            off += name.len() as u32;
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+    });
+    section(&mut out, SEC_TAG_BYTES, &|out: &mut Vec<u8>| {
+        for name in tag_names {
+            out.extend_from_slice(name.as_bytes());
+        }
+    });
+
+    // Value arena: u64 offsets + bytes + the string-sorted id column.
+    section(&mut out, SEC_VALUE_OFFSETS, &|out: &mut Vec<u8>| {
+        let mut off = 0u64;
+        out.extend_from_slice(&off.to_le_bytes());
+        for i in 0..value_count {
+            off += store.value(i as u32).map_or(0, |s| s.len() as u64);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+    });
+    section(&mut out, SEC_VALUE_BYTES, &|out: &mut Vec<u8>| {
+        for i in 0..value_count {
+            if let Some(s) = store.value(i as u32) {
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    });
+    section(&mut out, SEC_VALUE_SORTED, &|o| put_u32s(o, &store.value_sorted));
+
+    // Header: counts, file length, section table, own checksum.
+    let file_len = (out.len() + 8) as u64;
+    out[0..8].copy_from_slice(MAGIC);
+    out[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    out[12..16].copy_from_slice(&(SECTION_IDS.len() as u32).to_le_bytes());
+    out[16..20].copy_from_slice(&num_tags.to_le_bytes());
+    out[20..24].copy_from_slice(&digits.to_le_bytes());
+    out[24..32].copy_from_slice(&(n as u64).to_le_bytes());
+    out[32..40].copy_from_slice(&(value_count as u64).to_le_bytes());
+    out[40..44].copy_from_slice(&(tag_names.len() as u32).to_le_bytes());
+    out[44..48].copy_from_slice(&(store.sp_run_count() as u32).to_le_bytes());
+    out[48..52].copy_from_slice(&(store.sd_run_count() as u32).to_le_bytes());
+    out[56..64].copy_from_slice(&file_len.to_le_bytes());
+    for (i, (id, off, len)) in table.iter().enumerate() {
+        let at = 64 + i * 24;
+        out[at..at + 4].copy_from_slice(&id.to_le_bytes());
+        out[at + 8..at + 16].copy_from_slice(&off.to_le_bytes());
+        out[at + 16..at + 24].copy_from_slice(&len.to_le_bytes());
     }
-    let checksum = fnv1a(&out);
-    out.extend_from_slice(&checksum.to_le_bytes());
+    let header_sum = fnv1a(&out[..HEADER_LEN - 8]);
+    out[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&header_sum.to_le_bytes());
+
+    // Footer: checksum over everything (header included).
+    let footer = fnv1a(&out);
+    out.extend_from_slice(&footer.to_le_bytes());
     out
 }
 
-/// Deserialize and validate a snapshot.
-pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
-    if bytes.len() < MAGIC.len() + 8 {
+/// Write a label column in the wire layout (zeroed repr(C) padding —
+/// field-by-field, never a memcpy of possibly-uninitialized padding).
+fn put_labels(out: &mut Vec<u8>, col: &[DLabel]) {
+    for l in col {
+        out.extend_from_slice(&l.start.to_le_bytes());
+        out.extend_from_slice(&l.end.to_le_bytes());
+        out.extend_from_slice(&l.level.to_le_bytes());
+        out.extend_from_slice(&[0u8; 2]);
+    }
+}
+
+fn put_u32s(out: &mut Vec<u8>, col: &[u32]) {
+    for v in col {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_u128s(out: &mut Vec<u8>, col: &[u128]) {
+    for v in col {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Header / section-table parsing (alignment-free)
+// ---------------------------------------------------------------------
+
+/// The parsed header: counts plus one validated byte slice per
+/// section, in [`SECTION_IDS`] order. Performs **no body checksum**
+/// and no typed casts — safe on any byte alignment.
+#[derive(Debug)]
+struct RawView<'a> {
+    num_tags: u32,
+    digits: u32,
+    record_count: usize,
+    value_count: usize,
+    tag_count: usize,
+    sp_runs: usize,
+    sd_runs: usize,
+    sections: [&'a [u8]; SECTION_IDS.len()],
+}
+
+fn u32_at(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+}
+
+impl<'a> RawView<'a> {
+    fn parse(bytes: &'a [u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < 12 {
+            return Err(SnapshotError::Truncated);
+        }
+        if &bytes[0..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32_at(bytes, 8);
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        if bytes.len() < HEADER_LEN + 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        let stored = u64_at(bytes, HEADER_LEN - 8);
+        if fnv1a(&bytes[..HEADER_LEN - 8]) != stored {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let section_count = u32_at(bytes, 12) as usize;
+        if section_count != SECTION_IDS.len() {
+            return Err(SnapshotError::Corrupt("unexpected section count"));
+        }
+        let file_len = u64_at(bytes, 56);
+        if (bytes.len() as u64) < file_len {
+            return Err(SnapshotError::Truncated);
+        }
+        if (bytes.len() as u64) > file_len {
+            return Err(SnapshotError::Corrupt("trailing bytes after footer"));
+        }
+        let record_count = usize::try_from(u64_at(bytes, 24))
+            .map_err(|_| SnapshotError::Corrupt("record count exceeds address space"))?;
+        let value_count = usize::try_from(u64_at(bytes, 32))
+            .map_err(|_| SnapshotError::Corrupt("value count exceeds address space"))?;
+        let tag_count = u32_at(bytes, 40) as usize;
+        let sp_runs = u32_at(bytes, 44) as usize;
+        let sd_runs = u32_at(bytes, 48) as usize;
+
+        let body_end = bytes.len() - 8; // footer excluded
+        let mut sections: [&[u8]; SECTION_IDS.len()] = [&[]; SECTION_IDS.len()];
+        let mut prev_end = HEADER_LEN as u64;
+        for (i, expect_id) in SECTION_IDS.iter().enumerate() {
+            let at = 64 + i * 24;
+            let id = u32_at(bytes, at);
+            if id != *expect_id {
+                return Err(SnapshotError::Corrupt("section table out of order"));
+            }
+            let off = u64_at(bytes, at + 8);
+            let len = u64_at(bytes, at + 16);
+            if !off.is_multiple_of(SECTION_ALIGN as u64) {
+                return Err(SnapshotError::Corrupt("misaligned section offset"));
+            }
+            if off < prev_end {
+                return Err(SnapshotError::Corrupt("overlapping sections"));
+            }
+            let end = off.checked_add(len).ok_or(SnapshotError::Corrupt("section overflow"))?;
+            if end > body_end as u64 {
+                return Err(SnapshotError::Truncated);
+            }
+            sections[i] = &bytes[off as usize..end as usize];
+            prev_end = end;
+        }
+
+        let view = Self {
+            num_tags: u32_at(bytes, 16),
+            digits: u32_at(bytes, 20),
+            record_count,
+            value_count,
+            tag_count,
+            sp_runs,
+            sd_runs,
+            sections,
+        };
+        view.check_lengths()?;
+        Ok(view)
+    }
+
+    fn section(&self, id: u32) -> &'a [u8] {
+        let i = SECTION_IDS.iter().position(|&s| s == id).expect("known id");
+        self.sections[i]
+    }
+
+    /// Every section length must match the header counts exactly.
+    fn check_lengths(&self) -> Result<(), SnapshotError> {
+        let n = self.record_count;
+        let checks: [(u32, usize); 19] = [
+            (SEC_DOC_LABELS, n * DLABEL_BYTES),
+            (SEC_DOC_PLABELS, n * 16),
+            (SEC_DOC_TAGS, n * 4),
+            (SEC_DOC_VALUE_IDS, n * 4),
+            (SEC_SP_LABELS, n * DLABEL_BYTES),
+            (SEC_SP_ROWS, n * 4),
+            (SEC_SP_VALUES, n * 4),
+            (SEC_SP_KEYS, self.sp_runs * 16),
+            (SEC_SP_ENDS, self.sp_runs * 4),
+            (SEC_SD_LABELS, n * DLABEL_BYTES),
+            (SEC_SD_ROWS, n * 4),
+            (SEC_SD_VALUES, n * 4),
+            (SEC_SD_KEYS, self.sd_runs * 4),
+            (SEC_SD_ENDS, self.sd_runs * 4),
+            (SEC_TAG_OFFSETS, (self.tag_count + 1) * 4),
+            (SEC_TAG_BYTES, usize::MAX), // free-length
+            (SEC_VALUE_OFFSETS, (self.value_count + 1) * 8),
+            (SEC_VALUE_BYTES, usize::MAX), // free-length
+            (SEC_VALUE_SORTED, self.value_count * 4),
+        ];
+        for (id, want) in checks {
+            if want != usize::MAX && self.section(id).len() != want {
+                return Err(SnapshotError::Corrupt("section length disagrees with counts"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode the tag table (owned; it is tiny and callers always need
+    /// owned names to build an interner).
+    fn tag_names(&self) -> Result<Vec<String>, SnapshotError> {
+        let offsets = self.section(SEC_TAG_OFFSETS);
+        let bytes = self.section(SEC_TAG_BYTES);
+        let mut names = Vec::with_capacity(self.tag_count);
+        let mut prev = 0usize;
+        for i in 0..self.tag_count {
+            let end = u32_at(offsets, (i + 1) * 4) as usize;
+            if end < prev || end > bytes.len() {
+                return Err(SnapshotError::Corrupt("tag arena offsets not monotonic"));
+            }
+            let s = std::str::from_utf8(&bytes[prev..end])
+                .map_err(|_| SnapshotError::BadUtf8)?;
+            names.push(s.to_string());
+            prev = end;
+        }
+        if u32_at(offsets, 0) != 0 || prev != bytes.len() {
+            return Err(SnapshotError::Corrupt("tag arena does not cover its bytes"));
+        }
+        Ok(names)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed (zero-copy) view — the mapped open path
+// ---------------------------------------------------------------------
+
+/// Cast one section to its element type. Sound because `T` is a plain
+/// little-endian wire type (`u8`/`u32`/`u64`/`u128`/`DLabel`) whose
+/// every bit pattern is valid; alignment is checked, not assumed.
+#[cfg(target_endian = "little")]
+fn cast_slice<T: Copy>(bytes: &[u8]) -> Result<&[T], SnapshotError> {
+    let size = std::mem::size_of::<T>();
+    if !bytes.len().is_multiple_of(size) {
+        return Err(SnapshotError::Corrupt("section length not a multiple of element size"));
+    }
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+        return Err(SnapshotError::Corrupt("section not aligned for in-place access"));
+    }
+    // SAFETY: length and alignment checked; T is a plain POD wire type.
+    Ok(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / size) })
+}
+
+/// The zero-copy typed view of a snapshot: every column as a borrowed
+/// slice straight into the file bytes. Only constructible on
+/// little-endian targets (the wire format *is* the in-memory format
+/// there); big-endian callers go through [`decode`].
+///
+/// Validation here is deliberately O(header + directory): header
+/// checksum, section structure, run-directory monotonicity, arena
+/// offset tables, sorted-value-id range. Per-row content (permutation
+/// indices, value ids) is covered by the footer checksum, which this
+/// path does **not** stream — see the module docs for the trade-off.
+#[cfg(target_endian = "little")]
+#[derive(Debug)]
+pub(crate) struct TypedView<'a> {
+    pub num_tags: u32,
+    pub digits: u32,
+    pub doc_labels: &'a [DLabel],
+    pub doc_plabels: &'a [u128],
+    pub doc_tags: &'a [u32],
+    pub doc_value_ids: &'a [u32],
+    pub sp_labels: &'a [DLabel],
+    pub sp_rows: &'a [u32],
+    pub sp_values: &'a [u32],
+    pub sp_keys: &'a [u128],
+    pub sp_ends: &'a [u32],
+    pub sd_labels: &'a [DLabel],
+    pub sd_rows: &'a [u32],
+    pub sd_values: &'a [u32],
+    pub sd_keys: &'a [u32],
+    pub sd_ends: &'a [u32],
+    pub value_offsets: &'a [u64],
+    pub value_bytes: &'a [u8],
+    pub value_sorted: &'a [u32],
+    raw: RawView<'a>,
+}
+
+#[cfg(target_endian = "little")]
+impl<'a> TypedView<'a> {
+    pub(crate) fn parse(bytes: &'a [u8]) -> Result<Self, SnapshotError> {
+        let raw = RawView::parse(bytes)?;
+        let n = raw.record_count;
+        let view = Self {
+            num_tags: raw.num_tags,
+            digits: raw.digits,
+            doc_labels: cast_slice(raw.section(SEC_DOC_LABELS))?,
+            doc_plabels: cast_slice(raw.section(SEC_DOC_PLABELS))?,
+            doc_tags: cast_slice(raw.section(SEC_DOC_TAGS))?,
+            doc_value_ids: cast_slice(raw.section(SEC_DOC_VALUE_IDS))?,
+            sp_labels: cast_slice(raw.section(SEC_SP_LABELS))?,
+            sp_rows: cast_slice(raw.section(SEC_SP_ROWS))?,
+            sp_values: cast_slice(raw.section(SEC_SP_VALUES))?,
+            sp_keys: cast_slice(raw.section(SEC_SP_KEYS))?,
+            sp_ends: cast_slice(raw.section(SEC_SP_ENDS))?,
+            sd_labels: cast_slice(raw.section(SEC_SD_LABELS))?,
+            sd_rows: cast_slice(raw.section(SEC_SD_ROWS))?,
+            sd_values: cast_slice(raw.section(SEC_SD_VALUES))?,
+            sd_keys: cast_slice(raw.section(SEC_SD_KEYS))?,
+            sd_ends: cast_slice(raw.section(SEC_SD_ENDS))?,
+            value_offsets: cast_slice(raw.section(SEC_VALUE_OFFSETS))?,
+            value_bytes: raw.section(SEC_VALUE_BYTES),
+            value_sorted: cast_slice(raw.section(SEC_VALUE_SORTED))?,
+            raw,
+        };
+
+        // Run directories: strictly ascending keys, strictly ascending
+        // exclusive ends finishing at the row count — the invariants
+        // every clustered scan's binary search relies on.
+        check_directory(view.sp_ends, n, view.sp_keys.windows(2).all(|w| w[0] < w[1]))?;
+        check_directory(view.sd_ends, n, view.sd_keys.windows(2).all(|w| w[0] < w[1]))?;
+        // Value arena offsets: monotonic, covering the byte extent.
+        let vo = view.value_offsets;
+        if vo[0] != 0
+            || vo.windows(2).any(|w| w[0] > w[1])
+            || vo[vo.len() - 1] != view.value_bytes.len() as u64
+        {
+            return Err(SnapshotError::Corrupt("value arena offsets not monotonic"));
+        }
+        if view.value_sorted.iter().any(|&id| id as usize >= vo.len() - 1) {
+            return Err(SnapshotError::Corrupt("sorted value id out of range"));
+        }
+        Ok(view)
+    }
+
+    /// The snapshot's tag table and domain parameters.
+    pub(crate) fn meta(&self) -> Result<SnapshotMeta, SnapshotError> {
+        Ok(SnapshotMeta {
+            tag_names: self.raw.tag_names()?,
+            num_tags: self.num_tags,
+            digits: self.digits,
+        })
+    }
+}
+
+#[cfg(target_endian = "little")]
+fn check_directory(ends: &[u32], n: usize, keys_ascending: bool) -> Result<(), SnapshotError> {
+    if !keys_ascending {
+        return Err(SnapshotError::Corrupt("run directory keys not ascending"));
+    }
+    if ends.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(SnapshotError::Corrupt("run directory ends not ascending"));
+    }
+    let covered = ends.last().map_or(0, |&e| e as usize);
+    if covered != n || (n > 0) == ends.is_empty() {
+        return Err(SnapshotError::Corrupt("run directory does not cover all rows"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Owned decoding
+// ---------------------------------------------------------------------
+
+/// Verify the footer checksum over the entire file. O(data); the
+/// mapped open path skips this (see module docs), so callers that want
+/// end-to-end integrity on mapped snapshots run it explicitly.
+pub fn verify_checksum(bytes: &[u8]) -> Result<(), SnapshotError> {
+    if bytes.len() < HEADER_LEN + 8 {
         return Err(SnapshotError::Truncated);
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
@@ -158,51 +634,76 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     if fnv1a(body) != stored {
         return Err(SnapshotError::ChecksumMismatch);
     }
-    let mut cur = Cursor { buf: body, pos: 0 };
-    if cur.take(MAGIC.len())? != MAGIC {
-        return Err(SnapshotError::BadMagic);
+    Ok(())
+}
+
+/// Deserialize and fully validate a snapshot into owned records —
+/// including the footer checksum over every byte, per-record tag and
+/// value-id validation, and UTF-8 checks. This is the defensive,
+/// O(data) path; `NodeStore::from_mapped` is the O(1) one.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    let raw = RawView::parse(bytes)?;
+    verify_checksum(bytes)?;
+    let tag_names = raw.tag_names()?;
+
+    // Decode the value arena into owned strings.
+    let offsets = raw.section(SEC_VALUE_OFFSETS);
+    let arena = raw.section(SEC_VALUE_BYTES);
+    let mut values: Vec<String> = Vec::with_capacity(raw.value_count.min(1 << 24));
+    let mut prev = 0usize;
+    for i in 0..raw.value_count {
+        let end = usize::try_from(u64_at(offsets, (i + 1) * 8))
+            .map_err(|_| SnapshotError::Corrupt("value arena offset overflow"))?;
+        if end < prev || end > arena.len() {
+            return Err(SnapshotError::Corrupt("value arena offsets not monotonic"));
+        }
+        let s = std::str::from_utf8(&arena[prev..end]).map_err(|_| SnapshotError::BadUtf8)?;
+        values.push(s.to_string());
+        prev = end;
     }
-    let version = cur.u32()?;
-    if version != VERSION {
-        return Err(SnapshotError::BadVersion(version));
+    if prev != arena.len() {
+        return Err(SnapshotError::Corrupt("value arena does not cover its bytes"));
     }
-    let num_tags = cur.u32()?;
-    let digits = cur.u32()?;
-    let tag_count = cur.u32()? as usize;
-    let mut tag_names = Vec::with_capacity(tag_count.min(1 << 20));
-    for _ in 0..tag_count {
-        tag_names.push(cur.string()?);
-    }
-    let record_count = cur.u32()? as usize;
-    let mut records = Vec::with_capacity(record_count.min(1 << 24));
-    for _ in 0..record_count {
-        let plabel = u128::from_le_bytes(cur.take(16)?.try_into().expect("16 bytes"));
-        let start = cur.u32()?;
-        let end = cur.u32()?;
-        let level = u16::from_le_bytes(cur.take(2)?.try_into().expect("2 bytes"));
-        let tag = cur.u32()?;
+
+    // Materialize records from the document-order columns. The SP/SD
+    // sections are ignored here: `NodeStore::from_records` rebuilds
+    // the clusterings, and the bounds of those sections were already
+    // validated by the header parse.
+    let label_bytes = raw.section(SEC_DOC_LABELS);
+    let plabel_bytes = raw.section(SEC_DOC_PLABELS);
+    let tag_bytes = raw.section(SEC_DOC_TAGS);
+    let vid_bytes = raw.section(SEC_DOC_VALUE_IDS);
+    let mut records = Vec::with_capacity(raw.record_count.min(1 << 24));
+    for i in 0..raw.record_count {
+        let lb = i * DLABEL_BYTES;
+        let tag = u32_at(tag_bytes, i * 4);
         if tag as usize >= tag_names.len() {
             return Err(SnapshotError::DanglingTag(tag));
         }
-        let data = match cur.take(1)?[0] {
-            0 => None,
-            _ => Some(cur.string()?),
+        let value_id = u32_at(vid_bytes, i * 4);
+        let data = if value_id == NO_VALUE {
+            None
+        } else {
+            Some(
+                values
+                    .get(value_id as usize)
+                    .ok_or(SnapshotError::Corrupt("record value id out of range"))?
+                    .clone(),
+            )
         };
-        records.push(NodeRecord { plabel, start, end, level, tag: TagId(tag), data });
+        records.push(NodeRecord {
+            plabel: u128::from_le_bytes(
+                plabel_bytes[i * 16..(i + 1) * 16].try_into().expect("16 bytes"),
+            ),
+            start: u32_at(label_bytes, lb),
+            end: u32_at(label_bytes, lb + 4),
+            level: u16::from_le_bytes(label_bytes[lb + 8..lb + 10].try_into().expect("2 bytes")),
+            tag: TagId(tag),
+            data,
+        });
     }
-    if cur.pos != body.len() {
-        return Err(SnapshotError::Truncated);
-    }
-    Ok(Snapshot { records, tag_names, num_tags, digits })
-}
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    put_u32(out, bytes.len() as u32);
-    out.extend_from_slice(bytes);
+    Ok(Snapshot { records, tag_names, num_tags: raw.num_tags, digits: raw.digits })
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -212,33 +713,6 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
-}
-
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(SnapshotError::Truncated);
-        }
-        let slice = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
-    }
-
-    fn string(&mut self) -> Result<String, SnapshotError> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::BadUtf8)
-    }
 }
 
 #[cfg(test)]
@@ -271,21 +745,36 @@ mod tests {
         }
     }
 
+    /// Recompute both checksums after a test mutated header bytes.
+    fn rehash(bytes: &mut [u8]) {
+        let sum = fnv1a(&bytes[..HEADER_LEN - 8]);
+        bytes[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&sum.to_le_bytes());
+        let body = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body]);
+        let tail = body;
+        bytes[tail..].copy_from_slice(&sum.to_le_bytes());
+    }
+
     #[test]
     fn round_trip() {
         let snap = sample();
         let bytes = encode(&snap);
         assert_eq!(decode(&bytes).unwrap(), snap);
+        assert!(verify_checksum(&bytes).is_ok());
     }
 
     #[test]
-    fn encode_store_is_byte_identical_to_encode() {
+    fn encode_store_round_trips_and_sections_are_aligned() {
         let snap = sample();
         let store = NodeStore::from_records(snap.records.clone());
-        let from_records = encode(&snap);
-        let from_store = encode_store(&store, &snap.tag_names, snap.num_tags, snap.digits);
-        assert_eq!(from_records, from_store);
-        assert_eq!(decode(&from_store).unwrap(), snap);
+        let bytes = encode_store(&store, &snap.tag_names, snap.num_tags, snap.digits);
+        assert_eq!(bytes, encode(&snap), "both encoders emit identical files");
+        assert_eq!(decode(&bytes).unwrap(), snap);
+        // Every section offset in the table honors SECTION_ALIGN.
+        for i in 0..SECTION_IDS.len() {
+            let off = u64_at(&bytes, 64 + i * 24 + 8);
+            assert_eq!(off % SECTION_ALIGN as u64, 0, "section {i}");
+        }
     }
 
     #[test]
@@ -297,15 +786,21 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let mut bytes = encode(&sample());
-        let mid = bytes.len() / 2;
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
         bytes[mid] ^= 0xff;
+        // Body corruption: the full decode path catches it…
         assert_eq!(decode(&bytes), Err(SnapshotError::ChecksumMismatch));
+        assert_eq!(verify_checksum(&bytes), Err(SnapshotError::ChecksumMismatch));
+        // …while header corruption is caught by the O(1) header check.
+        let mut bytes = encode(&sample());
+        bytes[30] ^= 0xff; // inside record_count
+        assert_eq!(RawView::parse(&bytes).unwrap_err(), SnapshotError::ChecksumMismatch);
     }
 
     #[test]
     fn truncation_detected() {
         let bytes = encode(&sample());
-        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+        for cut in [0, 4, 100, HEADER_LEN - 1, HEADER_LEN + 8, bytes.len() - 1] {
             let err = decode(&bytes[..cut]).unwrap_err();
             assert!(
                 matches!(err, SnapshotError::Truncated | SnapshotError::ChecksumMismatch),
@@ -318,11 +813,23 @@ mod tests {
     fn bad_magic_detected() {
         let mut bytes = encode(&sample());
         bytes[0] = b'X';
-        // Checksum now fails first unless we recompute; recompute it.
-        let body_len = bytes.len() - 8;
-        let sum = fnv1a(&bytes[..body_len]);
-        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        rehash(&mut bytes);
         assert_eq!(decode(&bytes), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn version_checked_including_v1_files() {
+        let mut bytes = encode(&sample());
+        bytes[8] = 99;
+        rehash(&mut bytes);
+        assert_eq!(decode(&bytes), Err(SnapshotError::BadVersion(99)));
+        // A PR-1-era file: same magic, version 1 — rejected by number,
+        // even though the rest of its layout is completely different.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&[0u8; 32]);
+        assert_eq!(decode(&v1), Err(SnapshotError::BadVersion(1)));
     }
 
     #[test]
@@ -334,12 +841,79 @@ mod tests {
     }
 
     #[test]
-    fn version_checked() {
+    fn file_length_mismatch_detected() {
         let mut bytes = encode(&sample());
-        bytes[8] = 99; // version little-endian low byte
-        let body_len = bytes.len() - 8;
-        let sum = fnv1a(&bytes[..body_len]);
-        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
-        assert_eq!(decode(&bytes), Err(SnapshotError::BadVersion(99)));
+        bytes.extend_from_slice(&[0u8; 16]); // trailing garbage
+        assert_eq!(decode(&bytes), Err(SnapshotError::Corrupt("trailing bytes after footer")));
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn typed_view_serves_columns_in_place() {
+        // Align the buffer the way MappedBytes would: copy into an
+        // allocation aligned far beyond any column's requirement.
+        let snap = sample();
+        let bytes = encode(&snap);
+        let mut aligned = aligned_copy(&bytes);
+        {
+            let view = TypedView::parse(&aligned).unwrap();
+            assert_eq!(view.doc_labels.len(), snap.records.len());
+            assert_eq!(view.doc_labels[0], snap.records[0].dlabel());
+            assert_eq!(view.doc_plabels[1], snap.records[1].plabel);
+            assert_eq!(view.sp_keys.len(), view.sp_ends.len());
+            assert_eq!(view.meta().unwrap().tag_names, snap.tag_names);
+            assert_eq!(view.value_sorted.len(), 1);
+        }
+        // Corrupt a run directory: typed parse must refuse (after
+        // fixing checksums, so structural validation is what trips).
+        let off = {
+            let raw = RawView::parse(&aligned).unwrap();
+            let sec = raw.section(SEC_SP_ENDS);
+            sec.as_ptr() as usize - aligned.as_ptr() as usize
+        };
+        aligned[off..off + 4].copy_from_slice(&999u32.to_le_bytes());
+        let mut copy = aligned.clone();
+        rehash(&mut copy);
+        let aligned2 = aligned_copy(&copy);
+        assert!(matches!(
+            TypedView::parse(&aligned2).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+
+    #[cfg(target_endian = "little")]
+    fn aligned_copy(bytes: &[u8]) -> AlignedBuf {
+        let mut buf = AlignedBuf(vec![0u128; bytes.len().div_ceil(16)], bytes.len());
+        buf.as_mut()[..bytes.len()].copy_from_slice(bytes);
+        buf
+    }
+
+    /// A 16-byte-aligned byte buffer (u128 backing) for cast tests.
+    #[cfg(target_endian = "little")]
+    #[derive(Clone)]
+    struct AlignedBuf(Vec<u128>, usize);
+
+    #[cfg(target_endian = "little")]
+    impl std::ops::Deref for AlignedBuf {
+        type Target = [u8];
+        fn deref(&self) -> &[u8] {
+            // SAFETY: the u128 backing owns at least self.1 bytes.
+            unsafe { std::slice::from_raw_parts(self.0.as_ptr().cast(), self.1) }
+        }
+    }
+
+    #[cfg(target_endian = "little")]
+    impl std::ops::DerefMut for AlignedBuf {
+        fn deref_mut(&mut self) -> &mut [u8] {
+            self.as_mut()
+        }
+    }
+
+    #[cfg(target_endian = "little")]
+    impl AlignedBuf {
+        fn as_mut(&mut self) -> &mut [u8] {
+            // SAFETY: as above, and we have &mut self.
+            unsafe { std::slice::from_raw_parts_mut(self.0.as_mut_ptr().cast(), self.1) }
+        }
     }
 }

@@ -6,9 +6,10 @@
 //! byte-for-byte at the scan level.
 
 use blas_labeling::{label_document, DLabel};
-use blas_storage::{snapshot, NodeRecord, NodeStore, RowId};
+use blas_storage::{snapshot, MappedBytes, NodeRecord, NodeStore, RowId};
 use blas_xml::{Document, TagId};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const NUM_TAGS: u32 = 5;
 
@@ -168,6 +169,67 @@ proptest! {
         let bytes2 = snapshot::encode_store(&restored, &tag_names, 7, 3);
         prop_assert_eq!(bytes, bytes2);
     }
+
+    /// Mapped-vs-owned equivalence: a store served in place from its
+    /// snapshot mapping yields the same records, the same clustered
+    /// scan sequences (both clusterings), the same sharded partitions
+    /// and the same value lookups as the owned store it was written
+    /// from — over random documents.
+    #[test]
+    fn mapped_store_equals_owned_store(src in xml_doc()) {
+        let (doc, owned) = build(&src);
+        let tag_names: Vec<String> =
+            doc.tags().iter().map(|(_, n)| n.to_string()).collect();
+        let bytes = snapshot::encode_store(&owned, &tag_names, 7, 3);
+        let (mapped, path) = open_mapped_store(&bytes);
+        prop_assert_eq!(mapped.len(), owned.len());
+        prop_assert_eq!(mapped.sp_run_count(), owned.sp_run_count());
+        prop_assert_eq!(mapped.sd_run_count(), owned.sd_run_count());
+        // Every record, via both the row and the start-rank path.
+        for (row, r) in owned.scan_all() {
+            prop_assert_eq!(mapped.record(row), r);
+            prop_assert_eq!(mapped.row_of_start(r.start), Some(row));
+        }
+        // Clustered scans: identical rows, labels and value ids.
+        prop_assert_eq!(
+            columnar_plabel_range(&mapped, 0, u128::MAX),
+            columnar_plabel_range(&owned, 0, u128::MAX)
+        );
+        for (tag, _) in doc.tags().iter() {
+            prop_assert_eq!(columnar_tag(&mapped, tag), columnar_tag(&owned, tag));
+        }
+        // Sharded partitions over mapped runs cover the same tuples.
+        for shards in [2usize, 3, 7] {
+            let a: usize = mapped
+                .shard_plabel_range(0, u128::MAX, shards)
+                .iter()
+                .flatten()
+                .map(|r| r.len())
+                .sum();
+            prop_assert_eq!(a, owned.len());
+        }
+        // Value interning machinery.
+        for v in ["u", "v", "w", "absent"] {
+            prop_assert_eq!(mapped.value_id(v), owned.value_id(v));
+            prop_assert_eq!(mapped.scan_value(v).count(), owned.scan_value(v).count());
+        }
+        drop(mapped);
+        std::fs::remove_file(path).unwrap();
+    }
+}
+
+/// Write snapshot bytes to a unique temp file and open them mapped.
+fn open_mapped_store(bytes: &[u8]) -> (NodeStore, std::path::PathBuf) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "blas_prop_mapped_{}_{}.snap",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    let (store, _meta) = NodeStore::from_mapped(MappedBytes::open(&path).unwrap()).unwrap();
+    assert!(store.is_mapped());
+    (store, path)
 }
 
 /// Non-property regression: records built out of start order cluster

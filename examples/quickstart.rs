@@ -73,4 +73,19 @@ fn main() {
     // Show the generated relational algebra (Fig. 11 style) and SQL.
     println!("\nPush-up plan:\n{}", db.explain(q, Translator::PushUp).unwrap());
     println!("\nGenerated SQL:\n{}", db.explain_sql(q, Translator::PushUp).unwrap());
+
+    // Persist the labeled, indexed form and reopen it memory-mapped:
+    // the snapshot file is queried in place, with zero upfront decode.
+    let path = std::env::temp_dir().join("blas_quickstart.snap");
+    std::fs::write(&path, db.to_snapshot()).expect("write snapshot");
+    let mapped = BlasDb::open_mapped(&path).expect("map snapshot");
+    let again = mapped.query(q, EngineChoice::auto()).expect("valid query");
+    assert_eq!(result.nodes, again.nodes);
+    println!(
+        "\nReopened mapped from {} ({} bytes): same {} result(s), zero decode",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        again.stats.result_count
+    );
+    std::fs::remove_file(&path).ok();
 }

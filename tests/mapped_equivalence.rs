@@ -1,0 +1,178 @@
+//! The mapped open path is indistinguishable from the decoding one —
+//! and malformed snapshot files fail with typed errors, never panics.
+//!
+//! Acceptance for the mmap snapshot work: `BlasDb::open_mapped` must
+//! answer the Auction Fig. 10 queries **byte-identically** to the
+//! owned `BlasDb::from_snapshot` path, across every engine and under
+//! sharded parallel scans.
+
+use blas::{BlasDb, EngineChoice, Translator};
+use blas_datagen::{query_set, DatasetId};
+use blas_storage::snapshot::{self, SnapshotError};
+use std::path::PathBuf;
+
+fn snapshot_file(tag: &str, bytes: &[u8]) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("blas_equiv_{tag}_{}.snap", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+/// The acceptance check: mapped answers ≡ owned answers on the Auction
+/// Fig. 10 queries, for all three engines and for 4-way sharded scans.
+#[test]
+fn mapped_answers_fig10_queries_byte_identically_to_owned() {
+    let xml = DatasetId::Auction.generate(1);
+    let bytes = BlasDb::load(&xml).unwrap().to_snapshot();
+
+    let owned = BlasDb::from_snapshot(&bytes).unwrap();
+    let path = snapshot_file("fig10", &bytes);
+    let mapped = BlasDb::open_mapped(&path).unwrap();
+    assert!(mapped.store().is_mapped());
+    assert!(!owned.store().is_mapped());
+
+    let choices = [
+        EngineChoice::auto(),
+        EngineChoice::rdbms().with_translator(Translator::PushUp),
+        EngineChoice::twig(),
+        EngineChoice::twigstack(),
+        EngineChoice::parallel(4),
+        EngineChoice::rdbms().with_translator(Translator::DLabeling),
+    ];
+    for q in query_set(DatasetId::Auction) {
+        for choice in choices {
+            let a = owned.query(q.xpath, choice).unwrap();
+            let b = mapped.query(q.xpath, choice).unwrap();
+            assert_eq!(a.nodes, b.nodes, "{} {choice:?}", q.id);
+            assert_eq!(
+                a.stats.elements_visited, b.stats.elements_visited,
+                "{} {choice:?} visits",
+                q.id
+            );
+            assert_eq!(owned.texts(&a), mapped.texts(&b), "{} {choice:?} texts", q.id);
+            assert_eq!(
+                owned.tag_names(&a),
+                mapped.tag_names(&b),
+                "{} {choice:?} tags",
+                q.id
+            );
+        }
+        // Plans bind identically (same domain, same tag ids).
+        assert_eq!(
+            owned.explain_sql(q.xpath, Translator::PushUp).unwrap(),
+            mapped.explain_sql(q.xpath, Translator::PushUp).unwrap(),
+            "{}",
+            q.id
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corrupt_header_is_a_typed_error() {
+    let bytes = BlasDb::load("<a><b>x</b><b>y</b></a>").unwrap().to_snapshot();
+    // Flip a byte inside the header's count fields: the O(1) header
+    // checksum must catch it on both paths.
+    let mut corrupt = bytes.clone();
+    corrupt[25] ^= 0xff;
+    assert_eq!(snapshot::decode(&corrupt), Err(SnapshotError::ChecksumMismatch));
+    let path = snapshot_file("hdr", &corrupt);
+    assert!(matches!(
+        BlasDb::open_mapped(&path),
+        Err(blas::BlasError::Snapshot(_))
+    ));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncated_file_is_a_typed_error() {
+    let bytes = BlasDb::load("<a><b>x</b><b>y</b></a>").unwrap().to_snapshot();
+    for cut in [0, 7, 600, 4096, bytes.len() / 2, bytes.len() - 3] {
+        let err = snapshot::decode(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Truncated | SnapshotError::ChecksumMismatch),
+            "cut {cut}: {err:?}"
+        );
+        let path = snapshot_file(&format!("cut{cut}"), &bytes[..cut]);
+        assert!(
+            matches!(BlasDb::open_mapped(&path), Err(blas::BlasError::Snapshot(_))),
+            "cut {cut}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn wrong_version_is_a_typed_error() {
+    let bytes = BlasDb::load("<a><b>x</b></a>").unwrap().to_snapshot();
+    let mut wrong = bytes.clone();
+    wrong[8] = 77; // version low byte — checked before any checksum
+    assert_eq!(snapshot::decode(&wrong), Err(SnapshotError::BadVersion(77)));
+    let path = snapshot_file("ver", &wrong);
+    let err = BlasDb::open_mapped(&path);
+    match err {
+        Err(blas::BlasError::Snapshot(msg)) => {
+            assert!(msg.contains("version 77"), "{msg}");
+        }
+        other => panic!("expected snapshot error, got {other:?}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn bad_body_checksum_is_a_typed_error_on_the_verifying_paths() {
+    let bytes = BlasDb::load("<a><b>x</b><b>y</b></a>").unwrap().to_snapshot();
+    let mut corrupt = bytes.clone();
+    let body_at = 4096 + (corrupt.len() - 4096) / 2;
+    corrupt[body_at] ^= 0x01;
+    // The verifying paths reject it…
+    assert_eq!(snapshot::verify_checksum(&corrupt), Err(SnapshotError::ChecksumMismatch));
+    assert_eq!(snapshot::decode(&corrupt), Err(SnapshotError::ChecksumMismatch));
+    assert!(BlasDb::from_snapshot(&corrupt).is_err());
+    // …and the intact original passes end-to-end verification.
+    assert!(snapshot::verify_checksum(&bytes).is_ok());
+}
+
+#[test]
+fn duplicate_tag_table_is_a_typed_error() {
+    // A checksum-valid snapshot whose tag table repeats a name: the
+    // interner would collapse the duplicates, leaving records pointing
+    // at a dangling id — both open paths must refuse, not panic.
+    use blas_storage::NodeRecord;
+    use blas_xml::TagId;
+    let snap = snapshot::Snapshot {
+        records: vec![
+            NodeRecord { plabel: 1, start: 0, end: 3, level: 1, tag: TagId(0), data: None },
+            NodeRecord { plabel: 2, start: 1, end: 2, level: 2, tag: TagId(1), data: None },
+        ],
+        tag_names: vec!["a".into(), "a".into()],
+        num_tags: 2,
+        digits: 3,
+    };
+    let bytes = snapshot::encode(&snap);
+    assert!(matches!(
+        BlasDb::from_snapshot(&bytes),
+        Err(blas::BlasError::Snapshot(_))
+    ));
+    let path = snapshot_file("duptags", &bytes);
+    assert!(matches!(
+        BlasDb::open_mapped(&path),
+        Err(blas::BlasError::Snapshot(_))
+    ));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn not_a_snapshot_is_a_typed_error() {
+    assert_eq!(snapshot::decode(b"hello"), Err(SnapshotError::Truncated));
+    assert_eq!(
+        snapshot::decode(&[0x55u8; 8192]),
+        Err(SnapshotError::BadMagic)
+    );
+    let path = snapshot_file("noise", &[0x55u8; 8192]);
+    assert!(matches!(
+        BlasDb::open_mapped(&path),
+        Err(blas::BlasError::Snapshot(_))
+    ));
+    std::fs::remove_file(&path).unwrap();
+}
