@@ -17,7 +17,9 @@
 //! Unfold translator and the debugging accessors need them).
 
 use crate::error::BlasError;
-use blas_engine::{exec, lower_plan, lower_twig, lower_twigstack, ExecConfig, ExecStats, TwigQuery};
+use blas_engine::{
+    exec, lower_plan, lower_twig, lower_twigstack, ExecConfig, ExecStats, PoolHandle, TwigQuery,
+};
 use blas_labeling::{label_document, DLabel, DocumentLabels, PLabelDomain};
 use blas_storage::{MappedBytes, NodeStore, RecordView};
 use blas_translate::{
@@ -59,10 +61,16 @@ pub enum Engine {
     TwigStack,
 }
 
-/// The one-call execution configuration: engine × translator × scan
+/// The one-call execution configuration: engine × translator ×
 /// parallelism. [`BlasDb::query`] takes an `EngineChoice` and runs the
 /// whole pipeline — parse → decompose → bind → lower → execute — in
 /// one call.
+///
+/// With `shards > 1` the whole operator DAG (scans, structural joins,
+/// union arms, twig branches) executes as dependency-counted jobs on
+/// the database's persistent worker pool ([`BlasDb::pool`]); `shards
+/// == 1` (the default) is the sequential fallback that never touches
+/// the pool.
 ///
 /// ```
 /// use blas::{BlasDb, EngineChoice};
@@ -70,7 +78,7 @@ pub enum Engine {
 /// let db = BlasDb::load("<db><e><n>x</n></e></db>").unwrap();
 /// // The paper's recommended configuration:
 /// let r = db.query("/db/e/n", EngineChoice::auto()).unwrap();
-/// // Explicit engine, four-way sharded parallel scans:
+/// // Explicit engine, four-way parallel execution on the db's pool:
 /// let p = db.query("/db/e/n", EngineChoice::parallel(4)).unwrap();
 /// assert_eq!(r.nodes, p.nodes);
 /// ```
@@ -113,8 +121,11 @@ impl EngineChoice {
         Self { engine: Engine::TwigStack, ..Self::auto() }
     }
 
-    /// The relational engine with clustered scans sharded across
-    /// `shards` worker threads (small scans stay sequential).
+    /// The relational engine with the plan executed `shards`-way
+    /// parallel on the database's persistent pool: independent
+    /// operators (join sides, union arms, twig branches) run
+    /// concurrently and large clustered scans additionally shard
+    /// (small scans stay whole).
     pub const fn parallel(shards: usize) -> Self {
         Self { shards, ..Self::auto() }
     }
@@ -131,14 +142,10 @@ impl EngineChoice {
         self
     }
 
-    /// Override the scan shard count (`1` = sequential).
+    /// Override the parallelism degree (`1` = sequential).
     pub const fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
         self
-    }
-
-    fn exec_config(&self) -> ExecConfig {
-        ExecConfig::sharded(self.shards)
     }
 }
 
@@ -166,6 +173,10 @@ pub struct BlasDb {
     doc: OnceLock<Document>,
     labels: OnceLock<DocumentLabels>,
     schema: OnceLock<SchemaGraph>,
+    /// The persistent worker pool parallel queries execute on; created
+    /// on the first parallel query and shared by every query (and
+    /// every thread querying this database) thereafter.
+    pool: OnceLock<PoolHandle>,
 }
 
 impl BlasDb {
@@ -252,7 +263,24 @@ impl BlasDb {
             doc: OnceLock::new(),
             labels: OnceLock::new(),
             schema: OnceLock::new(),
+            pool: OnceLock::new(),
         }
+    }
+
+    /// The persistent worker pool shared by every parallel query
+    /// against this database — scans, structural joins, unions and
+    /// twig branches all run as jobs on these threads, for the
+    /// lifetime of the `BlasDb`.
+    ///
+    /// Created lazily on first use with
+    /// [`PoolHandle::with_default_parallelism`]:
+    /// `available_parallelism() − 1` resident workers (at least one),
+    /// because the thread that submits a query participates in
+    /// executing it. Sequential queries (`shards == 1`, the default
+    /// [`EngineChoice`]) never touch the pool, so purely sequential
+    /// workloads spawn no threads at all.
+    pub fn pool(&self) -> &PoolHandle {
+        self.pool.get_or_init(PoolHandle::with_default_parallelism)
     }
 
     /// Run `xpath` in one call under an [`EngineChoice`]: parse →
@@ -287,7 +315,10 @@ impl BlasDb {
     }
 
     /// Run an already parsed query tree: decompose → bind → lower →
-    /// execute on the shared physical-plan executor.
+    /// execute on the shared physical-plan executor. Parallel choices
+    /// (`shards > 1`) run the operator DAG on the database's
+    /// persistent [`BlasDb::pool`]; `shards == 1` executes
+    /// sequentially without touching the pool.
     pub fn run(&self, query: &QueryTree, choice: EngineChoice) -> Result<QueryResult, BlasError> {
         let plan = self.translate(query, choice.translator, choice.engine)?;
         let bound = bind(&plan, &self.tags, &self.domain);
@@ -296,8 +327,13 @@ impl BlasDb {
             Engine::Twig => lower_twig(&TwigQuery::from_plan(&bound)?),
             Engine::TwigStack => lower_twigstack(&TwigQuery::from_plan(&bound)?),
         };
+        let config = if choice.shards > 1 {
+            ExecConfig::on_pool(self.pool().clone(), choice.shards)
+        } else {
+            ExecConfig::sequential()
+        };
         let mut stats = ExecStats::default();
-        let nodes = exec::execute(&phys, &self.store, &choice.exec_config(), &mut stats);
+        let nodes = exec::execute(&phys, &self.store, &config, &mut stats);
         Ok(QueryResult { nodes, stats })
     }
 
@@ -602,6 +638,23 @@ mod tests {
         let par = db.query(q, EngineChoice::parallel(4)).unwrap().stats;
         assert_eq!(seq.elements_visited, par.elements_visited);
         assert_eq!(seq.d_joins, par.d_joins);
+    }
+
+    #[test]
+    fn parallel_queries_share_the_db_pool() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        let seq = db.query("/db/e/p/n", EngineChoice::auto()).unwrap();
+        let before = db.pool().jobs_submitted();
+        for _ in 0..3 {
+            let par = db.query("/db/e/p/n", EngineChoice::parallel(4)).unwrap();
+            assert_eq!(par.nodes, seq.nodes);
+        }
+        // The operator jobs of every parallel query landed on the one
+        // persistent pool; sequential queries leave it untouched.
+        let after = db.pool().jobs_submitted();
+        assert!(after > before);
+        let _ = db.query("/db/e/p/n", EngineChoice::auto()).unwrap();
+        assert_eq!(db.pool().jobs_submitted(), after);
     }
 
     #[test]

@@ -40,9 +40,9 @@ pub use collection::{BlasCollection, DocId};
 pub use db::{BlasDb, Engine, EngineChoice, QueryResult, Translator};
 pub use error::BlasError;
 
-// Re-export the executor configuration for callers that drive the
-// engine crates directly.
-pub use blas_engine::ExecConfig;
+// Re-export the executor configuration and the persistent worker pool
+// for callers that drive the engine crates directly.
+pub use blas_engine::{ExecConfig, PoolHandle};
 
 // Re-export the building blocks for advanced use.
 pub use blas_engine::{ExecStats, TwigQuery};

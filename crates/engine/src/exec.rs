@@ -1,43 +1,64 @@
-//! The shared physical-plan executor with sharded parallel scans.
+//! The shared physical-plan executor: sequential by default, and a
+//! dependency-counted DAG walk over the persistent worker pool
+//! ([`crate::pool`]) when parallelism is configured.
 //!
-//! One loop executes any [`PhysPlan`] (see [`crate::physical`] for the
-//! operator ↔ paper-section map): operators run in arena order, each
-//! result parks in its slot until its last consumer has read it, and
-//! buffers recycle through the pooled [`ExecBuffers`] exactly as the
-//! old per-engine loops did. All three engines — relational, holistic
-//! twig, TwigStack — funnel through [`execute_with`]; they differ only
-//! in how they *lower* (and, for TwigStack, in the one holistic
-//! operator they configure).
+//! One operator set executes any [`PhysPlan`] (see [`crate::physical`]
+//! for the operator ↔ paper-section map); all three engines —
+//! relational, holistic twig, TwigStack — funnel through
+//! [`execute_with`] and differ only in how they *lower*.
+//!
+//! # The two execution modes
+//!
+//! * **Sequential** (`shards == 1`, the default): operators run in
+//!   arena order on the calling thread, each result parks in its slot
+//!   until its last consumer has read it, and buffers recycle through
+//!   the pooled [`ExecBuffers`]. No pool job is ever submitted — this
+//!   is the degenerate case the parallel path must match
+//!   byte-for-byte.
+//! * **Pooled DAG walk** (`shards > 1`): every operator becomes a job
+//!   on [`ExecConfig::pool`] — a persistent pool shared across scans
+//!   *and* queries (`blas::BlasDb` keeps one for its lifetime; there
+//!   are **no per-scan thread spawns anywhere**). Scheduling is
+//!   dependency-counted: each operator starts with one credit per
+//!   input edge ([`PhysPlan::input_counts`]), a finishing job
+//!   decrements its consumers' credits ([`PhysPlan::consumers`]) and
+//!   submits whichever dependent just reached zero. Independent
+//!   subtrees — the two sides of a [`PhysOp::StructuralJoin`], every
+//!   [`PhysOp::Union`] arm, every twig branch feeding
+//!   [`PhysOp::TwigStackMatch`] — therefore execute concurrently,
+//!   not just the scans.
 //!
 //! # Sharded scans
 //!
-//! With [`ExecConfig::shards`] > 1, every [`PhysOp::ClusteredScan`]
-//! large enough to be worth it fans out across scoped worker threads
-//! (spawned per scan — `shards − 1` spawns, the coordinating thread
-//! takes the first shard; a persistent pool reused across scans is a
-//! ROADMAP item):
+//! Inside the pooled walk, every [`PhysOp::ClusteredScan`] large
+//! enough to be worth it (`min_shard_elems`) additionally fans out
+//! *within* its job:
 //!
 //! 1. storage partitions the scan's clustered runs into balanced
 //!    groups of zero-copy pieces (`blas_storage::shard_runs`,
 //!    splitting oversized runs);
-//! 2. each worker filters its pieces into a private buffer, restores
-//!    start order among *its own* pieces with the ping-pong segment
-//!    merge of [`crate::stjoin`], and tallies tuples into a private
-//!    per-shard [`ExecStats`] accumulator — no shared counters, so no
+//! 2. the scan job submits groups 1… as pool sub-jobs and scans group
+//!    0 itself, **helping the pool while it waits** (so even a
+//!    zero-worker pool cannot deadlock); each sub-job filters its
+//!    pieces into a private buffer, restores start order among *its
+//!    own* pieces with the ping-pong segment merge of
+//!    [`crate::stjoin`], and tallies tuples into a private per-shard
+//!    [`ExecStats`] accumulator — no shared counters, so no
 //!    double-count risk;
-//! 3. the coordinating thread merges the per-shard accumulators
-//!    **once**, asserts every tuple was counted exactly once, and
-//!    restores global start order across shard outputs with one final
-//!    segment merge (coalescing shard boundaries that are already
-//!    ordered, the common case for single-run scans).
+//! 3. the scan job merges the per-shard accumulators **once**, asserts
+//!    every tuple was counted exactly once, and restores global start
+//!    order across shard outputs with one final segment merge
+//!    (coalescing shard boundaries that are already ordered, the
+//!    common case for single-run scans).
 //!
-//! Because starts are unique within a document, the sharded path is
-//! byte-identical to the sequential one — same labels, same order,
-//! same `elements_visited` — which the equivalence property suite
-//! checks at 2, 4 and 7 shards. `shards == 1` (the default) takes the
-//! zero-copy sequential path untouched.
+//! Because starts are unique within a document and every operator is
+//! deterministic in its inputs, the pooled path is byte-identical to
+//! the sequential one — same labels, same order, same counters —
+//! which the equivalence property suite checks across {1, 2, 4, 7}
+//! pool threads on all three engines.
 
-use crate::physical::{PhysOp, PhysPlan};
+use crate::physical::{OpId, PhysOp, PhysPlan};
+use crate::pool::{self, PoolHandle, Scope};
 use crate::stats::ExecStats;
 use crate::stjoin::{filter_flagged_into, merge_segments, structural_match_into, MergeScratch};
 use crate::stream::{filter_run, materialize, ExecBuffers, Filter, Labels};
@@ -45,38 +66,159 @@ use crate::twigstack;
 use blas_labeling::DLabel;
 use blas_storage::{NodeStore, Run};
 use blas_translate::{BoundSource, Side};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Tuples a shard must at least receive before a scan is parallelized;
-/// below `2 ×` this, thread fan-out costs more than it saves.
+/// below `2 ×` this, job fan-out costs more than it saves.
 pub const DEFAULT_MIN_SHARD_ELEMS: usize = 4096;
 
-/// Executor configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Executor configuration: how many ways to split clustered scans, and
+/// which persistent worker pool runs the operator jobs.
+///
+/// `shards == 1` (the default) is the **sequential fallback**: every
+/// operator runs on the calling thread, nothing is ever submitted to
+/// the pool, and the carried pool is the zero-worker
+/// [`PoolHandle::inline`]. With `shards > 1` the whole plan executes
+/// as dependency-counted jobs on [`ExecConfig::pool`] — which should
+/// be a long-lived pool shared across queries (see
+/// [`ExecConfig::on_pool`]); [`ExecConfig::sharded`] spins up a
+/// private pool for one-off use. Pool sizing guidance lives on
+/// [`PoolHandle`]: `available_parallelism() − 1` workers is the
+/// default, because the thread that submits a plan helps execute it.
+#[derive(Debug, Clone)]
 pub struct ExecConfig {
-    /// Worker count for sharded scans. `1` (the default) executes
-    /// every operator sequentially on the calling thread.
+    /// Worker count sharded scans split into, and the parallel/
+    /// sequential switch: `1` executes every operator sequentially on
+    /// the calling thread.
     pub shards: usize,
     /// Minimum tuples per shard before a scan fans out; tests force
     /// the parallel path on tiny stores by setting this to 1.
     pub min_shard_elems: usize,
+    /// The persistent pool operator jobs and scan shards run on.
+    /// Ignored when `shards == 1`.
+    pub pool: PoolHandle,
+    /// Test-only scheduling instrumentation: when set, the pooled DAG
+    /// walk records a [`ProbeEvent`] stream (submission, start and
+    /// finish of every operator job) the concurrency test suite
+    /// asserts ordering invariants on. Leave `None` outside tests.
+    pub probe: Option<ExecProbe>,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { shards: 1, min_shard_elems: DEFAULT_MIN_SHARD_ELEMS }
+        Self::sequential()
     }
 }
 
 impl ExecConfig {
-    /// Sequential execution (the default).
+    /// Sequential execution (the default): `shards == 1`, a
+    /// zero-worker inline pool, no jobs submitted. The inline pool is
+    /// one process-wide shared handle (it owns no threads and is never
+    /// pushed to on this path), so constructing a sequential config
+    /// per query costs one `Arc` clone.
     pub fn sequential() -> Self {
+        static INLINE: OnceLock<PoolHandle> = OnceLock::new();
+        Self {
+            shards: 1,
+            min_shard_elems: DEFAULT_MIN_SHARD_ELEMS,
+            pool: INLINE.get_or_init(PoolHandle::inline).clone(),
+            probe: None,
+        }
+    }
+
+    /// Parallel execution on an existing (typically long-lived,
+    /// query-spanning) pool, splitting scans `shards` ways.
+    /// `shards <= 1` degenerates to [`ExecConfig::sequential`].
+    pub fn on_pool(pool: PoolHandle, shards: usize) -> Self {
+        if shards <= 1 {
+            return Self::sequential();
+        }
+        Self { shards, min_shard_elems: DEFAULT_MIN_SHARD_ELEMS, pool, probe: None }
+    }
+
+    /// Parallel execution on a **private** pool with `shards − 1`
+    /// workers (the calling thread is the remaining worker). This is a
+    /// pure value constructor — the pool's OS threads spawn lazily on
+    /// the first job submission. Handy for tests and one-shot tools;
+    /// long-lived callers should share one pool across queries via
+    /// [`ExecConfig::on_pool`], since a private pool's spawn cost
+    /// recurs per configuration rather than per database.
+    pub fn sharded(shards: usize) -> Self {
+        if shards <= 1 {
+            return Self::sequential();
+        }
+        Self::on_pool(PoolHandle::new(shards - 1), shards)
+    }
+
+    /// Replace the pool.
+    pub fn with_pool(mut self, pool: PoolHandle) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Override the per-shard minimum (tests set 1 to force fan-out on
+    /// tiny stores).
+    pub fn with_min_shard_elems(mut self, min_shard_elems: usize) -> Self {
+        self.min_shard_elems = min_shard_elems;
+        self
+    }
+
+    /// Attach scheduling instrumentation (test support).
+    pub fn with_probe(mut self, probe: ExecProbe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Whether this configuration takes the pooled DAG path.
+    pub fn is_parallel(&self) -> bool {
+        self.shards > 1
+    }
+}
+
+/// One observed scheduling event of the pooled DAG walk (see
+/// [`ExecProbe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// The operator's dependency count reached zero and its job was
+    /// pushed to the pool.
+    Submitted(OpId),
+    /// The operator's job began executing on some pool thread.
+    Started(OpId),
+    /// The operator's result was published (recorded *before* any
+    /// dependent is released, so in the event log every consumer's
+    /// `Started` strictly follows all of its inputs' `Finished`).
+    Finished(OpId),
+}
+
+/// Test-only scheduling observer: a shared, ordered log of
+/// [`ProbeEvent`]s the concurrency suite asserts invariants on —
+/// every operator is its own pool job, and no join/union/twig-match
+/// starts before all of its inputs finished.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProbe {
+    events: Arc<Mutex<Vec<ProbeEvent>>>,
+}
+
+impl ExecProbe {
+    /// New empty probe.
+    pub fn new() -> Self {
         Self::default()
     }
 
-    /// Sharded scans across `shards` workers.
-    pub fn sharded(shards: usize) -> Self {
-        Self { shards: shards.max(1), ..Self::default() }
+    /// Snapshot of the event log, in global order.
+    pub fn events(&self) -> Vec<ProbeEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Clear the log (between executions sharing one probe).
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+
+    fn record(&self, event: ProbeEvent) {
+        self.events.lock().unwrap().push(event);
     }
 }
 
@@ -93,7 +235,8 @@ pub fn execute(
 }
 
 /// Like [`execute`], reusing caller-held scratch buffers across
-/// executions (batch drivers, benches).
+/// executions (batch drivers, benches). Scratch reuse applies to the
+/// sequential path; the pooled path uses per-job buffers.
 pub fn execute_with(
     plan: &PhysPlan,
     store: &NodeStore,
@@ -102,6 +245,91 @@ pub fn execute_with(
     bufs: &mut ExecBuffers,
 ) -> Vec<DLabel> {
     let t0 = Instant::now();
+    let result = if config.is_parallel() {
+        execute_pooled(plan, store, config, stats)
+    } else {
+        execute_sequential(plan, store, stats, bufs)
+    };
+    stats.result_count = result.len();
+    stats.elapsed = t0.elapsed();
+    result
+}
+
+// ---------------------------------------------------------------------
+// Operator kernels, shared verbatim by both execution modes (this is
+// what guarantees pooled ≡ sequential: scheduling changes, math does
+// not).
+// ---------------------------------------------------------------------
+
+/// Standalone per-tuple filter over a non-scan stream: a value
+/// predicate resolves each label's PCDATA through its start rank.
+fn eval_value_filter(
+    input: &[DLabel],
+    value_eq: Option<&str>,
+    level_eq: Option<u16>,
+    store: &NodeStore,
+    out: &mut Vec<DLabel>,
+) {
+    out.extend(input.iter().filter(|l| {
+        let level_ok = level_eq.is_none_or(|k| l.level == k);
+        let value_ok = value_eq.is_none_or(|v| {
+            store
+                .row_of_start(l.start)
+                .and_then(|row| store.record(row).data)
+                == Some(v)
+        });
+        level_ok && value_ok
+    }));
+}
+
+/// The configuration half of a [`PhysOp::StructuralJoin`].
+#[derive(Clone, Copy)]
+struct JoinSpec {
+    level_diff: Option<u16>,
+    keep: Side,
+    tally: bool,
+}
+
+/// Structural semi-join: flag participants, keep one side.
+fn eval_structural_join(
+    anc: &[DLabel],
+    desc: &[DLabel],
+    spec: JoinSpec,
+    stats: &mut ExecStats,
+    join: &mut crate::stjoin::JoinScratch,
+    out: &mut Vec<DLabel>,
+) {
+    if spec.tally {
+        stats.d_joins += 1;
+        stats.join_input_tuples += (anc.len() + desc.len()) as u64;
+    }
+    structural_match_into(anc, desc, spec.level_diff, join);
+    match spec.keep {
+        Side::Anc => filter_flagged_into(anc, &join.anc, out),
+        Side::Desc => filter_flagged_into(desc, &join.desc, out),
+    }
+}
+
+/// K-way merge of start-sorted lists, dropping duplicates (same start
+/// ⇒ same node).
+fn eval_union<'i>(inputs: impl Iterator<Item = &'i [DLabel]>, out: &mut Vec<DLabel>) {
+    for input in inputs {
+        out.extend_from_slice(input);
+    }
+    out.sort_unstable_by_key(|l| l.start);
+    out.dedup_by_key(|l| l.start);
+}
+
+// ---------------------------------------------------------------------
+// Sequential mode (`shards == 1`)
+// ---------------------------------------------------------------------
+
+fn execute_sequential(
+    plan: &PhysPlan,
+    store: &NodeStore,
+    stats: &mut ExecStats,
+    bufs: &mut ExecBuffers,
+) -> Vec<DLabel> {
     let n = plan.ops().len();
     // Remaining-consumer counts: a slot recycles the moment its last
     // consumer has read it (+1 on the root so it survives the loop).
@@ -112,7 +340,7 @@ pub fn execute_with(
     uses[plan.root()] += 1;
     let mut results: Vec<Option<Labels<'_>>> = (0..n).map(|_| None).collect();
     for id in 0..n {
-        let out = exec_op(plan.op(id), &mut results, &mut uses, store, config, stats, bufs);
+        let out = exec_op(plan.op(id), &mut results, &mut uses, store, stats, bufs);
         results[id] = Some(out);
         plan.op(id).for_each_input(|i| release(&mut results, &mut uses, i, bufs));
     }
@@ -123,8 +351,6 @@ pub fn execute_with(
     for r in results.into_iter().flatten() {
         bufs.recycle(r);
     }
-    stats.result_count = result.len();
-    stats.elapsed = t0.elapsed();
     result
 }
 
@@ -152,57 +378,33 @@ fn exec_op<'a>(
     results: &mut [Option<Labels<'a>>],
     uses: &mut [usize],
     store: &'a NodeStore,
-    config: &ExecConfig,
     stats: &mut ExecStats,
     bufs: &mut ExecBuffers,
 ) -> Labels<'a> {
     match op {
         PhysOp::ClusteredScan { source, value_eq, level_eq } => {
-            scan_clustered(source, value_eq.as_deref(), *level_eq, store, config, stats, bufs)
+            materialize(source, value_eq.as_deref(), *level_eq, store, stats, bufs)
         }
         PhysOp::ValueFilter { input: inp, value_eq, level_eq } => {
             // Scans carry their value filters fused (pushdown), so this
-            // operator usually sees only a level predicate; a value
-            // predicate over a non-scan stream resolves each label's
-            // PCDATA through its start rank.
+            // operator usually sees only a level predicate.
             let mut out = bufs.take();
-            let want = value_eq.as_deref();
-            out.extend(input(results, *inp).iter().filter(|l| {
-                let level_ok = level_eq.is_none_or(|k| l.level == k);
-                let value_ok = want.is_none_or(|v| {
-                    store
-                        .row_of_start(l.start)
-                        .and_then(|row| store.record(row).data)
-                        == Some(v)
-                });
-                level_ok && value_ok
-            }));
+            eval_value_filter(input(results, *inp), value_eq.as_deref(), *level_eq, store, &mut out);
             Labels::Owned(out)
         }
         PhysOp::StructuralJoin { anc, desc, level_diff, keep, tally } => {
             let a = input(results, *anc);
             let d = input(results, *desc);
-            if *tally {
-                stats.d_joins += 1;
-                stats.join_input_tuples += (a.len() + d.len()) as u64;
-            }
-            structural_match_into(a, d, *level_diff, &mut bufs.join);
+            let spec = JoinSpec { level_diff: *level_diff, keep: *keep, tally: *tally };
+            let mut join = std::mem::take(&mut bufs.join);
             let mut out = bufs.take();
-            match keep {
-                Side::Anc => filter_flagged_into(a, &bufs.join.anc, &mut out),
-                Side::Desc => filter_flagged_into(d, &bufs.join.desc, &mut out),
-            }
+            eval_structural_join(a, d, spec, stats, &mut join, &mut out);
+            bufs.join = join;
             Labels::Owned(out)
         }
         PhysOp::Union { inputs } => {
-            // K-way merge of start-sorted lists, dropping duplicates
-            // (same start ⇒ same node).
             let mut all = bufs.take();
-            for &i in inputs {
-                all.extend_from_slice(input(results, i));
-            }
-            all.sort_unstable_by_key(|l| l.start);
-            all.dedup_by_key(|l| l.start);
+            eval_union(inputs.iter().map(|&i| input(results, i)), &mut all);
             Labels::Owned(all)
         }
         PhysOp::TwigStackMatch { streams, pattern } => {
@@ -225,104 +427,272 @@ fn exec_op<'a>(
     }
 }
 
-/// The clustered-scan operator: sequential (zero-copy where possible)
-/// by default, sharded across scoped worker threads when the
-/// configuration asks for it and the scan is large enough to pay.
-fn scan_clustered<'a>(
-    source: &BoundSource,
-    value_eq: Option<&str>,
-    level_eq: Option<u16>,
-    store: &'a NodeStore,
-    config: &ExecConfig,
-    stats: &mut ExecStats,
-    bufs: &mut ExecBuffers,
-) -> Labels<'a> {
-    if config.shards > 1 {
-        if let Some(out) = scan_sharded(source, value_eq, level_eq, store, config, stats, bufs) {
-            return out;
-        }
-    }
-    materialize(source, value_eq, level_eq, store, stats, bufs)
+// ---------------------------------------------------------------------
+// Pooled mode (`shards > 1`): dependency-counted DAG walk
+// ---------------------------------------------------------------------
+
+/// One operator's published output in the pooled walk.
+struct OpOutput<'a> {
+    labels: Labels<'a>,
+    stats: ExecStats,
 }
 
-/// Parallel scan path; `None` when the scan is too small to shard (the
-/// caller falls back to the sequential path).
-fn scan_sharded<'a>(
-    source: &BoundSource,
-    value_eq: Option<&str>,
-    level_eq: Option<u16>,
+/// Shared scheduling state of one pooled execution. Borrowed by every
+/// operator job; the [`pool::scope`] barrier guarantees the borrows
+/// end before the state is torn down.
+struct Sched<'a> {
+    plan: &'a PhysPlan,
     store: &'a NodeStore,
+    config: &'a ExecConfig,
+    /// Who reads each operator's output (one entry per input edge);
+    /// borrowed from the plan's memoized dependency metadata.
+    consumers: &'a [Vec<OpId>],
+    /// Unfinished-input credits per operator; an operator is submitted
+    /// exactly when its count reaches zero, so a join can never start
+    /// before both of its inputs completed.
+    pending: Vec<AtomicUsize>,
+    /// Write-once result slots; readable by consumers only after the
+    /// producing job has published (enforced by `pending`).
+    slots: Vec<OnceLock<OpOutput<'a>>>,
+}
+
+impl<'a> Sched<'a> {
+    fn probe(&self, event: ProbeEvent) {
+        if let Some(probe) = &self.config.probe {
+            probe.record(event);
+        }
+    }
+
+    fn input(&self, id: OpId) -> &[DLabel] {
+        &self.slots[id]
+            .get()
+            .expect("dependency counting released a consumer before its input")
+            .labels
+    }
+
+    fn submit<'s, 'e>(&'s self, scope: &'s Scope<'s, 'e>, id: OpId) {
+        self.probe(ProbeEvent::Submitted(id));
+        scope.spawn(move || self.run_op(scope, id));
+    }
+
+    fn run_op<'s, 'e>(&'s self, scope: &'s Scope<'s, 'e>, id: OpId) {
+        self.probe(ProbeEvent::Started(id));
+        let mut stats = ExecStats::default();
+        let mut bufs = ExecBuffers::default();
+        let labels: Labels<'a> = match self.plan.op(id) {
+            PhysOp::ClusteredScan { source, value_eq, level_eq } => self.scan_clustered(
+                scope,
+                source,
+                value_eq.as_deref(),
+                *level_eq,
+                &mut stats,
+                &mut bufs,
+            ),
+            PhysOp::ValueFilter { input, value_eq, level_eq } => {
+                let mut out = Vec::new();
+                eval_value_filter(
+                    self.input(*input),
+                    value_eq.as_deref(),
+                    *level_eq,
+                    self.store,
+                    &mut out,
+                );
+                Labels::Owned(out)
+            }
+            PhysOp::StructuralJoin { anc, desc, level_diff, keep, tally } => {
+                let spec = JoinSpec { level_diff: *level_diff, keep: *keep, tally: *tally };
+                let mut out = Vec::new();
+                eval_structural_join(
+                    self.input(*anc),
+                    self.input(*desc),
+                    spec,
+                    &mut stats,
+                    &mut bufs.join,
+                    &mut out,
+                );
+                Labels::Owned(out)
+            }
+            PhysOp::Union { inputs } => {
+                let mut out = Vec::new();
+                eval_union(inputs.iter().map(|&i| self.input(i)), &mut out);
+                Labels::Owned(out)
+            }
+            PhysOp::TwigStackMatch { streams, pattern } => {
+                let stream_slices: Vec<&[DLabel]> =
+                    streams.iter().map(|&s| self.input(s)).collect();
+                Labels::Owned(twigstack::run_match(pattern, &stream_slices, &mut stats))
+            }
+            PhysOp::Materialize { input } => {
+                // Slots are shared read-only across jobs, so the
+                // sequential move optimization does not apply: copy.
+                Labels::Owned(self.input(*input).to_vec())
+            }
+        };
+        self.slots[id]
+            .set(OpOutput { labels, stats })
+            .unwrap_or_else(|_| panic!("operator {id} scheduled twice"));
+        // Publish before releasing dependents: every consumer observes
+        // a fully written slot, and the probe log shows Finished(input)
+        // strictly before Started(consumer).
+        self.probe(ProbeEvent::Finished(id));
+        for &consumer in &self.consumers[id] {
+            if self.pending[consumer].fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.submit(scope, consumer);
+            }
+        }
+    }
+
+    /// The clustered-scan operator inside a pool job: sequential
+    /// (zero-copy where possible) when too small to pay for fan-out,
+    /// otherwise sharded across pool sub-jobs.
+    fn scan_clustered<'s, 'e>(
+        &'s self,
+        scope: &'s Scope<'s, 'e>,
+        source: &BoundSource,
+        value_eq: Option<&str>,
+        level_eq: Option<u16>,
+        stats: &mut ExecStats,
+        bufs: &mut ExecBuffers,
+    ) -> Labels<'a> {
+        if let Some(out) = self.scan_sharded(scope, source, value_eq, level_eq, stats, bufs) {
+            return out;
+        }
+        materialize(source, value_eq, level_eq, self.store, stats, bufs)
+    }
+
+    /// Parallel scan path; `None` when the scan is too small to shard
+    /// (the caller falls back to the sequential kernel).
+    fn scan_sharded<'s, 'e>(
+        &'s self,
+        scope: &'s Scope<'s, 'e>,
+        source: &BoundSource,
+        value_eq: Option<&str>,
+        level_eq: Option<u16>,
+        stats: &mut ExecStats,
+        bufs: &mut ExecBuffers,
+    ) -> Option<Labels<'a>> {
+        let config = self.config;
+        let store = self.store;
+        // Storage owns shard-aware run iteration: one balanced group of
+        // zero-copy run pieces per prospective worker.
+        let groups: Vec<Vec<Run<'a>>> = match source {
+            BoundSource::PLabelEq(p) => store.shard_plabel_eq(*p, config.shards),
+            BoundSource::Tag(t) => store.shard_tag(*t, config.shards),
+            BoundSource::All => store.shard_doc(config.shards),
+            BoundSource::PLabelRange(p1, p2) => store.shard_plabel_range(*p1, *p2, config.shards),
+            BoundSource::Empty => return Some(Labels::Borrowed(&[])),
+        };
+        let total: usize = groups.iter().flatten().map(Run::len).sum();
+        // Respect the per-shard minimum by coalescing adjacent groups
+        // (each group holds consecutive pieces, so merging neighbours
+        // keeps the partition order-preserving and balanced).
+        let desired = config.shards.min(total / config.min_shard_elems.max(1));
+        if desired < 2 || groups.len() < 2 {
+            return None;
+        }
+        let groups = coalesce_groups(groups, desired);
+        let filter = Filter::resolve(value_eq, level_eq, store);
+
+        // Fan out: sub-jobs take groups 1…, this job scans group 0
+        // itself and then joins the sub-jobs, helping the pool while
+        // it waits. Each sub-job owns its output buffer and its
+        // ExecStats accumulator.
+        let mut groups = groups.into_iter();
+        let first = groups.next().expect("at least two groups");
+        let handles: Vec<_> = groups
+            .map(|group| scope.spawn_job(move || scan_shard(&group, filter)))
+            .collect();
+        let mut shard_out = Vec::with_capacity(handles.len() + 1);
+        shard_out.push(scan_shard(&first, filter));
+        for handle in handles {
+            match handle.join() {
+                Ok(out) => shard_out.push(out),
+                // A shard panic (a bug, not a data condition) unwinds
+                // this operator job; the scope catches it and the pool
+                // survives.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+
+        // Merge the per-shard accumulators exactly once, and check that
+        // the partition counted every tuple of the scan exactly once.
+        let mut shard_total = ExecStats::default();
+        for (_, s) in &shard_out {
+            shard_total.absorb(s);
+        }
+        debug_assert_eq!(
+            shard_total.elements_visited, total as u64,
+            "sharded scan must count each tuple exactly once"
+        );
+        stats.absorb(&shard_total);
+
+        // Restore global start order: per-shard outputs are already
+        // sorted, so they form segments for one final ping-pong merge.
+        // Consecutive shards that are already ordered (single-run scans
+        // split into consecutive pieces) coalesce into one segment,
+        // making the merge a no-op for that common case.
+        let mut out = Vec::new();
+        bufs.merge.bounds.clear();
+        for (shard, _) in &shard_out {
+            if shard.is_empty() {
+                continue;
+            }
+            let ordered = out.last().is_none_or(|l: &DLabel| l.start <= shard[0].start);
+            out.extend_from_slice(shard);
+            match bufs.merge.bounds.last_mut() {
+                Some(b) if ordered => *b = out.len(),
+                _ => bufs.merge.bounds.push(out.len()),
+            }
+        }
+        merge_segments(&mut out, &mut bufs.merge);
+        Some(Labels::Owned(out))
+    }
+}
+
+fn execute_pooled(
+    plan: &PhysPlan,
+    store: &NodeStore,
     config: &ExecConfig,
     stats: &mut ExecStats,
-    bufs: &mut ExecBuffers,
-) -> Option<Labels<'a>> {
-    // Storage owns shard-aware run iteration: one balanced group of
-    // zero-copy run pieces per prospective worker.
-    let groups: Vec<Vec<Run<'a>>> = match source {
-        BoundSource::PLabelEq(p) => store.shard_plabel_eq(*p, config.shards),
-        BoundSource::Tag(t) => store.shard_tag(*t, config.shards),
-        BoundSource::All => store.shard_doc(config.shards),
-        BoundSource::PLabelRange(p1, p2) => store.shard_plabel_range(*p1, *p2, config.shards),
-        BoundSource::Empty => return Some(Labels::Borrowed(&[])),
+) -> Vec<DLabel> {
+    let n = plan.ops().len();
+    let pending: Vec<AtomicUsize> =
+        plan.input_counts().iter().map(|&c| AtomicUsize::new(c)).collect();
+    let roots: Vec<OpId> = pending
+        .iter()
+        .enumerate()
+        .filter_map(|(id, p)| (p.load(Ordering::Relaxed) == 0).then_some(id))
+        .collect();
+    let sched = Sched {
+        plan,
+        store,
+        config,
+        consumers: plan.consumers(),
+        pending,
+        slots: (0..n).map(|_| OnceLock::new()).collect(),
     };
-    let total: usize = groups.iter().flatten().map(Run::len).sum();
-    // Respect the per-shard minimum by coalescing adjacent groups
-    // (each group holds consecutive pieces, so merging neighbours
-    // keeps the partition order-preserving and balanced).
-    let desired = config.shards.min(total / config.min_shard_elems.max(1));
-    if desired < 2 || groups.len() < 2 {
-        return None;
-    }
-    let groups = coalesce_groups(groups, desired);
-    let filter = Filter::resolve(value_eq, level_eq, store);
-
-    // Fan out: the spawned workers take groups 1…, the coordinating
-    // thread scans group 0 itself. Each worker owns its output buffer
-    // and its ExecStats accumulator.
-    let mut shard_out: Vec<(Vec<DLabel>, ExecStats)> = Vec::with_capacity(groups.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = groups[1..]
-            .iter()
-            .map(|g| scope.spawn(move || scan_shard(g, filter)))
-            .collect();
-        shard_out.push(scan_shard(&groups[0], filter));
-        for h in handles {
-            shard_out.push(h.join().expect("shard worker panicked"));
+    pool::scope(&config.pool, |scope| {
+        for id in &roots {
+            sched.submit(scope, *id);
         }
     });
-
-    // Merge the per-shard accumulators exactly once, and check that
-    // the partition counted every tuple of the scan exactly once.
-    let mut shard_total = ExecStats::default();
-    for (_, s) in &shard_out {
-        shard_total.absorb(s);
-    }
-    debug_assert_eq!(
-        shard_total.elements_visited, total as u64,
-        "sharded scan must count each tuple exactly once"
-    );
-    stats.absorb(&shard_total);
-
-    // Restore global start order: per-shard outputs are already
-    // sorted, so they form segments for one final ping-pong merge.
-    // Consecutive shards that are already ordered (single-run scans
-    // split into consecutive pieces) coalesce into one segment, making
-    // the merge a no-op for that common case.
-    let mut out = bufs.take();
-    bufs.merge.bounds.clear();
-    for (shard, _) in &shard_out {
-        if shard.is_empty() {
-            continue;
-        }
-        let ordered = out.last().is_none_or(|l| l.start <= shard[0].start);
-        out.extend_from_slice(shard);
-        match bufs.merge.bounds.last_mut() {
-            Some(b) if ordered => *b = out.len(),
-            _ => bufs.merge.bounds.push(out.len()),
+    // Barrier passed: every job completed. Merge the per-operator
+    // accumulators exactly once, in arena order (addition commutes,
+    // but determinism keeps the logs comparable), and take the root's
+    // labels.
+    let root = plan.root();
+    let mut result = Vec::new();
+    for (id, slot) in sched.slots.into_iter().enumerate() {
+        let out = slot.into_inner().expect("every operator executed");
+        stats.absorb(&out.stats);
+        if id == root {
+            result = match out.labels {
+                Labels::Borrowed(s) => s.to_vec(),
+                Labels::Owned(v) => v,
+            };
         }
     }
-    merge_segments(&mut out, &mut bufs.merge);
-    Some(Labels::Owned(out))
+    result
 }
 
 /// Merge adjacent shard groups until at most `desired` remain (the
@@ -343,7 +713,7 @@ fn coalesce_groups<'a>(groups: Vec<Vec<Run<'a>>>, desired: usize) -> Vec<Vec<Run
     out
 }
 
-/// One worker's share of a sharded scan: filter its run pieces and
+/// One sub-job's share of a sharded scan: filter its run pieces and
 /// restore start order among them, tallying into a private
 /// accumulator.
 fn scan_shard(runs: &[Run<'_>], filter: Filter) -> (Vec<DLabel>, ExecStats) {
@@ -393,11 +763,11 @@ mod tests {
     }
 
     fn forced_parallel(shards: usize) -> ExecConfig {
-        ExecConfig { shards, min_shard_elems: 1 }
+        ExecConfig::sharded(shards).with_min_shard_elems(1)
     }
 
     #[test]
-    fn sharded_scan_equals_sequential_scan() {
+    fn pooled_execution_equals_sequential() {
         let (doc, store, dom) = fixture(SAMPLE);
         for xpath in ["/db/e/r/f/t", "//f", "/db/e[p//s='cyt']/r/f[y='2001']/t", "//s='cyt'"] {
             let b = bound(&doc, &dom, xpath);
@@ -416,6 +786,28 @@ mod tests {
                 assert_eq!(par_stats.join_input_tuples, seq_stats.join_input_tuples);
             }
         }
+    }
+
+    #[test]
+    fn one_pool_serves_repeated_queries() {
+        let (doc, store, dom) = fixture(SAMPLE);
+        let pool = PoolHandle::new(2);
+        let config = ExecConfig::on_pool(pool.clone(), 4).with_min_shard_elems(1);
+        let b = bound(&doc, &dom, "/db/e[p//s='cyt']/r/f/t");
+        let plan = lower_plan(&b);
+        let mut first: Option<Vec<DLabel>> = None;
+        for _ in 0..5 {
+            let mut stats = ExecStats::default();
+            let out = execute(&plan, &store, &config, &mut stats);
+            match &first {
+                None => first = Some(out),
+                Some(expect) => assert_eq!(&out, expect),
+            }
+        }
+        // Every execution submitted its operator jobs to the same
+        // persistent pool — no per-query or per-scan thread spawns.
+        assert!(pool.jobs_submitted() >= 5 * plan.ops().len() as u64);
+        assert_eq!(pool.threads(), 2);
     }
 
     #[test]
@@ -441,7 +833,8 @@ mod tests {
         let plan = lower_plan(&b);
         let mut stats = ExecStats::default();
         // Default min_shard_elems (4096) far exceeds this store's size,
-        // so the parallel config must silently take the sequential path.
+        // so the parallel config must not fan any scan out (operators
+        // still run as pool jobs, scans just stay whole).
         let out = execute(&plan, &store, &ExecConfig::sharded(4), &mut stats);
         assert_eq!(out.len(), 3);
     }
@@ -512,5 +905,112 @@ mod tests {
         let out = execute(&plan, &store, &forced_parallel(4), &mut stats);
         assert_eq!(out.len(), 3);
         assert!(out.windows(2).all(|w| w[0].start < w[1].start));
+    }
+
+    // --- DAG-scheduling observability ---------------------------------
+
+    /// Index of the first matching event, panicking with context when
+    /// absent.
+    fn pos(events: &[ProbeEvent], want: ProbeEvent) -> usize {
+        events
+            .iter()
+            .position(|e| *e == want)
+            .unwrap_or_else(|| panic!("{want:?} missing from {events:?}"))
+    }
+
+    #[test]
+    fn union_arms_are_separate_pool_jobs() {
+        // Unfolding /a//c over a schema with two c-paths produces a
+        // Union over one scan per unfolded alternative.
+        let (doc, store, dom) = fixture("<a><b><c>x</c></b><d><c>y</c></d></a>");
+        let schema = blas_xml::SchemaGraph::infer(&doc);
+        let q = parse("/a//c").unwrap();
+        let b = bind(
+            &blas_translate::translate_unfold(&q, &schema).unwrap(),
+            doc.tags(),
+            &dom,
+        );
+        let plan = lower_plan(&b);
+        let (union_id, arms) = plan
+            .ops()
+            .iter()
+            .enumerate()
+            .find_map(|(id, op)| match op {
+                PhysOp::Union { inputs } => Some((id, inputs.clone())),
+                _ => None,
+            })
+            .expect("unfolding /a//c lowers to a union");
+        assert!(arms.len() >= 2, "need at least two arms: {plan:?}");
+
+        let probe = ExecProbe::new();
+        let pool = PoolHandle::new(2);
+        let config =
+            ExecConfig::on_pool(pool.clone(), 2).with_min_shard_elems(1).with_probe(probe.clone());
+        let mut stats = ExecStats::default();
+        execute(&plan, &store, &config, &mut stats);
+        let events = probe.events();
+
+        // Every operator — in particular every union arm — was
+        // submitted as its own pool job, exactly once.
+        for (id, _) in plan.ops().iter().enumerate() {
+            assert_eq!(
+                events.iter().filter(|e| **e == ProbeEvent::Submitted(id)).count(),
+                1,
+                "op {id} must be exactly one job: {events:?}"
+            );
+        }
+        for &arm in &arms {
+            assert!(
+                pos(&events, ProbeEvent::Finished(arm)) < pos(&events, ProbeEvent::Started(union_id)),
+                "arm {arm} must finish before the union starts: {events:?}"
+            );
+        }
+        // And the pool really carried them.
+        assert!(pool.jobs_submitted() >= plan.ops().len() as u64);
+    }
+
+    #[test]
+    fn join_sides_are_separate_jobs_and_joins_wait_for_both_inputs() {
+        let (doc, store, dom) = fixture(SAMPLE);
+        let b = bound(&doc, &dom, "/db/e[p//s='cyt']/r/f[y='2001']/t");
+        let twig = TwigQuery::from_plan(&b).unwrap();
+        let pool = PoolHandle::new(3);
+        for (name, plan) in [
+            ("rdbms", lower_plan(&b)),
+            ("twig", lower_twig(&twig)),
+            ("twigstack", lower_twigstack(&twig)),
+        ] {
+            let probe = ExecProbe::new();
+            // Repeat to give racy schedules a chance to surface.
+            for round in 0..25 {
+                probe.clear();
+                let config = ExecConfig::on_pool(pool.clone(), 4)
+                    .with_min_shard_elems(1)
+                    .with_probe(probe.clone());
+                let mut stats = ExecStats::default();
+                execute(&plan, &store, &config, &mut stats);
+                let events = probe.events();
+                for (id, op) in plan.ops().iter().enumerate() {
+                    // Each side of a join (each input of any operator)
+                    // is a distinct job…
+                    op.for_each_input(|i| {
+                        assert_ne!(i, id);
+                        assert_eq!(
+                            events.iter().filter(|e| **e == ProbeEvent::Submitted(i)).count(),
+                            1,
+                            "{name} round {round}: input {i} of op {id} is its own job"
+                        );
+                        // …and dependency counting never releases a
+                        // consumer before the input completed.
+                        assert!(
+                            pos(&events, ProbeEvent::Finished(i))
+                                < pos(&events, ProbeEvent::Started(id)),
+                            "{name} round {round}: op {id} started before input {i} \
+                             finished: {events:?}"
+                        );
+                    });
+                }
+            }
+        }
     }
 }

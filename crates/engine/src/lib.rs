@@ -8,10 +8,16 @@
 //!   `Union`, `Materialize`, `TwigStackMatch`) in a flat arena DAG,
 //!   plus the three lowering strategies and the filter-pushdown pass.
 //! * [`exec`] — the one executor: runs any physical plan with pooled
-//!   buffers, and **shards clustered scans across worker threads**
-//!   ([`ExecConfig::shards`]) with per-shard stats accumulators and a
-//!   final ping-pong segment merge; `shards == 1` is the zero-copy
-//!   sequential path.
+//!   buffers. Under a parallel [`ExecConfig`] the whole operator DAG
+//!   executes as dependency-counted jobs on the persistent worker
+//!   pool — join sides, union arms and twig branches concurrently,
+//!   with clustered scans additionally sharded into pool sub-jobs —
+//!   while `shards == 1` is the zero-copy sequential path.
+//! * [`pool`] — the persistent work-stealing-lite worker pool those
+//!   jobs run on: fixed threads, one injector queue, scoped
+//!   submission, helping joins and panic propagation. One pool
+//!   (typically owned by `blas::BlasDb`) serves every scan, join,
+//!   union and twig branch across repeated queries.
 //! * [`rdbms`] — the relational engine (§5.2): lowers a [`BoundPlan`]
 //!   into the Fig. 11 operator shape (selections, semi-join D-joins,
 //!   unions).
@@ -42,6 +48,7 @@
 pub mod exec;
 pub mod naive;
 pub mod physical;
+pub mod pool;
 pub mod rdbms;
 pub mod stats;
 pub mod stjoin;
@@ -49,7 +56,8 @@ pub mod stream;
 pub mod twig;
 pub mod twigstack;
 
-pub use exec::{ExecConfig, DEFAULT_MIN_SHARD_ELEMS};
+pub use exec::{ExecConfig, ExecProbe, ProbeEvent, DEFAULT_MIN_SHARD_ELEMS};
+pub use pool::{JobHandle, PoolHandle, Scope};
 pub use physical::{lower_plan, lower_twig, lower_twigstack, PhysOp, PhysPlan, TwigPattern};
 pub use rdbms::{execute_plan, execute_plan_config, execute_plan_with};
 pub use stats::ExecStats;

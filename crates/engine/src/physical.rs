@@ -187,15 +187,38 @@ impl TwigPattern {
     }
 }
 
+/// Dependency metadata of a plan, derived once per plan (both vectors
+/// in a single walk) and memoized: the pooled executor reads it on
+/// every execution.
+#[derive(Debug, Clone)]
+struct PlanDeps {
+    input_counts: Vec<usize>,
+    consumers: Vec<Vec<OpId>>,
+}
+
 /// A physical plan: operators in topological (execution) order plus
 /// the root whose output is the query result.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PhysPlan {
     ops: Vec<PhysOp>,
     root: OpId,
+    /// Memoized [`PlanDeps`]; excluded from equality (it is a pure
+    /// function of `ops`).
+    deps: std::sync::OnceLock<PlanDeps>,
 }
 
+impl PartialEq for PhysPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.ops == other.ops && self.root == other.root
+    }
+}
+
+impl Eq for PhysPlan {}
+
 impl PhysPlan {
+    fn empty() -> Self {
+        PhysPlan { ops: Vec::new(), root: 0, deps: std::sync::OnceLock::new() }
+    }
     /// The operators in execution order.
     pub fn ops(&self) -> &[PhysOp] {
         &self.ops
@@ -209,6 +232,41 @@ impl PhysPlan {
     /// The root operator.
     pub fn root(&self) -> OpId {
         self.root
+    }
+
+    /// Compute (once) and cache the dependency metadata; repeated
+    /// executions of the same plan reuse it.
+    fn deps(&self) -> &PlanDeps {
+        self.deps.get_or_init(|| {
+            let mut input_counts = vec![0usize; self.ops.len()];
+            let mut consumers: Vec<Vec<OpId>> = vec![Vec::new(); self.ops.len()];
+            for (id, op) in self.ops.iter().enumerate() {
+                op.for_each_input(|input| {
+                    input_counts[id] += 1;
+                    consumers[input].push(id);
+                });
+            }
+            PlanDeps { input_counts, consumers }
+        })
+    }
+
+    /// Per-operator input-edge counts — the initial dependency counts
+    /// of the pooled DAG walk in [`crate::exec`]. An operator with
+    /// count 0 (a scan) is ready immediately; every other operator
+    /// becomes ready when its count has been decremented once per
+    /// input edge. Duplicate edges (an operator reading the same
+    /// input twice) are counted per edge, matching
+    /// [`PhysPlan::consumers`]. Memoized per plan.
+    pub fn input_counts(&self) -> &[usize] {
+        &self.deps().input_counts
+    }
+
+    /// Per-operator consumer lists (one entry per input *edge*, so an
+    /// operator consumed twice by the same join appears twice): the
+    /// adjacency the pooled executor walks to release dependents as
+    /// results complete. Memoized per plan.
+    pub fn consumers(&self) -> &[Vec<OpId>] {
+        &self.deps().consumers
     }
 
     fn push(&mut self, op: PhysOp) -> OpId {
@@ -242,7 +300,7 @@ impl PhysPlan {
                 }
             }
         }
-        let mut out = PhysPlan { ops: Vec::with_capacity(self.ops.len()), root: 0 };
+        let mut out = PhysPlan::empty();
         let mut map: Vec<OpId> = vec![usize::MAX; self.ops.len()];
         for (id, op) in self.ops.iter().enumerate() {
             if fused_into[id].is_some() {
@@ -316,7 +374,7 @@ fn lower_selection(
 /// SP/SD, semi-join `⋈`s keeping the projected side, `∪` for unfolded
 /// alternatives, and a final `π(start)` materialization.
 pub fn lower_plan(bound: &BoundPlan) -> PhysPlan {
-    let mut plan = PhysPlan { ops: Vec::new(), root: 0 };
+    let mut plan = PhysPlan::empty();
     let top = lower_plan_rec(bound, &mut plan);
     plan.root = plan.push(PhysOp::Materialize { input: top });
     plan.pushdown_filters()
@@ -352,7 +410,7 @@ fn lower_plan_rec(bound: &BoundPlan, plan: &mut PhysPlan) -> OpId {
 /// D-joins) and top-down reachability (keep descendants, untallied:
 /// the paper counts each twig edge once).
 pub fn lower_twig(q: &TwigQuery) -> PhysPlan {
-    let mut plan = PhysPlan { ops: Vec::new(), root: 0 };
+    let mut plan = PhysPlan::empty();
     let pattern = TwigPattern::from_query(q);
     let mut sat: Vec<OpId> = q
         .nodes
@@ -392,7 +450,7 @@ pub fn lower_twig(q: &TwigQuery) -> PhysPlan {
 /// streams as [`lower_twig`], feeding the single holistic
 /// [`PhysOp::TwigStackMatch`] operator instead of a semi-join DAG.
 pub fn lower_twigstack(q: &TwigQuery) -> PhysPlan {
-    let mut plan = PhysPlan { ops: Vec::new(), root: 0 };
+    let mut plan = PhysPlan::empty();
     let streams: Vec<OpId> = q
         .nodes
         .iter()
@@ -411,7 +469,8 @@ pub fn lower_twigstack(q: &TwigQuery) -> PhysPlan {
 /// invariant for everyone else).
 #[cfg(test)]
 pub(crate) fn plan_for_tests(ops: Vec<PhysOp>, root: OpId) -> PhysPlan {
-    let mut plan = PhysPlan { ops: Vec::with_capacity(ops.len()), root };
+    let mut plan = PhysPlan::empty();
+    plan.root = root;
     for op in ops {
         plan.push(op);
     }
@@ -527,7 +586,7 @@ mod tests {
     fn pushdown_keeps_shared_scans_unfused() {
         // Hand-build a plan where one scan feeds a ValueFilter AND a
         // join: the scan must not be fused away.
-        let mut plan = PhysPlan { ops: Vec::new(), root: 0 };
+        let mut plan = PhysPlan::empty();
         let scan = plan.push(PhysOp::ClusteredScan {
             source: BoundSource::All,
             value_eq: None,

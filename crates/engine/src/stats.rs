@@ -1,15 +1,16 @@
 //! Per-query execution statistics.
 //!
-//! Under sharded parallel scans the counters follow an
-//! **accumulator-per-shard** discipline: no `&mut ExecStats` is ever
-//! shared with a worker thread. Each shard tallies into its own
-//! private `ExecStats` and the coordinating thread [`absorb`]s every
-//! accumulator exactly once after the workers join, so a tuple can
-//! never be counted twice no matter how runs were split — the
-//! executor additionally asserts that the absorbed
-//! `elements_visited` equals the scan's total tuple count, and the
-//! equivalence property suite checks parallel counts equal sequential
-//! counts plan-for-plan.
+//! Under pooled parallel execution the counters follow an
+//! **accumulator-per-job** discipline: no `&mut ExecStats` is ever
+//! shared with a pool worker. Every operator job — and every scan
+//! shard sub-job — tallies into its own private `ExecStats`; the scan
+//! job [`absorb`]s its shards once at its join point (asserting the
+//! absorbed `elements_visited` equals the scan's total tuple count),
+//! and the coordinating thread absorbs every operator accumulator
+//! exactly once after the scope barrier, so a tuple can never be
+//! counted twice no matter how the DAG was scheduled. The equivalence
+//! property suite checks pooled counts equal sequential counts
+//! plan-for-plan across {1, 2, 4, 7} pool threads.
 //!
 //! [`absorb`]: ExecStats::absorb
 

@@ -22,9 +22,12 @@
 //! Since the physical-plan refactor this module owns no execution
 //! loop: [`TwigQuery`] is a *lowering strategy*. `crate::physical`'s
 //! [`lower_twig`] turns it into a DAG of shared [`PhysOp::ClusteredScan`]
-//! streams (sharded under a parallel [`ExecConfig`]) and
-//! [`PhysOp::StructuralJoin`] semi-joins — the two stack passes made
-//! explicit — which the one executor in [`crate::exec`] runs.
+//! streams and [`PhysOp::StructuralJoin`] semi-joins — the two stack
+//! passes made explicit — which the one executor in [`crate::exec`]
+//! runs. Under a parallel [`ExecConfig`] the independent twig
+//! branches execute concurrently as dependency-counted jobs on the
+//! persistent worker pool, and large streams shard into pool
+//! sub-jobs.
 //!
 //! [`PhysOp::ClusteredScan`]: crate::physical::PhysOp::ClusteredScan
 //! [`PhysOp::StructuralJoin`]: crate::physical::PhysOp::StructuralJoin

@@ -21,9 +21,12 @@
 //! `run_match`, the implementation of the
 //! [`PhysOp::TwigStackMatch`] operator. The
 //! engine entry point [`execute_twigstack`] is a lowering strategy —
-//! per-node [`PhysOp::ClusteredScan`] streams (sharded under a
-//! parallel [`ExecConfig`]) feeding the one holistic operator — over
-//! the shared executor in [`crate::exec`]. The default twig engine in
+//! per-node [`PhysOp::ClusteredScan`] streams feeding the one
+//! holistic operator — over the shared executor in [`crate::exec`].
+//! Under a parallel [`ExecConfig`] the per-node streams load
+//! concurrently as pool jobs (sharding individually when large), and
+//! the match operator is released only when every stream has
+//! completed. The default twig engine in
 //! [`crate::twig`] computes the same answer with a semi-join DAG; the
 //! `ablation` Criterion bench compares the two.
 //!
@@ -452,7 +455,7 @@ mod tests {
         let twig = TwigQuery::from_plan(&bound).unwrap();
         let mut seq = ExecStats::default();
         let expect = execute_twigstack(&twig, &store, &mut seq);
-        let config = ExecConfig { shards: 4, min_shard_elems: 1 };
+        let config = ExecConfig::sharded(4).with_min_shard_elems(1);
         let mut par = ExecStats::default();
         let got = execute_twigstack_config(&twig, &store, &config, &mut par);
         assert_eq!(got, expect);

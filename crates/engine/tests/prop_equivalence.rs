@@ -6,6 +6,7 @@
 
 use blas_engine::exec::{execute, ExecConfig};
 use blas_engine::physical::{lower_plan, lower_twig, lower_twigstack};
+use blas_engine::pool::PoolHandle;
 use blas_engine::{naive, rdbms::execute_plan, twigstack::execute_twigstack, ExecStats, TwigQuery};
 use blas_labeling::label_document;
 use blas_storage::NodeStore;
@@ -15,6 +16,15 @@ use blas_xpath::parse;
 use proptest::prelude::*;
 
 const TAGS: &[&str] = &["a", "b", "c", "d"];
+
+/// Persistent pools shared by every proptest case: {1, 2, 4, 7}
+/// resident workers. Reusing them across hundreds of random
+/// plans/stores is itself part of the property — one pool instance
+/// must serve arbitrarily many executions.
+fn shared_pools() -> &'static [(usize, PoolHandle)] {
+    static POOLS: std::sync::OnceLock<Vec<(usize, PoolHandle)>> = std::sync::OnceLock::new();
+    POOLS.get_or_init(|| [1, 2, 4, 7].iter().map(|&t| (t, PoolHandle::new(t))).collect())
+}
 
 /// Random document over a tiny tag alphabet, with occasional text.
 fn xml_doc() -> impl Strategy<Value = String> {
@@ -119,14 +129,17 @@ proptest! {
         }
     }
 
-    /// Sharded parallel scans are an execution detail: for random
-    /// plans over random stores, executing with 2, 4 or 7 shards
-    /// (forced on by `min_shard_elems: 1`) returns byte-identical
-    /// results and identical stats counters to single-shard execution,
-    /// on every lowering strategy (relational tree, twig semi-join
-    /// DAG, holistic TwigStack).
+    /// Pooled parallel execution is an execution detail: for random
+    /// plans over random stores, running the dependency-counted DAG
+    /// walk on persistent pools of 1, 2, 4 or 7 worker threads (scan
+    /// fan-out forced on by `min_shard_elems: 1`) returns
+    /// byte-identical results and identical merged `ExecStats` totals
+    /// to sequential execution, on every lowering strategy (relational
+    /// tree, twig semi-join DAG, holistic TwigStack). The pools are
+    /// created once and shared across all cases, so this also
+    /// exercises pool reuse across many queries.
     #[test]
-    fn sharded_execution_matches_sequential(src in xml_doc(), qsrc in xpath_query()) {
+    fn pooled_execution_matches_sequential(src in xml_doc(), qsrc in xpath_query()) {
         let doc = Document::parse(&src).unwrap();
         let labels = label_document(&doc).unwrap();
         let store = NodeStore::build(&doc, &labels);
@@ -150,13 +163,18 @@ proptest! {
             for (engine, pplan) in &phys {
                 let mut seq_stats = ExecStats::default();
                 let seq = execute(pplan, &store, &ExecConfig::default(), &mut seq_stats);
-                for shards in [2usize, 4, 7] {
-                    let config = ExecConfig { shards, min_shard_elems: 1 };
+                for (threads, pool) in shared_pools() {
+                    // Shards ≥ 2 so the pooled DAG path (and scan
+                    // fan-out) is always active, whatever the worker
+                    // count — a 1-thread pool must still be correct.
+                    let shards = (*threads).max(2);
+                    let config =
+                        ExecConfig::on_pool(pool.clone(), shards).with_min_shard_elems(1);
                     let mut par_stats = ExecStats::default();
                     let par = execute(pplan, &store, &config, &mut par_stats);
                     prop_assert_eq!(
                         &par, &seq,
-                        "{}/{} @ {} shards on {} over {}", engine, name, shards, qsrc, src
+                        "{}/{} @ {} pool threads on {} over {}", engine, name, threads, qsrc, src
                     );
                     prop_assert_eq!(
                         (
@@ -171,8 +189,8 @@ proptest! {
                             seq_stats.join_input_tuples,
                             seq_stats.result_count,
                         ),
-                        "stats must not depend on sharding: {}/{} @ {} shards on {} over {}",
-                        engine, name, shards, qsrc, src
+                        "stats must not depend on pooling: {}/{} @ {} pool threads on {} over {}",
+                        engine, name, threads, qsrc, src
                     );
                 }
             }

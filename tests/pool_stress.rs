@@ -1,0 +1,172 @@
+//! Concurrency stress suite for the persistent worker pool: one
+//! `BlasDb` — one pool — hammered by many OS threads at once, with
+//! every answer checked against the single-threaded baseline, plus
+//! panic-isolation: a panicking job must surface as an error and leave
+//! the pool fully usable.
+//!
+//! The CI `concurrency` job runs this file with `RUST_TEST_THREADS=4`
+//! on multi-core runners so the schedules here are genuinely
+//! contended; on a single-core host the tests still validate
+//! correctness (the pool's helping rule keeps every configuration
+//! live at any core count).
+
+use blas::{BlasDb, DLabel, EngineChoice};
+use blas_datagen::{query_set, DatasetId};
+use blas_engine::pool::{self, PoolHandle};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// OS threads firing queries at the shared database simultaneously.
+const CLIENT_THREADS: usize = 8;
+/// Query rounds per client thread.
+const ROUNDS: usize = 4;
+
+fn auction_db() -> BlasDb {
+    BlasDb::load(&blas_datagen::auction(2, 42)).expect("generator output is well-formed")
+}
+
+/// The engine mix the clients rotate through: all three engines, all
+/// parallel, plus one sequential configuration so pool and non-pool
+/// executions interleave on the same store.
+fn choices() -> [EngineChoice; 4] {
+    [
+        EngineChoice::rdbms().with_shards(4),
+        EngineChoice::twig().with_shards(4),
+        EngineChoice::twigstack().with_shards(3),
+        EngineChoice::rdbms(),
+    ]
+}
+
+#[test]
+fn auction_queries_from_many_threads_share_one_pool() {
+    let db = auction_db();
+    let queries = query_set(DatasetId::Auction);
+
+    // Single-threaded sequential baseline per query.
+    let baselines: Vec<(&str, Vec<DLabel>)> = queries
+        .iter()
+        .map(|q| (q.xpath, db.query(q.xpath, EngineChoice::auto()).unwrap().nodes))
+        .collect();
+
+    // Force pool creation now so every client observes the same
+    // instance, and remember it to prove nobody replaced it.
+    let pool_before = db.pool().clone();
+    let jobs_before = pool_before.jobs_submitted();
+    let executed = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for client in 0..CLIENT_THREADS {
+            let db = &db;
+            let baselines = &baselines;
+            let executed = &executed;
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    let choice = choices()[(client + round) % choices().len()];
+                    for (xpath, expected) in baselines {
+                        let got = db
+                            .query(xpath, choice)
+                            .unwrap_or_else(|e| panic!("{xpath} under {choice:?}: {e}"));
+                        assert_eq!(
+                            &got.nodes, expected,
+                            "client {client} round {round}: {xpath} under {choice:?} \
+                             diverged from the sequential baseline"
+                        );
+                        executed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        CLIENT_THREADS * ROUNDS * baselines.len()
+    );
+    // Every parallel query ran as jobs on the one persistent pool: the
+    // handle is the same instance and its monotone job counter moved
+    // (no per-query or per-scan thread pools were created).
+    assert!(
+        db.pool().jobs_submitted() > jobs_before,
+        "parallel queries must submit jobs to the shared pool"
+    );
+    assert_eq!(db.pool().threads(), pool_before.threads());
+}
+
+#[test]
+fn panicking_job_surfaces_as_error_without_poisoning_the_pool() {
+    let db = auction_db();
+    let q = "/site/regions/asia/item/description";
+    let expected = db.query(q, EngineChoice::auto()).unwrap().nodes;
+
+    // Warm the pool with a real parallel query.
+    let first = db.query(q, EngineChoice::parallel(4)).unwrap();
+    assert_eq!(first.nodes, expected);
+    let pool = db.pool().clone();
+
+    // A handle-carried job that panics: the panic is *delivered* as an
+    // Err, not re-raised, and the worker that ran it survives.
+    let joined = pool::scope(&pool, |s| s.spawn_job(|| -> u32 { panic!("injected failure") }).join());
+    let payload = joined.expect_err("a panicking job must surface as an error");
+    assert_eq!(
+        payload.downcast_ref::<&str>().copied(),
+        Some("injected failure")
+    );
+
+    // A fire-and-forget job that panics: scope re-raises it after its
+    // barrier, which a caller observes as an unwind-shaped error.
+    let raised = catch_unwind(AssertUnwindSafe(|| {
+        pool::scope(&pool, |s| s.spawn(|| panic!("injected failure 2")))
+    }));
+    assert!(raised.is_err());
+
+    // The pool is not poisoned: the same database keeps answering
+    // parallel queries correctly on the same pool instance.
+    for _ in 0..3 {
+        let again = db.query(q, EngineChoice::parallel(4)).unwrap();
+        assert_eq!(again.nodes, expected, "pool must survive a panicked job");
+    }
+    assert_eq!(db.pool().threads(), pool.threads());
+}
+
+#[test]
+fn external_pool_can_be_shared_across_databases() {
+    // Two stores, one externally owned pool, driven through the
+    // engine-level API: the pool outlives both databases' executions
+    // and serves them interleaved from multiple threads.
+    use blas::ExecConfig;
+    use blas_engine::{exec, lower_plan, ExecStats};
+    use blas_translate::{bind, translate_pushup};
+
+    let xml_a = blas_datagen::auction(1, 7);
+    let xml_b = blas_datagen::auction(1, 8);
+    let db_a = BlasDb::load(&xml_a).unwrap();
+    let db_b = BlasDb::load(&xml_b).unwrap();
+    let pool = PoolHandle::new(3);
+
+    let run = |db: &BlasDb, shards: usize| -> Vec<DLabel> {
+        let q = blas_xpath::parse("/site/regions/asia/item[shipping]/description").unwrap();
+        let bound = bind(&translate_pushup(&q).unwrap(), db.tags(), db.domain());
+        let plan = lower_plan(&bound);
+        let mut stats = ExecStats::default();
+        let config = if shards > 1 {
+            ExecConfig::on_pool(pool.clone(), shards).with_min_shard_elems(1)
+        } else {
+            ExecConfig::sequential()
+        };
+        exec::execute(&plan, db.store(), &config, &mut stats)
+    };
+
+    let seq_a = run(&db_a, 1);
+    let seq_b = run(&db_b, 1);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..3 {
+                    assert_eq!(run(&db_a, 4), seq_a);
+                    assert_eq!(run(&db_b, 3), seq_b);
+                }
+            });
+        }
+    });
+    assert!(pool.jobs_submitted() > 0);
+}
