@@ -26,7 +26,11 @@
 //! The ≥1.5× parallel-speedup gate applies only on hosts that can
 //! actually run 4 workers (`available_parallelism ≥ 4`) at the
 //! acceptance scale (×10) — on a single-core host the honest number
-//! is recorded without being asserted.
+//! is recorded without being asserted. The `par_overhead` row is the
+//! opposite bound and holds **everywhere**: a QA1-class µs point
+//! query under pooled execution must stay ≥ 0.8× of sequential even
+//! on one core, proving chain collapsing + per-worker scratch caches
+//! keep the pooled path's fixed costs amortized.
 //!
 //! Usage: `cargo run --release --bin bench_storage [--scale N]`
 //! (default scale 10, the acceptance configuration).
@@ -236,6 +240,47 @@ fn main() {
         });
     }
 
+    // --- pooled-overhead row (QA1-class micro query) ------------------
+    // The smallest Fig. 10 query is the pooled path's worst case: at
+    // ~µs scale, per-operator queue round-trips and fresh scratch
+    // allocations dominate actual work (the 1-core ×10 measurement
+    // regressed to 0.27× when the DAG walk made every operator a
+    // job). Chain collapsing (a linear plan = one queue job) plus the
+    // per-worker scratch caches must bound that fixed cost: pooled
+    // execution is gated at ≥ 0.8× sequential **even on one core**,
+    // where no parallelism can pay for any overhead at all.
+    // Unlike the Fig. 13/14 rows (trimmed mean of 10, the paper's
+    // protocol), this row *gates* a bound on a ~µs measurement, so it
+    // uses a tail-robust protocol: many interleaved seq/par sample
+    // pairs — both populations see the same ambient noise — compared
+    // by median, which a handful of scheduler-preemption spikes
+    // cannot move.
+    let qa1 = query_set(blas_datagen::DatasetId::Auction)
+        .into_iter()
+        .find(|q| q.id == "QA1")
+        .expect("Fig. 10 has QA1");
+    const OVERHEAD_REPS: usize = 65;
+    let seq_choice = pushup(Engine::Rdbms);
+    let par_choice = pushup(Engine::Rdbms).with_shards(4);
+    for choice in [seq_choice, par_choice] {
+        for _ in 0..5 {
+            let _ = blas_bench::run_once(&db, qa1.xpath, choice);
+        }
+    }
+    let mut overhead_seq_ns = Vec::with_capacity(OVERHEAD_REPS);
+    let mut overhead_par_ns = Vec::with_capacity(OVERHEAD_REPS);
+    for _ in 0..OVERHEAD_REPS {
+        overhead_seq_ns.push(blas_bench::run_once(&db, qa1.xpath, seq_choice).0.as_nanos() as f64);
+        overhead_par_ns.push(blas_bench::run_once(&db, qa1.xpath, par_choice).0.as_nanos() as f64);
+    }
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    let overhead_seq = median(&mut overhead_seq_ns);
+    let overhead_par = median(&mut overhead_par_ns);
+    let par_overhead_ratio = overhead_seq / overhead_par;
+
     // --- cold start: full decode vs mapped open -----------------------
     // The mmap acceptance row: restoring via `from_snapshot` decodes
     // and re-clusters every column (O(data)); `open_mapped` validates
@@ -347,6 +392,13 @@ fn main() {
     }
 
     println!(
+        "\npooled overhead (QA1, rdbms, {} core(s), median of {OVERHEAD_REPS} \
+         interleaved pairs): sequential {:.0} ns, pooled ∥4 {:.0} ns, \
+         ratio {:.2}x (floor 0.8x at scale >= 10)",
+        cores, overhead_seq, overhead_par, par_overhead_ratio
+    );
+
+    println!(
         "\ncold start (snapshot {} bytes, median of {OPEN_REPS}):",
         snap_bytes.len()
     );
@@ -402,6 +454,12 @@ fn main() {
         );
     }
     json.push_str("  },\n");
+    json.push_str("  \"par_overhead\": {\n");
+    let _ = writeln!(json, "    \"query\": \"{}\",", qa1.id);
+    let _ = writeln!(json, "    \"sequential_ns\": {overhead_seq:.0},");
+    let _ = writeln!(json, "    \"pooled4_ns\": {overhead_par:.0},");
+    let _ = writeln!(json, "    \"ratio\": {par_overhead_ratio:.2}");
+    json.push_str("  },\n");
     json.push_str("  \"cold_start\": {\n");
     let _ = writeln!(json, "    \"snapshot_bytes\": {},", snap_bytes.len());
     let _ = writeln!(json, "    \"from_snapshot_decode_ns\": {decode_ns:.0},");
@@ -444,6 +502,20 @@ fn main() {
             open_speedup >= 10.0,
             "mapped open must beat full decode by >=10x at scale >=10 \
              (got {open_speedup:.1}x)"
+        );
+    }
+    // Pooled-overhead gate (the chain-collapsing acceptance
+    // criterion): even on a single core, where the pool can only ever
+    // *cost*, a QA1-class point query under pooled execution must stay
+    // within 0.8× of sequential — the queue round-trips and scratch
+    // allocations the DAG walk adds are bounded by chain collapsing
+    // and the per-worker caches. (Multi-core hosts pass trivially:
+    // real parallelism only raises the ratio.)
+    if scale >= 10 {
+        assert!(
+            par_overhead_ratio >= 0.8,
+            "pooled execution of a QA1-class point query must be >= 0.8x \
+             sequential even without parallelism (got {par_overhead_ratio:.2}x)"
         );
     }
     // Parallel-speedup gate: the range-scan-heavy queries (tens of

@@ -125,7 +125,16 @@ impl EngineChoice {
     /// parallel on the database's persistent pool: independent
     /// operators (join sides, union arms, twig branches) run
     /// concurrently and large clustered scans additionally shard
-    /// (small scans stay whole).
+    /// (small scans stay whole). Linear stretches of the plan are
+    /// **chain-collapsed** — a sole just-released consumer runs as a
+    /// continuation of its producer's job — and operator jobs recycle
+    /// their scratch buffers through per-worker caches, so even a
+    /// µs-scale point query pays for at most one queue round-trip per
+    /// genuine fork, not one per operator (see
+    /// [`ExecStats::scratch_hits`] for the observable side of the
+    /// recycling).
+    ///
+    /// [`ExecStats::scratch_hits`]: blas_engine::ExecStats::scratch_hits
     pub const fn parallel(shards: usize) -> Self {
         Self { shards, ..Self::auto() }
     }
@@ -317,8 +326,9 @@ impl BlasDb {
     /// Run an already parsed query tree: decompose → bind → lower →
     /// execute on the shared physical-plan executor. Parallel choices
     /// (`shards > 1`) run the operator DAG on the database's
-    /// persistent [`BlasDb::pool`]; `shards == 1` executes
-    /// sequentially without touching the pool.
+    /// persistent [`BlasDb::pool`] under the executor's defaults —
+    /// chain collapsing on, per-worker scratch recycling on;
+    /// `shards == 1` executes sequentially without touching the pool.
     pub fn run(&self, query: &QueryTree, choice: EngineChoice) -> Result<QueryResult, BlasError> {
         let plan = self.translate(query, choice.translator, choice.engine)?;
         let bound = bind(&plan, &self.tags, &self.domain);
@@ -327,14 +337,23 @@ impl BlasDb {
             Engine::Twig => lower_twig(&TwigQuery::from_plan(&bound)?),
             Engine::TwigStack => lower_twigstack(&TwigQuery::from_plan(&bound)?),
         };
-        let config = if choice.shards > 1 {
-            ExecConfig::on_pool(self.pool().clone(), choice.shards)
-        } else {
-            ExecConfig::sequential()
-        };
+        let config = self.exec_config(choice);
         let mut stats = ExecStats::default();
         let nodes = exec::execute(&phys, &self.store, &config, &mut stats);
         Ok(QueryResult { nodes, stats })
+    }
+
+    /// The executor configuration an [`EngineChoice`] maps to: the
+    /// database's persistent pool with `shards`-way scan splitting for
+    /// parallel choices (chain collapsing and per-worker scratch
+    /// caches enabled — the [`ExecConfig`] defaults), the no-pool
+    /// sequential configuration otherwise.
+    fn exec_config(&self, choice: EngineChoice) -> ExecConfig {
+        if choice.shards > 1 {
+            ExecConfig::on_pool(self.pool().clone(), choice.shards)
+        } else {
+            ExecConfig::sequential()
+        }
     }
 
     fn translate(
@@ -655,6 +674,32 @@ mod tests {
         assert!(after > before);
         let _ = db.query("/db/e/p/n", EngineChoice::auto()).unwrap();
         assert_eq!(db.pool().jobs_submitted(), after);
+    }
+
+    #[test]
+    fn parallel_point_queries_amortize_scheduling_overhead() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        let seq = db.query("/db/e/p/n", EngineChoice::auto()).unwrap();
+        assert_eq!(
+            seq.stats.scratch_checkouts, 0,
+            "sequential execution never touches the per-worker caches"
+        );
+        let before = db.pool().jobs_submitted();
+        let (mut checkouts, mut hits) = (0u64, 0u64);
+        const RUNS: u64 = 64;
+        for _ in 0..RUNS {
+            let par = db.query("/db/e/p/n", EngineChoice::parallel(4)).unwrap();
+            assert_eq!(par.nodes, seq.nodes);
+            checkouts += par.stats.scratch_checkouts;
+            hits += par.stats.scratch_hits;
+        }
+        // /db/e/p/n lowers to one linear chain (scan → materialize), so
+        // chain collapsing makes every execution exactly one queue job…
+        assert_eq!(db.pool().jobs_submitted() - before, RUNS);
+        // …which checked scratch out exactly once, and — with far more
+        // jobs than executing threads — mostly out of a warm cache.
+        assert_eq!(checkouts, RUNS, "one scratch checkout per job");
+        assert!(hits > 0, "some thread ran two jobs and must have recycled its scratch");
     }
 
     #[test]

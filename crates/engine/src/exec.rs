@@ -15,18 +15,43 @@
 //!   the pooled [`ExecBuffers`]. No pool job is ever submitted — this
 //!   is the degenerate case the parallel path must match
 //!   byte-for-byte.
-//! * **Pooled DAG walk** (`shards > 1`): every operator becomes a job
-//!   on [`ExecConfig::pool`] — a persistent pool shared across scans
+//! * **Pooled DAG walk** (`shards > 1`): operators run as jobs on
+//!   [`ExecConfig::pool`] — a persistent pool shared across scans
 //!   *and* queries (`blas::BlasDb` keeps one for its lifetime; there
 //!   are **no per-scan thread spawns anywhere**). Scheduling is
 //!   dependency-counted: each operator starts with one credit per
 //!   input edge ([`PhysPlan::input_counts`]), a finishing job
 //!   decrements its consumers' credits ([`PhysPlan::consumers`]) and
-//!   submits whichever dependent just reached zero. Independent
+//!   schedules whichever dependents just reached zero. Independent
 //!   subtrees — the two sides of a [`PhysOp::StructuralJoin`], every
 //!   [`PhysOp::Union`] arm, every twig branch feeding
 //!   [`PhysOp::TwigStackMatch`] — therefore execute concurrently,
 //!   not just the scans.
+//!
+//! # Amortizing per-operator overhead (chain collapsing + scratch)
+//!
+//! Making *every* operator a queue job is wasteful exactly where BLAS
+//! shines — µs-scale point queries, whose plans are mostly **linear
+//! chains** (scan → filter → materialize). Two mechanisms bound the
+//! pooled path's fixed costs so it stays within a constant factor of
+//! sequential even with no parallelism available:
+//!
+//! * **Chain collapsing.** When a finishing producer releases
+//!   **exactly one** now-ready consumer, the consumer runs *inline*
+//!   as a continuation of the producer's job — no queue round-trip,
+//!   recorded as [`ProbeEvent::Inlined`]. Only genuine forks (a
+//!   release of two or more ready dependents, and the plan's roots)
+//!   pay the queue, so a linear pipeline is exactly **one** pool job
+//!   end to end, while join sides, union arms and twig branches still
+//!   fan out. [`ExecConfig::collapse_chains`] (default on) gates the
+//!   rule; the scheduling test suite runs both settings.
+//! * **Per-worker scratch caches.** Each operator job checks its
+//!   [`ExecBuffers`] out of the executing thread's lock-free scratch
+//!   cache ([`crate::pool::take_scratch`]) instead of allocating
+//!   fresh, and checks it back in when the job (including everything
+//!   it ran inline) finishes — the sequential path's one-pool
+//!   recycling, generalized per worker. [`ExecStats`] counts
+//!   checkouts and cache hits so reuse is observable.
 //!
 //! # Sharded scans
 //!
@@ -99,9 +124,18 @@ pub struct ExecConfig {
     /// The persistent pool operator jobs and scan shards run on.
     /// Ignored when `shards == 1`.
     pub pool: PoolHandle,
+    /// Chain collapsing (default `true`): a finishing producer that
+    /// releases exactly one now-ready consumer runs it inline as a
+    /// continuation of its own job instead of re-enqueueing it, so
+    /// only genuine forks — union arms, join sides, twig branches —
+    /// pay a queue round-trip. Semantics are unaffected either way
+    /// (the equivalence suite runs both settings); turning it off
+    /// restores the one-job-per-operator schedule of the plain DAG
+    /// walk, which the scheduling tests use as a reference.
+    pub collapse_chains: bool,
     /// Test-only scheduling instrumentation: when set, the pooled DAG
-    /// walk records a [`ProbeEvent`] stream (submission, start and
-    /// finish of every operator job) the concurrency test suite
+    /// walk records a [`ProbeEvent`] stream (submission or inlining,
+    /// start and finish of every operator) the concurrency test suite
     /// asserts ordering invariants on. Leave `None` outside tests.
     pub probe: Option<ExecProbe>,
 }
@@ -124,6 +158,7 @@ impl ExecConfig {
             shards: 1,
             min_shard_elems: DEFAULT_MIN_SHARD_ELEMS,
             pool: INLINE.get_or_init(PoolHandle::inline).clone(),
+            collapse_chains: true,
             probe: None,
         }
     }
@@ -135,7 +170,13 @@ impl ExecConfig {
         if shards <= 1 {
             return Self::sequential();
         }
-        Self { shards, min_shard_elems: DEFAULT_MIN_SHARD_ELEMS, pool, probe: None }
+        Self {
+            shards,
+            min_shard_elems: DEFAULT_MIN_SHARD_ELEMS,
+            pool,
+            collapse_chains: true,
+            probe: None,
+        }
     }
 
     /// Parallel execution on a **private** pool with `shards − 1`
@@ -171,6 +212,15 @@ impl ExecConfig {
         self
     }
 
+    /// Enable or disable chain collapsing (see
+    /// [`ExecConfig::collapse_chains`]; default enabled). Test
+    /// support: with collapsing off, every operator is its own queue
+    /// job, the pre-amortization reference schedule.
+    pub fn with_collapse_chains(mut self, collapse_chains: bool) -> Self {
+        self.collapse_chains = collapse_chains;
+        self
+    }
+
     /// Whether this configuration takes the pooled DAG path.
     pub fn is_parallel(&self) -> bool {
         self.shards > 1
@@ -182,9 +232,20 @@ impl ExecConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeEvent {
     /// The operator's dependency count reached zero and its job was
-    /// pushed to the pool.
+    /// pushed to the pool queue. Under chain collapsing this happens
+    /// for the plan's roots, and whenever a finishing producer
+    /// releases **two or more** ready dependents at once (a genuine
+    /// fork); with [`ExecConfig::collapse_chains`] off, for every
+    /// operator.
     Submitted(OpId),
-    /// The operator's job began executing on some pool thread.
+    /// The operator's dependency count reached zero as the *only*
+    /// dependent its producer released, and chain collapsing ran it
+    /// inline as a continuation of the producer's job — no queue
+    /// round-trip. Every operator gets exactly one scheduling event:
+    /// `Submitted` or `Inlined`, never both, never twice.
+    Inlined(OpId),
+    /// The operator began executing (as its own pool job or as an
+    /// inline continuation).
     Started(OpId),
     /// The operator's result was published (recorded *before* any
     /// dependent is released, so in the event log every consumer's
@@ -194,8 +255,9 @@ pub enum ProbeEvent {
 
 /// Test-only scheduling observer: a shared, ordered log of
 /// [`ProbeEvent`]s the concurrency suite asserts invariants on —
-/// every operator is its own pool job, and no join/union/twig-match
-/// starts before all of its inputs finished.
+/// every operator is scheduled exactly once (queued at a fork,
+/// inlined along a chain), and no join/union/twig-match starts before
+/// all of its inputs finished.
 #[derive(Debug, Clone, Default)]
 pub struct ExecProbe {
     events: Arc<Mutex<Vec<ProbeEvent>>>,
@@ -235,8 +297,9 @@ pub fn execute(
 }
 
 /// Like [`execute`], reusing caller-held scratch buffers across
-/// executions (batch drivers, benches). Scratch reuse applies to the
-/// sequential path; the pooled path uses per-job buffers.
+/// executions (batch drivers, benches). The caller-held set feeds the
+/// sequential path; the pooled path recycles through the per-worker
+/// scratch caches instead (`pool::take_scratch`).
 pub fn execute_with(
     plan: &PhysPlan,
     store: &NodeStore,
@@ -333,10 +396,9 @@ fn execute_sequential(
     let n = plan.ops().len();
     // Remaining-consumer counts: a slot recycles the moment its last
     // consumer has read it (+1 on the root so it survives the loop).
-    let mut uses = vec![0usize; n];
-    for op in plan.ops() {
-        op.for_each_input(|i| uses[i] += 1);
-    }
+    // Seeded from the plan's memoized dependency metadata, so repeated
+    // executions skip the dependency walk.
+    let mut uses: Vec<usize> = plan.consumer_counts().to_vec();
     uses[plan.root()] += 1;
     let mut results: Vec<Option<Labels<'_>>> = (0..n).map(|_| None).collect();
     for id in 0..n {
@@ -437,6 +499,42 @@ struct OpOutput<'a> {
     stats: ExecStats,
 }
 
+/// A checked-out scratch set that trims itself on the way back to the
+/// per-worker cache — **including during unwinds**, so a panicking
+/// continuation cannot re-shelve oversized buffers (drop order runs
+/// this trim before the inner [`pool::Scratch`] re-shelves the set).
+struct TrimmedScratch(pool::Scratch<ExecBuffers>);
+
+impl Drop for TrimmedScratch {
+    fn drop(&mut self) {
+        self.0.trim();
+    }
+}
+
+/// Remove and return the handed-over value if it belongs to `input`.
+fn take_inherited<'a>(
+    inherited: &mut Option<(OpId, Labels<'a>)>,
+    input: OpId,
+) -> Option<Labels<'a>> {
+    match inherited {
+        Some((id, _)) if *id == input => inherited.take().map(|(_, labels)| labels),
+        _ => None,
+    }
+}
+
+/// Per-operator scheduling state: the unfinished-input credits and the
+/// write-once result slot, fused so one pooled execution makes a
+/// single state allocation however many operators the plan has.
+struct OpState<'a> {
+    /// Unfinished-input credits; the operator is scheduled exactly
+    /// when this reaches zero, so a join can never start before both
+    /// of its inputs completed.
+    pending: AtomicUsize,
+    /// Write-once result; readable by consumers only after the
+    /// producing job has published (enforced by `pending`).
+    slot: OnceLock<OpOutput<'a>>,
+}
+
 /// Shared scheduling state of one pooled execution. Borrowed by every
 /// operator job; the [`pool::scope`] barrier guarantees the borrows
 /// end before the state is torn down.
@@ -447,13 +545,8 @@ struct Sched<'a> {
     /// Who reads each operator's output (one entry per input edge);
     /// borrowed from the plan's memoized dependency metadata.
     consumers: &'a [Vec<OpId>],
-    /// Unfinished-input credits per operator; an operator is submitted
-    /// exactly when its count reaches zero, so a join can never start
-    /// before both of its inputs completed.
-    pending: Vec<AtomicUsize>,
-    /// Write-once result slots; readable by consumers only after the
-    /// producing job has published (enforced by `pending`).
-    slots: Vec<OnceLock<OpOutput<'a>>>,
+    /// One [`OpState`] per operator, in arena order.
+    states: Vec<OpState<'a>>,
 }
 
 impl<'a> Sched<'a> {
@@ -464,7 +557,8 @@ impl<'a> Sched<'a> {
     }
 
     fn input(&self, id: OpId) -> &[DLabel] {
-        &self.slots[id]
+        &self.states[id]
+            .slot
             .get()
             .expect("dependency counting released a consumer before its input")
             .labels
@@ -475,10 +569,72 @@ impl<'a> Sched<'a> {
         scope.spawn(move || self.run_op(scope, id));
     }
 
+    /// Queue a root job without waking a worker ([`Scope::spawn_deferred`]):
+    /// used for the first root of every plan, which the coordinating
+    /// thread — about to block on the scope barrier and help — will
+    /// almost always execute itself. A single-root (linear) plan thus
+    /// runs end to end on the submitting thread with zero futex
+    /// traffic, while still being one observable queue job.
+    fn submit_deferred<'s, 'e>(&'s self, scope: &'s Scope<'s, 'e>, id: OpId) {
+        self.probe(ProbeEvent::Submitted(id));
+        scope.spawn_deferred(move || self.run_op(scope, id));
+    }
+
+    /// One pool job: check an [`ExecBuffers`] set out of this worker's
+    /// scratch cache, run the operator — and, with chain collapsing,
+    /// every sole just-released consumer after it, reusing the same
+    /// scratch — then check the scratch back in for the worker's next
+    /// job. The checkout (and whether it was a cache hit) is tallied
+    /// once per job into the first operator's accumulator.
     fn run_op<'s, 'e>(&'s self, scope: &'s Scope<'s, 'e>, id: OpId) {
+        // The scratch returns to this thread's cache bounded (trimmed
+        // on drop, panic or not): a worker must not pin the high-water
+        // buffer capacity of the largest query it ever ran.
+        let mut bufs = TrimmedScratch(pool::take_scratch::<ExecBuffers>());
+        let mut checkout = Some(bufs.0.reused());
+        let mut current = id;
+        let mut inherited: Option<(OpId, Labels<'a>)> = None;
+        while let Some(next) =
+            self.step(scope, current, &mut bufs.0, &mut inherited, checkout.take())
+        {
+            current = next;
+        }
+        debug_assert!(inherited.is_none(), "a handover must be consumed by the next step");
+    }
+
+    /// Resolve operator `input` for the step running `inherited`'s
+    /// receiving end: the handed-over value if this is the chain-link
+    /// input, the published slot otherwise.
+    fn input_from<'s>(
+        &'s self,
+        inherited: &'s Option<(OpId, Labels<'a>)>,
+        input: OpId,
+    ) -> &'s [DLabel] {
+        match inherited {
+            Some((id, labels)) if *id == input => labels,
+            _ => self.input(input),
+        }
+    }
+
+    /// Execute operator `id`, publish its result, and release its
+    /// consumers. Returns the next operator to run **inline** on this
+    /// job (chain collapsing: `id` released exactly one now-ready
+    /// consumer), or `None` after submitting any genuine fork's
+    /// dependents to the queue.
+    fn step<'s, 'e>(
+        &'s self,
+        scope: &'s Scope<'s, 'e>,
+        id: OpId,
+        bufs: &mut ExecBuffers,
+        inherited: &mut Option<(OpId, Labels<'a>)>,
+        checkout: Option<bool>,
+    ) -> Option<OpId> {
         self.probe(ProbeEvent::Started(id));
         let mut stats = ExecStats::default();
-        let mut bufs = ExecBuffers::default();
+        if let Some(hit) = checkout {
+            stats.scratch_checkouts = 1;
+            stats.scratch_hits = u64::from(hit);
+        }
         let labels: Labels<'a> = match self.plan.op(id) {
             PhysOp::ClusteredScan { source, value_eq, level_eq } => self.scan_clustered(
                 scope,
@@ -486,12 +642,12 @@ impl<'a> Sched<'a> {
                 value_eq.as_deref(),
                 *level_eq,
                 &mut stats,
-                &mut bufs,
+                bufs,
             ),
             PhysOp::ValueFilter { input, value_eq, level_eq } => {
-                let mut out = Vec::new();
+                let mut out = bufs.take();
                 eval_value_filter(
-                    self.input(*input),
+                    self.input_from(inherited, *input),
                     value_eq.as_deref(),
                     *level_eq,
                     self.store,
@@ -501,10 +657,10 @@ impl<'a> Sched<'a> {
             }
             PhysOp::StructuralJoin { anc, desc, level_diff, keep, tally } => {
                 let spec = JoinSpec { level_diff: *level_diff, keep: *keep, tally: *tally };
-                let mut out = Vec::new();
+                let mut out = bufs.take();
                 eval_structural_join(
-                    self.input(*anc),
-                    self.input(*desc),
+                    self.input_from(inherited, *anc),
+                    self.input_from(inherited, *desc),
                     spec,
                     &mut stats,
                     &mut bufs.join,
@@ -513,33 +669,103 @@ impl<'a> Sched<'a> {
                 Labels::Owned(out)
             }
             PhysOp::Union { inputs } => {
-                let mut out = Vec::new();
-                eval_union(inputs.iter().map(|&i| self.input(i)), &mut out);
+                let mut out = bufs.take();
+                eval_union(inputs.iter().map(|&i| self.input_from(inherited, i)), &mut out);
                 Labels::Owned(out)
             }
             PhysOp::TwigStackMatch { streams, pattern } => {
                 let stream_slices: Vec<&[DLabel]> =
-                    streams.iter().map(|&s| self.input(s)).collect();
+                    streams.iter().map(|&s| self.input_from(inherited, s)).collect();
                 Labels::Owned(twigstack::run_match(pattern, &stream_slices, &mut stats))
             }
             PhysOp::Materialize { input } => {
-                // Slots are shared read-only across jobs, so the
-                // sequential move optimization does not apply: copy.
-                Labels::Owned(self.input(*input).to_vec())
+                match take_inherited(inherited, *input) {
+                    // The chain-link case: the producer handed its
+                    // output over in-memory, so materializing is a
+                    // move — the same optimization the sequential
+                    // path's last-consumer rule performs.
+                    Some(labels) => labels,
+                    None => {
+                        // Slots are shared read-only across jobs, so
+                        // a parked input must be copied.
+                        let mut out = bufs.take();
+                        out.extend_from_slice(self.input(*input));
+                        Labels::Owned(out)
+                    }
+                }
             }
         };
-        self.slots[id]
+        // A handed-over input this operator consumed by reference is
+        // spent now: reclaim its buffer for this job's later links.
+        if let Some((_, spent)) = inherited.take() {
+            bufs.recycle(spent);
+        }
+
+        // The linear-chain fast path: this operator's one consumer has
+        // this operator as its *only* input, so (a) it is statically
+        // guaranteed to become ready on this release — no other
+        // producer races us for it — and (b) nobody else will ever
+        // read this slot: the sole consumer takes the handover, and
+        // the root exclusion below keeps `execute_pooled`'s
+        // result-extraction read off this path (a root with a
+        // consumer never comes out of the lowerings, but
+        // `PhysPlan::from_ops` permits one). Publish an empty
+        // placeholder (keeping the stats) and hand the real output to
+        // the continuation in-memory; `Materialize` above then moves
+        // it instead of copying.
+        if self.config.collapse_chains
+            && id != self.plan.root()
+            && self.consumers[id].len() == 1
+        {
+            let next = self.consumers[id][0];
+            if self.plan.input_counts()[next] == 1 {
+                self.states[id]
+                    .slot
+                    .set(OpOutput { labels: Labels::Borrowed(&[]), stats })
+                    .unwrap_or_else(|_| panic!("operator {id} scheduled twice"));
+                self.probe(ProbeEvent::Finished(id));
+                let released = self.states[next].pending.fetch_sub(1, Ordering::AcqRel);
+                debug_assert_eq!(released, 1, "a chain link is its consumer's only input");
+                self.probe(ProbeEvent::Inlined(next));
+                *inherited = Some((id, labels));
+                return Some(next);
+            }
+        }
+
+        self.states[id]
+            .slot
             .set(OpOutput { labels, stats })
             .unwrap_or_else(|_| panic!("operator {id} scheduled twice"));
         // Publish before releasing dependents: every consumer observes
         // a fully written slot, and the probe log shows Finished(input)
         // strictly before Started(consumer).
         self.probe(ProbeEvent::Finished(id));
+        // Release consumers, collecting those whose last input this
+        // was. Exactly one ready dependent ⇒ collapse the chain: run
+        // it inline on this job, no queue round-trip. Two or more (or
+        // collapsing disabled) ⇒ a genuine fork: each becomes its own
+        // pool job, restoring real parallelism exactly where the plan
+        // has it.
+        let mut first_ready: Option<OpId> = None;
+        let mut forked: Vec<OpId> = Vec::new();
         for &consumer in &self.consumers[id] {
-            if self.pending[consumer].fetch_sub(1, Ordering::AcqRel) == 1 {
-                self.submit(scope, consumer);
+            if self.states[consumer].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                match first_ready {
+                    None => first_ready = Some(consumer),
+                    Some(_) => forked.push(consumer),
+                }
             }
         }
+        let first = first_ready?;
+        if forked.is_empty() && self.config.collapse_chains {
+            self.probe(ProbeEvent::Inlined(first));
+            return Some(first);
+        }
+        self.submit(scope, first);
+        for consumer in forked {
+            self.submit(scope, consumer);
+        }
+        None
     }
 
     /// The clustered-scan operator inside a pool job: sequential
@@ -631,7 +857,7 @@ impl<'a> Sched<'a> {
         // Consecutive shards that are already ordered (single-run scans
         // split into consecutive pieces) coalesce into one segment,
         // making the merge a no-op for that common case.
-        let mut out = Vec::new();
+        let mut out = bufs.take();
         bufs.merge.bounds.clear();
         for (shard, _) in &shard_out {
             if shard.is_empty() {
@@ -655,41 +881,64 @@ fn execute_pooled(
     config: &ExecConfig,
     stats: &mut ExecStats,
 ) -> Vec<DLabel> {
-    let n = plan.ops().len();
-    let pending: Vec<AtomicUsize> =
-        plan.input_counts().iter().map(|&c| AtomicUsize::new(c)).collect();
-    let roots: Vec<OpId> = pending
-        .iter()
-        .enumerate()
-        .filter_map(|(id, p)| (p.load(Ordering::Relaxed) == 0).then_some(id))
-        .collect();
     let sched = Sched {
         plan,
         store,
         config,
         consumers: plan.consumers(),
-        pending,
-        slots: (0..n).map(|_| OnceLock::new()).collect(),
+        states: plan
+            .input_counts()
+            .iter()
+            .map(|&c| OpState { pending: AtomicUsize::new(c), slot: OnceLock::new() })
+            .collect(),
     };
     pool::scope(&config.pool, |scope| {
-        for id in &roots {
-            sched.submit(scope, *id);
+        // Roots (no inputs) are ready immediately. Identified from the
+        // plan's immutable metadata, NOT the live credit atomics: an
+        // already-submitted root may finish and drive a consumer's
+        // credits to zero while this loop still runs, and that
+        // consumer is the finisher's to schedule, not ours. The first
+        // root goes to the queue *unnotified* — this thread is about
+        // to hit the scope barrier and will execute it itself, so
+        // waking a worker for it would be pure overhead (measurable: a
+        // spurious futex wake per µs-scale query). Remaining roots are
+        // genuine parallelism and wake workers as usual.
+        let mut first = true;
+        for (id, &count) in plan.input_counts().iter().enumerate() {
+            if count == 0 {
+                if std::mem::take(&mut first) {
+                    sched.submit_deferred(scope, id);
+                } else {
+                    sched.submit(scope, id);
+                }
+            }
         }
     });
     // Barrier passed: every job completed. Merge the per-operator
     // accumulators exactly once, in arena order (addition commutes,
     // but determinism keeps the logs comparable), and take the root's
-    // labels.
+    // labels. Intermediate output buffers go back into *this* thread's
+    // scratch cache — the coordinator helps execute jobs, so the next
+    // query's operators check these buffers out again instead of
+    // growing fresh ones.
     let root = plan.root();
     let mut result = Vec::new();
-    for (id, slot) in sched.slots.into_iter().enumerate() {
-        let out = slot.into_inner().expect("every operator executed");
+    let mut cache: Option<TrimmedScratch> = None;
+    for (id, state) in sched.states.into_iter().enumerate() {
+        let out = state.slot.into_inner().expect("every operator executed");
         stats.absorb(&out.stats);
         if id == root {
             result = match out.labels {
                 Labels::Borrowed(s) => s.to_vec(),
                 Labels::Owned(v) => v,
             };
+        } else if let Labels::Owned(v) = out.labels {
+            if v.capacity() > 0 {
+                cache
+                    .get_or_insert_with(|| TrimmedScratch(pool::take_scratch()))
+                    .0
+                    .recycle_vec(v);
+            }
         }
     }
     result
@@ -804,9 +1053,17 @@ mod tests {
                 Some(expect) => assert_eq!(&out, expect),
             }
         }
-        // Every execution submitted its operator jobs to the same
+        // Every execution submitted its root jobs to the same
         // persistent pool — no per-query or per-scan thread spawns.
-        assert!(pool.jobs_submitted() >= 5 * plan.ops().len() as u64);
+        // Chain collapsing means non-root operators ride along inside
+        // those jobs, so the floor is jobs-per-query = scan count, not
+        // operator count.
+        let scans = plan
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, PhysOp::ClusteredScan { .. }))
+            .count() as u64;
+        assert!(pool.jobs_submitted() >= 5 * scans);
         assert_eq!(pool.threads(), 2);
     }
 
@@ -890,9 +1147,9 @@ mod tests {
     }
 
     fn plan_from(ops: Vec<crate::physical::PhysOp>, root: usize) -> crate::physical::PhysPlan {
-        // Round-trip through pushdown to obtain a PhysPlan (its fields
-        // are private); these DAGs are already fusion-free.
-        crate::physical::plan_for_tests(ops, root)
+        // These hand-built DAGs are already fusion-free, so no
+        // pushdown pass is wanted.
+        crate::physical::PhysPlan::from_ops(ops, root)
     }
 
     #[test]
@@ -918,8 +1175,62 @@ mod tests {
             .unwrap_or_else(|| panic!("{want:?} missing from {events:?}"))
     }
 
+    /// Number of input edges of one operator.
+    fn input_edges(op: &PhysOp) -> usize {
+        let mut n = 0;
+        op.for_each_input(|_| n += 1);
+        n
+    }
+
+    /// The race-robust scheduling invariants of the pooled DAG walk,
+    /// valid under **any** thread interleaving:
+    ///
+    /// 1. every operator records exactly one scheduling event —
+    ///    `Submitted` (queued: a plan root or one side of a genuine
+    ///    fork) or `Inlined` (chain-collapsed continuation);
+    /// 2. plan roots (no inputs) are always `Submitted` — there is no
+    ///    producer to inline them into;
+    /// 3. every operator starts exactly once, after its scheduling
+    ///    event;
+    /// 4. no operator starts before every one of its inputs finished.
+    fn assert_scheduling_invariants(plan: &PhysPlan, events: &[ProbeEvent], ctx: &str) {
+        for (id, op) in plan.ops().iter().enumerate() {
+            let submitted =
+                events.iter().filter(|e| **e == ProbeEvent::Submitted(id)).count();
+            let inlined = events.iter().filter(|e| **e == ProbeEvent::Inlined(id)).count();
+            assert_eq!(
+                submitted + inlined,
+                1,
+                "{ctx}: op {id} needs exactly one scheduling event \
+                 ({submitted} Submitted, {inlined} Inlined): {events:?}"
+            );
+            if input_edges(op) == 0 {
+                assert_eq!(submitted, 1, "{ctx}: root {id} must be queued: {events:?}");
+            }
+            assert_eq!(
+                events.iter().filter(|e| **e == ProbeEvent::Started(id)).count(),
+                1,
+                "{ctx}: op {id} must start exactly once: {events:?}"
+            );
+            let scheduled = events
+                .iter()
+                .position(|e| {
+                    matches!(e, ProbeEvent::Submitted(i) | ProbeEvent::Inlined(i) if *i == id)
+                })
+                .expect("scheduling event present");
+            let started = pos(events, ProbeEvent::Started(id));
+            assert!(scheduled < started, "{ctx}: op {id} scheduled before start: {events:?}");
+            op.for_each_input(|i| {
+                assert!(
+                    pos(events, ProbeEvent::Finished(i)) < started,
+                    "{ctx}: op {id} started before input {i} finished: {events:?}"
+                );
+            });
+        }
+    }
+
     #[test]
-    fn union_arms_are_separate_pool_jobs() {
+    fn union_arms_fork_and_the_union_runs_inline() {
         // Unfolding /a//c over a schema with two c-paths produces a
         // Union over one scan per unfolded alternative.
         let (doc, store, dom) = fixture("<a><b><c>x</c></b><d><c>y</c></d></a>");
@@ -949,28 +1260,37 @@ mod tests {
         let mut stats = ExecStats::default();
         execute(&plan, &store, &config, &mut stats);
         let events = probe.events();
+        assert_scheduling_invariants(&plan, &events, "union");
 
-        // Every operator — in particular every union arm — was
-        // submitted as its own pool job, exactly once.
-        for (id, _) in plan.ops().iter().enumerate() {
-            assert_eq!(
-                events.iter().filter(|e| **e == ProbeEvent::Submitted(id)).count(),
-                1,
-                "op {id} must be exactly one job: {events:?}"
-            );
-        }
+        // The arms are genuine forks: each one is its own queue job.
+        // The union is the sole consumer its last-finishing arm
+        // releases, so it runs inline — and so does the materialize
+        // above it. Exactly `arms` queue jobs for the whole plan.
         for &arm in &arms {
+            assert_eq!(
+                events.iter().filter(|e| **e == ProbeEvent::Submitted(arm)).count(),
+                1,
+                "arm {arm} must be its own queue job: {events:?}"
+            );
             assert!(
                 pos(&events, ProbeEvent::Finished(arm)) < pos(&events, ProbeEvent::Started(union_id)),
                 "arm {arm} must finish before the union starts: {events:?}"
             );
         }
-        // And the pool really carried them.
-        assert!(pool.jobs_submitted() >= plan.ops().len() as u64);
+        assert!(
+            events.contains(&ProbeEvent::Inlined(union_id)),
+            "the union must be chain-collapsed into its last arm's job: {events:?}"
+        );
+        assert!(
+            events.contains(&ProbeEvent::Inlined(plan.root())),
+            "the materialize must be chain-collapsed after the union: {events:?}"
+        );
+        // And the pool really carried the forks.
+        assert!(pool.jobs_submitted() >= arms.len() as u64);
     }
 
     #[test]
-    fn join_sides_are_separate_jobs_and_joins_wait_for_both_inputs() {
+    fn forks_are_separate_jobs_and_no_consumer_outruns_its_inputs() {
         let (doc, store, dom) = fixture(SAMPLE);
         let b = bound(&doc, &dom, "/db/e[p//s='cyt']/r/f[y='2001']/t");
         let twig = TwigQuery::from_plan(&b).unwrap();
@@ -990,27 +1310,172 @@ mod tests {
                 let mut stats = ExecStats::default();
                 execute(&plan, &store, &config, &mut stats);
                 let events = probe.events();
-                for (id, op) in plan.ops().iter().enumerate() {
-                    // Each side of a join (each input of any operator)
-                    // is a distinct job…
-                    op.for_each_input(|i| {
-                        assert_ne!(i, id);
-                        assert_eq!(
-                            events.iter().filter(|e| **e == ProbeEvent::Submitted(i)).count(),
-                            1,
-                            "{name} round {round}: input {i} of op {id} is its own job"
-                        );
-                        // …and dependency counting never releases a
-                        // consumer before the input completed.
-                        assert!(
-                            pos(&events, ProbeEvent::Finished(i))
-                                < pos(&events, ProbeEvent::Started(id)),
-                            "{name} round {round}: op {id} started before input {i} \
-                             finished: {events:?}"
-                        );
-                    });
+                assert_scheduling_invariants(
+                    &plan,
+                    &events,
+                    &format!("{name} round {round}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_pipeline_collapses_to_one_queue_job() {
+        use blas_translate::BoundSource;
+        // The acceptance pipeline: scan → standalone filter →
+        // materialize, hand-built so pushdown cannot fuse the filter.
+        let (_, store, _) = fixture(SAMPLE);
+        let ops = vec![
+            PhysOp::ClusteredScan { source: BoundSource::All, value_eq: None, level_eq: None },
+            PhysOp::ValueFilter { input: 0, value_eq: Some("cyt".into()), level_eq: None },
+            PhysOp::Materialize { input: 1 },
+        ];
+        let plan = plan_from(ops, 2);
+        let mut seq_stats = ExecStats::default();
+        let seq = execute(&plan, &store, &ExecConfig::default(), &mut seq_stats);
+
+        let probe = ExecProbe::new();
+        let pool = PoolHandle::new(1);
+        // Default min_shard_elems: the tiny scan must not fan out, so
+        // the whole chain is exactly one queue job.
+        let config = ExecConfig::on_pool(pool.clone(), 4).with_probe(probe.clone());
+        let before = pool.jobs_submitted();
+        let mut stats = ExecStats::default();
+        let out = execute(&plan, &store, &config, &mut stats);
+        assert_eq!(out, seq);
+        assert_eq!(
+            pool.jobs_submitted() - before,
+            1,
+            "a linear pipeline pays exactly one queue round-trip"
+        );
+        let events = probe.events();
+        assert_scheduling_invariants(&plan, &events, "linear pipeline");
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, ProbeEvent::Submitted(_))).count(),
+            1,
+            "only the scan is queued: {events:?}"
+        );
+        assert!(events.contains(&ProbeEvent::Inlined(1)), "{events:?}");
+        assert!(events.contains(&ProbeEvent::Inlined(2)), "{events:?}");
+        // The single job checked scratch out exactly once for the
+        // whole chain.
+        assert_eq!(stats.scratch_checkouts, 1);
+    }
+
+    #[test]
+    fn root_with_a_consumer_is_never_handed_over() {
+        use blas_translate::BoundSource;
+        // No lowering emits a root that something else consumes, but
+        // PhysPlan::from_ops permits it — and execute_pooled reads the
+        // root's slot for the query result, so the chain-link handover
+        // (which parks only a placeholder) must exclude the root.
+        let (_, store, _) = fixture(SAMPLE);
+        let ops = vec![
+            PhysOp::ClusteredScan { source: BoundSource::All, value_eq: None, level_eq: None },
+            PhysOp::ValueFilter { input: 0, value_eq: Some("cyt".into()), level_eq: None },
+        ];
+        let plan = plan_from(ops, 0);
+        let mut seq_stats = ExecStats::default();
+        let seq = execute(&plan, &store, &ExecConfig::default(), &mut seq_stats);
+        assert!(!seq.is_empty(), "the root scan has results");
+        let mut stats = ExecStats::default();
+        let par = execute(&plan, &store, &ExecConfig::sharded(2), &mut stats);
+        assert_eq!(par, seq, "the root's slot must hold its real output");
+    }
+
+    #[test]
+    fn collapse_disabled_restores_one_job_per_operator() {
+        let (doc, store, dom) = fixture(SAMPLE);
+        let b = bound(&doc, &dom, "/db/e[p//s='cyt']/r/f/t");
+        let plan = lower_plan(&b);
+        let probe = ExecProbe::new();
+        let config = ExecConfig::sharded(2)
+            .with_min_shard_elems(1)
+            .with_collapse_chains(false)
+            .with_probe(probe.clone());
+        let mut stats = ExecStats::default();
+        let out = execute(&plan, &store, &config, &mut stats);
+        let mut seq_stats = ExecStats::default();
+        let seq = execute(&plan, &store, &ExecConfig::default(), &mut seq_stats);
+        assert_eq!(out, seq, "collapsing is a scheduling detail, not a semantic one");
+        let events = probe.events();
+        assert_scheduling_invariants(&plan, &events, "collapse off");
+        for (id, _) in plan.ops().iter().enumerate() {
+            assert!(
+                events.contains(&ProbeEvent::Submitted(id)),
+                "with collapsing off every op is queued: {events:?}"
+            );
+            assert!(!events.contains(&ProbeEvent::Inlined(id)), "{events:?}");
+        }
+    }
+
+    /// Reference model of the scheduler for a **serial** executor (a
+    /// zero-worker pool: every job runs on the coordinating thread,
+    /// FIFO): predicts the exact probe event stream, including which
+    /// operators are queued and which are chain-collapsed.
+    fn simulate_serial_schedule(plan: &PhysPlan) -> Vec<ProbeEvent> {
+        use std::collections::VecDeque;
+        let mut events = Vec::new();
+        let mut credits: Vec<usize> = plan.input_counts().to_vec();
+        let mut queue: VecDeque<OpId> = VecDeque::new();
+        for (id, &c) in credits.iter().enumerate() {
+            if c == 0 {
+                events.push(ProbeEvent::Submitted(id));
+                queue.push_back(id);
+            }
+        }
+        while let Some(job) = queue.pop_front() {
+            let mut current = job;
+            loop {
+                events.push(ProbeEvent::Started(current));
+                events.push(ProbeEvent::Finished(current));
+                let mut ready = Vec::new();
+                for &consumer in &plan.consumers()[current] {
+                    credits[consumer] -= 1;
+                    if credits[consumer] == 0 {
+                        ready.push(consumer);
+                    }
+                }
+                if ready.len() == 1 {
+                    events.push(ProbeEvent::Inlined(ready[0]));
+                    current = ready[0];
+                } else {
+                    for consumer in ready {
+                        events.push(ProbeEvent::Submitted(consumer));
+                        queue.push_back(consumer);
+                    }
+                    break;
                 }
             }
+        }
+        events
+    }
+
+    #[test]
+    fn serial_schedule_matches_the_reference_simulation() {
+        // On a zero-worker pool the DAG walk is deterministic, so the
+        // probe log must equal the reference model event for event —
+        // in particular, every sole just-released consumer is Inlined
+        // and every fork is Submitted, across all three lowerings.
+        let (doc, store, dom) = fixture(SAMPLE);
+        let b = bound(&doc, &dom, "/db/e[p//s='cyt']/r/f[y='2001']/t");
+        let twig = TwigQuery::from_plan(&b).unwrap();
+        for (name, plan) in [
+            ("rdbms", lower_plan(&b)),
+            ("twig", lower_twig(&twig)),
+            ("twigstack", lower_twigstack(&twig)),
+        ] {
+            let probe = ExecProbe::new();
+            // Default min_shard_elems: scan fan-out would run nested
+            // helper jobs and reorder the serial schedule.
+            let config = ExecConfig::on_pool(PoolHandle::inline(), 2).with_probe(probe.clone());
+            let mut stats = ExecStats::default();
+            execute(&plan, &store, &config, &mut stats);
+            assert_eq!(
+                probe.events(),
+                simulate_serial_schedule(&plan),
+                "{name}: serial schedule must match the reference model"
+            );
         }
     }
 }

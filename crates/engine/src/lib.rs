@@ -12,12 +12,18 @@
 //!   executes as dependency-counted jobs on the persistent worker
 //!   pool — join sides, union arms and twig branches concurrently,
 //!   with clustered scans additionally sharded into pool sub-jobs —
-//!   while `shards == 1` is the zero-copy sequential path.
+//!   while `shards == 1` is the zero-copy sequential path. Linear
+//!   stretches **chain-collapse**: a sole just-released consumer runs
+//!   inline as a continuation of its producer's job, so only genuine
+//!   forks pay a queue round-trip and a µs-scale point query stays
+//!   within a constant factor of sequential even on one core.
 //! * [`pool`] — the persistent work-stealing-lite worker pool those
 //!   jobs run on: fixed threads, one injector queue, scoped
-//!   submission, helping joins and panic propagation. One pool
-//!   (typically owned by `blas::BlasDb`) serves every scan, join,
-//!   union and twig branch across repeated queries.
+//!   submission, helping joins, panic propagation, and lock-free
+//!   per-worker scratch caches ([`pool::take_scratch`]) that recycle
+//!   operator scratch across jobs. One pool (typically owned by
+//!   `blas::BlasDb`) serves every scan, join, union and twig branch
+//!   across repeated queries.
 //! * [`rdbms`] — the relational engine (§5.2): lowers a [`BoundPlan`]
 //!   into the Fig. 11 operator shape (selections, semi-join D-joins,
 //!   unions).
@@ -57,7 +63,7 @@ pub mod twig;
 pub mod twigstack;
 
 pub use exec::{ExecConfig, ExecProbe, ProbeEvent, DEFAULT_MIN_SHARD_ELEMS};
-pub use pool::{JobHandle, PoolHandle, Scope};
+pub use pool::{take_scratch, JobHandle, PoolHandle, Scope, Scratch};
 pub use physical::{lower_plan, lower_twig, lower_twigstack, PhysOp, PhysPlan, TwigPattern};
 pub use rdbms::{execute_plan, execute_plan_config, execute_plan_with};
 pub use stats::ExecStats;

@@ -194,6 +194,7 @@ impl TwigPattern {
 struct PlanDeps {
     input_counts: Vec<usize>,
     consumers: Vec<Vec<OpId>>,
+    consumer_counts: Vec<usize>,
 }
 
 /// A physical plan: operators in topological (execution) order plus
@@ -246,7 +247,8 @@ impl PhysPlan {
                     consumers[input].push(id);
                 });
             }
-            PlanDeps { input_counts, consumers }
+            let consumer_counts = consumers.iter().map(Vec::len).collect();
+            PlanDeps { input_counts, consumers, consumer_counts }
         })
     }
 
@@ -264,9 +266,45 @@ impl PhysPlan {
     /// Per-operator consumer lists (one entry per input *edge*, so an
     /// operator consumed twice by the same join appears twice): the
     /// adjacency the pooled executor walks to release dependents as
-    /// results complete. Memoized per plan.
+    /// results complete — and to decide chain collapsing (a finishing
+    /// producer that releases exactly one now-ready consumer runs it
+    /// inline instead of queueing it). Memoized per plan.
     pub fn consumers(&self) -> &[Vec<OpId>] {
         &self.deps().consumers
+    }
+
+    /// Per-operator consuming-edge counts (`consumers()[i].len()`,
+    /// memoized): the sequential executor's initial
+    /// remaining-consumer credits — a result slot recycles its buffer
+    /// the moment its last consumer has read it. Precomputed here so
+    /// repeated executions of one plan skip the dependency walk.
+    pub fn consumer_counts(&self) -> &[usize] {
+        &self.deps().consumer_counts
+    }
+
+    /// Assemble a plan from raw operators already in topological
+    /// order. This is the escape hatch the lowering strategies do
+    /// *not* need — it exists for test harnesses and benchmarks that
+    /// exercise operator shapes no lowering emits (standalone filter
+    /// chains, shared scans, deliberately broken holistic patterns).
+    ///
+    /// Only the arena invariant is enforced — every input references
+    /// an **earlier** slot and `root` is in range; no filter pushdown
+    /// runs and operator payloads (e.g. a [`TwigPattern`]'s internal
+    /// consistency) are the caller's responsibility.
+    ///
+    /// # Panics
+    ///
+    /// If an operator references itself or a later slot, or `root >=
+    /// ops.len()`.
+    pub fn from_ops(ops: Vec<PhysOp>, root: OpId) -> PhysPlan {
+        for (id, op) in ops.iter().enumerate() {
+            op.for_each_input(|i| {
+                assert!(i < id, "op {id} reads slot {i}: inputs must precede the operator");
+            });
+        }
+        assert!(root < ops.len(), "root {root} out of range for {} ops", ops.len());
+        PhysPlan { ops, root, deps: std::sync::OnceLock::new() }
     }
 
     fn push(&mut self, op: PhysOp) -> OpId {
@@ -462,19 +500,6 @@ pub fn lower_twigstack(q: &TwigQuery) -> PhysPlan {
     });
     plan.root = plan.push(PhysOp::Materialize { input: matched });
     plan.pushdown_filters()
-}
-
-/// Assemble a plan from raw operators (crate-internal test support;
-/// `PhysPlan` fields stay private to preserve the topological-order
-/// invariant for everyone else).
-#[cfg(test)]
-pub(crate) fn plan_for_tests(ops: Vec<PhysOp>, root: OpId) -> PhysPlan {
-    let mut plan = PhysPlan::empty();
-    plan.root = root;
-    for op in ops {
-        plan.push(op);
-    }
-    plan
 }
 
 #[cfg(test)]

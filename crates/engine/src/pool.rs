@@ -41,6 +41,15 @@
 //!   pool keeps serving queries after a panicked job (tested by the
 //!   shared-pool stress suite).
 //!
+//! * **Per-worker scratch caches.** Every OS thread that executes
+//!   pool jobs — resident workers and helping submitters alike — owns
+//!   a private, lock-free cache of recycled scratch values
+//!   ([`take_scratch`]). A finishing job checks its scratch back in;
+//!   the next job on the same thread checks it out again, so per-job
+//!   scratch allocations amortize away once a worker has run more
+//!   than one job. The cache is thread-local: no atomics, no locks,
+//!   no cross-thread traffic on the checkout path.
+//!
 //! Sizing: one worker per available core minus one (the submitting
 //! thread helps) is the default used by `blas::BlasDb` —
 //! [`PoolHandle::with_default_parallelism`]. Oversubscribing is safe
@@ -49,9 +58,11 @@
 //! [`BlasDb`]: ../../blas/struct.BlasDb.html
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -248,13 +259,15 @@ impl PoolHandle {
         self.core.shared.submitted.load(Ordering::Acquire)
     }
 
-    fn push(&self, task: Task) {
+    fn push(&self, task: Task, notify: bool) {
         self.ensure_workers();
         let shared = &self.core.shared;
         shared.submitted.fetch_add(1, Ordering::AcqRel);
         let mut queue = shared.queue.lock().unwrap();
         queue.push_back(task);
-        shared.work.notify_one();
+        if notify {
+            shared.work.notify_one();
+        }
         drop(queue);
     }
 
@@ -268,7 +281,12 @@ impl PoolHandle {
     /// completer sees our registration (and takes the lock to
     /// broadcast — lock-notify, so the wakeup cannot fall between our
     /// check and our wait), or we see its done-flip in the re-check
-    /// and never park. Queue pushes always notify.
+    /// and never park. Notified pushes ([`Scope::spawn`],
+    /// [`Scope::spawn_job`]) always notify; a **deferred** push
+    /// ([`Scope::spawn_deferred`]) wakes nobody and stays live only
+    /// because its pusher reaches the scope barrier and drains the
+    /// queue here — a helper never parks while the queue is non-empty
+    /// (the pop and the wait take the same lock).
     fn wait_until(&self, done: &dyn Fn() -> bool) {
         let shared = &self.core.shared;
         loop {
@@ -367,6 +385,29 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     /// panicking body is caught, parked, and re-raised by [`scope`]
     /// after all jobs have finished (the pool itself is unaffected).
     pub fn spawn(&'scope self, body: impl FnOnce() + Send + 'scope) {
+        self.spawn_inner(body, true);
+    }
+
+    /// Like [`Scope::spawn`], but **without waking a worker**: the job
+    /// is queued and executed by whichever thread next drains the
+    /// queue — typically the spawning thread itself, which helps the
+    /// pool the moment it reaches the scope barrier. Liveness is
+    /// guaranteed by that barrier (the scope cannot end while the job
+    /// is queued, and a barrier-waiting thread pops jobs rather than
+    /// sleeping on a non-empty queue), not by a notification.
+    ///
+    /// Use for a job the caller would otherwise execute inline anyway:
+    /// on µs-scale executions the elided wakeup is the difference
+    /// between a queue *round-trip* (park, futex wake, context switch)
+    /// and a queue *push* (two uncontended mutex acquisitions). The
+    /// executor submits the first root of every plan this way — a
+    /// linear pipeline therefore runs entirely on the submitting
+    /// thread while still being observable as one queued job.
+    pub fn spawn_deferred(&'scope self, body: impl FnOnce() + Send + 'scope) {
+        self.spawn_inner(body, false);
+    }
+
+    fn spawn_inner(&'scope self, body: impl FnOnce() + Send + 'scope, notify: bool) {
         self.sync.pending.fetch_add(1, Ordering::AcqRel);
         let sync = Arc::clone(&self.sync);
         let shared = Arc::clone(&self.pool.core.shared);
@@ -385,7 +426,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         let task: Task = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task)
         };
-        self.pool.push(task);
+        self.pool.push(task, notify);
     }
 
     /// Submit a job whose result (or panic) the caller collects via
@@ -421,7 +462,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         let task: Task = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task)
         };
-        self.pool.push(task);
+        self.pool.push(task, true);
         JobHandle { slot, pool: self.pool.clone() }
     }
 }
@@ -492,6 +533,99 @@ pub fn scope<'env, R>(
             }
             value
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-worker scratch caches
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// This thread's scratch cache: type-erased recycled values, one
+    /// entry per checked-in scratch set. Per-thread ≡ per-worker for
+    /// the resident pool threads (which live as long as the pool), and
+    /// generalizes for free to helping submitter threads. Type-erased
+    /// so the pool stays ignorant of what executors cache in it.
+    static SCRATCH_CACHE: RefCell<Vec<Box<dyn Any + Send>>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// Spare scratch values one thread retains; beyond this, checked-in
+/// values are dropped instead of cached. Depth > 1 only occurs when a
+/// job helps the pool mid-job and the nested job checks out scratch of
+/// the same type, so a small cap loses nothing.
+const SCRATCH_CACHE_CAP: usize = 8;
+
+/// Check a scratch value of type `T` out of the **current thread's**
+/// cache, or default-construct one on a cache miss. The checkout is
+/// lock-free — one thread-local vector scan, no atomics — and the
+/// guard checks the value back into the same thread's cache on drop,
+/// so a worker that runs several jobs in sequence reuses one scratch
+/// set (with all its grown capacity) across all of them.
+///
+/// [`Scratch::reused`] reports whether the checkout was a cache hit;
+/// the executor surfaces that through the `scratch_hits` counter of
+/// `ExecStats` so tests can assert that recycling actually happens.
+pub fn take_scratch<T: Default + Send + 'static>() -> Scratch<T> {
+    let cached: Option<Box<T>> = SCRATCH_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let idx = cache.iter().position(|slot| slot.is::<T>())?;
+        let boxed = cache.swap_remove(idx);
+        Some(boxed.downcast::<T>().expect("slot matched T"))
+    });
+    match cached {
+        Some(value) => Scratch { value: Some(value), reused: true },
+        None => Scratch { value: Some(Box::new(T::default())), reused: false },
+    }
+}
+
+/// A scratch value checked out of the current thread's cache by
+/// [`take_scratch`]; dereferences to `T` and checks the value back in
+/// on drop (on the dropping thread — check-out and check-in happen on
+/// the same thread in normal use, since a job's scratch never outlives
+/// the job).
+///
+/// The value stays in its box for its whole cache lifetime, so a hit →
+/// use → check-in cycle moves one pointer and allocates nothing.
+pub struct Scratch<T: Send + 'static> {
+    value: Option<Box<T>>,
+    reused: bool,
+}
+
+impl<T: Send + 'static> Scratch<T> {
+    /// Whether this checkout recycled a cached value (`true`) or had
+    /// to default-construct a fresh one (`false`).
+    pub fn reused(&self) -> bool {
+        self.reused
+    }
+}
+
+impl<T: Send + 'static> Deref for Scratch<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("present until drop")
+    }
+}
+
+impl<T: Send + 'static> DerefMut for Scratch<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("present until drop")
+    }
+}
+
+impl<T: Send + 'static> Drop for Scratch<T> {
+    fn drop(&mut self) {
+        let Some(value) = self.value.take() else { return };
+        // try_with: during thread teardown the TLS may already be
+        // destroyed; then the value is simply dropped. The existing
+        // box is re-shelved as-is (an unsizing coercion, no
+        // allocation).
+        let _ = SCRATCH_CACHE.try_with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache.len() < SCRATCH_CACHE_CAP {
+                cache.push(value as Box<dyn Any + Send>);
+            }
+        });
     }
 }
 
@@ -656,6 +790,90 @@ mod tests {
             assert_eq!(sum, 4 * round + 6);
             drop(pool);
         }
+    }
+
+    #[test]
+    fn deferred_jobs_run_by_the_barrier_without_notification() {
+        // Zero workers: nobody could be notified anyway — the barrier
+        // itself must drain the deferred job.
+        let inline = PoolHandle::inline();
+        let ran = AtomicBool::new(false);
+        scope(&inline, |s| {
+            s.spawn_deferred(|| ran.store(true, Ordering::Release));
+        });
+        assert!(ran.load(Ordering::Acquire));
+        assert_eq!(inline.jobs_submitted(), 1, "deferred jobs still count as queue jobs");
+
+        // Resident workers: the deferred job completes by the barrier
+        // regardless of who picks it up, and the pool stays usable.
+        let pool = PoolHandle::new(2);
+        let counter = AtomicU32::new(0);
+        scope(&pool, |s| {
+            s.spawn_deferred(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn scratch_misses_then_hits_on_one_thread() {
+        // A dedicated thread guarantees a cold cache regardless of what
+        // other tests ran on this thread before.
+        std::thread::spawn(|| {
+            let first = take_scratch::<Vec<u64>>();
+            assert!(!first.reused(), "cold cache must miss");
+            drop(first);
+            let mut second = take_scratch::<Vec<u64>>();
+            assert!(second.reused(), "checked-in scratch must be recycled");
+            second.push(7);
+            drop(second);
+            let third = take_scratch::<Vec<u64>>();
+            assert_eq!(*third, [7], "recycled value carries its state");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn scratch_caches_are_per_thread() {
+        std::thread::spawn(|| {
+            drop(take_scratch::<Vec<u8>>()); // warm this thread
+            assert!(take_scratch::<Vec<u8>>().reused());
+            std::thread::spawn(|| {
+                assert!(
+                    !take_scratch::<Vec<u8>>().reused(),
+                    "another thread's cache must not be visible"
+                );
+            })
+            .join()
+            .unwrap();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn scratch_distinguishes_types_and_respects_the_cap() {
+        std::thread::spawn(|| {
+            drop(take_scratch::<Vec<u16>>());
+            // A different type misses even though the cache is warm.
+            assert!(!take_scratch::<Vec<u32>>().reused());
+            // Concurrent checkouts beyond the cap are dropped, not
+            // cached: hold CAP + 2 guards at once, release them all.
+            let guards: Vec<Scratch<Vec<u16>>> =
+                (0..SCRATCH_CACHE_CAP + 2).map(|_| take_scratch()).collect();
+            drop(guards);
+            let cached = SCRATCH_CACHE.with(|c| {
+                c.borrow().iter().filter(|s| s.is::<Vec<u16>>()).count()
+            });
+            assert!(cached <= SCRATCH_CACHE_CAP, "cap bounds retained spares");
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -129,6 +129,156 @@ fn panicking_job_surfaces_as_error_without_poisoning_the_pool() {
 }
 
 #[test]
+fn chain_heavy_pipelines_collapse_under_contention() {
+    // Satellite of the chain-collapsing tentpole: long linear
+    // pipelines (scan → pass-through filters → materialize) fired from
+    // 8 OS threads at one shared pool. However contended the pool, a
+    // pure chain must cost exactly one queue job — every non-root
+    // operator rides inline — and one scratch checkout, while staying
+    // byte-identical to sequential execution.
+    use blas_engine::exec::{execute, ExecConfig, ExecProbe, ProbeEvent};
+    use blas_engine::physical::{PhysOp, PhysPlan};
+    use blas_engine::ExecStats;
+    use blas_translate::BoundSource;
+
+    let db = auction_db();
+    let store = db.store();
+    let item = db.tags().get("item").expect("auction has item");
+    const FILTERS: usize = 8;
+    let mut ops = vec![PhysOp::ClusteredScan {
+        source: BoundSource::Tag(item),
+        value_eq: None,
+        level_eq: None,
+    }];
+    for i in 0..FILTERS {
+        // A pass-through filter: a real operator hop that keeps the
+        // stream intact, so the chain stays long and checkable.
+        ops.push(PhysOp::ValueFilter { input: i, value_eq: None, level_eq: None });
+    }
+    ops.push(PhysOp::Materialize { input: FILTERS });
+    let root = ops.len() - 1;
+    let plan = PhysPlan::from_ops(ops, root);
+
+    let mut seq_stats = ExecStats::default();
+    let seq = execute(&plan, store, &ExecConfig::default(), &mut seq_stats);
+    assert!(!seq.is_empty(), "the workload must move real tuples");
+
+    let pool = PoolHandle::new(3);
+    let jobs_before = pool.jobs_submitted();
+    const ROUNDS_PER_CLIENT: usize = 6;
+    std::thread::scope(|s| {
+        for _ in 0..CLIENT_THREADS {
+            let (plan, seq, seq_stats, pool) = (&plan, &seq, &seq_stats, &pool);
+            s.spawn(move || {
+                let probe = ExecProbe::new();
+                for round in 0..ROUNDS_PER_CLIENT {
+                    probe.clear();
+                    // min_shard_elems = MAX: keep even the tag scan
+                    // whole, so the chain is the entire execution.
+                    let config = ExecConfig::on_pool(pool.clone(), 4)
+                        .with_min_shard_elems(usize::MAX)
+                        .with_probe(probe.clone());
+                    let mut stats = ExecStats::default();
+                    let out = execute(plan, store, &config, &mut stats);
+                    assert_eq!(&out, seq, "round {round}");
+                    assert_eq!(stats.elements_visited, seq_stats.elements_visited);
+                    let events = probe.events();
+                    assert_eq!(
+                        events.iter().filter(|e| matches!(e, ProbeEvent::Submitted(_))).count(),
+                        1,
+                        "a pure chain pays exactly one queue job: {events:?}"
+                    );
+                    assert_eq!(
+                        events.iter().filter(|e| matches!(e, ProbeEvent::Inlined(_))).count(),
+                        plan.ops().len() - 1,
+                        "every non-root operator runs inline: {events:?}"
+                    );
+                    assert_eq!(stats.scratch_checkouts, 1, "one checkout per queue job");
+                }
+            });
+        }
+    });
+    assert_eq!(
+        pool.jobs_submitted() - jobs_before,
+        (CLIENT_THREADS * ROUNDS_PER_CLIENT) as u64,
+        "one queue job per pipeline execution, even from 8 clients"
+    );
+}
+
+#[test]
+fn panic_inside_inlined_continuation_surfaces_and_pool_survives() {
+    // A continuation that panics unwinds the producer's pool job; the
+    // scope barrier must still re-raise it to the caller as an error,
+    // and the worker that ran it must survive to serve more queries.
+    use blas_engine::exec::{execute, ExecConfig, ExecProbe, ProbeEvent};
+    use blas_engine::physical::{PhysOp, PhysPlan, TwigPattern};
+    use blas_engine::ExecStats;
+    use blas_translate::BoundSource;
+
+    let db = BlasDb::load("<a><b>x</b><b>y</b></a>").unwrap();
+    let store = db.store();
+    // A deliberately inconsistent holistic pattern (root index out of
+    // range): `PhysPlan::from_ops` only enforces the arena invariant,
+    // so the plan builds — and the match operator panics the moment it
+    // runs, which is *inline*, as the sole consumer of its stream.
+    let pattern = TwigPattern {
+        parent: vec![None],
+        children: vec![vec![]],
+        level_diff: vec![None],
+        root: 7,
+        output: 0,
+    };
+    let ops = vec![
+        PhysOp::ClusteredScan { source: BoundSource::All, value_eq: None, level_eq: None },
+        PhysOp::TwigStackMatch { streams: vec![0], pattern },
+        PhysOp::Materialize { input: 1 },
+    ];
+    let plan = PhysPlan::from_ops(ops, 2);
+
+    let pool = PoolHandle::new(2);
+    let probe = ExecProbe::new();
+    let config = ExecConfig::on_pool(pool.clone(), 2).with_probe(probe.clone());
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        let mut stats = ExecStats::default();
+        execute(&plan, store, &config, &mut stats)
+    }));
+    assert!(unwound.is_err(), "the inlined panic must surface as an error to the caller");
+    let events = probe.events();
+    assert!(
+        events.contains(&ProbeEvent::Inlined(1)),
+        "the failing op must have been a chain-collapsed continuation: {events:?}"
+    );
+    assert!(
+        events.contains(&ProbeEvent::Started(1)) && !events.contains(&ProbeEvent::Finished(1)),
+        "the failing op started but never finished: {events:?}"
+    );
+
+    // No worker died with the panic: the same pool instance keeps
+    // executing healthy plans, byte-identical to sequential.
+    let healthy = PhysPlan::from_ops(
+        vec![
+            PhysOp::ClusteredScan { source: BoundSource::All, value_eq: None, level_eq: None },
+            PhysOp::ValueFilter { input: 0, value_eq: Some("y".into()), level_eq: None },
+            PhysOp::Materialize { input: 1 },
+        ],
+        2,
+    );
+    let mut seq_stats = ExecStats::default();
+    let seq = execute(&healthy, store, &ExecConfig::default(), &mut seq_stats);
+    assert_eq!(seq.len(), 1);
+    for _ in 0..3 {
+        let mut stats = ExecStats::default();
+        let again = execute(
+            &healthy,
+            store,
+            &ExecConfig::on_pool(pool.clone(), 2),
+            &mut stats,
+        );
+        assert_eq!(again, seq, "pool must survive a panicked continuation");
+    }
+}
+
+#[test]
 fn external_pool_can_be_shared_across_databases() {
     // Two stores, one externally owned pool, driven through the
     // engine-level API: the pool outlives both databases' executions
