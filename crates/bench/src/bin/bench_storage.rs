@@ -106,9 +106,7 @@ fn main() {
         median_ns: measure(|| {
             let mut acc = 0u64;
             for run in store.scan_plabel_range(p1, p2) {
-                for l in run.labels {
-                    acc = acc.wrapping_add(u64::from(l.start));
-                }
+                acc = acc.wrapping_add(run.sum_starts());
             }
             acc
         }),
@@ -132,13 +130,7 @@ fn main() {
     assert!(tag_elems > 0);
     results.push(KernelResult {
         name: "tag_scan/columnar",
-        median_ns: measure(|| {
-            let mut acc = 0u64;
-            for l in store.scan_tag(item).labels {
-                acc = acc.wrapping_add(u64::from(l.start));
-            }
-            acc
-        }),
+        median_ns: measure(|| store.scan_tag(item).sum_starts()),
         elements_per_op: tag_elems,
     });
     results.push(KernelResult {
@@ -155,8 +147,10 @@ fn main() {
 
     // --- kernel 3: structural join over two tag streams --------------
     let description = tags.get("description").expect("auction has description");
-    let anc: Vec<DLabel> = store.scan_tag(item).labels.to_vec();
-    let desc: Vec<DLabel> = store.scan_tag(description).labels.to_vec();
+    let mut anc: Vec<DLabel> = Vec::new();
+    store.scan_tag(item).decode_labels_into(&mut anc);
+    let mut desc: Vec<DLabel> = Vec::new();
+    store.scan_tag(description).decode_labels_into(&mut desc);
     let join_elems = (anc.len() + desc.len()) as u64;
     let mut scratch = JoinScratch::default();
     results.push(KernelResult {
@@ -316,12 +310,18 @@ fn main() {
 
     // Mapped-vs-owned query latency on the two workload extremes: the
     // most selective Fig. 10 tree query and the heaviest range scan.
+    // Measured like the `par_overhead` row: both sides warmed, then
+    // many *interleaved* owned/mapped sample pairs compared by median,
+    // so both populations see the same ambient noise — the earlier
+    // protocol measured the owned side cold and reported a spurious
+    // mapped "speedup".
     let mapped_db = BlasDb::open_mapped(&snap_path).expect("snapshot maps");
     struct MappedRow {
         id: &'static str,
         owned_ns: f64,
         mapped_ns: f64,
     }
+    const MAPPED_REPS: usize = 33;
     let mut mapped_rows: Vec<MappedRow> = Vec::new();
     for (id, xpath) in [
         ("QA3", "/site/regions/asia/item[shipping]/description"),
@@ -332,12 +332,46 @@ fn main() {
         let a = blas_bench::run_once(&db, xpath, choice);
         let b = blas_bench::run_once(&mapped_db, xpath, choice);
         assert_eq!(a.1.result_count, b.1.result_count, "mapped answers differ on {id}");
-        let (owned_t, _) = bench_query(&db, xpath, choice);
-        let (mapped_t, _) = bench_query(&mapped_db, xpath, choice);
+        for _ in 0..4 {
+            let _ = blas_bench::run_once(&db, xpath, choice);
+            let _ = blas_bench::run_once(&mapped_db, xpath, choice);
+        }
+        let mut owned_ns = Vec::with_capacity(MAPPED_REPS);
+        let mut mapped_ns = Vec::with_capacity(MAPPED_REPS);
+        for _ in 0..MAPPED_REPS {
+            owned_ns.push(blas_bench::run_once(&db, xpath, choice).0.as_nanos() as f64);
+            mapped_ns.push(blas_bench::run_once(&mapped_db, xpath, choice).0.as_nanos() as f64);
+        }
         mapped_rows.push(MappedRow {
             id,
-            owned_ns: owned_t.as_nanos() as f64,
-            mapped_ns: mapped_t.as_nanos() as f64,
+            owned_ns: median(&mut owned_ns),
+            mapped_ns: median(&mut mapped_ns),
+        });
+    }
+
+    // The packed-kernel rows: the same two scan kernels as rows 1-2,
+    // but over the mapped v3 store, where the runs are delta/bitpacked
+    // planes and the kernels decode-and-sum block-wise. The elems/op
+    // match the raw rows, so the ns/elem columns compare directly.
+    {
+        let mstore = mapped_db.store();
+        let m_range: u64 = mstore.scan_plabel_range(p1, p2).map(|r| r.len() as u64).sum();
+        assert_eq!(m_range, range_elems, "mapped store scans the same tuples");
+        results.push(KernelResult {
+            name: "plabel_range_scan/columnar_packed",
+            median_ns: measure(|| {
+                let mut acc = 0u64;
+                for run in mstore.scan_plabel_range(p1, p2) {
+                    acc = acc.wrapping_add(run.sum_starts());
+                }
+                acc
+            }),
+            elements_per_op: range_elems,
+        });
+        results.push(KernelResult {
+            name: "tag_scan/columnar_packed",
+            median_ns: measure(|| mstore.scan_tag(item).sum_starts()),
+            elements_per_op: tag_elems,
         });
     }
     drop(mapped_db);
@@ -398,9 +432,11 @@ fn main() {
         cores, overhead_seq, overhead_par, par_overhead_ratio
     );
 
+    let snapshot_bytes_per_xml_byte = snap_bytes.len() as f64 / xml.len() as f64;
     println!(
-        "\ncold start (snapshot {} bytes, median of {OPEN_REPS}):",
-        snap_bytes.len()
+        "\ncold start (snapshot {} bytes, {:.2} B per XML byte, median of {OPEN_REPS}):",
+        snap_bytes.len(),
+        snapshot_bytes_per_xml_byte
     );
     println!("  from_snapshot (full decode)  {decode_ns:>14.0} ns");
     println!("  open_mapped   (zero decode)  {mapped_open_ns:>14.0} ns");
@@ -462,6 +498,11 @@ fn main() {
     json.push_str("  },\n");
     json.push_str("  \"cold_start\": {\n");
     let _ = writeln!(json, "    \"snapshot_bytes\": {},", snap_bytes.len());
+    let _ = writeln!(json, "    \"xml_bytes\": {},", xml.len());
+    let _ = writeln!(
+        json,
+        "    \"snapshot_bytes_per_xml_byte\": {snapshot_bytes_per_xml_byte:.2},"
+    );
     let _ = writeln!(json, "    \"from_snapshot_decode_ns\": {decode_ns:.0},");
     let _ = writeln!(json, "    \"open_mapped_ns\": {mapped_open_ns:.0},");
     let _ = writeln!(json, "    \"open_speedup\": {open_speedup:.1}");
@@ -492,6 +533,34 @@ fn main() {
         "columnar scan kernels must beat the B+-tree reference by >=2x \
          (got range {range_speedup:.2}x, tag {tag_speedup:.2}x)"
     );
+    // Compression gate: the packed v3 encodings (delta/FOR label
+    // planes, bitpacked tags, dictionary-coded plabels) must keep the
+    // snapshot at most ~1.1x the source XML — the raw v2 layout sat
+    // at ~2.1x. Unconditional on purpose: the ratio holds from scale
+    // 1 up (1.08 at ×1), so the CI scale-1 smoke asserts it too.
+    assert!(
+        snapshot_bytes_per_xml_byte <= 1.1,
+        "compressed snapshot must stay <=1.1 bytes per XML byte \
+         (got {snapshot_bytes_per_xml_byte:.2})"
+    );
+    // Scan-kernel non-regression gate: compression must not slow the
+    // hot range-scan kernel. The raw-column baseline on the reference
+    // host was ~0.34 ns/element (median, Auction x10); the ceiling
+    // leaves ~3x headroom for host noise while still catching a
+    // per-element-branch regression (the B+-tree path is ~19 ns/elem).
+    if scale >= 10 {
+        let per_elem = |name: &str| {
+            let r = results.iter().find(|r| r.name == name).expect("kernel present");
+            r.median_ns / r.elements_per_op as f64
+        };
+        let raw = per_elem("plabel_range_scan/columnar");
+        let packed = per_elem("plabel_range_scan/columnar_packed");
+        assert!(
+            raw <= 1.0 && packed <= 4.0,
+            "range-scan kernels regressed: raw {raw:.2} ns/elem (ceiling 1.0), \
+             packed {packed:.2} ns/elem (ceiling 4.0)"
+        );
+    }
     // Cold-start gate (the mmap acceptance criterion): at the
     // acceptance scale, opening the snapshot mapped must beat the full
     // decode by at least an order of magnitude — the decode path pays

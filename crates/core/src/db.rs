@@ -459,8 +459,8 @@ impl BlasDb {
     /// (node ids are assigned in document order, which is row order).
     pub fn labels(&self) -> &DocumentLabels {
         self.labels.get_or_init(|| DocumentLabels {
-            dlabels: self.store.doc_labels().to_vec(),
-            plabels: self.store.doc_plabels().to_vec(),
+            dlabels: self.store.doc_labels_vec(),
+            plabels: self.store.doc_plabels_vec(),
             domain: self.domain,
         })
     }

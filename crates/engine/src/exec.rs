@@ -86,10 +86,10 @@ use crate::physical::{OpId, PhysOp, PhysPlan};
 use crate::pool::{self, PoolHandle, Scope};
 use crate::stats::ExecStats;
 use crate::stjoin::{filter_flagged_into, merge_segments, structural_match_into, MergeScratch};
-use crate::stream::{filter_run, materialize, ExecBuffers, Filter, Labels};
+use crate::stream::{materialize, resolve_filter, ExecBuffers, Filter, Labels};
 use crate::twigstack;
 use blas_labeling::DLabel;
-use blas_storage::{NodeStore, Run};
+use blas_storage::{NodeStore, ScanRun, NO_VALUE};
 use blas_translate::{BoundSource, Side};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -324,8 +324,14 @@ pub fn execute_with(
 // not).
 // ---------------------------------------------------------------------
 
-/// Standalone per-tuple filter over a non-scan stream: a value
-/// predicate resolves each label's PCDATA through its start rank.
+/// Standalone filter over a non-scan stream, run as a chunked
+/// pushdown: the value predicate resolves to one interned id up front
+/// (an un-interned value admits nothing without touching the rows);
+/// each fixed-width block gathers its value ids through the start
+/// rank, then compacts with a predicated-advance cursor — no
+/// per-element branch in the compaction loop, so the common level-only
+/// case autovectorizes and the value case keeps the gather and the
+/// compare in separate tight loops.
 fn eval_value_filter(
     input: &[DLabel],
     value_eq: Option<&str>,
@@ -333,16 +339,52 @@ fn eval_value_filter(
     store: &NodeStore,
     out: &mut Vec<DLabel>,
 ) {
-    out.extend(input.iter().filter(|l| {
-        let level_ok = level_eq.is_none_or(|k| l.level == k);
-        let value_ok = value_eq.is_none_or(|v| {
-            store
-                .row_of_start(l.start)
-                .and_then(|row| store.record(row).data)
-                == Some(v)
-        });
-        level_ok && value_ok
-    }));
+    const ZERO: DLabel = DLabel { start: 0, end: 0, level: 0 };
+    const CHUNK: usize = 64;
+    let filter = resolve_filter(value_eq, level_eq, store);
+    if filter.is_pass_through() {
+        out.extend_from_slice(input);
+        return;
+    }
+    if filter.value_id == Some(NO_VALUE) {
+        return; // queried value occurs nowhere in the document
+    }
+    let base = out.len();
+    out.resize(base + input.len(), ZERO);
+    let mut k = base;
+    let mut vids = [NO_VALUE; CHUNK];
+    for chunk in input.chunks(CHUNK) {
+        if filter.value_id.is_some() {
+            for (i, l) in chunk.iter().enumerate() {
+                vids[i] = store
+                    .row_of_start(l.start)
+                    .map(|row| store.value_id_of_row(row))
+                    .unwrap_or(NO_VALUE);
+            }
+        }
+        match (filter.value_id, filter.level_eq) {
+            (Some(want), None) => {
+                for (i, l) in chunk.iter().enumerate() {
+                    out[k] = *l;
+                    k += (vids[i] == want) as usize;
+                }
+            }
+            (None, Some(lv)) => {
+                for l in chunk {
+                    out[k] = *l;
+                    k += (l.level == lv) as usize;
+                }
+            }
+            (Some(want), Some(lv)) => {
+                for (i, l) in chunk.iter().enumerate() {
+                    out[k] = *l;
+                    k += (vids[i] == want && l.level == lv) as usize;
+                }
+            }
+            (None, None) => unreachable!("pass-through handled above"),
+        }
+    }
+    out.truncate(k);
 }
 
 /// The configuration half of a [`PhysOp::StructuralJoin`].
@@ -799,25 +841,43 @@ impl<'a> Sched<'a> {
     ) -> Option<Labels<'a>> {
         let config = self.config;
         let store = self.store;
-        // Storage owns shard-aware run iteration: one balanced group of
-        // zero-copy run pieces per prospective worker.
-        let groups: Vec<Vec<Run<'a>>> = match source {
-            BoundSource::PLabelEq(p) => store.shard_plabel_eq(*p, config.shards),
-            BoundSource::Tag(t) => store.shard_tag(*t, config.shards),
-            BoundSource::All => store.shard_doc(config.shards),
-            BoundSource::PLabelRange(p1, p2) => store.shard_plabel_range(*p1, *p2, config.shards),
+        // Size the scan from the run directory first (two binary
+        // searches): point queries fall back to the sequential kernel
+        // without ever materializing shard groups — at µs scale that
+        // preparation would be a measurable fraction of the query.
+        let total = match source {
+            BoundSource::PLabelEq(p) => store.plabel_eq_size(*p),
+            BoundSource::Tag(t) => store.tag_size(*t),
+            BoundSource::All => store.len(),
+            BoundSource::PLabelRange(p1, p2) => store.plabel_range_size(*p1, *p2),
             BoundSource::Empty => return Some(Labels::Borrowed(&[])),
         };
-        let total: usize = groups.iter().flatten().map(Run::len).sum();
         // Respect the per-shard minimum by coalescing adjacent groups
         // (each group holds consecutive pieces, so merging neighbours
         // keeps the partition order-preserving and balanced).
         let desired = config.shards.min(total / config.min_shard_elems.max(1));
-        if desired < 2 || groups.len() < 2 {
+        if desired < 2 {
+            return None;
+        }
+        // Storage owns shard-aware run iteration: one balanced group of
+        // zero-copy run pieces per prospective worker.
+        let groups: Vec<Vec<ScanRun<'a>>> = match source {
+            BoundSource::PLabelEq(p) => store.shard_plabel_eq(*p, config.shards),
+            BoundSource::Tag(t) => store.shard_tag(*t, config.shards),
+            BoundSource::All => store.shard_doc(config.shards),
+            BoundSource::PLabelRange(p1, p2) => store.shard_plabel_range(*p1, *p2, config.shards),
+            BoundSource::Empty => unreachable!("handled above"),
+        };
+        debug_assert_eq!(
+            groups.iter().flatten().map(ScanRun::len).sum::<usize>(),
+            total,
+            "directory size must agree with the materialized runs"
+        );
+        if groups.len() < 2 {
             return None;
         }
         let groups = coalesce_groups(groups, desired);
-        let filter = Filter::resolve(value_eq, level_eq, store);
+        let filter = resolve_filter(value_eq, level_eq, store);
 
         // Fan out: sub-jobs take groups 1…, this job scans group 0
         // itself and then joins the sub-jobs, helping the pool while
@@ -946,12 +1006,12 @@ fn execute_pooled(
 
 /// Merge adjacent shard groups until at most `desired` remain (the
 /// per-shard minimum asked for fewer workers than storage prepared).
-fn coalesce_groups<'a>(groups: Vec<Vec<Run<'a>>>, desired: usize) -> Vec<Vec<Run<'a>>> {
+fn coalesce_groups<'a>(groups: Vec<Vec<ScanRun<'a>>>, desired: usize) -> Vec<Vec<ScanRun<'a>>> {
     if groups.len() <= desired {
         return groups;
     }
     let per_bucket = groups.len().div_ceil(desired);
-    let mut out: Vec<Vec<Run<'a>>> = Vec::with_capacity(desired);
+    let mut out: Vec<Vec<ScanRun<'a>>> = Vec::with_capacity(desired);
     for (i, group) in groups.into_iter().enumerate() {
         if i % per_bucket == 0 {
             out.push(group);
@@ -965,14 +1025,14 @@ fn coalesce_groups<'a>(groups: Vec<Vec<Run<'a>>>, desired: usize) -> Vec<Vec<Run
 /// One sub-job's share of a sharded scan: filter its run pieces and
 /// restore start order among them, tallying into a private
 /// accumulator.
-fn scan_shard(runs: &[Run<'_>], filter: Filter) -> (Vec<DLabel>, ExecStats) {
+fn scan_shard(runs: &[ScanRun<'_>], filter: Filter) -> (Vec<DLabel>, ExecStats) {
     let mut stats = ExecStats::default();
     let mut out = Vec::new();
     let mut scratch = MergeScratch::default();
     for run in runs {
         stats.elements_visited += run.len() as u64;
         let before = out.len();
-        filter_run(*run, filter, &mut out);
+        run.filter_into(filter, &mut out);
         if out.len() > before {
             scratch.bounds.push(out.len());
         }

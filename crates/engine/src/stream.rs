@@ -1,10 +1,13 @@
 //! Zero-copy label streams and the scratch buffers the operators share.
 //!
-//! The columnar store returns clustered scans as borrowed
-//! `&[DLabel]` runs (see `blas_storage::relation`). [`Labels`] lets an
-//! operator pass those slices through *without copying* when no filter
-//! or reordering applies, and fall back to a pooled owned buffer when
-//! one does. [`ExecBuffers`] owns every scratch allocation of one query
+//! The columnar store returns clustered scans as [`ScanRun`]s — either
+//! borrowed `&[DLabel]` extents (owned or raw-mapped stores) or packed
+//! v3 column runs that decode on the fly (see `blas_storage::scan`).
+//! [`Labels`] lets an operator pass raw slices through *without
+//! copying* when no filter or reordering applies, and fall back to a
+//! pooled owned buffer when one does (packed runs always land in a
+//! buffer — one chunked block decode, not a per-element loop).
+//! [`ExecBuffers`] owns every scratch allocation of one query
 //! execution — operator output buffers are recycled through a pool, the
 //! join kernel's flag vectors are reused across joins, and multi-run
 //! merges ping-pong between two persistent buffers — so executing a
@@ -14,7 +17,7 @@
 use crate::stats::ExecStats;
 use crate::stjoin::{merge_segments, JoinScratch, MergeScratch};
 use blas_labeling::DLabel;
-use blas_storage::{NodeStore, Run, NO_VALUE};
+use blas_storage::{NodeStore, ScanFilter, ScanRun, NO_VALUE};
 use blas_translate::BoundSource;
 use std::ops::Deref;
 
@@ -110,40 +113,21 @@ impl ExecBuffers {
     }
 }
 
-/// Per-tuple stream filters of a selection (`data = 'v'`, `level = k`).
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Filter {
-    /// Interned id the row's value must equal; `None` = no data filter;
-    /// `Some(NO_VALUE)` = the value occurs nowhere in the document, so
-    /// nothing passes.
-    value_id: Option<u32>,
+/// The stream filter of a selection (`data = 'v'`, `level = k`) is the
+/// storage crate's [`ScanFilter`], whose chunked kernels run directly
+/// over raw or packed runs.
+pub(crate) type Filter = ScanFilter;
+
+/// Resolve textual predicates against the store's intern table: an
+/// un-interned value becomes `Some(NO_VALUE)`, which admits nothing.
+pub(crate) fn resolve_filter(
+    value_eq: Option<&str>,
     level_eq: Option<u16>,
-}
-
-impl Filter {
-    pub(crate) fn resolve(value_eq: Option<&str>, level_eq: Option<u16>, store: &NodeStore) -> Self {
-        Self {
-            value_id: value_eq.map(|v| store.value_id(v).unwrap_or(NO_VALUE)),
-            level_eq,
-        }
-    }
-
-    #[inline]
-    fn is_pass_through(&self) -> bool {
-        self.value_id.is_none() && self.level_eq.is_none()
-    }
-
-    #[inline]
-    fn admits(&self, label: &DLabel, value_id: u32) -> bool {
-        let value_ok = match self.value_id {
-            Some(want) => want != NO_VALUE && value_id == want,
-            None => true,
-        };
-        let level_ok = match self.level_eq {
-            Some(k) => label.level == k,
-            None => true,
-        };
-        value_ok && level_ok
+    store: &NodeStore,
+) -> Filter {
+    ScanFilter {
+        value_id: value_eq.map(|v| store.value_id(v).unwrap_or(NO_VALUE)),
+        level_eq,
     }
 }
 
@@ -160,7 +144,7 @@ pub fn materialize<'a>(
     stats: &mut ExecStats,
     bufs: &mut ExecBuffers,
 ) -> Labels<'a> {
-    let filter = Filter::resolve(value_eq, level_eq, store);
+    let filter = resolve_filter(value_eq, level_eq, store);
     match source {
         BoundSource::PLabelEq(p) => single_run(store.scan_plabel_eq(*p), filter, stats, bufs),
         BoundSource::Tag(t) => single_run(store.scan_tag(*t), filter, stats, bufs),
@@ -172,20 +156,23 @@ pub fn materialize<'a>(
     }
 }
 
-/// Equality/tag/full scans yield one start-sorted run: zero-copy unless
-/// a filter applies.
+/// Equality/tag/full scans yield one start-sorted run: zero-copy when
+/// the run is a raw extent and no filter applies; otherwise one pass
+/// of the chunked filter/decode kernel into a pooled buffer.
 fn single_run<'a>(
-    run: Run<'a>,
+    run: ScanRun<'a>,
     filter: Filter,
     stats: &mut ExecStats,
     bufs: &mut ExecBuffers,
 ) -> Labels<'a> {
     stats.elements_visited += run.len() as u64;
     if filter.is_pass_through() {
-        return Labels::Borrowed(run.labels);
+        if let Some(labels) = run.raw_labels() {
+            return Labels::Borrowed(labels);
+        }
     }
     let mut out = bufs.take();
-    filter_run(run, filter, &mut out);
+    run.filter_into(filter, &mut out);
     Labels::Owned(out)
 }
 
@@ -194,7 +181,7 @@ fn single_run<'a>(
 /// with ping-pong rounds between two persistent buffers (no per-run
 /// allocation).
 fn multi_run<'a>(
-    mut runs: impl Iterator<Item = Run<'a>>,
+    mut runs: impl Iterator<Item = ScanRun<'a>>,
     filter: Filter,
     stats: &mut ExecStats,
     bufs: &mut ExecBuffers,
@@ -211,26 +198,13 @@ fn multi_run<'a>(
     for run in [head, second].into_iter().chain(runs) {
         stats.elements_visited += run.len() as u64;
         let before = out.len();
-        filter_run(run, filter, &mut out);
+        run.filter_into(filter, &mut out);
         if out.len() > before {
             bufs.merge.bounds.push(out.len());
         }
     }
     merge_segments(&mut out, &mut bufs.merge);
     Labels::Owned(out)
-}
-
-#[inline]
-pub(crate) fn filter_run(run: Run<'_>, filter: Filter, out: &mut Vec<DLabel>) {
-    if filter.is_pass_through() {
-        out.extend_from_slice(run.labels);
-        return;
-    }
-    for (label, &value_id) in run.labels.iter().zip(run.value_ids) {
-        if filter.admits(label, value_id) {
-            out.push(*label);
-        }
-    }
 }
 
 #[cfg(test)]

@@ -7,21 +7,28 @@
 //!
 //! * [`relation`] — the columnar [`NodeStore`]: the label/tag/value
 //!   columns held in **two physical sort orders** with per-key run
-//!   directories, so clustered scans return zero-copy `&[DLabel]`
-//!   slices (see the module docs for the layout). Every column is a
-//!   *column source* that is either owned memory or a borrowed extent
-//!   of a read-only snapshot mapping — scans, and therefore the
-//!   engines above, cannot tell the difference. Scans are also
-//!   available in *sharded* form ([`shard_runs`] and the
-//!   `NodeStore::shard_*` methods): balanced groups of zero-copy run
-//!   pieces — oversized runs are split with [`Run::slice`] — that the
-//!   engine's parallel scan operator fans out across worker threads;
+//!   directories (see the module docs for the layout). Every column is
+//!   a *column source*: owned memory, a raw borrowed extent of a
+//!   read-only snapshot mapping, or one of the [`packed`] compressed
+//!   encodings borrowed from a v3 mapping — scans, and therefore the
+//!   engines above, cannot tell the difference. Raw clustered scans
+//!   still return zero-copy `&[DLabel]` slices; packed ones decode
+//!   block-at-a-time through the same [`ScanRun`] interface. Scans are
+//!   also available in *sharded* form ([`shard_runs`] and the
+//!   `NodeStore::shard_*` methods): balanced groups of run pieces —
+//!   oversized runs are split with `slice` — that the engine's
+//!   parallel scan operator fans out across worker threads;
+//! * [`packed`] — the block-based compressed column codecs
+//!   (frame-of-reference planes, delta label planes, bitpacked tags)
+//!   plus [`scan`]'s chunked, branch-free filter kernels that operate
+//!   on them directly;
 //! * [`snapshot`] — the sectioned, page-aligned, checksummed on-disk
 //!   format: one aligned little-endian extent per column (both
-//!   clusterings, both run directories, the interned-string arena), so
-//!   a mapping of the file *is* the store. Two read paths: full
-//!   validating decode ([`snapshot::decode`]) and O(1) zero-decode
-//!   open (`NodeStore::from_mapped`);
+//!   clusterings, both run directories, the interned-string arena),
+//!   with a per-section encoding descriptor (format v3) selecting raw
+//!   or packed, so a mapping of the file *is* the store. Two read
+//!   paths: full validating decode ([`snapshot::decode`]) and O(1)
+//!   zero-decode open (`NodeStore::from_mapped`);
 //! * [`mapped`] — the no-dependency read-only file mapping
 //!   ([`MappedBytes`]): `mmap` via direct FFI on 64-bit Unix, an
 //!   aligned heap read everywhere else;
@@ -37,10 +44,13 @@
 
 pub mod bptree;
 pub mod mapped;
+pub mod packed;
 pub mod relation;
+pub mod scan;
 pub mod snapshot;
 
 pub use bptree::BPlusTree;
 pub use mapped::MappedBytes;
 pub use relation::{shard_runs, NodeRecord, NodeStore, RecordView, RowId, Run, NO_VALUE};
+pub use scan::{PackedRun, RunLike, ScanFilter, ScanRun};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotMeta};

@@ -30,24 +30,29 @@
 //! A **run** is the contiguous row range of one distinct clustering-key
 //! value; inside a run, rows are `start`-ascending. Scans therefore
 //! binary-search the run *directory* (a handful of entries) and return
-//! borrowed slices:
+//! [`ScanRun`]s over borrowed column extents:
 //!
 //! * [`NodeStore::scan_plabel_eq`] / [`NodeStore::scan_tag`] — exactly
-//!   one run ⇒ one zero-copy `&[DLabel]` already in document order;
+//!   one run, already in document order;
 //! * [`NodeStore::scan_plabel_range`] — the consecutive runs of every
-//!   distinct P-label in `[p1, p2]`, each a zero-copy slice (the engine
-//!   merges them back to document order with a ping-pong buffer merge).
+//!   distinct P-label in `[p1, p2]` (the engine merges them back to
+//!   document order with a ping-pong buffer merge).
 //!
-//! # Column sources: owned vs mapped
+//! # Column sources: owned, mapped-raw, mapped-packed
 //!
-//! Every column is a `Col` — either an owned `Vec` (the in-memory
-//! build path: [`NodeStore::build`] / [`NodeStore::from_records`]) or a
-//! borrowed extent of a read-only file mapping
-//! ([`NodeStore::from_mapped`], over the sectioned snapshot format of
-//! [`crate::snapshot`]). Scans are source-agnostic: the same
-//! `&[DLabel]` run slices come back either way, so the engines —
-//! including the sharded parallel scan path built on [`shard_runs`] —
-//! query a mapped snapshot with **zero upfront decode**.
+//! Every column is served from one of three sources. The in-memory
+//! build paths ([`NodeStore::build`] / [`NodeStore::from_records`])
+//! own plain `Vec`s. A mapped snapshot ([`NodeStore::from_mapped`])
+//! borrows extents of the read-only file mapping — raw little-endian
+//! slices for a v2 file, or the **packed encodings** of a v3 file
+//! ([`crate::packed`]): D-label columns as three FOR planes, tags
+//! bit-packed, document P-labels dictionary-coded against the SP run
+//! keys, value ids and permutation rows as FOR planes. Scans are
+//! source-agnostic: they return [`ScanRun::Raw`] over raw slices
+//! (still zero-copy) or [`ScanRun::Packed`] over the planes, and the
+//! engines — including the sharded parallel scan path built on
+//! [`shard_runs`] — filter both shapes through the same chunked
+//! kernels ([`crate::scan`]).
 //!
 //! There is **no per-tuple B+ tree traversal on the hot path**. The B+
 //! trees are *derived* data, built lazily on first use (so a mapped
@@ -60,13 +65,16 @@
 //!
 //! PCDATA is interned: each distinct string is stored once in a value
 //! table and rows carry a `u32` value id, so a `data = 'x'` filter over
-//! a run is an integer compare over a contiguous `&[u32]`. Value-id
-//! lookup ([`NodeStore::value_id`]) binary-searches `value_sorted`, the
-//! permutation of value ids ordered by their strings — which persists
-//! as just another column, keeping the mapped path index-free.
+//! a run is an integer compare over a contiguous value-id extent.
+//! Value-id lookup ([`NodeStore::value_id`]) binary-searches
+//! `value_sorted`, the permutation of value ids ordered by their
+//! strings — which persists as just another column, keeping the mapped
+//! path index-free.
 
 use crate::bptree::BPlusTree;
 use crate::mapped::MappedBytes;
+use crate::packed::{BitpackCol, LabelPlanesCol, PlaneCol};
+use crate::scan::{PackedRun, RunLike, ScanRun};
 use crate::snapshot::{self, SnapshotError, SnapshotMeta};
 use blas_labeling::{DLabel, DocumentLabels};
 use blas_xml::{Document, TagId};
@@ -132,6 +140,156 @@ impl<T> Deref for Col<T> {
 impl<T: std::fmt::Debug> std::fmt::Debug for Col<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Col[{}; {}]", if matches!(self, Col::Owned(_)) { "owned" } else { "mapped" }, self.len())
+    }
+}
+
+/// A D-label column: raw [`Col`] extents, or the three FOR planes
+/// (`start`, `end − start`, `level`) of a packed v3 snapshot section.
+// A handful of these live per store (not per row), so the size skew
+// between the variants is irrelevant and boxing would only add a
+// pointer chase to every scan.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub(crate) enum LabelColumn {
+    Raw(Col<DLabel>),
+    Packed(LabelPlanesCol),
+}
+
+impl LabelColumn {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Self::Raw(c) => c.len(),
+            Self::Packed(p) => p.len(),
+        }
+    }
+
+    /// Label at position `i` (O(1) block-decoded point read when
+    /// packed).
+    #[inline]
+    fn get(&self, i: usize) -> DLabel {
+        match self {
+            Self::Raw(c) => c[i],
+            Self::Packed(p) => {
+                let start = p.starts.as_ref().get(i);
+                DLabel {
+                    start,
+                    end: start.wrapping_add(p.extents.as_ref().get(i)),
+                    level: p.levels.as_ref().get(i) as u16,
+                }
+            }
+        }
+    }
+
+    /// The whole column, owned (a full plane decode when packed).
+    fn to_vec(&self) -> Vec<DLabel> {
+        match self {
+            Self::Raw(c) => c.to_vec(),
+            Self::Packed(p) => {
+                let r = p.as_ref();
+                let starts = r.starts.decode_all();
+                let extents = r.extents.decode_all();
+                let levels = r.levels.decode_all();
+                (0..starts.len())
+                    .map(|i| DLabel {
+                        start: starts[i],
+                        end: starts[i].wrapping_add(extents[i]),
+                        level: levels[i] as u16,
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Position of the label with this `start`, by binary search over
+    /// the start-ordered column (O(log n) point reads when packed).
+    fn search_start(&self, start: u32) -> Option<usize> {
+        match self {
+            Self::Raw(c) => c.binary_search_by(|l| l.start.cmp(&start)).ok(),
+            Self::Packed(p) => {
+                let plane = p.starts.as_ref();
+                let (mut lo, mut hi) = (0usize, plane.len());
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if plane.get(mid) < start {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                (lo < plane.len() && plane.get(lo) == start).then_some(lo)
+            }
+        }
+    }
+}
+
+/// The document-order P-label column: raw `u128`s, or a FOR plane of
+/// indexes into the store's `sp_keys` run directory (which lists every
+/// distinct P-label). Resolved by `NodeStore::plabel_at`.
+#[derive(Debug)]
+pub(crate) enum PlabelColumn {
+    Raw(Col<u128>),
+    Dict(PlaneCol),
+}
+
+/// The tag column: raw `u32`s or a bit-packed plane.
+#[derive(Debug)]
+pub(crate) enum TagColumn {
+    Raw(Col<u32>),
+    Packed(BitpackCol),
+}
+
+impl TagColumn {
+    #[inline]
+    fn get(&self, i: usize) -> u32 {
+        match self {
+            Self::Raw(c) => c[i],
+            Self::Packed(b) => b.as_ref().get(i),
+        }
+    }
+
+    fn to_vec(&self) -> Vec<u32> {
+        match self {
+            Self::Raw(c) => c.to_vec(),
+            Self::Packed(b) => b.as_ref().decode_all(),
+        }
+    }
+}
+
+/// A `u32` column (value ids, permutation rows): raw, or one FOR
+/// plane. `sentinel` is the on-disk stand-in for [`NO_VALUE`]
+/// (`value_count` for value-id columns, so FOR blocks stay narrow;
+/// `u32::MAX` itself — a no-op — for row permutations). Point reads
+/// remap it back; the scan kernels compare against plane values
+/// directly and never need the remap (see [`crate::scan`]).
+#[derive(Debug)]
+pub(crate) enum U32Column {
+    Raw(Col<u32>),
+    Packed { plane: PlaneCol, sentinel: u32 },
+}
+
+impl U32Column {
+    #[inline]
+    fn get(&self, i: usize) -> u32 {
+        match self {
+            Self::Raw(c) => c[i],
+            Self::Packed { plane, sentinel } => {
+                let v = plane.as_ref().get(i);
+                if v == *sentinel { NO_VALUE } else { v }
+            }
+        }
+    }
+
+    fn to_vec(&self) -> Vec<u32> {
+        match self {
+            Self::Raw(c) => c.to_vec(),
+            Self::Packed { plane, sentinel } => plane
+                .as_ref()
+                .decode_all()
+                .into_iter()
+                .map(|v| if v == *sentinel { NO_VALUE } else { v })
+                .collect(),
+        }
     }
 }
 
@@ -237,8 +395,10 @@ impl<'a> RecordView<'a> {
     }
 }
 
-/// One contiguous clustered run: parallel `labels` / `rows` /
-/// `value_ids` slices, `start`-ascending.
+/// One contiguous clustered run over **raw** column extents: parallel
+/// `labels` / `rows` / `value_ids` slices, `start`-ascending. Packed
+/// sources produce [`crate::scan::PackedRun`] instead; scans return
+/// both shapes behind [`ScanRun`].
 ///
 /// `rows` is either parallel to `labels` (SP/SD runs: the permuted
 /// document-order row of each position) or empty, which signals the
@@ -300,12 +460,15 @@ impl<'a> Run<'a> {
         }
     }
 
-    const EMPTY: Run<'static> = Run { labels: &[], rows: &[], value_ids: &[], row_base: 0 };
+    pub(crate) const EMPTY: Run<'static> =
+        Run { labels: &[], rows: &[], value_ids: &[], row_base: 0 };
 }
 
 /// Partition a scan's runs into at most `shards` balanced groups for
 /// parallel execution, **splitting oversized runs** into consecutive
-/// [`Run::slice`] pieces so no group exceeds ⌈total ∕ shards⌉ tuples.
+/// [`RunLike::slice`] pieces so no group exceeds ⌈total ∕ shards⌉
+/// tuples. Generic over the run shape, so raw [`Run`]s and packed
+/// [`ScanRun`]s shard through the same splitter.
 ///
 /// Pieces appear in the same order as the input runs and exactly
 /// partition them (every tuple lands in exactly one piece of one
@@ -313,8 +476,8 @@ impl<'a> Run<'a> {
 /// accumulators sum to the sequential count). Empty runs are dropped;
 /// the result may hold fewer than `shards` groups, and each group is
 /// non-empty.
-pub fn shard_runs<'a>(runs: Vec<Run<'a>>, shards: usize) -> Vec<Vec<Run<'a>>> {
-    let total: usize = runs.iter().map(Run::len).sum();
+pub fn shard_runs<R: RunLike>(runs: Vec<R>, shards: usize) -> Vec<Vec<R>> {
+    let total: usize = runs.iter().map(R::len).sum();
     if total == 0 {
         return Vec::new();
     }
@@ -322,8 +485,8 @@ pub fn shard_runs<'a>(runs: Vec<Run<'a>>, shards: usize) -> Vec<Vec<Run<'a>>> {
         return vec![runs.into_iter().filter(|r| !r.is_empty()).collect()];
     }
     let target = total.div_ceil(shards);
-    let mut groups: Vec<Vec<Run<'a>>> = Vec::with_capacity(shards);
-    let mut current: Vec<Run<'a>> = Vec::new();
+    let mut groups: Vec<Vec<R>> = Vec::with_capacity(shards);
+    let mut current: Vec<R> = Vec::new();
     let mut filled = 0usize;
     for run in runs {
         let mut offset = 0usize;
@@ -344,7 +507,7 @@ pub fn shard_runs<'a>(runs: Vec<Run<'a>>, shards: usize) -> Vec<Vec<Run<'a>>> {
     }
     debug_assert!(groups.len() <= shards);
     debug_assert_eq!(
-        groups.iter().flatten().map(Run::len).sum::<usize>(),
+        groups.iter().flatten().map(R::len).sum::<usize>(),
         total,
         "shard groups must exactly partition the scan"
     );
@@ -367,14 +530,15 @@ struct RefIndexes {
 /// Built three ways: from a parsed document ([`NodeStore::build`]),
 /// from owned records ([`NodeStore::from_records`]), or directly over
 /// a read-only snapshot mapping ([`NodeStore::from_mapped`]) — the
-/// zero-decode path. Scans behave identically across all three.
+/// zero-decode path, which serves v3 files through their packed
+/// column encodings. Scans behave identically across all of them.
 #[derive(Debug)]
 pub struct NodeStore {
     // --- document-order columns (RowId = position) -----------------
-    pub(crate) labels: Col<DLabel>,
-    pub(crate) plabels: Col<u128>,
-    pub(crate) tags: Col<u32>,
-    pub(crate) value_ids: Col<u32>,
+    pub(crate) labels: LabelColumn,
+    pub(crate) plabels: PlabelColumn,
+    pub(crate) tags: TagColumn,
+    pub(crate) value_ids: U32Column,
     /// Interned PCDATA table; `value_ids` index into it.
     pub(crate) values: StrTable,
     /// Value ids ordered by their strings (the persistent, mapping-
@@ -383,19 +547,21 @@ pub struct NodeStore {
     pub(crate) value_sorted: Col<u32>,
 
     // --- SP clustering: permutation sorted by (plabel, start) ------
-    pub(crate) sp_labels: Col<DLabel>,
-    pub(crate) sp_rows: Col<u32>,
-    pub(crate) sp_values: Col<u32>,
-    /// Run directory: distinct plabels, ascending.
+    pub(crate) sp_labels: LabelColumn,
+    pub(crate) sp_rows: U32Column,
+    pub(crate) sp_values: U32Column,
+    /// Run directory: distinct plabels, ascending. Always raw — it is
+    /// tiny, and it doubles as the dictionary of the packed P-label
+    /// column.
     pub(crate) sp_keys: Col<u128>,
     /// Exclusive end position of each run; run `i` covers
     /// `sp_ends[i-1]..sp_ends[i]` (0-based start for `i == 0`).
     pub(crate) sp_ends: Col<u32>,
 
     // --- SD clustering: permutation sorted by (tag, start) ---------
-    pub(crate) sd_labels: Col<DLabel>,
-    pub(crate) sd_rows: Col<u32>,
-    pub(crate) sd_values: Col<u32>,
+    pub(crate) sd_labels: LabelColumn,
+    pub(crate) sd_rows: U32Column,
+    pub(crate) sd_values: U32Column,
     pub(crate) sd_keys: Col<u32>,
     pub(crate) sd_ends: Col<u32>,
 
@@ -410,20 +576,20 @@ pub struct NodeStore {
 /// [`NodeStore::from_mapped`] while the parse borrow is live and then
 /// married to the mapping itself.
 struct MappedCols {
-    labels: Col<DLabel>,
-    plabels: Col<u128>,
-    tags: Col<u32>,
-    value_ids: Col<u32>,
+    labels: LabelColumn,
+    plabels: PlabelColumn,
+    tags: TagColumn,
+    value_ids: U32Column,
     values: StrTable,
     value_sorted: Col<u32>,
-    sp_labels: Col<DLabel>,
-    sp_rows: Col<u32>,
-    sp_values: Col<u32>,
+    sp_labels: LabelColumn,
+    sp_rows: U32Column,
+    sp_values: U32Column,
     sp_keys: Col<u128>,
     sp_ends: Col<u32>,
-    sd_labels: Col<DLabel>,
-    sd_rows: Col<u32>,
-    sd_values: Col<u32>,
+    sd_labels: LabelColumn,
+    sd_rows: U32Column,
+    sd_values: U32Column,
     sd_keys: Col<u32>,
     sd_ends: Col<u32>,
 }
@@ -463,9 +629,9 @@ impl NodeStore {
     /// Open a store **directly over a snapshot mapping** with zero
     /// upfront decode: every column — both clusterings, both run
     /// directories, the string arena — is served in place from the
-    /// file's sectioned extents. Validation is O(header + directory),
-    /// not O(data); see [`crate::snapshot`] for what is (and is not)
-    /// checked on this path.
+    /// file's sectioned extents, raw (v2) or packed (v3). Validation
+    /// is O(header + directory), not O(data); see [`crate::snapshot`]
+    /// for what is (and is not) checked on this path.
     ///
     /// Returns the store plus the snapshot's metadata (tag table and
     /// P-label domain parameters), which the caller needs to bind
@@ -477,27 +643,45 @@ impl NodeStore {
     pub fn from_mapped(source: MappedBytes) -> Result<(Self, SnapshotMeta), SnapshotError> {
         #[cfg(target_endian = "little")]
         {
+            use crate::snapshot::{LabelSection, PlabelSection, TagSection, U32Section};
             let (cols, meta) = {
                 let view = snapshot::TypedView::parse(&source)?;
                 let meta = view.meta()?;
+                let vid_sentinel = view.value_count() as u32;
+                let label_col = |s: &LabelSection<'_>| match *s {
+                    LabelSection::Raw(sl) => LabelColumn::Raw(Col::from_mapped_slice(sl)),
+                    LabelSection::Packed(p) => LabelColumn::Packed(LabelPlanesCol::from_ref(p)),
+                };
+                let u32_col = |s: &U32Section<'_>, sentinel: u32| match *s {
+                    U32Section::Raw(sl) => U32Column::Raw(Col::from_mapped_slice(sl)),
+                    U32Section::Packed(p) => {
+                        U32Column::Packed { plane: PlaneCol::from_ref(p), sentinel }
+                    }
+                };
                 let cols = MappedCols {
-                    labels: Col::from_mapped_slice(view.doc_labels),
-                    plabels: Col::from_mapped_slice(view.doc_plabels),
-                    tags: Col::from_mapped_slice(view.doc_tags),
-                    value_ids: Col::from_mapped_slice(view.doc_value_ids),
+                    labels: label_col(&view.doc_labels),
+                    plabels: match view.doc_plabels {
+                        PlabelSection::Raw(sl) => PlabelColumn::Raw(Col::from_mapped_slice(sl)),
+                        PlabelSection::Dict(p) => PlabelColumn::Dict(PlaneCol::from_ref(p)),
+                    },
+                    tags: match view.doc_tags {
+                        TagSection::Raw(sl) => TagColumn::Raw(Col::from_mapped_slice(sl)),
+                        TagSection::Packed(p) => TagColumn::Packed(BitpackCol::from_ref(p)),
+                    },
+                    value_ids: u32_col(&view.doc_value_ids, vid_sentinel),
                     values: StrTable::Mapped {
                         offsets: Col::from_mapped_slice(view.value_offsets),
                         bytes: Col::from_mapped_slice(view.value_bytes),
                     },
                     value_sorted: Col::from_mapped_slice(view.value_sorted),
-                    sp_labels: Col::from_mapped_slice(view.sp_labels),
-                    sp_rows: Col::from_mapped_slice(view.sp_rows),
-                    sp_values: Col::from_mapped_slice(view.sp_values),
+                    sp_labels: label_col(&view.sp_labels),
+                    sp_rows: u32_col(&view.sp_rows, NO_VALUE),
+                    sp_values: u32_col(&view.sp_values, vid_sentinel),
                     sp_keys: Col::from_mapped_slice(view.sp_keys),
                     sp_ends: Col::from_mapped_slice(view.sp_ends),
-                    sd_labels: Col::from_mapped_slice(view.sd_labels),
-                    sd_rows: Col::from_mapped_slice(view.sd_rows),
-                    sd_values: Col::from_mapped_slice(view.sd_values),
+                    sd_labels: label_col(&view.sd_labels),
+                    sd_rows: u32_col(&view.sd_rows, NO_VALUE),
+                    sd_values: u32_col(&view.sd_values, vid_sentinel),
                     sd_keys: Col::from_mapped_slice(view.sd_keys),
                     sd_ends: Col::from_mapped_slice(view.sd_ends),
                 };
@@ -585,20 +769,20 @@ impl NodeStore {
         let value_sorted: Vec<u32> = intern.values().copied().collect();
 
         Self {
-            labels: Col::Owned(labels),
-            plabels: Col::Owned(plabels),
-            tags: Col::Owned(tags),
-            value_ids: Col::Owned(value_ids),
+            labels: LabelColumn::Raw(Col::Owned(labels)),
+            plabels: PlabelColumn::Raw(Col::Owned(plabels)),
+            tags: TagColumn::Raw(Col::Owned(tags)),
+            value_ids: U32Column::Raw(Col::Owned(value_ids)),
             values: StrTable::Owned(values),
             value_sorted: Col::Owned(value_sorted),
-            sp_labels: Col::Owned(sp_labels),
-            sp_rows: Col::Owned(sp_perm),
-            sp_values: Col::Owned(sp_values),
+            sp_labels: LabelColumn::Raw(Col::Owned(sp_labels)),
+            sp_rows: U32Column::Raw(Col::Owned(sp_perm)),
+            sp_values: U32Column::Raw(Col::Owned(sp_values)),
             sp_keys: Col::Owned(sp_keys),
             sp_ends: Col::Owned(sp_ends),
-            sd_labels: Col::Owned(sd_labels),
-            sd_rows: Col::Owned(sd_perm),
-            sd_values: Col::Owned(sd_values),
+            sd_labels: LabelColumn::Raw(Col::Owned(sd_labels)),
+            sd_rows: U32Column::Raw(Col::Owned(sd_perm)),
+            sd_values: U32Column::Raw(Col::Owned(sd_values)),
             sd_keys: Col::Owned(sd_keys),
             sd_ends: Col::Owned(sd_ends),
             ref_indexes: OnceLock::new(),
@@ -614,12 +798,25 @@ impl NodeStore {
             let mut start = BPlusTree::new();
             for i in 0..self.labels.len() {
                 let row = RowId(i as u32);
-                sp.insert((self.plabels[i], self.labels[i].start), row);
-                sd.insert((self.tags[i], self.labels[i].start), row);
-                start.insert(self.labels[i].start, row);
+                let label = self.labels.get(i);
+                sp.insert((self.plabel_at(i), label.start), row);
+                sd.insert((self.tags.get(i), label.start), row);
+                start.insert(label.start, row);
             }
             RefIndexes { sp, sd, start }
         })
+    }
+
+    /// P-label of row `i`, resolving the dictionary encoding against
+    /// `sp_keys` when the column is packed. A corrupt dictionary index
+    /// panics on the bounds check — the mapped trust model (see the
+    /// [`crate::snapshot`] module docs).
+    #[inline]
+    fn plabel_at(&self, i: usize) -> u128 {
+        match &self.plabels {
+            PlabelColumn::Raw(c) => c[i],
+            PlabelColumn::Dict(plane) => self.sp_keys[plane.as_ref().get(i) as usize],
+        }
     }
 
     /// True when this store serves its columns from a read-only
@@ -635,21 +832,22 @@ impl NodeStore {
 
     /// True when the store holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
+        self.labels.len() == 0
     }
 
-    /// Fetch one tuple by row id (zero-copy view).
+    /// Fetch one tuple by row id (zero-copy view; packed columns
+    /// block-decode the one position).
     #[inline]
     pub fn record(&self, row: RowId) -> RecordView<'_> {
         let i = row.index();
-        let d = self.labels[i];
+        let d = self.labels.get(i);
         RecordView {
-            plabel: self.plabels[i],
+            plabel: self.plabel_at(i),
             start: d.start,
             end: d.end,
             level: d.level,
-            tag: TagId(self.tags[i]),
-            data: self.value(self.value_ids[i]),
+            tag: TagId(self.tags.get(i)),
+            data: self.value(self.value_ids.get(i)),
         }
     }
 
@@ -665,7 +863,7 @@ impl NodeStore {
 
     /// The intern id of a PCDATA string, if any row carries it. Lets a
     /// `data = 'x'` filter run as an integer compare over a run's
-    /// `value_ids`. Implemented as a binary search over the
+    /// value ids. Implemented as a binary search over the
     /// string-ordered `value_sorted` column, so it works identically
     /// over owned and mapped stores.
     pub fn value_id(&self, value: &str) -> Option<u32> {
@@ -675,6 +873,14 @@ impl NodeStore {
             })
             .ok()
             .map(|pos| self.value_sorted[pos])
+    }
+
+    /// Value id of one document-order row ([`NO_VALUE`] for rows
+    /// without PCDATA) — the point-read form the engine's value-filter
+    /// pushdown uses over node lists.
+    #[inline]
+    pub fn value_id_of_row(&self, row: RowId) -> u32 {
+        self.value_ids.get(row.index())
     }
 
     /// Number of distinct interned PCDATA strings.
@@ -688,26 +894,101 @@ impl NodeStore {
     }
 
     /// The document-order columns as one run (the baseline's full
-    /// scan). The row of position `i` is `i` by construction, so
-    /// `rows` is left empty rather than materializing an identity map;
-    /// resolve positions with [`Run::row_at`].
-    pub fn scan_doc(&self) -> Run<'_> {
-        Run {
-            labels: &self.labels,
-            rows: &[],
-            value_ids: &self.value_ids,
-            row_base: 0,
+    /// scan). The row of position `i` is `i` by construction, so the
+    /// run carries no row mapping; resolve positions with
+    /// [`ScanRun::row_at`].
+    pub fn scan_doc(&self) -> ScanRun<'_> {
+        match (&self.labels, &self.value_ids) {
+            (LabelColumn::Raw(l), U32Column::Raw(v)) => {
+                ScanRun::Raw(Run { labels: l, rows: &[], value_ids: v, row_base: 0 })
+            }
+            (LabelColumn::Packed(l), U32Column::Packed { plane, .. }) => {
+                ScanRun::Packed(PackedRun {
+                    labels: l.as_ref(),
+                    rows: None,
+                    values: plane.as_ref(),
+                    range: 0..self.labels.len(),
+                })
+            }
+            _ => unreachable!("document columns share one source"),
         }
     }
 
-    /// All D-labels in document order (zero-copy).
-    pub fn doc_labels(&self) -> &[DLabel] {
-        &self.labels
+    /// All D-labels in document order, as an owned vector (a full
+    /// plane decode when the store is a packed v3 mapping).
+    pub fn doc_labels_vec(&self) -> Vec<DLabel> {
+        self.labels.to_vec()
     }
 
-    /// All P-labels in document order (zero-copy).
-    pub fn doc_plabels(&self) -> &[u128] {
-        &self.plabels
+    /// All P-labels in document order, as an owned vector.
+    pub fn doc_plabels_vec(&self) -> Vec<u128> {
+        match &self.plabels {
+            PlabelColumn::Raw(c) => c.to_vec(),
+            PlabelColumn::Dict(plane) => plane
+                .as_ref()
+                .decode_all()
+                .into_iter()
+                .map(|ix| self.sp_keys[ix as usize])
+                .collect(),
+        }
+    }
+
+    /// All tags in document order, owned.
+    pub(crate) fn doc_tags_vec(&self) -> Vec<u32> {
+        self.tags.to_vec()
+    }
+
+    /// All value ids in document order, owned ([`NO_VALUE`] semantics).
+    pub(crate) fn doc_value_ids_vec(&self) -> Vec<u32> {
+        self.value_ids.to_vec()
+    }
+
+    /// The SP-permuted label column, owned.
+    pub(crate) fn sp_labels_vec(&self) -> Vec<DLabel> {
+        self.sp_labels.to_vec()
+    }
+
+    /// The SP row permutation, owned.
+    pub(crate) fn sp_rows_vec(&self) -> Vec<u32> {
+        self.sp_rows.to_vec()
+    }
+
+    /// The SP-permuted value-id column, owned.
+    pub(crate) fn sp_values_vec(&self) -> Vec<u32> {
+        self.sp_values.to_vec()
+    }
+
+    /// The SD-permuted label column, owned.
+    pub(crate) fn sd_labels_vec(&self) -> Vec<DLabel> {
+        self.sd_labels.to_vec()
+    }
+
+    /// The SD row permutation, owned.
+    pub(crate) fn sd_rows_vec(&self) -> Vec<u32> {
+        self.sd_rows.to_vec()
+    }
+
+    /// The SD-permuted value-id column, owned.
+    pub(crate) fn sd_values_vec(&self) -> Vec<u32> {
+        self.sd_values.to_vec()
+    }
+
+    /// The dictionary-coded form of the document-order P-label column:
+    /// per row, the index of its P-label in `sp_keys`. A packed store
+    /// decodes its plane; raw sources derive it by binary search
+    /// (every stored P-label is an SP run key by construction).
+    pub(crate) fn plabel_dict_indices(&self) -> Vec<u32> {
+        match &self.plabels {
+            PlabelColumn::Dict(plane) => plane.as_ref().decode_all(),
+            PlabelColumn::Raw(c) => c
+                .iter()
+                .map(|p| {
+                    self.sp_keys
+                        .binary_search(p)
+                        .expect("every stored P-label is an SP run key") as u32
+                })
+                .collect(),
+        }
     }
 
     /// Positions `sp_ends[i-1]..sp_ends[i]` of SP run `i`.
@@ -724,54 +1005,82 @@ impl NodeStore {
         begin..self.sd_ends[i] as usize
     }
 
+    /// Assemble the scan view of SP positions `r` from whichever
+    /// source the clustering's columns share.
+    fn sp_scan_run(&self, r: Range<usize>) -> ScanRun<'_> {
+        match (&self.sp_labels, &self.sp_rows, &self.sp_values) {
+            (LabelColumn::Raw(l), U32Column::Raw(rows), U32Column::Raw(v)) => {
+                ScanRun::Raw(Run {
+                    labels: &l[r.clone()],
+                    rows: &rows[r.clone()],
+                    value_ids: &v[r],
+                    row_base: 0,
+                })
+            }
+            (
+                LabelColumn::Packed(l),
+                U32Column::Packed { plane: rows, .. },
+                U32Column::Packed { plane: v, .. },
+            ) => ScanRun::Packed(PackedRun {
+                labels: l.as_ref(),
+                rows: Some(rows.as_ref()),
+                values: v.as_ref(),
+                range: r,
+            }),
+            _ => unreachable!("SP columns share one source"),
+        }
+    }
+
+    /// Assemble the scan view of SD positions `r`.
+    fn sd_scan_run(&self, r: Range<usize>) -> ScanRun<'_> {
+        match (&self.sd_labels, &self.sd_rows, &self.sd_values) {
+            (LabelColumn::Raw(l), U32Column::Raw(rows), U32Column::Raw(v)) => {
+                ScanRun::Raw(Run {
+                    labels: &l[r.clone()],
+                    rows: &rows[r.clone()],
+                    value_ids: &v[r],
+                    row_base: 0,
+                })
+            }
+            (
+                LabelColumn::Packed(l),
+                U32Column::Packed { plane: rows, .. },
+                U32Column::Packed { plane: v, .. },
+            ) => ScanRun::Packed(PackedRun {
+                labels: l.as_ref(),
+                rows: Some(rows.as_ref()),
+                values: v.as_ref(),
+                range: r,
+            }),
+            _ => unreachable!("SD columns share one source"),
+        }
+    }
+
     /// SP-clustered range scan: the contiguous run of every distinct
-    /// P-label in `[p1, p2]`, in P-label order. Each run is a borrowed
-    /// slice; no per-tuple index traversal happens.
-    pub fn scan_plabel_range(&self, p1: u128, p2: u128) -> impl Iterator<Item = Run<'_>> {
+    /// P-label in `[p1, p2]`, in P-label order. Each run borrows the
+    /// clustering's extents (raw slices or packed planes); no
+    /// per-tuple index traversal happens.
+    pub fn scan_plabel_range(&self, p1: u128, p2: u128) -> impl Iterator<Item = ScanRun<'_>> {
         let from = self.sp_keys.partition_point(|&k| k < p1);
         let to = self.sp_keys.partition_point(|&k| k <= p2);
-        (from..to).map(move |i| {
-            let r = self.sp_run_range(i);
-            Run {
-                labels: &self.sp_labels[r.clone()],
-                rows: &self.sp_rows[r.clone()],
-                value_ids: &self.sp_values[r],
-                row_base: 0,
-            }
-        })
+        (from..to).map(move |i| self.sp_scan_run(self.sp_run_range(i)))
     }
 
     /// SP-clustered equality scan (`plabel = p`): exactly one
     /// contiguous, start-ordered run (empty when `p` is unused).
-    pub fn scan_plabel_eq(&self, p: u128) -> Run<'_> {
+    pub fn scan_plabel_eq(&self, p: u128) -> ScanRun<'_> {
         match self.sp_keys.binary_search(&p) {
-            Ok(at) => {
-                let r = self.sp_run_range(at);
-                Run {
-                    labels: &self.sp_labels[r.clone()],
-                    rows: &self.sp_rows[r.clone()],
-                    value_ids: &self.sp_values[r],
-                    row_base: 0,
-                }
-            }
-            Err(_) => Run::EMPTY,
+            Ok(at) => self.sp_scan_run(self.sp_run_range(at)),
+            Err(_) => ScanRun::Raw(Run::EMPTY),
         }
     }
 
     /// SD-clustered scan: the one contiguous, start-ordered run of a
     /// tag (what the D-labeling baseline reads per query tag).
-    pub fn scan_tag(&self, tag: TagId) -> Run<'_> {
+    pub fn scan_tag(&self, tag: TagId) -> ScanRun<'_> {
         match self.sd_keys.binary_search(&tag.0) {
-            Ok(at) => {
-                let r = self.sd_run_range(at);
-                Run {
-                    labels: &self.sd_labels[r.clone()],
-                    rows: &self.sd_rows[r.clone()],
-                    value_ids: &self.sd_values[r],
-                    row_base: 0,
-                }
-            }
-            Err(_) => Run::EMPTY,
+            Ok(at) => self.sd_scan_run(self.sd_run_range(at)),
+            Err(_) => ScanRun::Raw(Run::EMPTY),
         }
     }
 
@@ -779,10 +1088,7 @@ impl NodeStore {
     /// the start-ordered column (the "direct start-rank lookup" the
     /// result-fetch path uses instead of a B+ tree descent).
     pub fn row_of_start(&self, start: u32) -> Option<RowId> {
-        self.labels
-            .binary_search_by(|l| l.start.cmp(&start))
-            .ok()
-            .map(|i| RowId(i as u32))
+        self.labels.search_start(start).map(|i| RowId(i as u32))
     }
 
     /// Point lookup on the primary key `start`.
@@ -801,35 +1107,67 @@ impl NodeStore {
         value: &str,
     ) -> impl Iterator<Item = (RowId, RecordView<'a>)> + 'a {
         let want = self.value_id(value);
-        let end = if want.is_some() { self.value_ids.len() } else { 0 };
+        let end = if want.is_some() { self.labels.len() } else { 0 };
         (0..end)
-            .filter(move |&i| Some(self.value_ids[i]) == want)
+            .filter(move |&i| Some(self.value_ids.get(i)) == want)
             .map(move |i| (RowId(i as u32), self.record(RowId(i as u32))))
     }
 
     // --- shard-aware run iteration (parallel scan support) ----------
 
+    /// Tuples the SP range scan of `[p1, p2]` would yield, from the
+    /// run directory alone — two binary searches, no run
+    /// materialization. The pooled executor asks this first so scans
+    /// below its fan-out threshold never pay for shard preparation.
+    pub fn plabel_range_size(&self, p1: u128, p2: u128) -> usize {
+        let from = self.sp_keys.partition_point(|&k| k < p1);
+        let to = self.sp_keys.partition_point(|&k| k <= p2);
+        if from >= to {
+            return 0;
+        }
+        let begin = if from == 0 { 0 } else { self.sp_ends[from - 1] as usize };
+        self.sp_ends[to - 1] as usize - begin
+    }
+
+    /// Tuples [`NodeStore::scan_plabel_eq`] would yield (directory
+    /// lookup only).
+    pub fn plabel_eq_size(&self, p: u128) -> usize {
+        match self.sp_keys.binary_search(&p) {
+            Ok(at) => self.sp_run_range(at).len(),
+            Err(_) => 0,
+        }
+    }
+
+    /// Tuples [`NodeStore::scan_tag`] would yield (directory lookup
+    /// only).
+    pub fn tag_size(&self, tag: TagId) -> usize {
+        match self.sd_keys.binary_search(&tag.0) {
+            Ok(at) => self.sd_run_range(at).len(),
+            Err(_) => 0,
+        }
+    }
+
     /// The SP range scan of `[p1, p2]` partitioned into at most
     /// `shards` balanced groups of run pieces (see [`shard_runs`]).
-    pub fn shard_plabel_range(&self, p1: u128, p2: u128, shards: usize) -> Vec<Vec<Run<'_>>> {
+    pub fn shard_plabel_range(&self, p1: u128, p2: u128, shards: usize) -> Vec<Vec<ScanRun<'_>>> {
         shard_runs(self.scan_plabel_range(p1, p2).collect(), shards)
     }
 
     /// The single SP equality run of `p` partitioned into at most
     /// `shards` consecutive pieces.
-    pub fn shard_plabel_eq(&self, p: u128, shards: usize) -> Vec<Vec<Run<'_>>> {
+    pub fn shard_plabel_eq(&self, p: u128, shards: usize) -> Vec<Vec<ScanRun<'_>>> {
         shard_runs(vec![self.scan_plabel_eq(p)], shards)
     }
 
     /// The single SD tag run partitioned into at most `shards`
     /// consecutive pieces.
-    pub fn shard_tag(&self, tag: TagId, shards: usize) -> Vec<Vec<Run<'_>>> {
+    pub fn shard_tag(&self, tag: TagId, shards: usize) -> Vec<Vec<ScanRun<'_>>> {
         shard_runs(vec![self.scan_tag(tag)], shards)
     }
 
     /// The document-order full scan partitioned into at most `shards`
     /// consecutive pieces.
-    pub fn shard_doc(&self, shards: usize) -> Vec<Vec<Run<'_>>> {
+    pub fn shard_doc(&self, shards: usize) -> Vec<Vec<ScanRun<'_>>> {
         shard_runs(vec![self.scan_doc()], shards)
     }
 
@@ -848,7 +1186,7 @@ impl NodeStore {
         self.refs()
             .sp
             .range(&(p1, 0), &(p2, u32::MAX))
-            .map(move |(_, &row)| (row, self.labels[row.index()]))
+            .map(move |(_, &row)| (row, self.labels.get(row.index())))
     }
 
     /// Reference SD tag scan through the lazily built B+ tree.
@@ -856,7 +1194,7 @@ impl NodeStore {
         self.refs()
             .sd
             .range(&(tag.0, 0), &(tag.0, u32::MAX))
-            .map(move |(_, &row)| (row, self.labels[row.index()]))
+            .map(move |(_, &row)| (row, self.labels.get(row.index())))
     }
 
     /// Reference point lookup through the lazily built `start` B+ tree.
@@ -958,6 +1296,16 @@ mod tests {
         (doc, store)
     }
 
+    fn run_labels(run: &ScanRun<'_>) -> Vec<DLabel> {
+        let mut out = Vec::new();
+        run.decode_labels_into(&mut out);
+        out
+    }
+
+    fn run_rows(run: &ScanRun<'_>) -> Vec<u32> {
+        (0..run.len()).map(|i| run.row_at(i)).collect()
+    }
+
     const SAMPLE: &str = "<db><e><n>a</n></e><x><e><n>b</n></e></x><n>c</n></db>";
 
     #[test]
@@ -976,8 +1324,9 @@ mod tests {
         let n = doc.tags().get("n").unwrap();
         let run = s.scan_tag(n);
         assert_eq!(run.len(), 3);
-        assert!(run.labels.windows(2).all(|w| w[0].start < w[1].start));
-        assert!(run.rows.iter().all(|&row| s.record(RowId(row)).tag == n));
+        let labels = run_labels(&run);
+        assert!(labels.windows(2).all(|w| w[0].start < w[1].start));
+        assert!(run_rows(&run).iter().all(|&row| s.record(RowId(row)).tag == n));
         assert!(s.scan_tag(TagId(999)).is_empty());
     }
 
@@ -988,10 +1337,12 @@ mod tests {
         let e = doc.tags().get("e").unwrap();
         let n = doc.tags().get("n").unwrap();
         let q = labels.domain.path_interval(false, &[e, n]).unwrap();
-        let data: Vec<&str> = s
-            .scan_plabel_range(q.p1, q.p2)
-            .flat_map(|run| run.value_ids.iter().map(|&v| s.value(v).unwrap()))
-            .collect();
+        let mut data: Vec<String> = Vec::new();
+        for run in s.scan_plabel_range(q.p1, q.p2) {
+            for i in 0..run.len() {
+                data.push(s.record(RowId(run.row_at(i))).data.unwrap().to_string());
+            }
+        }
         assert_eq!(data, ["a", "b"]); // not "c" (source path db/n)
     }
 
@@ -1001,14 +1352,14 @@ mod tests {
         // Tag scans.
         for name in ["db", "e", "n", "x"] {
             let tag = doc.tags().get(name).unwrap();
-            let fast: Vec<DLabel> = s.scan_tag(tag).labels.to_vec();
+            let fast: Vec<DLabel> = run_labels(&s.scan_tag(tag));
             let slow: Vec<DLabel> = s.ref_scan_tag(tag).map(|(_, l)| l).collect();
             assert_eq!(fast, slow, "{name}");
         }
         // Full plabel range (all runs, plabel order).
         let fast: Vec<DLabel> = s
             .scan_plabel_range(0, u128::MAX)
-            .flat_map(|run| run.labels.iter().copied())
+            .flat_map(|run| run_labels(&run))
             .collect();
         let slow: Vec<DLabel> = s.ref_scan_plabel_range(0, u128::MAX).map(|(_, l)| l).collect();
         assert_eq!(fast, slow);
@@ -1021,10 +1372,11 @@ mod tests {
         let mut total = 0;
         for run in s.scan_plabel_range(0, u128::MAX) {
             assert!(!run.is_empty());
-            assert!(run.labels.windows(2).all(|w| w[0].start < w[1].start));
+            let labels = run_labels(&run);
+            assert!(labels.windows(2).all(|w| w[0].start < w[1].start));
             // One distinct plabel per run.
             let plabels: Vec<u128> =
-                run.rows.iter().map(|&r| s.record(RowId(r)).plabel).collect();
+                run_rows(&run).iter().map(|&r| s.record(RowId(r)).plabel).collect();
             assert!(plabels.windows(2).all(|w| w[0] == w[1]));
             total += run.len();
         }
@@ -1071,12 +1423,12 @@ mod tests {
         let doc_run = s.scan_doc();
         assert_eq!(doc_run.len(), s.len());
         for i in 0..doc_run.len() {
-            assert_eq!(doc_run.row_at(i), RowId(i as u32));
+            assert_eq!(doc_run.row_at(i), i as u32);
         }
         for run in s.scan_plabel_range(0, u128::MAX) {
             for i in 0..run.len() {
-                let row = run.row_at(i);
-                assert_eq!(s.record(row).dlabel(), run.labels[i]);
+                let row = RowId(run.row_at(i));
+                assert_eq!(s.record(row).dlabel(), run.label_at(i));
             }
         }
     }
@@ -1089,14 +1441,14 @@ mod tests {
         let piece = doc_run.slice(2..5);
         assert_eq!(piece.len(), 3);
         for i in 0..piece.len() {
-            assert_eq!(piece.row_at(i), RowId(2 + i as u32));
-            assert_eq!(s.record(piece.row_at(i)).dlabel(), piece.labels[i]);
+            assert_eq!(piece.row_at(i), 2 + i as u32);
+            assert_eq!(s.record(RowId(piece.row_at(i))).dlabel(), piece.label_at(i));
         }
         // Explicit-rows clustered run: slices carry the permutation.
         for run in s.scan_plabel_range(0, u128::MAX).filter(|r| r.len() > 1) {
             let piece = run.slice(1..run.len());
             for i in 0..piece.len() {
-                assert_eq!(s.record(piece.row_at(i)).dlabel(), piece.labels[i]);
+                assert_eq!(s.record(RowId(piece.row_at(i))).dlabel(), piece.label_at(i));
             }
         }
     }
@@ -1104,8 +1456,8 @@ mod tests {
     #[test]
     fn shard_runs_partitions_exactly() {
         let (_, s) = store(SAMPLE);
-        let all: Vec<Run> = s.scan_plabel_range(0, u128::MAX).collect();
-        let flat: Vec<u32> = all.iter().flat_map(|r| r.labels.iter().map(|l| l.start)).collect();
+        let all: Vec<ScanRun> = s.scan_plabel_range(0, u128::MAX).collect();
+        let flat: Vec<u32> = all.iter().flat_map(|r| run_labels(r)).map(|l| l.start).collect();
         for shards in [1usize, 2, 3, 4, 7, 100] {
             let groups = shard_runs(all.clone(), shards);
             assert!(groups.len() <= shards.max(1));
@@ -1113,17 +1465,18 @@ mod tests {
             let got: Vec<u32> = groups
                 .iter()
                 .flatten()
-                .flat_map(|r| r.labels.iter().map(|l| l.start))
+                .flat_map(run_labels)
+                .map(|l| l.start)
                 .collect();
             assert_eq!(got, flat, "{shards} shards must preserve piece order");
             // Balance: no group exceeds the ceiling target.
             let target = s.len().div_ceil(shards);
             for g in &groups {
-                assert!(g.iter().map(Run::len).sum::<usize>() <= target);
+                assert!(g.iter().map(|r| r.len()).sum::<usize>() <= target);
             }
         }
-        assert!(shard_runs(Vec::new(), 4).is_empty());
-        assert!(shard_runs(vec![Run::EMPTY], 4).is_empty());
+        assert!(shard_runs(Vec::<ScanRun>::new(), 4).is_empty());
+        assert!(shard_runs(vec![ScanRun::Raw(Run::EMPTY)], 4).is_empty());
     }
 
     #[test]
@@ -1134,13 +1487,13 @@ mod tests {
             .shard_tag(n, 2)
             .iter()
             .flatten()
-            .map(Run::len)
+            .map(|r| r.len())
             .sum();
         assert_eq!(tag_total, s.scan_tag(n).len());
         let doc_groups = s.shard_doc(3);
-        assert_eq!(doc_groups.iter().flatten().map(Run::len).sum::<usize>(), s.len());
+        assert_eq!(doc_groups.iter().flatten().map(|r| r.len()).sum::<usize>(), s.len());
         let range_groups = s.shard_plabel_range(0, u128::MAX, 3);
-        assert_eq!(range_groups.iter().flatten().map(Run::len).sum::<usize>(), s.len());
+        assert_eq!(range_groups.iter().flatten().map(|r| r.len()).sum::<usize>(), s.len());
         assert!(s.shard_plabel_eq(u128::MAX, 2).is_empty(), "unused plabel has no runs");
     }
 
@@ -1167,7 +1520,9 @@ mod tests {
         assert_eq!(s.value_count(), 2, "duplicate strings share one pool entry");
         let run = s.scan_plabel_eq(5);
         assert_eq!(run.len(), 2);
-        assert_eq!(run.value_ids[0], run.value_ids[1]);
+        let vids: Vec<u32> =
+            run_rows(&run).iter().map(|&r| s.value_id_of_row(RowId(r))).collect();
+        assert_eq!(vids[0], vids[1]);
         assert_eq!(s.scan_value("v").count(), 2);
     }
 
@@ -1185,6 +1540,9 @@ mod tests {
         assert!(mapped.is_mapped());
         assert_eq!(meta.tag_names, tag_names);
         assert_eq!(mapped.len(), owned.len());
+        // A v3 mapping serves packed document columns.
+        assert!(matches!(mapped.labels, LabelColumn::Packed(_)));
+        assert!(matches!(mapped.plabels, PlabelColumn::Dict(_)));
         // Every record identical.
         for (row, r) in owned.scan_all() {
             assert_eq!(mapped.record(row), r);
@@ -1192,24 +1550,62 @@ mod tests {
         // Every clustered scan identical.
         for name in ["db", "e", "n", "x"] {
             let tag = doc.tags().get(name).unwrap();
-            assert_eq!(mapped.scan_tag(tag).labels, owned.scan_tag(tag).labels);
-            assert_eq!(mapped.scan_tag(tag).rows, owned.scan_tag(tag).rows);
+            assert_eq!(run_labels(&mapped.scan_tag(tag)), run_labels(&owned.scan_tag(tag)));
+            assert_eq!(run_rows(&mapped.scan_tag(tag)), run_rows(&owned.scan_tag(tag)));
         }
         let a: Vec<DLabel> = owned
             .scan_plabel_range(0, u128::MAX)
-            .flat_map(|r| r.labels.iter().copied())
+            .flat_map(|r| run_labels(&r))
             .collect();
         let b: Vec<DLabel> = mapped
             .scan_plabel_range(0, u128::MAX)
-            .flat_map(|r| r.labels.iter().copied())
+            .flat_map(|r| run_labels(&r))
             .collect();
         assert_eq!(a, b);
-        // Value machinery identical.
+        // Point lookups agree across sources (packed binary search).
+        for (_, r) in owned.scan_all() {
+            assert_eq!(
+                mapped.get_by_start(r.start).map(|(row, _)| row),
+                owned.get_by_start(r.start).map(|(row, _)| row)
+            );
+        }
+        // Value machinery identical (including the sentinel remap of
+        // packed value-id planes).
         assert_eq!(mapped.value_id("b"), owned.value_id("b"));
         assert_eq!(mapped.value_id("zzz"), None);
         assert_eq!(mapped.scan_value("c").count(), 1);
+        for (row, _) in owned.scan_all() {
+            assert_eq!(mapped.value_id_of_row(row), owned.value_id_of_row(row));
+        }
+        // Column vector accessors round-trip through the encodings.
+        assert_eq!(mapped.doc_labels_vec(), owned.doc_labels_vec());
+        assert_eq!(mapped.doc_plabels_vec(), owned.doc_plabels_vec());
+        assert_eq!(mapped.plabel_dict_indices(), owned.plabel_dict_indices());
         // Reference indexes build lazily over mapped columns too.
         assert_eq!(mapped.sp_index_height(), owned.sp_index_height());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn v2_mapped_store_serves_raw_columns() {
+        use std::io::Write;
+        let (doc, owned) = store(SAMPLE);
+        let tag_names: Vec<String> =
+            doc.tags().iter().map(|(_, n)| n.to_string()).collect();
+        let bytes = snapshot::encode_store_v2(&owned, &tag_names, tag_names.len() as u32, 5);
+        let path = std::env::temp_dir()
+            .join(format!("blas_relation_mapped_v2_{}.snap", std::process::id()));
+        std::fs::File::create(&path).unwrap().write_all(&bytes).unwrap();
+        let (mapped, _) = NodeStore::from_mapped(MappedBytes::open(&path).unwrap()).unwrap();
+        assert!(matches!(mapped.labels, LabelColumn::Raw(_)));
+        assert!(matches!(mapped.plabels, PlabelColumn::Raw(_)));
+        for (row, r) in owned.scan_all() {
+            assert_eq!(mapped.record(row), r);
+        }
+        for name in ["db", "e", "n", "x"] {
+            let tag = doc.tags().get(name).unwrap();
+            assert_eq!(run_labels(&mapped.scan_tag(tag)), run_labels(&owned.scan_tag(tag)));
+        }
         std::fs::remove_file(path).unwrap();
     }
 }

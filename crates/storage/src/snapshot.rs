@@ -11,34 +11,61 @@
 //! directories, the interned-string arena) is one aligned little-endian
 //! extent, so a read-only mapping of the file *is* the store.
 //!
-//! # On-disk layout (version 2)
+//! Version 3 adds **per-section compression**: each section-table
+//! entry carries an *encoding descriptor*, and the bulky column
+//! sections are stored packed (FOR delta blocks, bit-packed tags, a
+//! dictionary-coded P-label column — see [`crate::packed`]) while the
+//! small directory/arena sections stay raw. Readers branch on the
+//! descriptor, never on the version, so v2 files (all descriptors 0)
+//! open through the same code; v1 files still fail with a typed
+//! [`SnapshotError::BadVersion`].
+//!
+//! # On-disk layout (version 3)
 //!
 //! ```text
 //! ┌────────────────────────────────────────────────────────┐ 0
 //! │ header page (4096 B)                                   │
 //! │   magic "BLASSNAP" · version · counts · file_len       │
-//! │   section table: 19 × { id, offset, len }              │
+//! │   section table: 19 × { id, encoding, offset, len }    │
 //! │   … zero padding …                                     │
 //! │   header checksum (fnv1a-64 over the page)             │
 //! ├────────────────────────────────────────────────────────┤ 4096
 //! │ sections, each offset 64-byte aligned:                 │
-//! │   doc columns   labels·plabels·tags·value_ids          │
-//! │   SP clustering labels·rows·values·run keys·run ends   │
-//! │   SD clustering labels·rows·values·run keys·run ends   │
-//! │   tag table     offsets·utf8 bytes                     │
-//! │   value arena   offsets·utf8 bytes·sorted value ids    │
+//! │   doc columns   labels=FOR³ · plabels=dict · tags=bit  │
+//! │                 · value_ids=FOR                        │
+//! │   SP clustering labels=FOR³ · rows=FOR · values=FOR    │
+//! │                 · run keys (raw) · run ends (raw)      │
+//! │   SD clustering labels=FOR³ · rows=FOR · values=FOR    │
+//! │                 · run keys (raw) · run ends (raw)      │
+//! │   tag table     offsets·utf8 bytes            (raw)    │
+//! │   value arena   offsets·utf8 bytes·sorted ids (raw)    │
 //! ├────────────────────────────────────────────────────────┤
 //! │ footer checksum (fnv1a-64 over everything above)       │
 //! └────────────────────────────────────────────────────────┘ file_len
 //! ```
 //!
-//! Label extents store the `repr(C)` layout of
+//! Encodings (the descriptor in each table entry):
+//!
+//! | code | name      | used for                 | layout                  |
+//! |------|-----------|--------------------------|-------------------------|
+//! | 0    | raw       | everything in v2; small sections in v3 | LE extents |
+//! | 1    | FOR       | value ids, permutation rows | [`crate::packed::encode_plane`] |
+//! | 2    | labels    | D-label columns          | three FOR planes: `start`, `end − start`, `level` |
+//! | 3    | dict      | doc P-labels             | FOR plane of indexes into the (raw) `SP_KEYS` dictionary |
+//! | 4    | bitpack   | doc tags                 | [`crate::packed::encode_bitpacked`] |
+//!
+//! Value-id planes remap the [`NO_VALUE`] sentinel (`u32::MAX`) to
+//! `value_count` on write so FOR blocks stay narrow; readers remap it
+//! back.
+//!
+//! Raw label extents store the `repr(C)` layout of
 //! [`blas_labeling::DLabel`] (12 bytes, zeroed padding); `u128`
 //! P-label extents are 16-byte values. Because every section offset is
 //! 64-byte aligned *relative to the file start* and
 //! [`crate::mapped::MappedBytes`] guarantees a page-aligned base,
-//! every extent can be cast in place to its typed slice on a
-//! little-endian target.
+//! every raw extent can be cast in place to its typed slice on a
+//! little-endian target; packed sections are read byte-wise per block
+//! and need no alignment at all.
 //!
 //! # Two read paths, two validation depths
 //!
@@ -66,13 +93,18 @@
 //! [`verify_checksum`] first when the file's provenance is doubtful;
 //! [`decode`] always does.
 
+use crate::packed::{
+    encode_bitpacked, encode_label_planes, encode_plane, BitpackRef, LabelPlanesRef, PlaneRef,
+};
 use crate::relation::{NodeRecord, NodeStore, NO_VALUE};
 use blas_labeling::DLabel;
 use blas_xml::TagId;
 use std::fmt;
 
 const MAGIC: &[u8; 8] = b"BLASSNAP";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+/// Oldest version this reader still opens (v1 was the PR-1 row format).
+const MIN_VERSION: u32 = 2;
 /// Size of the header page; also the alignment of the first section.
 pub const HEADER_LEN: usize = 4096;
 /// Alignment of every section offset (relative to the file start).
@@ -119,6 +151,28 @@ const SECTION_IDS: [u32; 19] = [
     SEC_VALUE_BYTES,
     SEC_VALUE_SORTED,
 ];
+
+// Section encoding descriptors (the per-entry field at table offset
+// +4, which v2 wrote as zero padding — so every v2 file reads as
+// "all raw" without a special case).
+const ENC_RAW: u32 = 0;
+const ENC_FOR: u32 = 1;
+const ENC_LABELS: u32 = 2;
+const ENC_DICT: u32 = 3;
+const ENC_BITPACK: u32 = 4;
+
+/// The packed encoding the v3 writer uses for a section (`ENC_RAW`
+/// for sections that stay raw). Readers accept exactly `ENC_RAW` or
+/// this per section — nothing else.
+fn packed_enc(id: u32) -> u32 {
+    match id {
+        SEC_DOC_LABELS | SEC_SP_LABELS | SEC_SD_LABELS => ENC_LABELS,
+        SEC_DOC_PLABELS => ENC_DICT,
+        SEC_DOC_TAGS => ENC_BITPACK,
+        SEC_DOC_VALUE_IDS | SEC_SP_ROWS | SEC_SP_VALUES | SEC_SD_ROWS | SEC_SD_VALUES => ENC_FOR,
+        _ => ENC_RAW,
+    }
+}
 
 const DLABEL_BYTES: usize = 12;
 // The mapped path casts label extents to `&[DLabel]`; that is only
@@ -206,44 +260,146 @@ pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
 
 /// Serialize a store into the sectioned format, straight from its
 /// columns — no intermediate [`NodeRecord`] materialization and no
-/// string clones.
+/// string clones. Writes version 3: bulky column sections packed (see
+/// the module docs), directories and arenas raw.
 pub fn encode_store(
     store: &NodeStore,
     tag_names: &[String],
     num_tags: u32,
     digits: u32,
 ) -> Vec<u8> {
+    encode_store_impl(store, tag_names, num_tags, digits, true)
+}
+
+/// Serialize a store in the all-raw version-2 layout. Kept for
+/// compatibility fixtures and the v2 reader tests; new files should
+/// use [`encode_store`].
+#[doc(hidden)]
+pub fn encode_store_v2(
+    store: &NodeStore,
+    tag_names: &[String],
+    num_tags: u32,
+    digits: u32,
+) -> Vec<u8> {
+    encode_store_impl(store, tag_names, num_tags, digits, false)
+}
+
+/// Split a label column into the three planes the packed layout
+/// stores: `start`, `end − start` (wrapping, so even invalid labels
+/// round-trip bit-exactly), `level`.
+fn split_labels(labels: &[DLabel]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut starts = Vec::with_capacity(labels.len());
+    let mut extents = Vec::with_capacity(labels.len());
+    let mut levels = Vec::with_capacity(labels.len());
+    for l in labels {
+        starts.push(l.start);
+        extents.push(l.end.wrapping_sub(l.start));
+        levels.push(l.level as u32);
+    }
+    (starts, extents, levels)
+}
+
+fn encode_store_impl(
+    store: &NodeStore,
+    tag_names: &[String],
+    num_tags: u32,
+    digits: u32,
+    packed: bool,
+) -> Vec<u8> {
     let n = store.len();
     let value_count = store.value_count();
+    // The value-id sentinel remap keeps FOR blocks narrow: NO_VALUE
+    // (u32::MAX) becomes `value_count`, one past the largest real id.
+    let sentinel = value_count as u32;
+    let remap = |ids: Vec<u32>| -> Vec<u32> {
+        ids.into_iter().map(|v| if v == NO_VALUE { sentinel } else { v }).collect()
+    };
     let mut out = vec![0u8; HEADER_LEN];
-    let mut table: Vec<(u32, u64, u64)> = Vec::with_capacity(SECTION_IDS.len());
+    let mut table: Vec<(u32, u32, u64, u64)> = Vec::with_capacity(SECTION_IDS.len());
 
-    let mut section = |out: &mut Vec<u8>, id: u32, write: &dyn Fn(&mut Vec<u8>)| {
+    let mut section = |out: &mut Vec<u8>, id: u32, enc: u32, write: &dyn Fn(&mut Vec<u8>)| {
         while !out.len().is_multiple_of(SECTION_ALIGN) {
             out.push(0);
         }
         let off = out.len();
         write(out);
-        table.push((id, off as u64, (out.len() - off) as u64));
+        table.push((id, enc, off as u64, (out.len() - off) as u64));
     };
 
-    section(&mut out, SEC_DOC_LABELS, &|o| put_labels(o, &store.labels));
-    section(&mut out, SEC_DOC_PLABELS, &|o| put_u128s(o, &store.plabels));
-    section(&mut out, SEC_DOC_TAGS, &|o| put_u32s(o, &store.tags));
-    section(&mut out, SEC_DOC_VALUE_IDS, &|o| put_u32s(o, &store.value_ids));
-    section(&mut out, SEC_SP_LABELS, &|o| put_labels(o, &store.sp_labels));
-    section(&mut out, SEC_SP_ROWS, &|o| put_u32s(o, &store.sp_rows));
-    section(&mut out, SEC_SP_VALUES, &|o| put_u32s(o, &store.sp_values));
-    section(&mut out, SEC_SP_KEYS, &|o| put_u128s(o, &store.sp_keys));
-    section(&mut out, SEC_SP_ENDS, &|o| put_u32s(o, &store.sp_ends));
-    section(&mut out, SEC_SD_LABELS, &|o| put_labels(o, &store.sd_labels));
-    section(&mut out, SEC_SD_ROWS, &|o| put_u32s(o, &store.sd_rows));
-    section(&mut out, SEC_SD_VALUES, &|o| put_u32s(o, &store.sd_values));
-    section(&mut out, SEC_SD_KEYS, &|o| put_u32s(o, &store.sd_keys));
-    section(&mut out, SEC_SD_ENDS, &|o| put_u32s(o, &store.sd_ends));
+    // Decode-on-write: the accessors below return owned vectors from
+    // either column source, so a *mapped* (possibly packed) store can
+    // be re-serialized too. The write path is O(data) anyway.
+    let doc_labels = store.doc_labels_vec();
+    let doc_tags = store.doc_tags_vec();
+    let doc_vids = store.doc_value_ids_vec();
+    let sp_labels = store.sp_labels_vec();
+    let sp_rows = store.sp_rows_vec();
+    let sp_values = store.sp_values_vec();
+    let sd_labels = store.sd_labels_vec();
+    let sd_rows = store.sd_rows_vec();
+    let sd_values = store.sd_values_vec();
+
+    if packed {
+        let (s, e, l) = split_labels(&doc_labels);
+        section(&mut out, SEC_DOC_LABELS, ENC_LABELS, &|o| {
+            encode_label_planes(&s, &e, &l, o);
+        });
+        let dict = store.plabel_dict_indices();
+        section(&mut out, SEC_DOC_PLABELS, ENC_DICT, &|o| {
+            encode_plane(&dict, o);
+        });
+        section(&mut out, SEC_DOC_TAGS, ENC_BITPACK, &|o| {
+            encode_bitpacked(&doc_tags, o);
+        });
+        let vids = remap(doc_vids.clone());
+        section(&mut out, SEC_DOC_VALUE_IDS, ENC_FOR, &|o| {
+            encode_plane(&vids, o);
+        });
+        let (s, e, l) = split_labels(&sp_labels);
+        section(&mut out, SEC_SP_LABELS, ENC_LABELS, &|o| {
+            encode_label_planes(&s, &e, &l, o);
+        });
+        section(&mut out, SEC_SP_ROWS, ENC_FOR, &|o| {
+            encode_plane(&sp_rows, o);
+        });
+        let vids = remap(sp_values.clone());
+        section(&mut out, SEC_SP_VALUES, ENC_FOR, &|o| {
+            encode_plane(&vids, o);
+        });
+    } else {
+        section(&mut out, SEC_DOC_LABELS, ENC_RAW, &|o| put_labels(o, &doc_labels));
+        let doc_plabels = store.doc_plabels_vec();
+        section(&mut out, SEC_DOC_PLABELS, ENC_RAW, &|o| put_u128s(o, &doc_plabels));
+        section(&mut out, SEC_DOC_TAGS, ENC_RAW, &|o| put_u32s(o, &doc_tags));
+        section(&mut out, SEC_DOC_VALUE_IDS, ENC_RAW, &|o| put_u32s(o, &doc_vids));
+        section(&mut out, SEC_SP_LABELS, ENC_RAW, &|o| put_labels(o, &sp_labels));
+        section(&mut out, SEC_SP_ROWS, ENC_RAW, &|o| put_u32s(o, &sp_rows));
+        section(&mut out, SEC_SP_VALUES, ENC_RAW, &|o| put_u32s(o, &sp_values));
+    }
+    section(&mut out, SEC_SP_KEYS, ENC_RAW, &|o| put_u128s(o, &store.sp_keys));
+    section(&mut out, SEC_SP_ENDS, ENC_RAW, &|o| put_u32s(o, &store.sp_ends));
+    if packed {
+        let (s, e, l) = split_labels(&sd_labels);
+        section(&mut out, SEC_SD_LABELS, ENC_LABELS, &|o| {
+            encode_label_planes(&s, &e, &l, o);
+        });
+        section(&mut out, SEC_SD_ROWS, ENC_FOR, &|o| {
+            encode_plane(&sd_rows, o);
+        });
+        let vids = remap(sd_values.clone());
+        section(&mut out, SEC_SD_VALUES, ENC_FOR, &|o| {
+            encode_plane(&vids, o);
+        });
+    } else {
+        section(&mut out, SEC_SD_LABELS, ENC_RAW, &|o| put_labels(o, &sd_labels));
+        section(&mut out, SEC_SD_ROWS, ENC_RAW, &|o| put_u32s(o, &sd_rows));
+        section(&mut out, SEC_SD_VALUES, ENC_RAW, &|o| put_u32s(o, &sd_values));
+    }
+    section(&mut out, SEC_SD_KEYS, ENC_RAW, &|o| put_u32s(o, &store.sd_keys));
+    section(&mut out, SEC_SD_ENDS, ENC_RAW, &|o| put_u32s(o, &store.sd_ends));
 
     // Tag table: u32 offset column + one UTF-8 byte extent.
-    section(&mut out, SEC_TAG_OFFSETS, &|out: &mut Vec<u8>| {
+    section(&mut out, SEC_TAG_OFFSETS, ENC_RAW, &|out: &mut Vec<u8>| {
         let mut off = 0u32;
         out.extend_from_slice(&off.to_le_bytes());
         for name in tag_names {
@@ -251,14 +407,14 @@ pub fn encode_store(
             out.extend_from_slice(&off.to_le_bytes());
         }
     });
-    section(&mut out, SEC_TAG_BYTES, &|out: &mut Vec<u8>| {
+    section(&mut out, SEC_TAG_BYTES, ENC_RAW, &|out: &mut Vec<u8>| {
         for name in tag_names {
             out.extend_from_slice(name.as_bytes());
         }
     });
 
     // Value arena: u64 offsets + bytes + the string-sorted id column.
-    section(&mut out, SEC_VALUE_OFFSETS, &|out: &mut Vec<u8>| {
+    section(&mut out, SEC_VALUE_OFFSETS, ENC_RAW, &|out: &mut Vec<u8>| {
         let mut off = 0u64;
         out.extend_from_slice(&off.to_le_bytes());
         for i in 0..value_count {
@@ -266,19 +422,20 @@ pub fn encode_store(
             out.extend_from_slice(&off.to_le_bytes());
         }
     });
-    section(&mut out, SEC_VALUE_BYTES, &|out: &mut Vec<u8>| {
+    section(&mut out, SEC_VALUE_BYTES, ENC_RAW, &|out: &mut Vec<u8>| {
         for i in 0..value_count {
             if let Some(s) = store.value(i as u32) {
                 out.extend_from_slice(s.as_bytes());
             }
         }
     });
-    section(&mut out, SEC_VALUE_SORTED, &|o| put_u32s(o, &store.value_sorted));
+    section(&mut out, SEC_VALUE_SORTED, ENC_RAW, &|o| put_u32s(o, &store.value_sorted));
 
     // Header: counts, file length, section table, own checksum.
+    let version = if packed { VERSION } else { 2 };
     let file_len = (out.len() + 8) as u64;
     out[0..8].copy_from_slice(MAGIC);
-    out[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    out[8..12].copy_from_slice(&version.to_le_bytes());
     out[12..16].copy_from_slice(&(SECTION_IDS.len() as u32).to_le_bytes());
     out[16..20].copy_from_slice(&num_tags.to_le_bytes());
     out[20..24].copy_from_slice(&digits.to_le_bytes());
@@ -288,9 +445,10 @@ pub fn encode_store(
     out[44..48].copy_from_slice(&(store.sp_run_count() as u32).to_le_bytes());
     out[48..52].copy_from_slice(&(store.sd_run_count() as u32).to_le_bytes());
     out[56..64].copy_from_slice(&file_len.to_le_bytes());
-    for (i, (id, off, len)) in table.iter().enumerate() {
+    for (i, (id, enc, off, len)) in table.iter().enumerate() {
         let at = 64 + i * 24;
         out[at..at + 4].copy_from_slice(&id.to_le_bytes());
+        out[at + 4..at + 8].copy_from_slice(&enc.to_le_bytes());
         out[at + 8..at + 16].copy_from_slice(&off.to_le_bytes());
         out[at + 16..at + 24].copy_from_slice(&len.to_le_bytes());
     }
@@ -343,6 +501,11 @@ struct RawView<'a> {
     sp_runs: usize,
     sd_runs: usize,
     sections: [&'a [u8]; SECTION_IDS.len()],
+    /// Per-section encoding descriptor, in [`SECTION_IDS`] order.
+    /// Validated against [`packed_enc`] at parse time, so downstream
+    /// readers only ever see `ENC_RAW` or the one packed code a
+    /// section can legitimately carry.
+    encs: [u32; SECTION_IDS.len()],
 }
 
 fn u32_at(b: &[u8], off: usize) -> u32 {
@@ -362,7 +525,7 @@ impl<'a> RawView<'a> {
             return Err(SnapshotError::BadMagic);
         }
         let version = u32_at(bytes, 8);
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(SnapshotError::BadVersion(version));
         }
         if bytes.len() < HEADER_LEN + 8 {
@@ -393,6 +556,7 @@ impl<'a> RawView<'a> {
 
         let body_end = bytes.len() - 8; // footer excluded
         let mut sections: [&[u8]; SECTION_IDS.len()] = [&[]; SECTION_IDS.len()];
+        let mut encs = [ENC_RAW; SECTION_IDS.len()];
         let mut prev_end = HEADER_LEN as u64;
         for (i, expect_id) in SECTION_IDS.iter().enumerate() {
             let at = 64 + i * 24;
@@ -400,6 +564,13 @@ impl<'a> RawView<'a> {
             if id != *expect_id {
                 return Err(SnapshotError::Corrupt("section table out of order"));
             }
+            let enc = u32_at(bytes, at + 4);
+            // v2 wrote zero padding here, so old files read as all-raw;
+            // v3 may pack a section with exactly its designated codec.
+            if enc != ENC_RAW && (version < 3 || enc != packed_enc(id)) {
+                return Err(SnapshotError::Corrupt("unknown section encoding"));
+            }
+            encs[i] = enc;
             let off = u64_at(bytes, at + 8);
             let len = u64_at(bytes, at + 16);
             if !off.is_multiple_of(SECTION_ALIGN as u64) {
@@ -425,6 +596,7 @@ impl<'a> RawView<'a> {
             sp_runs,
             sd_runs,
             sections,
+            encs,
         };
         view.check_lengths()?;
         Ok(view)
@@ -435,7 +607,16 @@ impl<'a> RawView<'a> {
         self.sections[i]
     }
 
-    /// Every section length must match the header counts exactly.
+    /// The validated encoding descriptor of a section.
+    fn enc(&self, id: u32) -> u32 {
+        let i = SECTION_IDS.iter().position(|&s| s == id).expect("known id");
+        self.encs[i]
+    }
+
+    /// Every **raw** section length must match the header counts
+    /// exactly. Packed sections have internal headers instead; their
+    /// structure (including the value count) is validated by the plane
+    /// parsers when the section is actually read.
     fn check_lengths(&self) -> Result<(), SnapshotError> {
         let n = self.record_count;
         let checks: [(u32, usize); 19] = [
@@ -460,7 +641,7 @@ impl<'a> RawView<'a> {
             (SEC_VALUE_SORTED, self.value_count * 4),
         ];
         for (id, want) in checks {
-            if want != usize::MAX && self.section(id).len() != want {
+            if want != usize::MAX && self.enc(id) == ENC_RAW && self.section(id).len() != want {
                 return Err(SnapshotError::Corrupt("section length disagrees with counts"));
             }
         }
@@ -526,18 +707,18 @@ fn cast_slice<T: Copy>(bytes: &[u8]) -> Result<&[T], SnapshotError> {
 pub(crate) struct TypedView<'a> {
     pub num_tags: u32,
     pub digits: u32,
-    pub doc_labels: &'a [DLabel],
-    pub doc_plabels: &'a [u128],
-    pub doc_tags: &'a [u32],
-    pub doc_value_ids: &'a [u32],
-    pub sp_labels: &'a [DLabel],
-    pub sp_rows: &'a [u32],
-    pub sp_values: &'a [u32],
+    pub doc_labels: LabelSection<'a>,
+    pub doc_plabels: PlabelSection<'a>,
+    pub doc_tags: TagSection<'a>,
+    pub doc_value_ids: U32Section<'a>,
+    pub sp_labels: LabelSection<'a>,
+    pub sp_rows: U32Section<'a>,
+    pub sp_values: U32Section<'a>,
     pub sp_keys: &'a [u128],
     pub sp_ends: &'a [u32],
-    pub sd_labels: &'a [DLabel],
-    pub sd_rows: &'a [u32],
-    pub sd_values: &'a [u32],
+    pub sd_labels: LabelSection<'a>,
+    pub sd_rows: U32Section<'a>,
+    pub sd_values: U32Section<'a>,
     pub sd_keys: &'a [u32],
     pub sd_ends: &'a [u32],
     pub value_offsets: &'a [u64],
@@ -546,26 +727,125 @@ pub(crate) struct TypedView<'a> {
     raw: RawView<'a>,
 }
 
+/// A label column section: raw in-place `DLabel` extents (v2, or v3
+/// sections left raw) or the three packed FOR planes.
+#[cfg(target_endian = "little")]
+#[derive(Debug)]
+pub(crate) enum LabelSection<'a> {
+    Raw(&'a [DLabel]),
+    Packed(LabelPlanesRef<'a>),
+}
+
+/// The document-order P-label section: raw `u128`s or a FOR plane of
+/// indexes into the raw `SP_KEYS` dictionary.
+#[cfg(target_endian = "little")]
+#[derive(Debug)]
+pub(crate) enum PlabelSection<'a> {
+    Raw(&'a [u128]),
+    Dict(PlaneRef<'a>),
+}
+
+/// The tag column section: raw `u32`s or a bit-packed plane.
+#[cfg(target_endian = "little")]
+#[derive(Debug)]
+pub(crate) enum TagSection<'a> {
+    Raw(&'a [u32]),
+    Packed(BitpackRef<'a>),
+}
+
+/// A `u32` column section (value ids, permutation rows): raw or one
+/// FOR plane.
+#[cfg(target_endian = "little")]
+#[derive(Debug)]
+pub(crate) enum U32Section<'a> {
+    Raw(&'a [u32]),
+    Packed(PlaneRef<'a>),
+}
+
+#[cfg(target_endian = "little")]
+impl LabelSection<'_> {
+    /// Row count served by this section, whichever encoding it uses.
+    /// (Exercised by the view tests; the store derives lengths from
+    /// its own columns.)
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Self::Raw(s) => s.len(),
+            Self::Packed(p) => p.len(),
+        }
+    }
+}
+
 #[cfg(target_endian = "little")]
 impl<'a> TypedView<'a> {
     pub(crate) fn parse(bytes: &'a [u8]) -> Result<Self, SnapshotError> {
         let raw = RawView::parse(bytes)?;
         let n = raw.record_count;
+        // Per-section dispatch on the validated encoding descriptor.
+        // Packed sections must be covered *exactly* by their planes —
+        // trailing bytes inside a section are structural corruption.
+        let exact = |used: usize, sec: &[u8]| -> Result<(), SnapshotError> {
+            if used != sec.len() {
+                return Err(SnapshotError::Corrupt("packed section length mismatch"));
+            }
+            Ok(())
+        };
+        let label_sec = |id: u32| -> Result<LabelSection<'a>, SnapshotError> {
+            let sec = raw.section(id);
+            if raw.enc(id) == ENC_RAW {
+                Ok(LabelSection::Raw(cast_slice(sec)?))
+            } else {
+                let (planes, used) =
+                    LabelPlanesRef::parse(sec, n).map_err(SnapshotError::Corrupt)?;
+                exact(used, sec)?;
+                Ok(LabelSection::Packed(planes))
+            }
+        };
+        let u32_sec = |id: u32| -> Result<U32Section<'a>, SnapshotError> {
+            let sec = raw.section(id);
+            if raw.enc(id) == ENC_RAW {
+                Ok(U32Section::Raw(cast_slice(sec)?))
+            } else {
+                let (plane, used) = PlaneRef::parse(sec, n).map_err(SnapshotError::Corrupt)?;
+                exact(used, sec)?;
+                Ok(U32Section::Packed(plane))
+            }
+        };
         let view = Self {
             num_tags: raw.num_tags,
             digits: raw.digits,
-            doc_labels: cast_slice(raw.section(SEC_DOC_LABELS))?,
-            doc_plabels: cast_slice(raw.section(SEC_DOC_PLABELS))?,
-            doc_tags: cast_slice(raw.section(SEC_DOC_TAGS))?,
-            doc_value_ids: cast_slice(raw.section(SEC_DOC_VALUE_IDS))?,
-            sp_labels: cast_slice(raw.section(SEC_SP_LABELS))?,
-            sp_rows: cast_slice(raw.section(SEC_SP_ROWS))?,
-            sp_values: cast_slice(raw.section(SEC_SP_VALUES))?,
+            doc_labels: label_sec(SEC_DOC_LABELS)?,
+            doc_plabels: {
+                let sec = raw.section(SEC_DOC_PLABELS);
+                if raw.enc(SEC_DOC_PLABELS) == ENC_RAW {
+                    PlabelSection::Raw(cast_slice(sec)?)
+                } else {
+                    let (plane, used) =
+                        PlaneRef::parse(sec, n).map_err(SnapshotError::Corrupt)?;
+                    exact(used, sec)?;
+                    PlabelSection::Dict(plane)
+                }
+            },
+            doc_tags: {
+                let sec = raw.section(SEC_DOC_TAGS);
+                if raw.enc(SEC_DOC_TAGS) == ENC_RAW {
+                    TagSection::Raw(cast_slice(sec)?)
+                } else {
+                    let (plane, used) =
+                        BitpackRef::parse(sec, n).map_err(SnapshotError::Corrupt)?;
+                    exact(used, sec)?;
+                    TagSection::Packed(plane)
+                }
+            },
+            doc_value_ids: u32_sec(SEC_DOC_VALUE_IDS)?,
+            sp_labels: label_sec(SEC_SP_LABELS)?,
+            sp_rows: u32_sec(SEC_SP_ROWS)?,
+            sp_values: u32_sec(SEC_SP_VALUES)?,
             sp_keys: cast_slice(raw.section(SEC_SP_KEYS))?,
             sp_ends: cast_slice(raw.section(SEC_SP_ENDS))?,
-            sd_labels: cast_slice(raw.section(SEC_SD_LABELS))?,
-            sd_rows: cast_slice(raw.section(SEC_SD_ROWS))?,
-            sd_values: cast_slice(raw.section(SEC_SD_VALUES))?,
+            sd_labels: label_sec(SEC_SD_LABELS)?,
+            sd_rows: u32_sec(SEC_SD_ROWS)?,
+            sd_values: u32_sec(SEC_SD_VALUES)?,
             sd_keys: cast_slice(raw.section(SEC_SD_KEYS))?,
             sd_ends: cast_slice(raw.section(SEC_SD_ENDS))?,
             value_offsets: cast_slice(raw.section(SEC_VALUE_OFFSETS))?,
@@ -600,6 +880,12 @@ impl<'a> TypedView<'a> {
             num_tags: self.num_tags,
             digits: self.digits,
         })
+    }
+
+    /// Number of distinct interned values (the header count; needed to
+    /// undo the value-id sentinel remap of packed value planes).
+    pub(crate) fn value_count(&self) -> usize {
+        self.raw.value_count
     }
 }
 
@@ -665,22 +951,95 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
         return Err(SnapshotError::Corrupt("value arena does not cover its bytes"));
     }
 
-    // Materialize records from the document-order columns. The SP/SD
-    // sections are ignored here: `NodeStore::from_records` rebuilds
-    // the clusterings, and the bounds of those sections were already
-    // validated by the header parse.
-    let label_bytes = raw.section(SEC_DOC_LABELS);
-    let plabel_bytes = raw.section(SEC_DOC_PLABELS);
-    let tag_bytes = raw.section(SEC_DOC_TAGS);
-    let vid_bytes = raw.section(SEC_DOC_VALUE_IDS);
-    let mut records = Vec::with_capacity(raw.record_count.min(1 << 24));
-    for i in 0..raw.record_count {
-        let lb = i * DLABEL_BYTES;
-        let tag = u32_at(tag_bytes, i * 4);
+    // Materialize records from the document-order columns, decoding
+    // packed sections byte-wise — this path stays endian-portable.
+    // The SP/SD sections are ignored except for the raw SP_KEYS
+    // dictionary a dict-coded P-label column indexes into:
+    // `NodeStore::from_records` rebuilds the clusterings, and the
+    // bounds of those sections were already validated by the header
+    // parse.
+    let n = raw.record_count;
+    let labels: Vec<DLabel> = {
+        let sec = raw.section(SEC_DOC_LABELS);
+        if raw.enc(SEC_DOC_LABELS) == ENC_RAW {
+            (0..n)
+                .map(|i| {
+                    let lb = i * DLABEL_BYTES;
+                    DLabel {
+                        start: u32_at(sec, lb),
+                        end: u32_at(sec, lb + 4),
+                        level: u16::from_le_bytes(
+                            sec[lb + 8..lb + 10].try_into().expect("2 bytes"),
+                        ),
+                    }
+                })
+                .collect()
+        } else {
+            let (planes, _) = LabelPlanesRef::parse(sec, n).map_err(SnapshotError::Corrupt)?;
+            let starts = planes.starts.decode_all();
+            let extents = planes.extents.decode_all();
+            let levels = planes.levels.decode_all();
+            (0..n)
+                .map(|i| DLabel {
+                    start: starts[i],
+                    end: starts[i].wrapping_add(extents[i]),
+                    level: levels[i] as u16,
+                })
+                .collect()
+        }
+    };
+    let plabels: Vec<u128> = {
+        let sec = raw.section(SEC_DOC_PLABELS);
+        if raw.enc(SEC_DOC_PLABELS) == ENC_RAW {
+            (0..n)
+                .map(|i| {
+                    u128::from_le_bytes(sec[i * 16..(i + 1) * 16].try_into().expect("16 bytes"))
+                })
+                .collect()
+        } else {
+            let keys = raw.section(SEC_SP_KEYS);
+            let (plane, _) = PlaneRef::parse(sec, n).map_err(SnapshotError::Corrupt)?;
+            let mut out = Vec::with_capacity(n);
+            for idx in plane.decode_all() {
+                let at = idx as usize * 16;
+                if at + 16 > keys.len() {
+                    return Err(SnapshotError::Corrupt("plabel dictionary index out of range"));
+                }
+                out.push(u128::from_le_bytes(keys[at..at + 16].try_into().expect("16 bytes")));
+            }
+            out
+        }
+    };
+    let tags: Vec<u32> = {
+        let sec = raw.section(SEC_DOC_TAGS);
+        if raw.enc(SEC_DOC_TAGS) == ENC_RAW {
+            (0..n).map(|i| u32_at(sec, i * 4)).collect()
+        } else {
+            let (plane, _) = BitpackRef::parse(sec, n).map_err(SnapshotError::Corrupt)?;
+            plane.decode_all()
+        }
+    };
+    let vids: Vec<u32> = {
+        let sec = raw.section(SEC_DOC_VALUE_IDS);
+        if raw.enc(SEC_DOC_VALUE_IDS) == ENC_RAW {
+            (0..n).map(|i| u32_at(sec, i * 4)).collect()
+        } else {
+            let sentinel = raw.value_count as u32;
+            let (plane, _) = PlaneRef::parse(sec, n).map_err(SnapshotError::Corrupt)?;
+            plane
+                .decode_all()
+                .into_iter()
+                .map(|v| if v == sentinel { NO_VALUE } else { v })
+                .collect()
+        }
+    };
+    let mut records = Vec::with_capacity(n.min(1 << 24));
+    for i in 0..n {
+        let tag = tags[i];
         if tag as usize >= tag_names.len() {
             return Err(SnapshotError::DanglingTag(tag));
         }
-        let value_id = u32_at(vid_bytes, i * 4);
+        let value_id = vids[i];
         let data = if value_id == NO_VALUE {
             None
         } else {
@@ -692,12 +1051,10 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
             )
         };
         records.push(NodeRecord {
-            plabel: u128::from_le_bytes(
-                plabel_bytes[i * 16..(i + 1) * 16].try_into().expect("16 bytes"),
-            ),
-            start: u32_at(label_bytes, lb),
-            end: u32_at(label_bytes, lb + 4),
-            level: u16::from_le_bytes(label_bytes[lb + 8..lb + 10].try_into().expect("2 bytes")),
+            plabel: plabels[i],
+            start: labels[i].start,
+            end: labels[i].end,
+            level: labels[i].level,
             tag: TagId(tag),
             data,
         });
@@ -858,8 +1215,23 @@ mod tests {
         {
             let view = TypedView::parse(&aligned).unwrap();
             assert_eq!(view.doc_labels.len(), snap.records.len());
-            assert_eq!(view.doc_labels[0], snap.records[0].dlabel());
-            assert_eq!(view.doc_plabels[1], snap.records[1].plabel);
+            // The v3 encoder packs the document columns; decode a row
+            // back through the plane views and check it survives.
+            let (label0, plabel1) = match (&view.doc_labels, &view.doc_plabels) {
+                (LabelSection::Packed(planes), PlabelSection::Dict(plane)) => (
+                    DLabel {
+                        start: planes.starts.get(0),
+                        end: planes.starts.get(0).wrapping_add(planes.extents.get(0)),
+                        level: planes.levels.get(0) as u16,
+                    },
+                    view.sp_keys[plane.get(1) as usize],
+                ),
+                other => panic!("v3 doc columns should be packed, got {other:?}"),
+            };
+            assert_eq!(label0, snap.records[0].dlabel());
+            assert_eq!(plabel1, snap.records[1].plabel);
+            assert!(matches!(view.doc_tags, TagSection::Packed(_)));
+            assert!(matches!(view.sp_rows, U32Section::Packed(_)));
             assert_eq!(view.sp_keys.len(), view.sp_ends.len());
             assert_eq!(view.meta().unwrap().tag_names, snap.tag_names);
             assert_eq!(view.value_sorted.len(), 1);
@@ -879,6 +1251,59 @@ mod tests {
             TypedView::parse(&aligned2).unwrap_err(),
             SnapshotError::Corrupt(_)
         ));
+    }
+
+    #[test]
+    fn v2_encoder_still_writes_decodable_raw_files() {
+        let snap = sample();
+        let store = NodeStore::from_records(snap.records.clone());
+        let bytes = encode_store_v2(&store, &snap.tag_names, snap.num_tags, snap.digits);
+        assert_eq!(u32_at(&bytes, 8), 2, "legacy encoder stamps version 2");
+        assert_eq!(decode(&bytes).unwrap(), snap);
+        // Every encoding descriptor slot (table entry offset +4) is
+        // zero, exactly as PR-3-era files wrote their padding.
+        for i in 0..SECTION_IDS.len() {
+            assert_eq!(u32_at(&bytes, 64 + i * 24 + 4), ENC_RAW, "section {i}");
+        }
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn v2_typed_view_serves_raw_columns_in_place() {
+        let snap = sample();
+        let store = NodeStore::from_records(snap.records.clone());
+        let bytes = encode_store_v2(&store, &snap.tag_names, snap.num_tags, snap.digits);
+        let aligned = aligned_copy(&bytes);
+        let view = TypedView::parse(&aligned).unwrap();
+        match (&view.doc_labels, &view.doc_plabels, &view.doc_tags) {
+            (LabelSection::Raw(labels), PlabelSection::Raw(plabels), TagSection::Raw(_)) => {
+                assert_eq!(labels[0], snap.records[0].dlabel());
+                assert_eq!(plabels[1], snap.records[1].plabel);
+            }
+            other => panic!("v2 sections must parse raw, got {other:?}"),
+        }
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn corrupt_packed_section_yields_typed_error() {
+        let snap = sample();
+        let bytes = encode(&snap);
+        // Clobber the first packed plane's block-width table entry to an
+        // impossible width (>4): structural validation must trip with a
+        // typed Corrupt, in both the mapped-parse and full-decode paths.
+        let (off, enc) = {
+            let raw = RawView::parse(&bytes).unwrap();
+            let sec = raw.section(SEC_DOC_LABELS);
+            (sec.as_ptr() as usize - bytes.as_ptr() as usize, raw.enc(SEC_DOC_LABELS))
+        };
+        assert_eq!(enc, ENC_LABELS);
+        let mut evil = bytes.clone();
+        evil[off + 8 + 8] = 9; // one block: widths table starts at 8 + 8*nb
+        rehash(&mut evil);
+        let aligned = aligned_copy(&evil);
+        assert!(matches!(TypedView::parse(&aligned).unwrap_err(), SnapshotError::Corrupt(_)));
+        assert!(matches!(decode(&evil).unwrap_err(), SnapshotError::Corrupt(_)));
     }
 
     #[cfg(target_endian = "little")]

@@ -6,7 +6,7 @@
 //! byte-for-byte at the scan level.
 
 use blas_labeling::{label_document, DLabel};
-use blas_storage::{snapshot, MappedBytes, NodeRecord, NodeStore, RowId};
+use blas_storage::{snapshot, MappedBytes, NodeRecord, NodeStore, RowId, ScanRun};
 use blas_xml::{Document, TagId};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,27 +64,29 @@ fn naive_tag(store: &NodeStore, tag: TagId) -> Vec<Row> {
     hits
 }
 
-fn columnar_plabel_range(store: &NodeStore, p1: u128, p2: u128) -> Vec<Row> {
-    store
-        .scan_plabel_range(p1, p2)
-        .flat_map(|run| {
-            run.rows
-                .iter()
-                .zip(run.labels)
-                .zip(run.value_ids)
-                .map(|((&row, &label), &v)| resolve(store, row, label, v))
+/// Resolve every position of a scan run (raw or packed) through the
+/// store: row identity via `row_at`, labels via the decode kernel,
+/// value ids via the document-order column.
+fn resolve_run(store: &NodeStore, run: &ScanRun<'_>) -> Vec<Row> {
+    let mut labels = Vec::new();
+    run.decode_labels_into(&mut labels);
+    (0..run.len())
+        .map(|i| {
+            let row = run.row_at(i);
+            resolve(store, row, labels[i], store.value_id_of_row(RowId(row)))
         })
         .collect()
 }
 
-fn columnar_tag(store: &NodeStore, tag: TagId) -> Vec<Row> {
-    let run = store.scan_tag(tag);
-    run.rows
-        .iter()
-        .zip(run.labels)
-        .zip(run.value_ids)
-        .map(|((&row, &label), &v)| resolve(store, row, label, v))
+fn columnar_plabel_range(store: &NodeStore, p1: u128, p2: u128) -> Vec<Row> {
+    store
+        .scan_plabel_range(p1, p2)
+        .flat_map(|run| resolve_run(store, &run))
         .collect()
+}
+
+fn columnar_tag(store: &NodeStore, tag: TagId) -> Vec<Row> {
+    resolve_run(store, &store.scan_tag(tag))
 }
 
 proptest! {
@@ -136,8 +138,10 @@ proptest! {
         for (_, r) in store.scan_all().collect::<Vec<_>>() {
             let run = store.scan_plabel_eq(r.plabel);
             prop_assert!(!run.is_empty());
-            prop_assert!(run.labels.windows(2).all(|w| w[0].start < w[1].start));
-            for label in run.labels {
+            let mut labels = Vec::new();
+            run.decode_labels_into(&mut labels);
+            prop_assert!(labels.windows(2).all(|w| w[0].start < w[1].start));
+            for label in &labels {
                 let row = store.row_of_start(label.start).expect("label resolves");
                 prop_assert_eq!(store.record(row).dlabel(), *label);
             }
@@ -245,6 +249,6 @@ fn from_records_out_of_order_input() {
     let starts: Vec<u32> = (0..store.len()).map(|i| store.record(RowId(i as u32)).start).collect();
     assert_eq!(starts, [0, 1, 4]);
     let run = store.scan_plabel_eq(3);
-    assert_eq!(run.labels.len(), 2);
-    assert!(run.labels[0].start < run.labels[1].start);
+    assert_eq!(run.len(), 2);
+    assert!(run.label_at(0).start < run.label_at(1).start);
 }

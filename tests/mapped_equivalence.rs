@@ -162,6 +162,64 @@ fn duplicate_tag_table_is_a_typed_error() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// Parse the v3 section table (19 entries of 24 bytes at offset 64:
+/// id u32, encoding u32, offset u64, length u64) and return the
+/// `(offset, len)` of the first section with a plane-led packed
+/// encoding (FOR = 1, label planes = 2, dictionary = 3 — all of which
+/// start with a FOR plane header, which the corruption test targets).
+fn first_packed_section(bytes: &[u8]) -> (usize, usize) {
+    for i in 0..19 {
+        let at = 64 + i * 24;
+        let enc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        if (1..=3).contains(&enc) {
+            let off = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap()) as usize;
+            return (off, len);
+        }
+    }
+    panic!("a v3 snapshot of a non-empty document has packed sections");
+}
+
+#[test]
+fn corrupt_packed_v3_section_is_a_typed_error() {
+    let bytes = BlasDb::load("<a><b>x</b><b>y</b></a>").unwrap().to_snapshot();
+    assert_eq!(bytes[8], 3, "current snapshots are version 3");
+    let (off, _) = first_packed_section(&bytes);
+    // Clobber the first block's width descriptor (plane layout: n,
+    // payload_len, mins, offs, then widths — +16 for a one-block
+    // plane) with an impossible value. The mapped open validates the
+    // packed structure in its O(header) parse and must fail typed; the
+    // decoding path catches the same byte via the body checksum.
+    let mut evil = bytes.clone();
+    evil[off + 16] = 9;
+    assert_eq!(snapshot::decode(&evil), Err(SnapshotError::ChecksumMismatch));
+    let path = snapshot_file("packedcorrupt", &evil);
+    assert!(matches!(
+        BlasDb::open_mapped(&path),
+        Err(blas::BlasError::Snapshot(_))
+    ));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncation_inside_a_packed_v3_section_is_a_typed_error() {
+    let bytes = BlasDb::load("<a><b>x</b><b>y</b></a>").unwrap().to_snapshot();
+    let (off, len) = first_packed_section(&bytes);
+    for cut in [off + 2, off + len / 2, off + len - 1] {
+        let err = snapshot::decode(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Truncated | SnapshotError::ChecksumMismatch),
+            "cut {cut}: {err:?}"
+        );
+        let path = snapshot_file(&format!("packedcut{cut}"), &bytes[..cut]);
+        assert!(
+            matches!(BlasDb::open_mapped(&path), Err(blas::BlasError::Snapshot(_))),
+            "cut {cut}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
 #[test]
 fn not_a_snapshot_is_a_typed_error() {
     assert_eq!(snapshot::decode(b"hello"), Err(SnapshotError::Truncated));
