@@ -7,12 +7,18 @@
 //! Split ≥ Push-up ≥ Unfold.
 
 use blas::EngineChoice;
-use blas_bench::{arg_value, bench_query, load_dataset, secs, RDBMS_TRANSLATORS};
+use blas_bench::{arg_str, arg_value, bench_query, load_dataset, secs, RDBMS_TRANSLATORS};
 use blas_datagen::{query_set, DatasetId};
 
 fn main() {
     let scale = arg_value("--scale").unwrap_or(1);
-    println!("Fig. 13 — RDBMS engine, query time in seconds (avg of 8/10 runs)\n");
+    // `--engine auto|rdbms|twig|twigstack` swaps the engine under the
+    // same translator sweep (auto = cost-based selection per query).
+    let base: EngineChoice = arg_str("--engine")
+        .unwrap_or_else(|| "rdbms".into())
+        .parse()
+        .expect("--engine expects auto|rdbms|twig|twigstack");
+    println!("Fig. 13 — {base} engine, query time in seconds (avg of 8/10 runs)\n");
     for ds in DatasetId::ALL {
         let (db, _) = load_dataset(ds, scale);
         println!("({}) {}", ds.name().chars().next().unwrap().to_lowercase(), ds.name());
@@ -24,8 +30,7 @@ fn main() {
             let mut times = Vec::new();
             let mut elems = Vec::new();
             for (_, t) in RDBMS_TRANSLATORS {
-                let (elapsed, stats) =
-                    bench_query(&db, q.xpath, EngineChoice::rdbms().with_translator(t));
+                let (elapsed, stats) = bench_query(&db, q.xpath, base.with_translator(t));
                 times.push(elapsed);
                 elems.push(stats.elements_visited);
             }

@@ -4,12 +4,19 @@
 //! and Unfold is excluded (no unions on the twig engine).
 
 use blas::EngineChoice;
-use blas_bench::{arg_value, bench_query, load_dataset, secs, TWIG_TRANSLATORS};
+use blas_bench::{arg_str, arg_value, bench_query, load_dataset, secs, TWIG_TRANSLATORS};
 use blas_datagen::{query_set, DatasetId};
 
 fn main() {
     let scale = arg_value("--scale").unwrap_or(20);
-    println!("Fig. 14 — holistic twig engine, datasets ×{scale}\n");
+    // `--engine auto|rdbms|twig|twigstack` swaps the engine under the
+    // same translator sweep. Note: auto and rdbms run the full query
+    // (value predicates kept); the twig engines strip them (§5.3.1).
+    let base: EngineChoice = arg_str("--engine")
+        .unwrap_or_else(|| "twig".into())
+        .parse()
+        .expect("--engine expects auto|rdbms|twig|twigstack");
+    println!("Fig. 14 — {base} engine (holistic default: twig), datasets ×{scale}\n");
     println!(
         "{:<5} {:>12} {:>12} {:>12}   {:>10} {:>10} {:>10}",
         "query", "D-label(s)", "Split(s)", "PushUp(s)", "elems(D)", "elems(S)", "elems(P)"
@@ -20,8 +27,7 @@ fn main() {
             let mut times = Vec::new();
             let mut elems = Vec::new();
             for (_, t) in TWIG_TRANSLATORS {
-                let (elapsed, stats) =
-                    bench_query(&db, q.xpath, EngineChoice::twig().with_translator(t));
+                let (elapsed, stats) = bench_query(&db, q.xpath, base.with_translator(t));
                 times.push(elapsed);
                 elems.push(stats.elements_visited / 1000);
             }

@@ -44,7 +44,9 @@ pub fn run_once(db: &BlasDb, xpath: &str, choice: EngineChoice) -> (Duration, Ex
             let q = parse(xpath).expect("query parses").without_value_predicates();
             db.run(&q, choice)
         }
-        Engine::Rdbms => db.query(xpath, choice),
+        // Auto takes the cache-keyed full-query path like Rdbms: the
+        // optimizer itself decides which engine's plan runs.
+        Engine::Rdbms | Engine::Auto => db.query(xpath, choice),
     }
     .expect("query executes");
     (t0.elapsed(), result.stats)
@@ -133,11 +135,16 @@ pub fn scalability_sweep(figure: &str, query_id: &str, xpath: &str, max_scale: u
 
 /// Parse an optional `--max-scale N` / `--scale N` CLI override.
 pub fn arg_value(name: &str) -> Option<u32> {
+    arg_str(name).and_then(|v| v.parse().ok())
+}
+
+/// Fetch an optional string-valued CLI flag (e.g. `--engine auto`).
+pub fn arg_str(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+        .cloned()
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@
 
 use crate::error::BlasError;
 use blas_engine::{
-    exec, lower_plan, lower_twig, lower_twigstack, ExecConfig, ExecStats, PoolHandle, TwigQuery,
+    choose_shards, estimate_plan, exec, lower_plan, lower_plan_costed, lower_twig,
+    lower_twigstack, order_twig_joins, CostModel, ExecConfig, ExecStats, PhysPlan, PoolHandle,
+    TwigQuery, DEFAULT_MIN_SHARD_ELEMS,
 };
 use blas_labeling::{label_document, DLabel, DocumentLabels, PLabelDomain};
 use blas_storage::{MappedBytes, NodeStore, RecordView};
@@ -28,11 +30,14 @@ use blas_translate::{
 };
 use blas_xml::{DocStats, Document, SchemaGraph, TagInterner};
 use blas_xpath::QueryTree;
+use std::collections::HashMap;
+use std::fmt;
 use std::path::Path;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which query translation algorithm to run (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Translator {
     /// The D-labeling baseline: one tag scan per step, `l−1` D-joins.
     DLabeling,
@@ -49,7 +54,7 @@ pub enum Translator {
 }
 
 /// Which query engine to run (§5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// Relational-style executor over the clustered columnar store.
     Rdbms,
@@ -59,6 +64,23 @@ pub enum Engine {
     /// The literal TwigStack algorithm of Bruno et al. (SIGMOD'02) —
     /// the paper's citation \[6\]; same answers as [`Engine::Twig`].
     TwigStack,
+    /// Cost-based selection: [`BlasDb::query`] lowers every applicable
+    /// candidate (rdbms over Unfold and Push-up, twig and twigstack
+    /// over Push-up), prices each with [`blas_engine::opt`]'s
+    /// cardinality estimates from the SP/SD run directories, and runs
+    /// the cheapest. Same answers as every manual engine.
+    Auto,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Rdbms => "rdbms",
+            Engine::Twig => "twig",
+            Engine::TwigStack => "twigstack",
+            Engine::Auto => "auto",
+        })
+    }
 }
 
 /// The one-call execution configuration: engine × translator ×
@@ -82,13 +104,16 @@ pub enum Engine {
 /// let p = db.query("/db/e/n", EngineChoice::parallel(4)).unwrap();
 /// assert_eq!(r.nodes, p.nodes);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EngineChoice {
     /// Execution engine (§5).
     pub engine: Engine,
     /// Translation algorithm (§4.1).
     pub translator: Translator,
-    /// Worker count for sharded parallel scans; `1` = sequential.
+    /// Worker count for sharded parallel scans; `1` = sequential, `0`
+    /// = let the optimizer pick (sequential for manual engines; for
+    /// [`Engine::Auto`] the shard count is derived from the estimated
+    /// largest scan, so point queries never pay pool overhead).
     pub shards: usize,
 }
 
@@ -99,10 +124,13 @@ impl Default for EngineChoice {
 }
 
 impl EngineChoice {
-    /// The paper's §7 recommendation: Unfold on the relational engine
-    /// (Push-up when a twig engine is selected), sequential scans.
+    /// Cost-based selection ([`Engine::Auto`]): candidate lowerings
+    /// are priced from run-directory cardinality estimates and the
+    /// cheapest one runs; the shard count is auto-picked the same way.
+    /// Resolved decisions are cached per query string in the
+    /// database's plan cache ([`BlasDb::plan_cache_stats`]).
     pub const fn auto() -> Self {
-        Self { engine: Engine::Rdbms, translator: Translator::Auto, shards: 1 }
+        Self { engine: Engine::Auto, translator: Translator::Auto, shards: 0 }
     }
 
     /// The relational engine (§5.2) with the recommended translator.
@@ -136,7 +164,7 @@ impl EngineChoice {
     ///
     /// [`ExecStats::scratch_hits`]: blas_engine::ExecStats::scratch_hits
     pub const fn parallel(shards: usize) -> Self {
-        Self { shards, ..Self::auto() }
+        Self { shards, ..Self::rdbms() }
     }
 
     /// Override the translator.
@@ -151,10 +179,51 @@ impl EngineChoice {
         self
     }
 
-    /// Override the parallelism degree (`1` = sequential).
+    /// Override the parallelism degree (`1` = sequential, `0` = let
+    /// the optimizer pick).
     pub const fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
         self
+    }
+}
+
+/// Prints the canonical engine token (`auto`, `rdbms`, `twig`,
+/// `twigstack`) — the same strings [`EngineChoice::from_str`] accepts,
+/// so the four stock choices round-trip. Translator and shard
+/// overrides are not rendered.
+///
+/// [`EngineChoice::from_str`]: std::str::FromStr::from_str
+impl fmt::Display for EngineChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.engine, f)
+    }
+}
+
+/// Parse the stock engine choices by name, for CLI flags (the fig
+/// bins' `--engine`):
+///
+/// ```
+/// use blas::EngineChoice;
+///
+/// let auto: EngineChoice = "auto".parse().unwrap();
+/// assert_eq!(auto, EngineChoice::auto());
+/// assert_eq!("twigstack".parse::<EngineChoice>().unwrap(), EngineChoice::twigstack());
+/// assert_eq!(auto.to_string(), "auto");
+/// assert!("sql".parse::<EngineChoice>().is_err());
+/// ```
+impl std::str::FromStr for EngineChoice {
+    type Err = BlasError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Self::auto()),
+            "rdbms" => Ok(Self::rdbms()),
+            "twig" => Ok(Self::twig()),
+            "twigstack" => Ok(Self::twigstack()),
+            other => Err(BlasError::Config(format!(
+                "unknown engine choice {other:?} (expected auto|rdbms|twig|twigstack)"
+            ))),
+        }
     }
 }
 
@@ -167,6 +236,64 @@ pub struct QueryResult {
     /// Joins, visited elements, timing.
     pub stats: ExecStats,
 }
+
+/// A fully resolved, ready-to-execute plan: the unit the plan cache
+/// stores. Every Auto decision (engine, translator, shard count) has
+/// been made; execution is `exec::execute` and nothing else.
+#[derive(Debug)]
+struct PreparedPlan {
+    phys: PhysPlan,
+    engine: Engine,
+    translator: Translator,
+    shards: usize,
+    est_cost_ns: f64,
+}
+
+/// How a query will execute after optimizer resolution — the observable
+/// face of a cached prepared plan, returned by [`BlasDb::plan_info`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanInfo {
+    /// Resolved engine (never [`Engine::Auto`]).
+    pub engine: Engine,
+    /// Resolved translator (never [`Translator::Auto`]).
+    pub translator: Translator,
+    /// Resolved shard count (≥ 1).
+    pub shards: usize,
+    /// The optimizer's cost estimate for the chosen plan (ns).
+    pub est_cost_ns: f64,
+    /// Physical operator count of the chosen plan.
+    pub ops: usize,
+    /// Whether this resolution came from the plan cache.
+    pub cached: bool,
+}
+
+/// Plan-cache effectiveness counters ([`BlasDb::plan_cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Queries answered from a cached plan (no parse/translate/lower).
+    pub hits: u64,
+    /// Queries that ran the full preparation pipeline.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// Fraction of lookups served from the cache (0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bound on cached plans per database; reaching it clears the map
+/// wholesale (queries are typically a small fixed workload — an LRU
+/// would be dead weight until a serving layer needs one).
+const PLAN_CACHE_CAP: usize = 1024;
 
 /// A loaded, labeled, indexed XML document — the unit of querying.
 ///
@@ -186,6 +313,13 @@ pub struct BlasDb {
     /// on the first parallel query and shared by every query (and
     /// every thread querying this database) thereafter.
     pool: OnceLock<PoolHandle>,
+    /// Resolved plans keyed by (query string, requested choice). The
+    /// store behind a `BlasDb` is immutable, so entries never go
+    /// stale: the cache's lifetime *is* the invalidation rule — a new
+    /// snapshot or document means a new `BlasDb` and an empty cache.
+    plan_cache: Mutex<HashMap<(String, EngineChoice), Arc<PreparedPlan>>>,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
 }
 
 impl BlasDb {
@@ -273,6 +407,9 @@ impl BlasDb {
             labels: OnceLock::new(),
             schema: OnceLock::new(),
             pool: OnceLock::new(),
+            plan_cache: Mutex::new(HashMap::new()),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -294,9 +431,15 @@ impl BlasDb {
 
     /// Run `xpath` in one call under an [`EngineChoice`]: parse →
     /// decompose (translate) → bind → lower → execute. This is the
-    /// whole pipeline of Fig. 6 behind a single method;
-    /// `EngineChoice::auto()` is the paper's recommended
-    /// configuration (Unfold on the relational engine).
+    /// whole pipeline of Fig. 6 behind a single method.
+    /// `EngineChoice::auto()` picks engine, join order, filter
+    /// placement and shard count by cost, from cardinalities the SP/SD
+    /// run directories answer in O(log n) (see [`blas_engine::opt`]).
+    ///
+    /// Resolved plans are cached per (query string, choice): a repeat
+    /// of the same query skips parse → translate → bind → lower →
+    /// cost entirely and goes straight to execution
+    /// ([`BlasDb::plan_cache_stats`] counts the hits).
     ///
     /// ```
     /// use blas::{BlasDb, EngineChoice};
@@ -307,8 +450,8 @@ impl BlasDb {
     /// assert_eq!(db.texts(&result)[0].as_deref(), Some("alpha"));
     /// ```
     pub fn query(&self, xpath: &str, choice: EngineChoice) -> Result<QueryResult, BlasError> {
-        let query = blas_xpath::parse(xpath)?;
-        self.run(&query, choice)
+        let (prepared, _) = self.prepared(xpath, choice)?;
+        Ok(self.execute_prepared(&prepared))
     }
 
     /// Run `xpath` with an explicit translator × engine choice
@@ -329,31 +472,195 @@ impl BlasDb {
     /// persistent [`BlasDb::pool`] under the executor's defaults —
     /// chain collapsing on, per-worker scratch recycling on;
     /// `shards == 1` executes sequentially without touching the pool.
+    /// This entry point has no query string to key on, so it bypasses
+    /// the plan cache and prepares the plan fresh each call.
     pub fn run(&self, query: &QueryTree, choice: EngineChoice) -> Result<QueryResult, BlasError> {
-        let plan = self.translate(query, choice.translator, choice.engine)?;
+        let prepared = self.prepare(query, choice)?;
+        Ok(self.execute_prepared(&prepared))
+    }
+
+    /// How `xpath` will execute under `choice` once every Auto
+    /// decision is resolved: chosen engine, translator, shard count
+    /// and the optimizer's cost estimate. Resolution itself goes
+    /// through (and populates) the plan cache, so inspecting a plan
+    /// is as cheap as running it and `cached` reports whether this
+    /// call hit.
+    pub fn plan_info(&self, xpath: &str, choice: EngineChoice) -> Result<PlanInfo, BlasError> {
+        let (p, cached) = self.prepared(xpath, choice)?;
+        Ok(PlanInfo {
+            engine: p.engine,
+            translator: p.translator,
+            shards: p.shards,
+            est_cost_ns: p.est_cost_ns,
+            ops: p.phys.ops().len(),
+            cached,
+        })
+    }
+
+    /// Plan-cache hit/miss counters and current size.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            entries: self.plan_cache.lock().unwrap().len(),
+        }
+    }
+
+    /// Drop every cached plan (counters keep accumulating). Mostly a
+    /// measurement aid — the store is immutable, so correctness never
+    /// requires this.
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.lock().unwrap().clear();
+    }
+
+    /// Cache-through plan resolution: return the prepared plan for
+    /// `(xpath, choice)`, preparing and inserting it on first sight.
+    /// The bool reports a cache hit.
+    fn prepared(
+        &self,
+        xpath: &str,
+        choice: EngineChoice,
+    ) -> Result<(Arc<PreparedPlan>, bool), BlasError> {
+        let key = (xpath.to_string(), choice);
+        if let Some(hit) = self.plan_cache.lock().unwrap().get(&key) {
+            self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        let query = blas_xpath::parse(xpath)?;
+        let prepared = Arc::new(self.prepare(&query, choice)?);
+        let mut map = self.plan_cache.lock().unwrap();
+        if map.len() >= PLAN_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&prepared));
+        Ok((prepared, false))
+    }
+
+    /// Resolve every Auto decision and lower to a physical plan:
+    /// manual engines lower directly; [`Engine::Auto`] prices the
+    /// candidate lowerings and keeps the cheapest.
+    fn prepare(
+        &self,
+        query: &QueryTree,
+        choice: EngineChoice,
+    ) -> Result<PreparedPlan, BlasError> {
+        if choice.engine == Engine::Auto {
+            return self.prepare_auto(query, choice);
+        }
+        let engine = choice.engine;
+        let plan = self.translate(query, choice.translator, engine)?;
         let bound = bind(&plan, &self.tags, &self.domain);
-        let phys = match choice.engine {
+        let phys = match engine {
             Engine::Rdbms => lower_plan(&bound),
             Engine::Twig => lower_twig(&TwigQuery::from_plan(&bound)?),
             Engine::TwigStack => lower_twigstack(&TwigQuery::from_plan(&bound)?),
+            Engine::Auto => unreachable!("handled above"),
         };
-        let config = self.exec_config(choice);
-        let mut stats = ExecStats::default();
-        let nodes = exec::execute(&phys, &self.store, &config, &mut stats);
-        Ok(QueryResult { nodes, stats })
+        let est = estimate_plan(&phys, &self.store, &CostModel::default());
+        Ok(PreparedPlan {
+            phys,
+            engine,
+            translator: resolved_translator(choice.translator, engine),
+            shards: choice.shards.max(1),
+            est_cost_ns: est.cost_ns,
+        })
     }
 
-    /// The executor configuration an [`EngineChoice`] maps to: the
-    /// database's persistent pool with `shards`-way scan splitting for
-    /// parallel choices (chain collapsing and per-worker scratch
-    /// caches enabled — the [`ExecConfig`] defaults), the no-pool
-    /// sequential configuration otherwise.
-    fn exec_config(&self, choice: EngineChoice) -> ExecConfig {
-        if choice.shards > 1 {
-            ExecConfig::on_pool(self.pool().clone(), choice.shards)
+    /// The cost-based path: lower every applicable candidate, price
+    /// each with run-directory cardinalities, keep the cheapest, then
+    /// derive the shard count from its largest estimated scan.
+    ///
+    /// Candidates with [`Translator::Auto`] are the paper's own
+    /// contenders — Unfold and Push-up on the relational engine
+    /// (§4.1.3 / §7), Push-up on the twig engines (§5.3.1 excludes
+    /// Unfold there: no unions). An explicit translator narrows the
+    /// race to that translator across the three engines. Candidates
+    /// whose translation or twig conversion fails (e.g. unions on a
+    /// twig engine) drop out; the relational lowering always survives.
+    fn prepare_auto(
+        &self,
+        query: &QueryTree,
+        choice: EngineChoice,
+    ) -> Result<PreparedPlan, BlasError> {
+        let model = CostModel::default();
+        let candidates: &[(Engine, Translator)] = match choice.translator {
+            Translator::Auto => &[
+                (Engine::Rdbms, Translator::Unfold),
+                (Engine::Rdbms, Translator::PushUp),
+                (Engine::Twig, Translator::PushUp),
+                (Engine::TwigStack, Translator::PushUp),
+            ],
+            t => &[(Engine::Rdbms, t), (Engine::Twig, t), (Engine::TwigStack, t)],
+        };
+        let mut best: Option<PreparedPlan> = None;
+        let mut best_max_scan = 0usize;
+        let mut first_err: Option<BlasError> = None;
+        for &(engine, translator) in candidates {
+            let plan = match self.translate(query, translator, engine) {
+                Ok(p) => p,
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                    continue;
+                }
+            };
+            let bound = bind(&plan, &self.tags, &self.domain);
+            let phys = match engine {
+                Engine::Rdbms => lower_plan_costed(&bound, &self.store, &model),
+                Engine::Twig => match TwigQuery::from_plan(&bound) {
+                    Ok(q) => lower_twig(&order_twig_joins(&q, &self.store)),
+                    Err(e) => {
+                        first_err.get_or_insert(e.into());
+                        continue;
+                    }
+                },
+                Engine::TwigStack => match TwigQuery::from_plan(&bound) {
+                    Ok(q) => lower_twigstack(&q),
+                    Err(e) => {
+                        first_err.get_or_insert(e.into());
+                        continue;
+                    }
+                },
+                Engine::Auto => unreachable!("candidates are concrete engines"),
+            };
+            let est = estimate_plan(&phys, &self.store, &model);
+            if best.as_ref().is_none_or(|b| est.cost_ns < b.est_cost_ns) {
+                best_max_scan = est.max_scan_card;
+                best = Some(PreparedPlan {
+                    phys,
+                    engine,
+                    translator,
+                    shards: 0, // resolved below
+                    est_cost_ns: est.cost_ns,
+                });
+            }
+        }
+        let Some(mut best) = best else {
+            return Err(first_err.expect("no candidates implies at least one error"));
+        };
+        best.shards = if choice.shards == 0 {
+            let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+            choose_shards(best_max_scan, workers, DEFAULT_MIN_SHARD_ELEMS)
+        } else {
+            choice.shards
+        };
+        Ok(best)
+    }
+
+    /// Execute a resolved plan: the database's persistent pool with
+    /// `shards`-way scan splitting when the plan asks for parallelism
+    /// (chain collapsing and per-worker scratch caches enabled — the
+    /// [`ExecConfig`] defaults), the no-pool sequential configuration
+    /// otherwise.
+    fn execute_prepared(&self, prepared: &PreparedPlan) -> QueryResult {
+        let config = if prepared.shards > 1 {
+            ExecConfig::on_pool(self.pool().clone(), prepared.shards)
         } else {
             ExecConfig::sequential()
-        }
+        };
+        let mut stats = ExecStats::default();
+        let nodes = exec::execute(&prepared.phys, &self.store, &config, &mut stats);
+        QueryResult { nodes, stats }
     }
 
     fn translate(
@@ -367,7 +674,9 @@ impl BlasDb {
             (Translator::Split, _) => translate_split(query)?,
             (Translator::PushUp, _) => translate_pushup(query)?,
             (Translator::Unfold, _) => translate_unfold(query, self.schema())?,
-            (Translator::Auto, Engine::Rdbms) => translate_unfold(query, self.schema())?,
+            (Translator::Auto, Engine::Rdbms | Engine::Auto) => {
+                translate_unfold(query, self.schema())?
+            }
             (Translator::Auto, Engine::Twig | Engine::TwigStack) => translate_pushup(query)?,
         })
     }
@@ -496,6 +805,19 @@ impl BlasDb {
             self.domain.num_tags() as u32,
             self.domain.digits(),
         )
+    }
+}
+
+/// The concrete translator a [`Translator::Auto`] request resolves to
+/// for a concrete engine (the §7 recommendation: Unfold where unions
+/// can run, Push-up on the twig engines).
+fn resolved_translator(translator: Translator, engine: Engine) -> Translator {
+    match translator {
+        Translator::Auto => match engine {
+            Engine::Twig | Engine::TwigStack => Translator::PushUp,
+            Engine::Rdbms | Engine::Auto => Translator::Unfold,
+        },
+        t => t,
     }
 }
 

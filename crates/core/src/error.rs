@@ -19,6 +19,9 @@ pub enum BlasError {
     Snapshot(String),
     /// A snapshot file could not be read or mapped.
     Io(String),
+    /// An execution configuration could not be parsed (e.g. an
+    /// unknown engine name passed to `EngineChoice::from_str`).
+    Config(String),
 }
 
 impl fmt::Display for BlasError {
@@ -31,6 +34,7 @@ impl fmt::Display for BlasError {
             Self::Twig(e) => write!(f, "{e}"),
             Self::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             Self::Io(msg) => write!(f, "i/o error: {msg}"),
+            Self::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
 }

@@ -37,7 +37,7 @@ mod db;
 mod error;
 
 pub use collection::{BlasCollection, DocId};
-pub use db::{BlasDb, Engine, EngineChoice, QueryResult, Translator};
+pub use db::{BlasDb, Engine, EngineChoice, PlanCacheStats, PlanInfo, QueryResult, Translator};
 pub use error::BlasError;
 
 // Re-export the executor configuration and the persistent worker pool

@@ -17,6 +17,11 @@
 //!   inline as a continuation of its producer's job, so only genuine
 //!   forks pay a queue round-trip and a µs-scale point query stays
 //!   within a constant factor of sequential even on one core.
+//! * [`opt`] — the cost-based optimizer behind `EngineChoice::Auto`:
+//!   O(log n) cardinalities from the SP/SD run directories, per-operator
+//!   ns/elem rates calibrated against the measured kernels, and the
+//!   engine/join-order/filter-placement/shard decisions derived from
+//!   them.
 //! * [`pool`] — the persistent work-stealing-lite worker pool those
 //!   jobs run on: fixed threads, one injector queue, scoped
 //!   submission, helping joins, panic propagation, and lock-free
@@ -53,6 +58,7 @@
 
 pub mod exec;
 pub mod naive;
+pub mod opt;
 pub mod physical;
 pub mod pool;
 pub mod rdbms;
@@ -63,8 +69,14 @@ pub mod twig;
 pub mod twigstack;
 
 pub use exec::{ExecConfig, ExecProbe, ProbeEvent, DEFAULT_MIN_SHARD_ELEMS};
+pub use opt::{
+    choose_shards, estimate_plan, lower_plan_costed, order_twig_joins, source_cardinality,
+    CostModel, PlanEstimate,
+};
 pub use pool::{take_scratch, JobHandle, PoolHandle, Scope, Scratch};
-pub use physical::{lower_plan, lower_twig, lower_twigstack, PhysOp, PhysPlan, TwigPattern};
+pub use physical::{
+    lower_plan, lower_plan_raw, lower_twig, lower_twigstack, PhysOp, PhysPlan, TwigPattern,
+};
 pub use rdbms::{execute_plan, execute_plan_config, execute_plan_with};
 pub use stats::ExecStats;
 pub use stream::{ExecBuffers, Labels};

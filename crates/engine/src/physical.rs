@@ -323,16 +323,31 @@ impl PhysPlan {
     /// of materializing an unfiltered copy first. Operators are
     /// renumbered; the plan stays topologically ordered.
     pub fn pushdown_filters(self) -> PhysPlan {
+        self.pushdown_filters_if(|_, _| true)
+    }
+
+    /// [`PhysPlan::pushdown_filters`] with a per-site placement
+    /// predicate: `fuse(scan, filter)` is consulted for every fuseable
+    /// (single-consumer scan, filter) pair, and only approved pairs
+    /// fuse. The cost-based optimizer ([`crate::opt`]) uses this to
+    /// decide filter placement from estimated cardinalities instead of
+    /// fusing unconditionally.
+    pub fn pushdown_filters_if(
+        self,
+        mut fuse: impl FnMut(&PhysOp, &PhysOp) -> bool,
+    ) -> PhysPlan {
         let mut consumers = vec![0usize; self.ops.len()];
         for op in &self.ops {
             op.for_each_input(|i| consumers[i] += 1);
         }
-        // A scan is fused away when its only consumer is a ValueFilter.
+        // A scan is fused away when its only consumer is a ValueFilter
+        // and the placement predicate approves the pair.
         let mut fused_into: Vec<Option<OpId>> = vec![None; self.ops.len()];
         for (id, op) in self.ops.iter().enumerate() {
             if let PhysOp::ValueFilter { input, .. } = op {
                 if consumers[*input] == 1
                     && matches!(self.ops[*input], PhysOp::ClusteredScan { .. })
+                    && fuse(&self.ops[*input], op)
                 {
                     fused_into[*input] = Some(id);
                 }
@@ -412,10 +427,18 @@ fn lower_selection(
 /// SP/SD, semi-join `⋈`s keeping the projected side, `∪` for unfolded
 /// alternatives, and a final `π(start)` materialization.
 pub fn lower_plan(bound: &BoundPlan) -> PhysPlan {
+    lower_plan_raw(bound).pushdown_filters()
+}
+
+/// [`lower_plan`] without the filter-pushdown pass: scans and their
+/// filters stay separate operators. The cost-based optimizer lowers
+/// through this entry point and then decides filter placement per site
+/// with [`PhysPlan::pushdown_filters_if`].
+pub fn lower_plan_raw(bound: &BoundPlan) -> PhysPlan {
     let mut plan = PhysPlan::empty();
     let top = lower_plan_rec(bound, &mut plan);
     plan.root = plan.push(PhysOp::Materialize { input: top });
-    plan.pushdown_filters()
+    plan
 }
 
 fn lower_plan_rec(bound: &BoundPlan, plan: &mut PhysPlan) -> OpId {

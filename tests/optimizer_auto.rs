@@ -1,0 +1,256 @@
+//! `EngineChoice::Auto` end-to-end: the cost-based optimizer must be
+//! a pure performance feature — byte-identical answers to every manual
+//! engine on random documents and queries (owned *and* mapped stores),
+//! sane pinned choices on the Fig. 10 suite (a suffix path must never
+//! fall into the 180×-slower TwigStack lowering), and a plan cache
+//! whose counters prove repeat queries skip preparation.
+
+use blas::{BlasDb, Engine, EngineChoice, Translator};
+use blas_datagen::{query_set, DatasetId};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const TAGS: &[&str] = &["a", "b", "c", "d"];
+
+/// Random document over a tiny tag alphabet, with occasional text.
+fn xml_doc() -> impl Strategy<Value = String> {
+    let leaf = (0usize..TAGS.len(), prop::option::of("[xyz]")).prop_map(|(t, txt)| match txt {
+        Some(s) => format!("<{0}>{s}</{0}>", TAGS[t]),
+        None => format!("<{}/>", TAGS[t]),
+    });
+    leaf.prop_recursive(4, 60, 4, |inner| {
+        (0usize..TAGS.len(), prop::collection::vec(inner, 1..4))
+            .prop_map(|(t, kids)| format!("<{0}>{1}</{0}>", TAGS[t], kids.concat()))
+    })
+}
+
+/// Random tree query: a spine of 1–4 steps with optional predicates
+/// and value tests.
+fn xpath_query() -> impl Strategy<Value = String> {
+    let step = (
+        prop::bool::ANY,
+        0usize..=TAGS.len(),
+        prop::option::of((0usize..TAGS.len(), prop::bool::ANY)),
+        prop::option::of("[xyz]"),
+    );
+    prop::collection::vec(step, 1..4).prop_map(|steps| {
+        let mut out = String::new();
+        let last = steps.len() - 1;
+        for (i, (deep, tag, pred, value)) in steps.into_iter().enumerate() {
+            out.push_str(if deep { "//" } else { "/" });
+            out.push_str(TAGS.get(tag).copied().unwrap_or("*"));
+            if let Some((ptag, pdeep)) = pred {
+                out.push('[');
+                if pdeep {
+                    out.push_str("//");
+                }
+                out.push_str(TAGS[ptag]);
+                out.push(']');
+            }
+            if i == last {
+                if let Some(v) = value {
+                    out.push_str(&format!("='{v}'"));
+                }
+            }
+        }
+        out
+    })
+}
+
+/// Snapshot `db` to a unique temp file and reopen it mapped.
+fn mapped_twin(db: &BlasDb) -> (BlasDb, std::path::PathBuf) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "blas_optimizer_auto_{}_{}.snap",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, db.to_snapshot()).unwrap();
+    let mapped = BlasDb::open_mapped(&path).unwrap();
+    assert!(mapped.store().is_mapped());
+    (mapped, path)
+}
+
+/// The manual engine choices Auto must agree with (the translator is
+/// the recommended one per engine; D-labeling is the baseline oracle).
+const MANUAL: [EngineChoice; 4] = [
+    EngineChoice::rdbms(),
+    EngineChoice::rdbms().with_translator(Translator::DLabeling),
+    EngineChoice::twig(),
+    EngineChoice::twigstack(),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Auto returns byte-identical nodes to every manual engine that
+    /// accepts the query, on the owned store and on a mapped snapshot
+    /// of the same document — and the two Auto runs agree with each
+    /// other (the optimizer sees identical cardinalities either way).
+    #[test]
+    fn auto_matches_every_manual_engine_owned_and_mapped(
+        src in xml_doc(),
+        qsrc in xpath_query(),
+    ) {
+        let db = BlasDb::load(&src).unwrap();
+        let (mapped, path) = mapped_twin(&db);
+
+        let auto_owned = db.query(&qsrc, EngineChoice::auto()).unwrap();
+        let auto_mapped = mapped.query(&qsrc, EngineChoice::auto()).unwrap();
+        prop_assert_eq!(&auto_owned.nodes, &auto_mapped.nodes, "owned vs mapped on {}", qsrc);
+
+        for choice in MANUAL {
+            // Some manual configurations legitimately reject a query
+            // (e.g. unions on a twig engine); Auto never does.
+            let (Ok(owned), Ok(m)) = (db.query(&qsrc, choice), mapped.query(&qsrc, choice))
+            else {
+                continue;
+            };
+            prop_assert_eq!(&auto_owned.nodes, &owned.nodes, "{} owned {:?}", qsrc, choice);
+            prop_assert_eq!(&auto_mapped.nodes, &m.nodes, "{} mapped {:?}", qsrc, choice);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// An explicit translator narrows the candidate race without
+    /// changing answers.
+    #[test]
+    fn auto_with_explicit_translator_agrees(src in xml_doc(), qsrc in xpath_query()) {
+        let db = BlasDb::load(&src).unwrap();
+        let expected = db
+            .query(&qsrc, EngineChoice::rdbms().with_translator(Translator::DLabeling))
+            .unwrap();
+        let auto = db
+            .query(&qsrc, EngineChoice::auto().with_translator(Translator::DLabeling))
+            .unwrap();
+        prop_assert_eq!(&auto.nodes, &expected.nodes, "{}", qsrc);
+    }
+}
+
+/// Pin the optimizer's choices on the nine Fig. 10 queries: the
+/// literal TwigStack lowering (measured 25–180× slower) must never
+/// win, every Auto decision must be fully resolved, and the answers
+/// must match the manual engines.
+#[test]
+fn fig10_choices_are_pinned_and_correct() {
+    for ds in DatasetId::ALL {
+        let db = BlasDb::load(&ds.generate(1)).unwrap();
+        for q in query_set(ds) {
+            let info = db.plan_info(q.xpath, EngineChoice::auto()).unwrap();
+            assert_ne!(
+                info.engine,
+                Engine::TwigStack,
+                "{}: twigstack must never be picked (est {} ns)",
+                q.id,
+                info.est_cost_ns
+            );
+            assert_ne!(info.engine, Engine::Auto, "{}: engine must be resolved", q.id);
+            assert_ne!(info.translator, Translator::Auto, "{}: translator must be resolved", q.id);
+            assert!(info.shards >= 1, "{}: shards must be resolved", q.id);
+            assert!(info.ops > 0 && info.est_cost_ns > 0.0, "{}", q.id);
+
+            let auto = db.query(q.xpath, EngineChoice::auto()).unwrap();
+            let rdbms = db.query(q.xpath, EngineChoice::rdbms()).unwrap();
+            assert_eq!(auto.nodes, rdbms.nodes, "{}", q.id);
+            if let Ok(twig) = db.query(q.xpath, EngineChoice::twig()) {
+                assert_eq!(auto.nodes, twig.nodes, "{}", q.id);
+            }
+        }
+    }
+}
+
+/// QA1 is the paper's flagship suffix path: one clustered P-label
+/// range scan. The optimizer must keep it on the relational lowering
+/// (twig ties at best, and twigstack prices ~3 orders worse).
+#[test]
+fn qa1_suffix_path_picks_the_relational_lowering() {
+    let db = BlasDb::load(&DatasetId::Auction.generate(1)).unwrap();
+    let qa1 = query_set(DatasetId::Auction)[0];
+    assert_eq!(qa1.id, "QA1");
+    let info = db.plan_info(qa1.xpath, EngineChoice::auto()).unwrap();
+    assert_eq!(info.engine, Engine::Rdbms, "{info:?}");
+}
+
+/// Point queries must never be sharded onto the pool, whatever the
+/// machine's core count; an explicit shard request is respected.
+#[test]
+fn shard_choice_respects_size_gate_and_overrides() {
+    let db = BlasDb::load("<db><e><n>x</n></e></db>").unwrap();
+    let info = db.plan_info("/db/e/n", EngineChoice::auto()).unwrap();
+    assert_eq!(info.shards, 1, "point query stays sequential: {info:?}");
+    let forced = db.plan_info("/db/e/n", EngineChoice::auto().with_shards(4)).unwrap();
+    assert_eq!(forced.shards, 4);
+    let r = db.query("/db/e/n", EngineChoice::auto().with_shards(4)).unwrap();
+    assert_eq!(r.nodes.len(), 1);
+}
+
+/// The plan cache, counter-verified: the second identical query hits;
+/// a different choice or a cleared cache misses.
+#[test]
+fn plan_cache_hits_are_counted() {
+    let db = BlasDb::load("<db><e><n>x</n></e><e><n>y</n></e></db>").unwrap();
+    let s0 = db.plan_cache_stats();
+    assert_eq!((s0.hits, s0.misses, s0.entries), (0, 0, 0));
+
+    let first = db.query("/db/e/n", EngineChoice::auto()).unwrap();
+    let s1 = db.plan_cache_stats();
+    assert_eq!((s1.hits, s1.misses, s1.entries), (0, 1, 1));
+
+    let second = db.query("/db/e/n", EngineChoice::auto()).unwrap();
+    assert_eq!(first.nodes, second.nodes);
+    let s2 = db.plan_cache_stats();
+    assert_eq!((s2.hits, s2.misses), (1, 1));
+
+    // plan_info resolves through the same cache.
+    let info = db.plan_info("/db/e/n", EngineChoice::auto()).unwrap();
+    assert!(info.cached);
+    assert_eq!(db.plan_cache_stats().hits, 2);
+
+    // A different choice is a different plan.
+    let _ = db.query("/db/e/n", EngineChoice::twig()).unwrap();
+    let s3 = db.plan_cache_stats();
+    assert_eq!((s3.hits, s3.misses, s3.entries), (2, 2, 2));
+
+    // Clearing drops entries but keeps the counters accumulating.
+    db.clear_plan_cache();
+    assert_eq!(db.plan_cache_stats().entries, 0);
+    let _ = db.query("/db/e/n", EngineChoice::auto()).unwrap();
+    let s4 = db.plan_cache_stats();
+    assert_eq!((s4.hits, s4.misses, s4.entries), (2, 3, 1));
+    assert!(s4.hit_rate() > 0.0 && s4.hit_rate() < 1.0);
+
+    // An unparsable query errors without poisoning the cache.
+    assert!(db.query("e/n", EngineChoice::auto()).is_err());
+    assert_eq!(db.plan_cache_stats().entries, 1);
+}
+
+/// `run` (pre-parsed trees) has no string key and must bypass the
+/// cache entirely.
+#[test]
+fn run_bypasses_the_plan_cache() {
+    let db = BlasDb::load("<db><e><n>x</n></e></db>").unwrap();
+    let q = blas_xpath::parse("/db/e/n").unwrap();
+    let r1 = db.run(&q, EngineChoice::auto()).unwrap();
+    let r2 = db.run(&q, EngineChoice::auto()).unwrap();
+    assert_eq!(r1.nodes, r2.nodes);
+    let s = db.plan_cache_stats();
+    assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+}
+
+/// The engine-name round-trip the fig bins rely on.
+#[test]
+fn engine_choice_parses_and_displays() {
+    for (token, choice) in [
+        ("auto", EngineChoice::auto()),
+        ("rdbms", EngineChoice::rdbms()),
+        ("twig", EngineChoice::twig()),
+        ("twigstack", EngineChoice::twigstack()),
+    ] {
+        let parsed: EngineChoice = token.parse().unwrap();
+        assert_eq!(parsed, choice);
+        assert_eq!(parsed.to_string(), token);
+    }
+    assert!("".parse::<EngineChoice>().is_err());
+    assert!("Auto".parse::<EngineChoice>().is_err(), "tokens are lowercase");
+    assert!("sql".parse::<EngineChoice>().is_err());
+}
