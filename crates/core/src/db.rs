@@ -15,6 +15,15 @@
 //! columns; the document tree, the schema graph and the per-node label
 //! vectors are *derived* views, rebuilt lazily on first use (only the
 //! Unfold translator and the debugging accessors need them).
+//!
+//! A database is **mutable** after open: [`BlasDb::insert_subtree`],
+//! [`BlasDb::delete`] and [`BlasDb::retag`] record edits in a delta
+//! layer over the immutable base columns
+//! ([`blas_storage::delta`]) and publish the result as the next
+//! *generation* — an atomic swap readers never block on. A reader
+//! pins a generation with [`BlasDb::snapshot`] and sees exactly that
+//! state for as long as it holds the handle; [`BlasDb::compact`]
+//! folds the accumulated delta into fresh base columns.
 
 use crate::error::BlasError;
 use blas_engine::{
@@ -23,18 +32,18 @@ use blas_engine::{
     TwigQuery, DEFAULT_MIN_SHARD_ELEMS,
 };
 use blas_labeling::{label_document, DLabel, DocumentLabels, PLabelDomain};
-use blas_storage::{MappedBytes, NodeStore, RecordView};
+use blas_storage::{DeltaEdits, MappedBytes, NodeRecord, NodeStore};
 use blas_translate::{
     bind, render_algebra, render_sql, translate_dlabeling, translate_pushup, translate_split,
     translate_unfold, Plan,
 };
-use blas_xml::{DocStats, Document, SchemaGraph, TagInterner};
+use blas_xml::{DocStats, Document, NodeId, SchemaGraph, TagId, TagInterner};
 use blas_xpath::QueryTree;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Which query translation algorithm to run (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -295,6 +304,93 @@ impl PlanCacheStats {
 /// would be dead weight until a serving layer needs one).
 const PLAN_CACHE_CAP: usize = 1024;
 
+/// One published generation of the database: an immutable store (base
+/// columns ⊎ delta) plus the derived views — document tree, label
+/// vectors, schema graph — rebuilt lazily against exactly this
+/// generation. Readers pin a generation through [`BlasDb::snapshot`];
+/// the `Arc` keeps its columns alive however many generations the
+/// writer publishes meanwhile.
+#[derive(Debug)]
+struct DbGen {
+    /// Monotone generation counter; 0 is the state at open.
+    number: u64,
+    store: NodeStore,
+    doc: OnceLock<Document>,
+    labels: OnceLock<DocumentLabels>,
+    schema: OnceLock<SchemaGraph>,
+}
+
+impl DbGen {
+    fn new(number: u64, store: NodeStore) -> Self {
+        Self {
+            number,
+            store,
+            doc: OnceLock::new(),
+            labels: OnceLock::new(),
+            schema: OnceLock::new(),
+        }
+    }
+}
+
+/// The writer's private side of the generation machinery, serialized
+/// by one mutex: mutations and compactions hold it for their whole
+/// validate → rebuild → publish span; readers never touch it.
+#[derive(Debug)]
+struct WriterState {
+    /// The delta-free store the cumulative edit log replays onto.
+    /// Starts as the store at open; each compaction replaces it with
+    /// the freshly folded columns.
+    base_store: NodeStore,
+    /// The cumulative edit log since the last compaction.
+    edits: DeltaEdits,
+}
+
+/// Observable size of the mutable delta layer
+/// ([`BlasDb::delta_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Generation the counters describe.
+    pub generation: u64,
+    /// Inserted tuples pending compaction.
+    pub inserted: usize,
+    /// Tombstoned base rows pending compaction.
+    pub deleted: usize,
+    /// Retag operations folded into the edit log.
+    pub retags: u32,
+    /// Completed compactions over this database's lifetime.
+    pub compactions: u64,
+}
+
+/// A pinned read view of one generation ([`BlasDb::snapshot`]):
+/// queries on this handle all answer from the same store, immune to
+/// concurrent mutations and compactions. Cheap to create (one atomic
+/// ref-count bump under a read lock) and freely sendable across
+/// threads.
+#[derive(Debug)]
+pub struct DbSnapshot<'a> {
+    db: &'a BlasDb,
+    gen: Arc<DbGen>,
+}
+
+impl DbSnapshot<'_> {
+    /// The pinned generation number.
+    pub fn generation(&self) -> u64 {
+        self.gen.number
+    }
+
+    /// The pinned generation's tuple store (base ⊎ delta).
+    pub fn store(&self) -> &NodeStore {
+        &self.gen.store
+    }
+
+    /// Run `xpath` against the pinned generation — same pipeline and
+    /// plan cache as [`BlasDb::query`], keyed by this generation.
+    pub fn query(&self, xpath: &str, choice: EngineChoice) -> Result<QueryResult, BlasError> {
+        let (prepared, _) = self.db.prepared(&self.gen, xpath, choice)?;
+        Ok(self.db.execute_prepared(&self.gen, &prepared))
+    }
+}
+
 /// A loaded, labeled, indexed XML document — the unit of querying.
 ///
 /// Only the clustered store, the tag table and the P-label domain are
@@ -303,23 +399,35 @@ const PLAN_CACHE_CAP: usize = 1024;
 /// [`BlasDb::open_mapped`] return in O(1)).
 #[derive(Debug)]
 pub struct BlasDb {
-    store: NodeStore,
     tags: TagInterner,
     domain: PLabelDomain,
-    doc: OnceLock<Document>,
-    labels: OnceLock<DocumentLabels>,
-    schema: OnceLock<SchemaGraph>,
+    /// Generation 0 — the immutable state this database opened with.
+    /// Kept alongside `current` so the borrow-returning accessors
+    /// ([`BlasDb::store`], [`BlasDb::document`], [`BlasDb::labels`],
+    /// [`BlasDb::schema`]) have a stable address to borrow from.
+    base: Arc<DbGen>,
+    /// The latest published generation. Readers clone the `Arc` out
+    /// without holding the lock across a query; the writer swaps it
+    /// under [`BlasDb::writer`].
+    current: RwLock<Arc<DbGen>>,
+    /// Serializes mutations and compaction.
+    writer: Mutex<WriterState>,
     /// The persistent worker pool parallel queries execute on; created
     /// on the first parallel query and shared by every query (and
     /// every thread querying this database) thereafter.
     pool: OnceLock<PoolHandle>,
-    /// Resolved plans keyed by (query string, requested choice). The
-    /// store behind a `BlasDb` is immutable, so entries never go
-    /// stale: the cache's lifetime *is* the invalidation rule — a new
-    /// snapshot or document means a new `BlasDb` and an empty cache.
-    plan_cache: Mutex<HashMap<(String, EngineChoice), Arc<PreparedPlan>>>,
+    /// Resolved plans keyed by (query string, requested choice,
+    /// generation). PR 7 keyed on the first two and leaned on store
+    /// immutability for freshness; with mutations the generation
+    /// number *is* the invalidation rule — every edit publishes a new
+    /// generation, so the next lookup misses and re-costs against the
+    /// delta-adjusted cardinalities. Publishing prunes entries of
+    /// superseded generations.
+    plan_cache: Mutex<HashMap<(String, EngineChoice, u64), Arc<PreparedPlan>>>,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    /// Completed delta-folding compactions ([`BlasDb::compact`]).
+    compactions: AtomicU64,
 }
 
 impl BlasDb {
@@ -337,8 +445,8 @@ impl BlasDb {
         let tags = doc.tags().clone();
         let domain = labels.domain;
         let db = Self::assemble(store, tags, domain);
-        let _ = db.doc.set(doc);
-        let _ = db.labels.set(labels);
+        let _ = db.base.doc.set(doc);
+        let _ = db.base.labels.set(labels);
         Ok(db)
     }
 
@@ -356,8 +464,8 @@ impl BlasDb {
         let db = Self::assemble(store, tags, domain);
         // Materialize (and thereby validate) the tree now, preserving
         // this path's historical load-time strictness.
-        let doc = document_from_store(&db.store, &db.tags)?;
-        let _ = db.doc.set(doc);
+        let doc = document_from_store(&db.base.store, &db.tags)?;
+        let _ = db.base.doc.set(doc);
         Ok(db)
     }
 
@@ -399,18 +507,39 @@ impl BlasDb {
     }
 
     fn assemble(store: NodeStore, tags: TagInterner, domain: PLabelDomain) -> Self {
+        let base = Arc::new(DbGen::new(0, store.clone()));
         Self {
-            store,
             tags,
             domain,
-            doc: OnceLock::new(),
-            labels: OnceLock::new(),
-            schema: OnceLock::new(),
+            current: RwLock::new(Arc::clone(&base)),
+            base,
+            writer: Mutex::new(WriterState { base_store: store, edits: DeltaEdits::new() }),
             pool: OnceLock::new(),
             plan_cache: Mutex::new(HashMap::new()),
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
         }
+    }
+
+    /// The latest published generation, pinned.
+    fn current_gen(&self) -> Arc<DbGen> {
+        Arc::clone(&self.current.read().unwrap())
+    }
+
+    /// A generation's document tree, rebuilt from its columns on first
+    /// use and cached for the generation's lifetime.
+    fn gen_document<'a>(&'a self, gen: &'a DbGen) -> &'a Document {
+        gen.doc.get_or_init(|| {
+            document_from_store(&gen.store, &self.tags)
+                .expect("published generations encode a consistent tree")
+        })
+    }
+
+    /// A generation's schema graph (the Unfold translator's input),
+    /// inferred from that generation's instance.
+    fn gen_schema<'a>(&'a self, gen: &'a DbGen) -> &'a SchemaGraph {
+        gen.schema.get_or_init(|| SchemaGraph::infer(self.gen_document(gen)))
     }
 
     /// The persistent worker pool shared by every parallel query
@@ -436,10 +565,13 @@ impl BlasDb {
     /// placement and shard count by cost, from cardinalities the SP/SD
     /// run directories answer in O(log n) (see [`blas_engine::opt`]).
     ///
-    /// Resolved plans are cached per (query string, choice): a repeat
-    /// of the same query skips parse → translate → bind → lower →
-    /// cost entirely and goes straight to execution
-    /// ([`BlasDb::plan_cache_stats`] counts the hits).
+    /// Resolved plans are cached per (query string, choice,
+    /// generation): a repeat of the same query against an unchanged
+    /// database skips parse → translate → bind → lower → cost entirely
+    /// and goes straight to execution ([`BlasDb::plan_cache_stats`]
+    /// counts the hits). A mutation publishes a new generation, so the
+    /// next occurrence re-costs against the delta-adjusted
+    /// cardinalities.
     ///
     /// ```
     /// use blas::{BlasDb, EngineChoice};
@@ -450,8 +582,9 @@ impl BlasDb {
     /// assert_eq!(db.texts(&result)[0].as_deref(), Some("alpha"));
     /// ```
     pub fn query(&self, xpath: &str, choice: EngineChoice) -> Result<QueryResult, BlasError> {
-        let (prepared, _) = self.prepared(xpath, choice)?;
-        Ok(self.execute_prepared(&prepared))
+        let gen = self.current_gen();
+        let (prepared, _) = self.prepared(&gen, xpath, choice)?;
+        Ok(self.execute_prepared(&gen, &prepared))
     }
 
     /// Run `xpath` with an explicit translator × engine choice
@@ -475,8 +608,9 @@ impl BlasDb {
     /// This entry point has no query string to key on, so it bypasses
     /// the plan cache and prepares the plan fresh each call.
     pub fn run(&self, query: &QueryTree, choice: EngineChoice) -> Result<QueryResult, BlasError> {
-        let prepared = self.prepare(query, choice)?;
-        Ok(self.execute_prepared(&prepared))
+        let gen = self.current_gen();
+        let prepared = self.prepare(&gen, query, choice)?;
+        Ok(self.execute_prepared(&gen, &prepared))
     }
 
     /// How `xpath` will execute under `choice` once every Auto
@@ -486,7 +620,8 @@ impl BlasDb {
     /// is as cheap as running it and `cached` reports whether this
     /// call hit.
     pub fn plan_info(&self, xpath: &str, choice: EngineChoice) -> Result<PlanInfo, BlasError> {
-        let (p, cached) = self.prepared(xpath, choice)?;
+        let gen = self.current_gen();
+        let (p, cached) = self.prepared(&gen, xpath, choice)?;
         Ok(PlanInfo {
             engine: p.engine,
             translator: p.translator,
@@ -506,29 +641,30 @@ impl BlasDb {
         }
     }
 
-    /// Drop every cached plan (counters keep accumulating). Mostly a
-    /// measurement aid — the store is immutable, so correctness never
-    /// requires this.
+    /// Drop every cached plan (counters keep accumulating). Purely a
+    /// measurement aid — generation-keyed entries never go stale, so
+    /// correctness never requires this, even under mutation.
     pub fn clear_plan_cache(&self) {
         self.plan_cache.lock().unwrap().clear();
     }
 
     /// Cache-through plan resolution: return the prepared plan for
-    /// `(xpath, choice)`, preparing and inserting it on first sight.
-    /// The bool reports a cache hit.
+    /// `(xpath, choice)` against `gen`, preparing and inserting it on
+    /// first sight. The bool reports a cache hit.
     fn prepared(
         &self,
+        gen: &DbGen,
         xpath: &str,
         choice: EngineChoice,
     ) -> Result<(Arc<PreparedPlan>, bool), BlasError> {
-        let key = (xpath.to_string(), choice);
+        let key = (xpath.to_string(), choice, gen.number);
         if let Some(hit) = self.plan_cache.lock().unwrap().get(&key) {
             self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(hit), true));
         }
         self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
         let query = blas_xpath::parse(xpath)?;
-        let prepared = Arc::new(self.prepare(&query, choice)?);
+        let prepared = Arc::new(self.prepare(gen, &query, choice)?);
         let mut map = self.plan_cache.lock().unwrap();
         if map.len() >= PLAN_CACHE_CAP {
             map.clear();
@@ -542,14 +678,15 @@ impl BlasDb {
     /// candidate lowerings and keeps the cheapest.
     fn prepare(
         &self,
+        gen: &DbGen,
         query: &QueryTree,
         choice: EngineChoice,
     ) -> Result<PreparedPlan, BlasError> {
         if choice.engine == Engine::Auto {
-            return self.prepare_auto(query, choice);
+            return self.prepare_auto(gen, query, choice);
         }
         let engine = choice.engine;
-        let plan = self.translate(query, choice.translator, engine)?;
+        let plan = self.translate(gen, query, choice.translator, engine)?;
         let bound = bind(&plan, &self.tags, &self.domain);
         let phys = match engine {
             Engine::Rdbms => lower_plan(&bound),
@@ -557,7 +694,7 @@ impl BlasDb {
             Engine::TwigStack => lower_twigstack(&TwigQuery::from_plan(&bound)?),
             Engine::Auto => unreachable!("handled above"),
         };
-        let est = estimate_plan(&phys, &self.store, &CostModel::default());
+        let est = estimate_plan(&phys, &gen.store, &CostModel::default());
         Ok(PreparedPlan {
             phys,
             engine,
@@ -580,6 +717,7 @@ impl BlasDb {
     /// twig engine) drop out; the relational lowering always survives.
     fn prepare_auto(
         &self,
+        gen: &DbGen,
         query: &QueryTree,
         choice: EngineChoice,
     ) -> Result<PreparedPlan, BlasError> {
@@ -597,7 +735,7 @@ impl BlasDb {
         let mut best_max_scan = 0usize;
         let mut first_err: Option<BlasError> = None;
         for &(engine, translator) in candidates {
-            let plan = match self.translate(query, translator, engine) {
+            let plan = match self.translate(gen, query, translator, engine) {
                 Ok(p) => p,
                 Err(e) => {
                     first_err.get_or_insert(e);
@@ -606,9 +744,9 @@ impl BlasDb {
             };
             let bound = bind(&plan, &self.tags, &self.domain);
             let phys = match engine {
-                Engine::Rdbms => lower_plan_costed(&bound, &self.store, &model),
+                Engine::Rdbms => lower_plan_costed(&bound, &gen.store, &model),
                 Engine::Twig => match TwigQuery::from_plan(&bound) {
-                    Ok(q) => lower_twig(&order_twig_joins(&q, &self.store)),
+                    Ok(q) => lower_twig(&order_twig_joins(&q, &gen.store)),
                     Err(e) => {
                         first_err.get_or_insert(e.into());
                         continue;
@@ -623,7 +761,7 @@ impl BlasDb {
                 },
                 Engine::Auto => unreachable!("candidates are concrete engines"),
             };
-            let est = estimate_plan(&phys, &self.store, &model);
+            let est = estimate_plan(&phys, &gen.store, &model);
             if best.as_ref().is_none_or(|b| est.cost_ns < b.est_cost_ns) {
                 best_max_scan = est.max_scan_card;
                 best = Some(PreparedPlan {
@@ -652,19 +790,20 @@ impl BlasDb {
     /// (chain collapsing and per-worker scratch caches enabled — the
     /// [`ExecConfig`] defaults), the no-pool sequential configuration
     /// otherwise.
-    fn execute_prepared(&self, prepared: &PreparedPlan) -> QueryResult {
+    fn execute_prepared(&self, gen: &DbGen, prepared: &PreparedPlan) -> QueryResult {
         let config = if prepared.shards > 1 {
             ExecConfig::on_pool(self.pool().clone(), prepared.shards)
         } else {
             ExecConfig::sequential()
         };
         let mut stats = ExecStats::default();
-        let nodes = exec::execute(&prepared.phys, &self.store, &config, &mut stats);
+        let nodes = exec::execute(&prepared.phys, &gen.store, &config, &mut stats);
         QueryResult { nodes, stats }
     }
 
     fn translate(
         &self,
+        gen: &DbGen,
         query: &QueryTree,
         translator: Translator,
         engine: Engine,
@@ -673,18 +812,19 @@ impl BlasDb {
             (Translator::DLabeling, _) => translate_dlabeling(query)?,
             (Translator::Split, _) => translate_split(query)?,
             (Translator::PushUp, _) => translate_pushup(query)?,
-            (Translator::Unfold, _) => translate_unfold(query, self.schema())?,
+            (Translator::Unfold, _) => translate_unfold(query, self.gen_schema(gen))?,
             (Translator::Auto, Engine::Rdbms | Engine::Auto) => {
-                translate_unfold(query, self.schema())?
+                translate_unfold(query, self.gen_schema(gen))?
             }
             (Translator::Auto, Engine::Twig | Engine::TwigStack) => translate_pushup(query)?,
         })
     }
 
-    /// The symbolic logical plan a translator produces for `xpath`.
+    /// The symbolic logical plan a translator produces for `xpath`
+    /// (against the current generation's schema).
     pub fn plan(&self, xpath: &str, translator: Translator) -> Result<Plan, BlasError> {
         let query = blas_xpath::parse(xpath)?;
-        self.translate(&query, translator, Engine::Rdbms)
+        self.translate(&self.current_gen(), &query, translator, Engine::Rdbms)
     }
 
     /// The Fig.-11-style relational algebra for `xpath` under a
@@ -703,25 +843,37 @@ impl BlasDb {
         Ok(render_sql(&bound))
     }
 
-    /// Fetch the stored tuples for a result (document order), as
-    /// zero-copy column views resolved by direct start-rank lookup (a
-    /// binary search over the start-ordered column — no per-result B+
-    /// tree descent).
-    pub fn records<'a>(&'a self, result: &QueryResult) -> Vec<RecordView<'a>> {
+    /// Fetch the stored tuples for a result (document order), resolved
+    /// by direct start-rank lookup against the **current generation**
+    /// (a binary search over the start-ordered column — no per-result
+    /// B+ tree descent). Returned owned: the generation handle cannot
+    /// be borrowed out, and a result fetched across a concurrent
+    /// mutation simply drops the nodes that no longer exist.
+    pub fn records(&self, result: &QueryResult) -> Vec<NodeRecord> {
+        let gen = self.current_gen();
         result
             .nodes
             .iter()
-            .filter_map(|l| self.store.row_of_start(l.start).map(|row| self.store.record(row)))
+            .filter_map(|l| {
+                gen.store.row_of_start(l.start).map(|row| {
+                    let r = gen.store.record(row);
+                    NodeRecord {
+                        plabel: r.plabel,
+                        start: r.start,
+                        end: r.end,
+                        level: r.level,
+                        tag: r.tag,
+                        data: r.data.map(str::to_string),
+                    }
+                })
+            })
             .collect()
     }
 
     /// Text values of a result's nodes (document order; `None` for
     /// nodes with no PCDATA).
     pub fn texts(&self, result: &QueryResult) -> Vec<Option<String>> {
-        self.records(result)
-            .into_iter()
-            .map(|r| r.data.map(str::to_string))
-            .collect()
+        self.records(result).into_iter().map(|r| r.data).collect()
     }
 
     /// Tag names of a result's nodes.
@@ -745,10 +897,12 @@ impl BlasDb {
         &self.tags
     }
 
-    /// The parsed document. For snapshot-born databases the tree is
-    /// **rebuilt from the stored D-labels on first call** (tuples in
-    /// start order nest by their intervals) and cached; query execution
-    /// itself never needs it.
+    /// The parsed document **as of generation 0** (the state at open).
+    /// For snapshot-born databases the tree is **rebuilt from the
+    /// stored D-labels on first call** (tuples in start order nest by
+    /// their intervals) and cached; query execution itself never needs
+    /// it. Mutations do not change what this returns — pin a
+    /// generation with [`BlasDb::snapshot`] for post-edit state.
     ///
     /// # Panics
     ///
@@ -757,37 +911,40 @@ impl BlasDb {
     /// [`blas_storage::snapshot::verify_checksum`] both reject such
     /// inputs with typed errors instead.
     pub fn document(&self) -> &Document {
-        self.doc.get_or_init(|| {
-            document_from_store(&self.store, &self.tags)
-                .expect("snapshot columns encode a consistent tree")
-        })
+        self.gen_document(&self.base)
     }
 
-    /// The bi-labeling of every node, indexed by `NodeId`. Derived
-    /// lazily from the store's columns for snapshot-born databases
-    /// (node ids are assigned in document order, which is row order).
+    /// The bi-labeling of every node **as of generation 0**, indexed
+    /// by `NodeId`. Derived lazily from the store's columns for
+    /// snapshot-born databases (node ids are assigned in document
+    /// order, which is row order).
     pub fn labels(&self) -> &DocumentLabels {
-        self.labels.get_or_init(|| DocumentLabels {
-            dlabels: self.store.doc_labels_vec(),
-            plabels: self.store.doc_plabels_vec(),
+        self.base.labels.get_or_init(|| DocumentLabels {
+            dlabels: self.base.store.doc_labels_vec(),
+            plabels: self.base.store.doc_plabels_vec(),
             domain: self.domain,
         })
     }
 
-    /// The P-label domain shared by nodes and queries.
+    /// The P-label domain shared by nodes and queries. Fixed for the
+    /// database's lifetime — which is why mutations may only use tags
+    /// already in the table.
     pub fn domain(&self) -> &PLabelDomain {
         &self.domain
     }
 
-    /// The indexed tuple store.
+    /// The indexed tuple store **as of generation 0**. Use
+    /// [`DbSnapshot::store`] for the store of the current (or a
+    /// pinned) generation after mutations.
     pub fn store(&self) -> &NodeStore {
-        &self.store
+        &self.base.store
     }
 
-    /// The schema graph, inferred from the instance on first use (the
-    /// Unfold translator's input).
+    /// The schema graph **as of generation 0**, inferred from the
+    /// instance on first use (the Unfold translator's input). Queries
+    /// translate against their own generation's schema.
     pub fn schema(&self) -> &SchemaGraph {
-        self.schema.get_or_init(|| SchemaGraph::infer(self.document()))
+        self.gen_schema(&self.base)
     }
 
     /// Serialize the labeled, indexed form of this database — the
@@ -796,16 +953,398 @@ impl BlasDb {
     /// of [`blas_storage::snapshot`]. Restore with
     /// [`BlasDb::from_snapshot`] (full decode) or write to a file and
     /// reopen with [`BlasDb::open_mapped`] (zero decode).
+    ///
+    /// Serializes the **current generation**; a live delta is folded
+    /// into fresh columns first (the snapshot format stores base
+    /// columns only), so the bytes are identical to those of a
+    /// database compacted before the call.
     pub fn to_snapshot(&self) -> Vec<u8> {
+        let gen = self.current_gen();
         let tag_names: Vec<String> =
             self.tags.iter().map(|(_, n)| n.to_string()).collect();
+        let folded;
+        let store = if gen.store.delta().is_some_and(|d| !d.is_noop()) {
+            folded = NodeStore::from_records(materialize(&gen.store));
+            &folded
+        } else {
+            &gen.store
+        };
         blas_storage::snapshot::encode_store(
-            &self.store,
+            store,
             &tag_names,
             self.domain.num_tags() as u32,
             self.domain.digits(),
         )
     }
+
+    /// Pin the current generation for a sequence of reads: queries on
+    /// the returned handle all see this one state, however many
+    /// mutations or compactions other threads publish meanwhile.
+    ///
+    /// ```
+    /// use blas::{BlasDb, EngineChoice};
+    ///
+    /// let db = BlasDb::load("<db><e><n>x</n></e></db>").unwrap();
+    /// let before = db.snapshot();
+    /// db.insert_subtree(0, "<e><n>y</n></e>").unwrap();
+    /// // The pinned view still answers from the pre-insert state.
+    /// assert_eq!(before.query("/db/e/n", EngineChoice::auto()).unwrap().nodes.len(), 1);
+    /// assert_eq!(db.query("/db/e/n", EngineChoice::auto()).unwrap().nodes.len(), 2);
+    /// ```
+    pub fn snapshot(&self) -> DbSnapshot<'_> {
+        DbSnapshot { db: self, gen: self.current_gen() }
+    }
+
+    /// The current generation number: 0 at open, +1 per successful
+    /// mutation or compaction.
+    pub fn generation(&self) -> u64 {
+        self.current.read().unwrap().number
+    }
+
+    /// Size of the mutable layer on the current generation, plus the
+    /// lifetime compaction count.
+    pub fn delta_stats(&self) -> DeltaStats {
+        let gen = self.current_gen();
+        let (inserted, deleted, retags) = gen
+            .store
+            .delta()
+            .map_or((0, 0, 0), |d| (d.inserted_len(), d.deleted_len(), d.retag_count()));
+        DeltaStats {
+            generation: gen.number,
+            inserted,
+            deleted,
+            retags,
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Append a parsed XML fragment as the **last child** of the node
+    /// whose D-label starts at unit `parent_start`, publishing the
+    /// result as the next generation (returned). Readers holding a
+    /// [`DbSnapshot`] are unaffected; new queries see the insert.
+    ///
+    /// Two structural restrictions follow from the labeling schemes:
+    ///
+    /// * D-label unit positions are append-only (deletes never reclaim
+    ///   them), so the target must lie on the **rightmost spine** —
+    ///   its interval must end exactly `level − 1` units before the
+    ///   document watermark. The parent and its ancestors stretch by
+    ///   the fragment's unit count; no other node moves.
+    /// * Every fragment tag must already exist in the tag table: the
+    ///   P-label domain's positional base is fixed at load, and a new
+    ///   tag would renumber every existing P-label. Likewise the
+    ///   fragment may not deepen the tree past the domain's `H − 1`
+    ///   levels: a node at level `L` is addressed by an anchored
+    ///   source path of `L` tags plus the `/` digit, and a deeper node
+    ///   would fall outside every path interval the translators emit.
+    pub fn insert_subtree(&self, parent_start: u32, xml: &str) -> Result<u64, BlasError> {
+        let frag = Document::parse(xml)?;
+        let mut tag_map = Vec::with_capacity(frag.tags().len());
+        for (_, name) in frag.tags().iter() {
+            let Some(tag) = self.tags.get(name) else {
+                return Err(BlasError::Mutation(format!(
+                    "tag {name:?} is not in the tag table; the P-label domain is fixed at load"
+                )));
+            };
+            tag_map.push(tag);
+        }
+        let mut ws = self.writer.lock().unwrap();
+        // Stable while we hold the writer lock: publications happen
+        // only under it.
+        let gen = self.current_gen();
+        let Some((_, parent)) = gen.store.get_by_start(parent_start) else {
+            return Err(BlasError::Mutation(format!(
+                "no live node starts at unit {parent_start}"
+            )));
+        };
+        let (p_plabel, p_end, p_level) = (parent.plabel, parent.end, parent.level);
+        let watermark = watermark(&gen.store);
+        if watermark - p_end != u32::from(p_level - 1) {
+            return Err(BlasError::Mutation(format!(
+                "node [{parent_start}, {p_end}] at level {p_level} is not on the rightmost \
+                 spine (watermark {watermark}); D-label unit positions are append-only"
+            )));
+        }
+        let max_level = self.domain.digits() - 1;
+        if u32::from(p_level) + u32::from(frag.depth()) > max_level {
+            return Err(BlasError::Mutation(format!(
+                "a fragment of depth {} under a level-{p_level} node exceeds the P-label \
+                 domain's {max_level}-level capacity, fixed at load",
+                frag.depth()
+            )));
+        }
+        // Label the fragment starting at the parent's (displaced) end
+        // unit — start tag, text datum and end tag one unit each, as
+        // in `blas_labeling::assign_dlabels` — with P-labels by the
+        // incremental identity of Algorithm 2.
+        let mut new_recs = Vec::with_capacity(frag.len());
+        let mut unit = p_end;
+        label_fragment(
+            &frag,
+            frag.root(),
+            p_plabel,
+            p_level + 1,
+            &mut unit,
+            self.domain.base(),
+            self.domain.digits(),
+            &tag_map,
+            &mut new_recs,
+        );
+        let grown = unit - p_end;
+        // The parent and every ancestor stretch around the fragment:
+        // displace and re-insert with the end pushed out. (Exactly the
+        // live nodes whose interval contains the parent's end unit.)
+        let spine: Vec<u32> = gen
+            .store
+            .scan_all()
+            .filter(|(_, r)| r.start <= parent_start && r.end >= p_end)
+            .map(|(_, r)| r.start)
+            .collect();
+        let mut edits = ws.edits.clone();
+        for s in spine {
+            let mut rec = ws.displace(&mut edits, s);
+            rec.end += grown;
+            edits.inserted.push(rec);
+        }
+        edits.inserted.extend(new_recs);
+        self.commit_edits(&mut ws, edits)
+    }
+
+    /// Delete the subtree rooted at the node whose D-label starts at
+    /// unit `start`, publishing the result as the next generation
+    /// (returned). The root cannot be deleted. The subtree's unit
+    /// positions are **not reclaimed** — ancestors keep their
+    /// intervals, and later inserts never reuse the freed units — so a
+    /// delete is purely a set of tombstones (and withdrawn pending
+    /// inserts) in the delta layer.
+    pub fn delete(&self, start: u32) -> Result<u64, BlasError> {
+        let mut ws = self.writer.lock().unwrap();
+        let gen = self.current_gen();
+        let Some((_, target)) = gen.store.get_by_start(start) else {
+            return Err(BlasError::Mutation(format!("no live node starts at unit {start}")));
+        };
+        if target.level == 1 {
+            return Err(BlasError::Mutation("cannot delete the document root".to_string()));
+        }
+        let (s, e) = (target.start, target.end);
+        let doomed: Vec<u32> = gen
+            .store
+            .scan_all()
+            .skip_while(|(_, r)| r.start < s)
+            .take_while(|(_, r)| r.start <= e)
+            .map(|(_, r)| r.start)
+            .collect();
+        let mut edits = ws.edits.clone();
+        for ds in doomed {
+            let _ = ws.displace(&mut edits, ds);
+        }
+        self.commit_edits(&mut ws, edits)
+    }
+
+    /// Rename the node whose D-label starts at unit `start` to
+    /// `new_tag` (which must already exist in the tag table),
+    /// publishing the result as the next generation (returned).
+    ///
+    /// A tag is one positional digit of every descendant's P-label, so
+    /// the rename rewrites the node's tuple **and** every descendant
+    /// within `H − 1` levels: descendant at distance `d` gets
+    /// `plabel ± |t' − t| · base^(H−1−d)`. Deeper descendants already
+    /// shifted the digit out and keep their P-labels.
+    pub fn retag(&self, start: u32, new_tag: &str) -> Result<u64, BlasError> {
+        let Some(tag) = self.tags.get(new_tag) else {
+            return Err(BlasError::Mutation(format!(
+                "tag {new_tag:?} is not in the tag table; the P-label domain is fixed at load"
+            )));
+        };
+        let mut ws = self.writer.lock().unwrap();
+        let gen = self.current_gen();
+        let Some((_, target)) = gen.store.get_by_start(start) else {
+            return Err(BlasError::Mutation(format!("no live node starts at unit {start}")));
+        };
+        let (s, e, lvl, old_tag) = (target.start, target.end, target.level, target.tag);
+        if old_tag == tag {
+            return Ok(gen.number);
+        }
+        let h = self.domain.digits();
+        let base = self.domain.base();
+        let (old_d, new_d) = (old_tag.index() as u128 + 1, tag.index() as u128 + 1);
+        let affected: Vec<(u32, u16)> = gen
+            .store
+            .scan_all()
+            .skip_while(|(_, r)| r.start < s)
+            .take_while(|(_, r)| r.start <= e)
+            .filter(|(_, r)| u32::from(r.level - lvl) < h)
+            .map(|(_, r)| (r.start, r.level))
+            .collect();
+        let mut edits = ws.edits.clone();
+        for (astart, alevel) in affected {
+            let mut rec = ws.displace(&mut edits, astart);
+            let d = u32::from(alevel - lvl);
+            let scale = base.pow(h - 1 - d);
+            rec.plabel = if new_d >= old_d {
+                rec.plabel + (new_d - old_d) * scale
+            } else {
+                rec.plabel - (old_d - new_d) * scale
+            };
+            if d == 0 {
+                rec.tag = tag;
+            }
+            edits.inserted.push(rec);
+        }
+        edits.retags += 1;
+        self.commit_edits(&mut ws, edits)
+    }
+
+    /// Fold the delta into fresh base columns and publish the result
+    /// as the next generation (returned; the current number when there
+    /// is nothing to fold). Readers pinned on older generations keep
+    /// their columns — compaction never blocks or invalidates them —
+    /// and the compacted state is query-identical to the delta-layered
+    /// one it replaces.
+    pub fn compact(&self) -> u64 {
+        let mut ws = self.writer.lock().unwrap();
+        let gen = self.current_gen();
+        if gen.store.delta().is_none_or(blas_storage::DeltaStore::is_noop) {
+            return gen.number;
+        }
+        let compacted = NodeStore::from_records(materialize(&gen.store));
+        ws.base_store = compacted.clone();
+        ws.edits = DeltaEdits::new();
+        let number = self.publish(compacted);
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        number
+    }
+
+    /// Queue a [`BlasDb::compact`] on the database's worker pool and
+    /// return immediately (inline on a zero-worker pool). Queries keep
+    /// answering — from the delta-layered generation until the
+    /// compactor publishes, from the folded one after.
+    pub fn compact_in_background(self: &Arc<Self>) {
+        let db = Arc::clone(self);
+        self.pool().spawn_detached(move || {
+            db.compact();
+        });
+    }
+
+    /// Rebuild the writer-side delta from `edits`, publish the next
+    /// generation, and commit the log — in that order, so a rejected
+    /// script leaves both the log and the published state untouched.
+    fn commit_edits(&self, ws: &mut WriterState, edits: DeltaEdits) -> Result<u64, BlasError> {
+        let store = ws
+            .base_store
+            .apply_edits(&edits)
+            .map_err(|e| BlasError::Mutation(e.to_string()))?;
+        ws.edits = edits;
+        Ok(self.publish(store))
+    }
+
+    /// Swap in the next generation (writer lock held by the caller)
+    /// and drop plan-cache entries of superseded generations — they
+    /// can only be hit again by a pinned [`DbSnapshot`], which will
+    /// simply re-prepare.
+    fn publish(&self, store: NodeStore) -> u64 {
+        let mut cur = self.current.write().unwrap();
+        let number = cur.number + 1;
+        *cur = Arc::new(DbGen::new(number, store));
+        drop(cur);
+        self.plan_cache.lock().unwrap().retain(|&(_, _, g), _| g == number);
+        number
+    }
+}
+
+impl WriterState {
+    /// Remove the live tuple starting at `start` from `edits`' view of
+    /// the store — a pending insert is withdrawn, a base row is
+    /// tombstoned — and return it so the caller can re-insert a
+    /// modified copy (or drop it for a delete).
+    fn displace(&self, edits: &mut DeltaEdits, start: u32) -> NodeRecord {
+        if let Some(pos) = edits.inserted.iter().position(|r| r.start == start) {
+            return edits.inserted.remove(pos);
+        }
+        let row = self
+            .base_store
+            .row_of_start(start)
+            .expect("a live tuple is a base row or a pending insert");
+        let r = self.base_store.record(row);
+        let rec = NodeRecord {
+            plabel: r.plabel,
+            start: r.start,
+            end: r.end,
+            level: r.level,
+            tag: r.tag,
+            data: r.data.map(str::to_string),
+        };
+        edits.deleted_rows.push(row.0);
+        rec
+    }
+}
+
+/// The document watermark: one past the last used D-label unit, which
+/// is exactly the root's (inclusive) end — the root is unit 0, spans
+/// everything, and can never be deleted.
+fn watermark(store: &NodeStore) -> u32 {
+    store
+        .scan_all()
+        .next()
+        .map(|(_, r)| r.end)
+        .expect("a store always holds at least the root")
+}
+
+/// Owned copies of every live tuple in document order — the input
+/// [`NodeStore::from_records`] folds into fresh delta-free columns.
+fn materialize(store: &NodeStore) -> Vec<NodeRecord> {
+    store
+        .scan_all()
+        .map(|(_, r)| NodeRecord {
+            plabel: r.plabel,
+            start: r.start,
+            end: r.end,
+            level: r.level,
+            tag: r.tag,
+            data: r.data.map(str::to_string),
+        })
+        .collect()
+}
+
+/// Label `id`'s subtree in preorder with the unit accounting of
+/// [`blas_labeling::assign_dlabels`] — start tag, text datum (if any)
+/// and end tag are one unit each — and P-labels by Algorithm 2's
+/// incremental identity
+/// `plabel(child) = (tag+1)·base^(H−1) + plabel(parent)/base`.
+#[allow(clippy::too_many_arguments)]
+fn label_fragment(
+    frag: &Document,
+    id: NodeId,
+    parent_plabel: u128,
+    level: u16,
+    unit: &mut u32,
+    base: u128,
+    digits: u32,
+    tag_map: &[TagId],
+    out: &mut Vec<NodeRecord>,
+) {
+    let node = frag.node(id);
+    let tag = tag_map[node.tag.index()];
+    let plabel = (tag.index() as u128 + 1) * base.pow(digits - 1) + parent_plabel / base;
+    let start = *unit;
+    *unit += 1;
+    if node.text.is_some() {
+        *unit += 1; // the text datum unit
+    }
+    let slot = out.len();
+    out.push(NodeRecord {
+        plabel,
+        start,
+        end: 0, // patched after the children claim their units
+        level,
+        tag,
+        data: node.text.clone(),
+    });
+    for &child in &node.children {
+        label_fragment(frag, child, plabel, level + 1, unit, base, digits, tag_map, out);
+    }
+    out[slot].end = *unit;
+    *unit += 1;
 }
 
 /// The concrete translator a [`Translator::Auto`] request resolves to
@@ -859,12 +1398,12 @@ fn document_from_store(store: &NodeStore, tags: &TagInterner) -> Result<Document
         .finish()
         .map_err(|e| BlasError::Snapshot(format!("inconsistent snapshot tree: {e}")))?;
     // The rebuilt interner assigns TagIds in first-appearance order,
-    // which is exactly the original order; verify rather than trust.
-    for (id, name) in doc.tags().iter() {
-        if id.index() >= tags.len() || tags.name(id) != name {
-            return Err(BlasError::Snapshot("tag table order mismatch".to_string()));
-        }
-    }
+    // which mutations can legitimately shuffle relative to the
+    // fixed-at-load table (a delete or retag can remove a tag's first
+    // occurrence), so no order is asserted here. Nothing downstream
+    // mixes the two id spaces: the schema graph is name-based and
+    // labels always come from the store columns, while record tag ids
+    // are range-checked against the table when a snapshot decodes.
     Ok(doc)
 }
 
@@ -1064,5 +1603,96 @@ mod tests {
     fn open_mapped_missing_file_is_io_error() {
         let err = BlasDb::open_mapped("/no/such/dir/file.snap");
         assert!(matches!(err, Err(BlasError::Io(_))), "{err:?}");
+    }
+
+    // SAMPLE's D-label units, for the mutation tests (text data take a
+    // unit too): db=[0,25], e¹=[1,12] (p=[2,6], n=[3,5], r=[7,11],
+    // y=[8,10]), e²=[13,24] (p=[14,18], n=[15,17], r=[19,23],
+    // y=[20,22]).
+
+    #[test]
+    fn mutations_update_query_results() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        assert_eq!(db.generation(), 0);
+        let before = db.snapshot();
+        db.delete(1).unwrap(); // the whole first <e>
+        db.retag(20, "n").unwrap(); // the remaining <y> → <n>
+        db.insert_subtree(13, "<r><y>2024</y></r>").unwrap(); // under <e²>
+        assert_eq!(db.generation(), 3);
+        // The pinned pre-mutation view is unaffected.
+        assert_eq!(before.generation(), 0);
+        assert_eq!(before.query("/db/e/p/n", EngineChoice::auto()).unwrap().nodes.len(), 2);
+        // Current state: first <e> gone, its sibling's <y> renamed,
+        // one <r><y>2024</y></r> appended.
+        let r = db.query("/db/e/p/n", EngineChoice::auto()).unwrap();
+        assert_eq!(db.texts(&r), [Some("hemoglobin".to_string())]);
+        let y = db.query("//y", EngineChoice::auto()).unwrap();
+        assert_eq!(db.texts(&y), [Some("2024".to_string())]);
+        let renamed = db.query("/db/e/r/n", EngineChoice::auto()).unwrap();
+        assert_eq!(db.texts(&renamed), [Some("1999".to_string())]);
+        let stats = db.delta_stats();
+        assert_eq!(stats.generation, 3);
+        assert!(stats.inserted > 0 && stats.deleted > 0);
+        assert_eq!(stats.retags, 1);
+    }
+
+    #[test]
+    fn compaction_and_snapshots_preserve_the_mutated_state() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        db.delete(1).unwrap();
+        db.insert_subtree(13, "<r><y>2024</y></r>").unwrap();
+        let q = "/db/e[r/y='2024']/p/n";
+        let expect = db.query(q, EngineChoice::auto()).unwrap().nodes;
+        assert_eq!(expect.len(), 1);
+        // Round trip through a snapshot: the delta folds into the bytes.
+        let rebuilt = BlasDb::from_snapshot(&db.to_snapshot()).unwrap();
+        assert_eq!(rebuilt.query(q, EngineChoice::auto()).unwrap().nodes, expect);
+        // In-place compaction: same answers, delta gone, generation
+        // bumped exactly once (a noop compaction does not publish).
+        let g = db.generation();
+        let after = db.compact();
+        assert_eq!(after, g + 1);
+        assert_eq!(db.compact(), after);
+        let stats = db.delta_stats();
+        assert_eq!((stats.inserted, stats.deleted, stats.retags), (0, 0, 0));
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(db.query(q, EngineChoice::auto()).unwrap().nodes, expect);
+        // The compacted columns serialize to the same bytes as the
+        // delta-layered ones did.
+        assert_eq!(db.to_snapshot(), rebuilt.to_snapshot());
+    }
+
+    #[test]
+    fn invalid_mutations_are_rejected_with_typed_errors() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        // Unknown tags: the P-label domain is fixed at load.
+        assert!(matches!(db.insert_subtree(0, "<zz/>"), Err(BlasError::Mutation(_))));
+        assert!(matches!(db.retag(20, "zz"), Err(BlasError::Mutation(_))));
+        // Off the rightmost spine: unit positions are append-only.
+        assert!(matches!(db.insert_subtree(1, "<r/>"), Err(BlasError::Mutation(_))));
+        // Too deep: <y> sits at level 4 and the domain has H = 5
+        // digits, so a child at level 5 has no anchored source path.
+        assert!(matches!(db.insert_subtree(20, "<n/>"), Err(BlasError::Mutation(_))));
+        // Unknown target, and the undeletable root.
+        assert!(matches!(db.delete(999), Err(BlasError::Mutation(_))));
+        assert!(matches!(db.delete(0), Err(BlasError::Mutation(_))));
+        // Every rejection left the database untouched.
+        assert_eq!(db.generation(), 0);
+        assert_eq!(db.query("/db/e/p/n", EngineChoice::auto()).unwrap().nodes.len(), 2);
+    }
+
+    #[test]
+    fn mutations_invalidate_cached_plans_by_generation() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        let q = "/db/e/p/n";
+        db.query(q, EngineChoice::auto()).unwrap();
+        db.query(q, EngineChoice::auto()).unwrap();
+        let s = db.plan_cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        db.retag(20, "n").unwrap();
+        db.query(q, EngineChoice::auto()).unwrap();
+        let s = db.plan_cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 2), "a new generation is a cache miss");
+        assert_eq!(s.entries, 1, "superseded generations were pruned");
     }
 }

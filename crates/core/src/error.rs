@@ -22,6 +22,10 @@ pub enum BlasError {
     /// An execution configuration could not be parsed (e.g. an
     /// unknown engine name passed to `EngineChoice::from_str`).
     Config(String),
+    /// A mutation was rejected: unknown target node, a tag outside the
+    /// fixed P-label domain, an insert off the rightmost spine, or an
+    /// inconsistent edit script.
+    Mutation(String),
 }
 
 impl fmt::Display for BlasError {
@@ -35,6 +39,7 @@ impl fmt::Display for BlasError {
             Self::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             Self::Io(msg) => write!(f, "i/o error: {msg}"),
             Self::Config(msg) => write!(f, "configuration error: {msg}"),
+            Self::Mutation(msg) => write!(f, "mutation error: {msg}"),
         }
     }
 }

@@ -37,7 +37,10 @@ mod db;
 mod error;
 
 pub use collection::{BlasCollection, DocId};
-pub use db::{BlasDb, Engine, EngineChoice, PlanCacheStats, PlanInfo, QueryResult, Translator};
+pub use db::{
+    BlasDb, DbSnapshot, DeltaStats, Engine, EngineChoice, PlanCacheStats, PlanInfo, QueryResult,
+    Translator,
+};
 pub use error::BlasError;
 
 // Re-export the executor configuration and the persistent worker pool
@@ -47,7 +50,7 @@ pub use blas_engine::{ExecConfig, PoolHandle};
 // Re-export the building blocks for advanced use.
 pub use blas_engine::{ExecStats, TwigQuery};
 pub use blas_labeling::{DLabel, DocumentLabels, PInterval, PLabelDomain};
-pub use blas_storage::{NodeRecord, NodeStore, RecordView};
+pub use blas_storage::{DeltaEdits, NodeRecord, NodeStore, RecordView};
 pub use blas_translate::{BoundPlan, Plan, PlanSummary};
 pub use blas_xml::{DocStats, Document, SchemaGraph};
 pub use blas_xpath::QueryTree;

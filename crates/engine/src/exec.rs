@@ -848,7 +848,7 @@ impl<'a> Sched<'a> {
         let total = match source {
             BoundSource::PLabelEq(p) => store.plabel_eq_size(*p),
             BoundSource::Tag(t) => store.tag_size(*t),
-            BoundSource::All => store.len(),
+            BoundSource::All => store.live_len(),
             BoundSource::PLabelRange(p1, p2) => store.plabel_range_size(*p1, *p2),
             BoundSource::Empty => return Some(Labels::Borrowed(&[])),
         };

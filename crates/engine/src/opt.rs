@@ -58,7 +58,7 @@ pub fn source_cardinality(store: &NodeStore, source: &BoundSource) -> usize {
         BoundSource::PLabelEq(p) => store.plabel_eq_size(*p),
         BoundSource::PLabelRange(p1, p2) => store.plabel_range_size(*p1, *p2),
         BoundSource::Tag(t) => store.tag_size(*t),
-        BoundSource::All => store.len(),
+        BoundSource::All => store.live_len(),
         BoundSource::Empty => 0,
     }
 }
@@ -339,7 +339,7 @@ mod tests {
             .collect();
         assert!(!scan_cards.is_empty());
         assert!(scan_cards.iter().all(|&c| c == 3), "{scan_cards:?}");
-        assert_eq!(source_cardinality(&store, &BoundSource::All), store.len());
+        assert_eq!(source_cardinality(&store, &BoundSource::All), store.live_len());
         assert_eq!(source_cardinality(&store, &BoundSource::Empty), 0);
     }
 

@@ -1,0 +1,644 @@
+//! Mutable **delta store**: inserted, retagged and deleted nodes held
+//! in small side columns layered over the immutable (owned or mapped)
+//! base [`NodeStore`].
+//!
+//! The base columns never change after load — they may literally be a
+//! read-only file mapping — so every mutation lives here instead:
+//!
+//! * **inserts** (including the re-inserted halves of retags and of
+//!   ancestor end-extensions) as document-order columns plus SP- and
+//!   SD-sorted views with their own mini run directories, mirroring
+//!   the base clusterings at delta scale;
+//! * **deletes** as tombstones over base rows, with `(plabel, start)`
+//!   and `(tag, start)` sorted views so a scan of one SP or SD key
+//!   finds its dead rows with two binary searches over the (tiny)
+//!   delta instead of a walk of the base;
+//! * **values** as an extension of the base intern table: every
+//!   distinct string keeps exactly one global id (base ids first,
+//!   delta ids after), so the single-id `ScanFilter` equality keeps
+//!   working across the merge.
+//!
+//! The merge itself happens in `relation.rs` at scan time — base runs
+//! are split around tombstones and interleaved with delta runs into
+//! [`ScanRun::Multi`](crate::scan::ScanRun) pieces — so nothing above
+//! the scan layer knows deltas exist. A delta is **rebuilt from the
+//! cumulative [`DeltaEdits`] log on every mutation** (O(delta), not
+//! O(base)), which keeps it an immutable value: generations share it
+//! behind an `Arc` and readers never observe a half-applied edit.
+
+use std::fmt;
+use std::ops::Range;
+
+use blas_labeling::DLabel;
+use blas_xml::TagId;
+
+use crate::relation::{NodeRecord, NodeStore, RowId, Run, NO_VALUE};
+use crate::snapshot::SnapshotError;
+
+/// The cumulative mutation log applied against one base store. This
+/// is the unit of both [`NodeStore::apply_edits`] and the sidecar
+/// serialization ([`encode_edits`] / [`decode_edits`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaEdits {
+    /// Live inserted (or re-inserted) tuples, in any order. Starts
+    /// must be unique and must not collide with a *live* base start
+    /// (colliding with a tombstoned one is how retags re-insert).
+    pub inserted: Vec<NodeRecord>,
+    /// Tombstoned base rows (document-order row ids), in any order.
+    pub deleted_rows: Vec<u32>,
+    /// Retags folded into the log. Physically a retag is a tombstone
+    /// plus a re-insert; this only keeps the statistic observable.
+    pub retags: u32,
+}
+
+impl DeltaEdits {
+    /// A log with no edits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the log carries no edits at all.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted_rows.is_empty() && self.retags == 0
+    }
+}
+
+/// Structural rejection of a [`DeltaEdits`] log against its base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// Two inserted tuples share a start position.
+    DuplicateStart(u32),
+    /// An inserted tuple's start collides with a live base row.
+    StartCollision(u32),
+    /// A tombstone names a row the base does not have.
+    RowOutOfRange(u32),
+    /// An inserted tuple's interval is inverted (`start >= end`).
+    BadInterval(u32),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateStart(s) => write!(f, "two inserted nodes share start {s}"),
+            Self::StartCollision(s) => {
+                write!(f, "inserted start {s} collides with a live base node")
+            }
+            Self::RowOutOfRange(r) => write!(f, "tombstone names row {r} outside the base"),
+            Self::BadInterval(s) => write!(f, "inserted node at start {s} has start >= end"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The indexed, immutable form of one [`DeltaEdits`] log: small side
+/// columns in document, SP and SD order plus sorted tombstone views.
+/// Built by [`NodeStore::apply_edits`]; consumed by the merge logic
+/// in `relation.rs`.
+#[derive(Debug)]
+pub struct DeltaStore {
+    /// Rows in the base store; delta tuple `i` is global row
+    /// `base_rows + i`.
+    base_rows: u32,
+    /// Distinct strings in the base intern table. Delta string `i` is
+    /// global id `base_values + 1 + i`: the `+ 1` skips the id the
+    /// packed columns use as their in-plane no-value sentinel (which
+    /// is exactly `base_values`), so a filter for a delta-only string
+    /// can never match a packed base row without PCDATA.
+    base_values: u32,
+
+    // Inserted tuples, document (start) order.
+    ins_labels: Vec<DLabel>,
+    ins_plabels: Vec<u128>,
+    ins_tags: Vec<TagId>,
+    ins_value_ids: Vec<u32>,
+
+    // Intern-table extension: delta-local index `i` ↔ global id
+    // `base_values + 1 + i`; `values_sorted` holds local indices in
+    // string order for id lookup.
+    values: Vec<String>,
+    values_sorted: Vec<u32>,
+
+    // SP view of the inserted tuples (plabel, start) with a mini run
+    // directory, mirroring the base clustering.
+    sp_labels: Vec<DLabel>,
+    sp_rows: Vec<u32>,
+    sp_values: Vec<u32>,
+    sp_keys: Vec<u128>,
+    sp_ends: Vec<u32>,
+
+    // SD view (tag, start), same shape.
+    sd_labels: Vec<DLabel>,
+    sd_rows: Vec<u32>,
+    sd_values: Vec<u32>,
+    sd_keys: Vec<u32>,
+    sd_ends: Vec<u32>,
+
+    // Tombstones over base rows: document-order rows (sorted), their
+    // starts (parallel, also sorted — document order is start order),
+    // and the per-clustering sorted views.
+    del_rows: Vec<u32>,
+    del_starts: Vec<u32>,
+    del_sp: Vec<(u128, u32)>,
+    del_sd: Vec<(u32, u32)>,
+
+    retags: u32,
+}
+
+impl DeltaStore {
+    /// Index `edits` against `base` (which must itself be delta-free;
+    /// the log is always cumulative against the current generation's
+    /// base columns).
+    pub(crate) fn build(base: &NodeStore, edits: &DeltaEdits) -> Result<DeltaStore, DeltaError> {
+        debug_assert!(base.delta().is_none(), "delta logs apply to a delta-free base");
+        let base_rows = base.len() as u32;
+        let base_values = base.value_count() as u32;
+
+        let mut del_rows = edits.deleted_rows.clone();
+        del_rows.sort_unstable();
+        del_rows.dedup();
+        if let Some(&r) = del_rows.last() {
+            if r >= base_rows {
+                return Err(DeltaError::RowOutOfRange(r));
+            }
+        }
+
+        let mut order: Vec<u32> = (0..edits.inserted.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| edits.inserted[i as usize].start);
+        for w in order.windows(2) {
+            if edits.inserted[w[0] as usize].start == edits.inserted[w[1] as usize].start {
+                return Err(DeltaError::DuplicateStart(edits.inserted[w[0] as usize].start));
+            }
+        }
+
+        let n = order.len();
+        let mut ins_labels = Vec::with_capacity(n);
+        let mut ins_plabels = Vec::with_capacity(n);
+        let mut ins_tags = Vec::with_capacity(n);
+        let mut ins_value_ids = Vec::with_capacity(n);
+        let mut values: Vec<String> = Vec::new();
+        let mut intern: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
+        for &i in &order {
+            let rec = &edits.inserted[i as usize];
+            if rec.start >= rec.end {
+                return Err(DeltaError::BadInterval(rec.start));
+            }
+            // Colliding with a tombstoned base start is legal (that is
+            // how retags re-insert); colliding with a live one is not.
+            if let Some(row) = base.row_of_start(rec.start) {
+                if del_rows.binary_search(&row.0).is_err() {
+                    return Err(DeltaError::StartCollision(rec.start));
+                }
+            }
+            ins_labels.push(rec.dlabel());
+            ins_plabels.push(rec.plabel);
+            ins_tags.push(rec.tag);
+            let vid = match rec.data.as_deref() {
+                None => NO_VALUE,
+                Some(s) => match base.value_id(s) {
+                    Some(id) => id,
+                    None => {
+                        let local = *intern.entry(s.to_string()).or_insert_with(|| {
+                            values.push(s.to_string());
+                            (values.len() - 1) as u32
+                        });
+                        let vid = base_values + 1 + local;
+                        debug_assert!(vid < NO_VALUE, "value id collides with the sentinel");
+                        vid
+                    }
+                },
+            };
+            ins_value_ids.push(vid);
+        }
+        // BTreeMap iterates in string order: the sorted view for free,
+        // exactly like the base intern table in `from_columns`.
+        let values_sorted: Vec<u32> = intern.values().copied().collect();
+
+        let mut sp_perm: Vec<u32> = (0..n as u32).collect();
+        sp_perm.sort_unstable_by_key(|&i| (ins_plabels[i as usize], ins_labels[i as usize].start));
+        let mut sp_labels = Vec::with_capacity(n);
+        let mut sp_rows = Vec::with_capacity(n);
+        let mut sp_values = Vec::with_capacity(n);
+        let mut sp_keys: Vec<u128> = Vec::new();
+        let mut sp_ends: Vec<u32> = Vec::new();
+        for (pos, &i) in sp_perm.iter().enumerate() {
+            let p = ins_plabels[i as usize];
+            match sp_keys.last() {
+                Some(&last) if last == p => *sp_ends.last_mut().expect("ends track keys") = pos as u32 + 1,
+                _ => {
+                    sp_keys.push(p);
+                    sp_ends.push(pos as u32 + 1);
+                }
+            }
+            sp_labels.push(ins_labels[i as usize]);
+            sp_rows.push(base_rows + i);
+            sp_values.push(ins_value_ids[i as usize]);
+        }
+
+        let mut sd_perm: Vec<u32> = (0..n as u32).collect();
+        sd_perm.sort_unstable_by_key(|&i| (ins_tags[i as usize].0, ins_labels[i as usize].start));
+        let mut sd_labels = Vec::with_capacity(n);
+        let mut sd_rows = Vec::with_capacity(n);
+        let mut sd_values = Vec::with_capacity(n);
+        let mut sd_keys: Vec<u32> = Vec::new();
+        let mut sd_ends: Vec<u32> = Vec::new();
+        for (pos, &i) in sd_perm.iter().enumerate() {
+            let t = ins_tags[i as usize].0;
+            match sd_keys.last() {
+                Some(&last) if last == t => *sd_ends.last_mut().expect("ends track keys") = pos as u32 + 1,
+                _ => {
+                    sd_keys.push(t);
+                    sd_ends.push(pos as u32 + 1);
+                }
+            }
+            sd_labels.push(ins_labels[i as usize]);
+            sd_rows.push(base_rows + i);
+            sd_values.push(ins_value_ids[i as usize]);
+        }
+
+        let mut del_starts = Vec::with_capacity(del_rows.len());
+        let mut del_sp = Vec::with_capacity(del_rows.len());
+        let mut del_sd = Vec::with_capacity(del_rows.len());
+        for &row in &del_rows {
+            let r = base.record(RowId(row));
+            del_starts.push(r.start);
+            del_sp.push((r.plabel, r.start));
+            del_sd.push((r.tag.0, r.start));
+        }
+        debug_assert!(del_starts.windows(2).all(|w| w[0] < w[1]));
+        del_sp.sort_unstable();
+        del_sd.sort_unstable();
+
+        Ok(DeltaStore {
+            base_rows,
+            base_values,
+            ins_labels,
+            ins_plabels,
+            ins_tags,
+            ins_value_ids,
+            values,
+            values_sorted,
+            sp_labels,
+            sp_rows,
+            sp_values,
+            sp_keys,
+            sp_ends,
+            sd_labels,
+            sd_rows,
+            sd_values,
+            sd_keys,
+            sd_ends,
+            del_rows,
+            del_starts,
+            del_sp,
+            del_sd,
+            retags: edits.retags,
+        })
+    }
+
+    /// Inserted tuples in the delta.
+    pub fn inserted_len(&self) -> usize {
+        self.ins_labels.len()
+    }
+
+    /// Tombstoned base rows.
+    pub fn deleted_len(&self) -> usize {
+        self.del_rows.len()
+    }
+
+    /// Retags folded into the log.
+    pub fn retag_count(&self) -> u32 {
+        self.retags
+    }
+
+    /// True when the delta changes nothing (scans may skip the merge
+    /// machinery entirely, but the layer's bookkeeping still runs —
+    /// this is what the `delta_overhead` bench row measures).
+    pub fn is_noop(&self) -> bool {
+        self.ins_labels.is_empty() && self.del_rows.is_empty()
+    }
+
+    /// Start position of inserted tuple `i` (document order).
+    pub(crate) fn ins_start(&self, i: usize) -> u32 {
+        self.ins_labels[i].start
+    }
+
+    /// Raw parts of inserted tuple `i`: (plabel, dlabel, tag,
+    /// value id). The caller resolves the value id to a string.
+    pub(crate) fn ins_parts(&self, i: usize) -> (u128, DLabel, TagId, u32) {
+        (self.ins_plabels[i], self.ins_labels[i], self.ins_tags[i], self.ins_value_ids[i])
+    }
+
+    /// Document-order run over all inserted tuples.
+    pub(crate) fn doc_run(&self) -> Run<'_> {
+        Run {
+            labels: &self.ins_labels,
+            rows: &[],
+            value_ids: &self.ins_value_ids,
+            row_base: self.base_rows,
+        }
+    }
+
+    fn sp_positions(&self, i: usize) -> Range<usize> {
+        let lo = if i == 0 { 0 } else { self.sp_ends[i - 1] as usize };
+        lo..self.sp_ends[i] as usize
+    }
+
+    fn sd_positions(&self, i: usize) -> Range<usize> {
+        let lo = if i == 0 { 0 } else { self.sd_ends[i - 1] as usize };
+        lo..self.sd_ends[i] as usize
+    }
+
+    fn sp_run_at_positions(&self, r: Range<usize>) -> Run<'_> {
+        Run {
+            labels: &self.sp_labels[r.clone()],
+            rows: &self.sp_rows[r.clone()],
+            value_ids: &self.sp_values[r],
+            row_base: 0,
+        }
+    }
+
+    /// SP run of inserted tuples with plabel `p` (possibly empty).
+    pub(crate) fn sp_run(&self, p: u128) -> Run<'_> {
+        match self.sp_keys.binary_search(&p) {
+            Ok(i) => self.sp_run_at_positions(self.sp_positions(i)),
+            Err(_) => Run::EMPTY,
+        }
+    }
+
+    /// Indices into the SP key directory with plabel in `[p1, p2]`.
+    pub(crate) fn sp_key_span(&self, p1: u128, p2: u128) -> Range<usize> {
+        let from = self.sp_keys.partition_point(|&k| k < p1);
+        let to = self.sp_keys.partition_point(|&k| k <= p2);
+        from..to
+    }
+
+    /// Key of SP directory entry `i`.
+    pub(crate) fn sp_key(&self, i: usize) -> u128 {
+        self.sp_keys[i]
+    }
+
+    /// SP run of directory entry `i`.
+    pub(crate) fn sp_run_at(&self, i: usize) -> Run<'_> {
+        self.sp_run_at_positions(self.sp_positions(i))
+    }
+
+    /// Inserted tuples with plabel in `[p1, p2]`.
+    pub(crate) fn sp_size_range(&self, p1: u128, p2: u128) -> usize {
+        let span = self.sp_key_span(p1, p2);
+        if span.is_empty() {
+            return 0;
+        }
+        let lo = self.sp_positions(span.start).start;
+        let hi = self.sp_positions(span.end - 1).end;
+        hi - lo
+    }
+
+    /// SD run of inserted tuples with tag `t` (possibly empty).
+    pub(crate) fn sd_run(&self, t: TagId) -> Run<'_> {
+        match self.sd_keys.binary_search(&t.0) {
+            Ok(i) => {
+                let r = self.sd_positions(i);
+                Run {
+                    labels: &self.sd_labels[r.clone()],
+                    rows: &self.sd_rows[r.clone()],
+                    value_ids: &self.sd_values[r],
+                    row_base: 0,
+                }
+            }
+            Err(_) => Run::EMPTY,
+        }
+    }
+
+    /// Sorted starts of all tombstoned base rows.
+    pub(crate) fn del_starts(&self) -> &[u32] {
+        &self.del_starts
+    }
+
+    /// Tombstoned `(plabel, start)` pairs with plabel exactly `p`.
+    pub(crate) fn dels_for_plabel(&self, p: u128) -> &[(u128, u32)] {
+        let from = self.del_sp.partition_point(|&(k, _)| k < p);
+        let to = self.del_sp.partition_point(|&(k, _)| k <= p);
+        &self.del_sp[from..to]
+    }
+
+    /// Tombstoned `(plabel, start)` pairs with plabel in `[p1, p2]`.
+    pub(crate) fn dels_in_plabel_range(&self, p1: u128, p2: u128) -> &[(u128, u32)] {
+        let from = self.del_sp.partition_point(|&(k, _)| k < p1);
+        let to = self.del_sp.partition_point(|&(k, _)| k <= p2);
+        &self.del_sp[from..to]
+    }
+
+    /// Tombstoned `(tag, start)` pairs with tag exactly `t`.
+    pub(crate) fn dels_for_tag(&self, t: TagId) -> &[(u32, u32)] {
+        let from = self.del_sd.partition_point(|&(k, _)| k < t.0);
+        let to = self.del_sd.partition_point(|&(k, _)| k <= t.0);
+        &self.del_sd[from..to]
+    }
+
+    /// True when base row `row` is tombstoned.
+    pub(crate) fn is_deleted_row(&self, row: u32) -> bool {
+        self.del_rows.binary_search(&row).is_ok()
+    }
+
+    /// Global row of the inserted tuple with start `start`, if any.
+    pub(crate) fn row_of_start(&self, start: u32) -> Option<u32> {
+        self.ins_labels
+            .binary_search_by_key(&start, |l| l.start)
+            .ok()
+            .map(|i| self.base_rows + i as u32)
+    }
+
+    /// Resolve a delta-range global value id to its string.
+    pub(crate) fn value(&self, global: u32) -> Option<&str> {
+        let local = global.checked_sub(self.base_values + 1)? as usize;
+        self.values.get(local).map(String::as_str)
+    }
+
+    /// Global id of `s`, if the delta interned it.
+    pub(crate) fn value_id(&self, s: &str) -> Option<u32> {
+        self.values_sorted
+            .binary_search_by(|&i| self.values[i as usize].as_str().cmp(s))
+            .ok()
+            .map(|pos| self.base_values + 1 + self.values_sorted[pos])
+    }
+
+    /// Distinct strings interned by the delta (beyond the base).
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Does any edit touch SD key `t`?
+    pub(crate) fn touches_tag(&self, t: TagId) -> bool {
+        self.sd_keys.binary_search(&t.0).is_ok() || !self.dels_for_tag(t).is_empty()
+    }
+
+    /// Does any edit touch SP key `p`?
+    pub(crate) fn touches_plabel(&self, p: u128) -> bool {
+        self.sp_keys.binary_search(&p).is_ok() || !self.dels_for_plabel(p).is_empty()
+    }
+
+    /// Does any edit touch an SP key in `[p1, p2]`?
+    pub(crate) fn touches_plabel_range(&self, p1: u128, p2: u128) -> bool {
+        !self.sp_key_span(p1, p2).is_empty() || !self.dels_in_plabel_range(p1, p2).is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sidecar serialization: a delta travels next to its base snapshot as
+// a small checksummed log of `DeltaEdits`, replayed on open. Layout
+// (all little-endian): magic, version, counts, inline records,
+// tombstoned rows, trailing fnv1a-64 of everything before it.
+// ---------------------------------------------------------------------------
+
+/// Magic bytes of the delta sidecar format.
+pub const DELTA_MAGIC: &[u8; 8] = b"BLASDELT";
+/// Current delta sidecar version.
+pub const DELTA_VERSION: u32 = 1;
+
+/// Serialize a mutation log for persistence next to its base snapshot.
+pub fn encode_edits(edits: &DeltaEdits) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + edits.inserted.len() * 40);
+    out.extend_from_slice(DELTA_MAGIC);
+    out.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+    out.extend_from_slice(&(edits.inserted.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(edits.deleted_rows.len() as u32).to_le_bytes());
+    out.extend_from_slice(&edits.retags.to_le_bytes());
+    for rec in &edits.inserted {
+        out.extend_from_slice(&rec.plabel.to_le_bytes());
+        out.extend_from_slice(&rec.start.to_le_bytes());
+        out.extend_from_slice(&rec.end.to_le_bytes());
+        out.extend_from_slice(&u32::from(rec.level).to_le_bytes());
+        out.extend_from_slice(&rec.tag.0.to_le_bytes());
+        match rec.data.as_deref() {
+            None => out.extend_from_slice(&u32::MAX.to_le_bytes()),
+            Some(s) => {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    for &row in &edits.deleted_rows {
+        out.extend_from_slice(&row.to_le_bytes());
+    }
+    let sum = crate::snapshot::fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        let s = self.bytes.get(self.pos..end).ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u128(&mut self) -> Result<u128, SnapshotError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("16 bytes")))
+    }
+}
+
+/// Deserialize a mutation log, validating structure and checksum with
+/// the same typed errors as the snapshot decoder.
+pub fn decode_edits(bytes: &[u8]) -> Result<DeltaEdits, SnapshotError> {
+    if bytes.len() < DELTA_MAGIC.len() + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    if &bytes[..DELTA_MAGIC.len()] != DELTA_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let want = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    if crate::snapshot::fnv1a(body) != want {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    let mut r = Reader { bytes: body, pos: DELTA_MAGIC.len() };
+    let version = r.u32()?;
+    if version != DELTA_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let n_ins = r.u32()? as usize;
+    let n_del = r.u32()? as usize;
+    let retags = r.u32()?;
+    let mut inserted = Vec::with_capacity(n_ins.min(1 << 20));
+    for _ in 0..n_ins {
+        let plabel = r.u128()?;
+        let start = r.u32()?;
+        let end = r.u32()?;
+        let level = r.u32()?;
+        if level > u32::from(u16::MAX) {
+            return Err(SnapshotError::Corrupt("delta record level exceeds u16"));
+        }
+        let tag = TagId(r.u32()?);
+        let data_len = r.u32()?;
+        let data = if data_len == u32::MAX {
+            None
+        } else {
+            let raw = r.take(data_len as usize)?;
+            Some(std::str::from_utf8(raw).map_err(|_| SnapshotError::BadUtf8)?.to_string())
+        };
+        if start >= end {
+            return Err(SnapshotError::Corrupt("delta record has start >= end"));
+        }
+        inserted.push(NodeRecord { plabel, start, end, level: level as u16, tag, data });
+    }
+    let mut deleted_rows = Vec::with_capacity(n_del.min(1 << 20));
+    for _ in 0..n_del {
+        deleted_rows.push(r.u32()?);
+    }
+    if r.pos != body.len() {
+        return Err(SnapshotError::Corrupt("delta log has trailing bytes"));
+    }
+    Ok(DeltaEdits { inserted, deleted_rows, retags })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(plabel: u128, start: u32, end: u32, level: u16, tag: u32, data: Option<&str>) -> NodeRecord {
+        NodeRecord { plabel, start, end, level, tag: TagId(tag), data: data.map(str::to_string) }
+    }
+
+    #[test]
+    fn edits_roundtrip_through_the_sidecar() {
+        let edits = DeltaEdits {
+            inserted: vec![rec(7, 10, 13, 2, 1, Some("hi")), rec(9, 14, 15, 3, 0, None)],
+            deleted_rows: vec![3, 1],
+            retags: 2,
+        };
+        let bytes = encode_edits(&edits);
+        assert_eq!(decode_edits(&bytes).unwrap(), edits);
+    }
+
+    #[test]
+    fn sidecar_rejects_corruption_with_typed_errors() {
+        let edits =
+            DeltaEdits { inserted: vec![rec(7, 10, 13, 2, 1, Some("hi"))], deleted_rows: vec![0], retags: 0 };
+        let good = encode_edits(&edits);
+
+        assert_eq!(decode_edits(&good[..4]), Err(SnapshotError::Truncated));
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(decode_edits(&bad_magic), Err(SnapshotError::BadMagic));
+
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert_eq!(decode_edits(&flipped), Err(SnapshotError::ChecksumMismatch));
+
+        // A truncated body fails the checksum before anything else.
+        assert!(decode_edits(&good[..good.len() - 9]).is_err());
+    }
+}

@@ -18,6 +18,12 @@
 //!   `NodeStore::shard_*` methods): balanced groups of run pieces —
 //!   oversized runs are split with `slice` — that the engine's
 //!   parallel scan operator fans out across worker threads;
+//! * [`delta`] — the mutable layer over the immutable base: inserted,
+//!   retagged, and deleted nodes held in small SP/SD-sorted side
+//!   columns with their own mini run directories, merged into every
+//!   scan at read time (base ⊎ delta) so the engines above see one
+//!   logical relation. Includes the checksummed sidecar log format
+//!   ([`delta::encode_edits`] / [`delta::decode_edits`]);
 //! * [`packed`] — the block-based compressed column codecs
 //!   (frame-of-reference planes, delta label planes, bitpacked tags)
 //!   plus [`scan`]'s chunked, branch-free filter kernels that operate
@@ -43,6 +49,7 @@
 //! column source.
 
 pub mod bptree;
+pub mod delta;
 pub mod mapped;
 pub mod packed;
 pub mod relation;
@@ -50,6 +57,7 @@ pub mod scan;
 pub mod snapshot;
 
 pub use bptree::BPlusTree;
+pub use delta::{decode_edits, encode_edits, DeltaEdits, DeltaError, DeltaStore};
 pub use mapped::MappedBytes;
 pub use relation::{shard_runs, NodeRecord, NodeStore, RecordView, RowId, Run, NO_VALUE};
 pub use scan::{PackedRun, RunLike, ScanFilter, ScanRun};

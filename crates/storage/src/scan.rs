@@ -145,15 +145,52 @@ pub enum ScanRun<'a> {
     Raw(Run<'a>),
     /// Compressed planes of a v3 snapshot mapping.
     Packed(PackedRun<'a>),
+    /// Merge-at-scan pieces: the runs a delta-carrying store produces
+    /// when one clustered key has tombstones or inserts. The pieces
+    /// are `Raw`/`Packed` only (never nested), non-empty, and
+    /// start-disjoint in ascending start order — so concatenating
+    /// them preserves the clustered run invariant and every consumer
+    /// below treats a `Multi` exactly like the flat run it splices
+    /// together. Built by `relation.rs`; engines never construct one.
+    Multi(Vec<ScanRun<'a>>),
+}
+
+/// Piece holding relative position `i` of a `Multi`, and the position
+/// within that piece.
+fn multi_locate<'b, 'a>(pieces: &'b [ScanRun<'a>], mut i: usize) -> (&'b ScanRun<'a>, usize) {
+    for piece in pieces {
+        let n = piece.len();
+        if i < n {
+            return (piece, i);
+        }
+        i -= n;
+    }
+    panic!("position out of bounds for merged run");
 }
 
 impl<'a> ScanRun<'a> {
+    /// Splice `pieces` into one logical run, collapsing the degenerate
+    /// shapes so the zero-copy single-piece path survives a merge that
+    /// ends up touching nothing.
+    pub(crate) fn multi(mut pieces: Vec<ScanRun<'a>>) -> ScanRun<'a> {
+        debug_assert!(
+            pieces.iter().all(|p| !matches!(p, ScanRun::Multi(_)) && !p.is_empty()),
+            "multi pieces must be non-empty flat runs"
+        );
+        match pieces.len() {
+            0 => ScanRun::Raw(Run::EMPTY),
+            1 => pieces.pop().expect("one piece"),
+            _ => ScanRun::Multi(pieces),
+        }
+    }
+
     /// Tuples in the run.
     #[inline]
     pub fn len(&self) -> usize {
         match self {
             ScanRun::Raw(r) => r.len(),
             ScanRun::Packed(r) => r.len(),
+            ScanRun::Multi(pieces) => pieces.iter().map(ScanRun::len).sum(),
         }
     }
 
@@ -169,6 +206,27 @@ impl<'a> ScanRun<'a> {
         match self {
             ScanRun::Raw(run) => ScanRun::Raw(run.slice(r)),
             ScanRun::Packed(run) => ScanRun::Packed(run.slice(r)),
+            ScanRun::Multi(pieces) => {
+                let mut out = Vec::new();
+                let mut skip = r.start;
+                let mut need = r.len();
+                for piece in pieces {
+                    if need == 0 {
+                        break;
+                    }
+                    let n = piece.len();
+                    if skip >= n {
+                        skip -= n;
+                        continue;
+                    }
+                    let take = (n - skip).min(need);
+                    out.push(piece.slice(skip..skip + take));
+                    skip = 0;
+                    need -= take;
+                }
+                debug_assert_eq!(need, 0, "slice range out of bounds for merged run");
+                ScanRun::multi(out)
+            }
         }
     }
 
@@ -178,6 +236,10 @@ impl<'a> ScanRun<'a> {
         match self {
             ScanRun::Raw(run) => run.row_at(i).0,
             ScanRun::Packed(run) => run.row_at(i),
+            ScanRun::Multi(pieces) => {
+                let (piece, j) = multi_locate(pieces, i);
+                piece.row_at(j)
+            }
         }
     }
 
@@ -187,16 +249,21 @@ impl<'a> ScanRun<'a> {
         match self {
             ScanRun::Raw(run) => run.labels[i],
             ScanRun::Packed(run) => run.label_at(i),
+            ScanRun::Multi(pieces) => {
+                let (piece, j) = multi_locate(pieces, i);
+                piece.label_at(j)
+            }
         }
     }
 
     /// The borrowed label slice, when this run is raw — the engines use
-    /// it to keep unfiltered scans zero-copy.
+    /// it to keep unfiltered scans zero-copy. Merged runs return `None`
+    /// (the splice forces a copy, but only on keys the delta touches).
     #[inline]
     pub fn raw_labels(&self) -> Option<&'a [DLabel]> {
         match self {
             ScanRun::Raw(run) => Some(run.labels),
-            ScanRun::Packed(_) => None,
+            ScanRun::Packed(_) | ScanRun::Multi(_) => None,
         }
     }
 
@@ -205,6 +272,13 @@ impl<'a> ScanRun<'a> {
     pub fn decode_labels_into(&self, out: &mut Vec<DLabel>) {
         match self {
             ScanRun::Raw(run) => out.extend_from_slice(run.labels),
+            ScanRun::Multi(pieces) => {
+                // Pieces are start-ascending and disjoint, so plain
+                // concatenation keeps the run sorted.
+                for piece in pieces {
+                    piece.decode_labels_into(out);
+                }
+            }
             ScanRun::Packed(run) => {
                 let mut starts = [0u32; BLOCK];
                 let mut extents = [0u32; BLOCK];
@@ -248,6 +322,11 @@ impl<'a> ScanRun<'a> {
         match self {
             ScanRun::Raw(run) => filter_raw(run, filter, out),
             ScanRun::Packed(run) => filter_packed(run, filter, out),
+            ScanRun::Multi(pieces) => {
+                for piece in pieces {
+                    piece.filter_into(filter, out);
+                }
+            }
         }
     }
 
@@ -258,6 +337,7 @@ impl<'a> ScanRun<'a> {
         match self {
             ScanRun::Raw(run) => run.labels.iter().map(|l| l.start as u64).sum(),
             ScanRun::Packed(run) => run.labels.starts.sum_range(run.range.clone()),
+            ScanRun::Multi(pieces) => pieces.iter().map(ScanRun::sum_starts).sum(),
         }
     }
 }
@@ -513,6 +593,59 @@ mod tests {
         pa.filter_into(filter, &mut b);
         assert_eq!(a, b);
         assert_eq!(ra.sum_starts(), pa.sum_starts());
+    }
+
+    #[test]
+    fn merged_runs_behave_like_their_flat_splice() {
+        let f = fixture(3000);
+        let (raw, packed) = runs_of(&f);
+        // Splice alternating raw/packed pieces of the same underlying
+        // positions back together; every reader must see the flat run.
+        let multi = ScanRun::multi(vec![
+            raw.slice(0..700),
+            packed.slice(700..1600),
+            raw.slice(1600..3000),
+        ]);
+        assert!(matches!(multi, ScanRun::Multi(_)));
+        assert_eq!(multi.len(), 3000);
+        assert!(multi.raw_labels().is_none());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        multi.decode_labels_into(&mut a);
+        raw.decode_labels_into(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(multi.sum_starts(), raw.sum_starts());
+        for i in [0usize, 699, 700, 1599, 1600, 2999] {
+            assert_eq!(multi.label_at(i), raw.label_at(i), "label_at({i})");
+        }
+        // Raw pieces carry identity rows; the packed piece holds the
+        // fixture's reverse permutation.
+        assert_eq!(multi.row_at(0), 0);
+        assert_eq!(multi.row_at(700), 2999 - 700);
+
+        let filter = ScanFilter { value_id: Some(3), level_eq: Some(4) };
+        let (mut fa, mut fb) = (Vec::new(), Vec::new());
+        multi.filter_into(filter, &mut fa);
+        raw.filter_into(filter, &mut fb);
+        assert_eq!(fa, fb);
+
+        // Cross-piece slicing and sharding behave like the flat run.
+        let s = multi.slice(500..2000);
+        let (mut sa, mut sb) = (Vec::new(), Vec::new());
+        s.decode_labels_into(&mut sa);
+        raw.slice(500..2000).decode_labels_into(&mut sb);
+        assert_eq!(sa, sb);
+        let groups = crate::shard_runs(vec![multi.clone()], 4);
+        let total: usize = groups.iter().flatten().map(|r| r.len()).sum();
+        assert_eq!(total, 3000);
+        let mut all = Vec::new();
+        for run in groups.iter().flatten() {
+            run.decode_labels_into(&mut all);
+        }
+        assert_eq!(all, b);
+
+        // Degenerate shapes collapse back to flat runs.
+        assert!(matches!(ScanRun::multi(Vec::new()), ScanRun::Raw(_)));
+        assert!(matches!(ScanRun::multi(vec![raw.slice(0..5)]), ScanRun::Raw(_)));
     }
 
     #[test]

@@ -268,7 +268,18 @@ pub fn encode_store(
     num_tags: u32,
     digits: u32,
 ) -> Vec<u8> {
+    assert_delta_free(store);
     encode_store_impl(store, tag_names, num_tags, digits, true)
+}
+
+/// Snapshots persist the base columns only; encoding a store with
+/// pending edits would silently drop them, so refuse it — compaction
+/// (folding the delta into fresh columns) must happen first.
+fn assert_delta_free(store: &NodeStore) {
+    assert!(
+        store.delta().is_none_or(crate::delta::DeltaStore::is_noop),
+        "cannot encode a store with a live delta; compact it into fresh columns first"
+    );
 }
 
 /// Serialize a store in the all-raw version-2 layout. Kept for
@@ -281,6 +292,7 @@ pub fn encode_store_v2(
     num_tags: u32,
     digits: u32,
 ) -> Vec<u8> {
+    assert_delta_free(store);
     encode_store_impl(store, tag_names, num_tags, digits, false)
 }
 
@@ -1063,7 +1075,7 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     Ok(Snapshot { records, tag_names, num_tags: raw.num_tags, digits: raw.digits })
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

@@ -1,0 +1,157 @@
+//! Checked-in compaction fixtures: a tiny base snapshot, a delta
+//! sidecar (the serialized mutation log of a pinned edit script), and
+//! the golden v3 snapshot the pair compacts to. Guards three things at
+//! byte granularity: the sidecar format itself, the replay path
+//! (`NodeStore::apply_edits` over a decoded log), and the fold — the
+//! mutated store must serialize to exactly the golden bytes whether
+//! the edits arrived through the `BlasDb` mutation API or the sidecar.
+//! Regenerate with `cargo test regenerate_delta_fixtures -- --ignored`
+//! only after an intentional format change.
+
+use blas::{BlasDb, DeltaEdits, EngineChoice, NodeRecord, NodeStore};
+use blas_storage::{decode_edits, encode_edits, SnapshotError};
+
+/// The document behind `tests/fixtures/tiny_base_v3.snap` (same tree
+/// as the v2 compatibility fixture; D-label units in the comments of
+/// `mutate`).
+const FIXTURE_XML: &str = "<db><e><n>a</n></e><x><e><n>b</n></e></x><n>c</n></db>";
+const BASE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/tiny_base_v3.snap");
+const EDITS_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/tiny_delta.edits");
+const COMPACTED_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/tiny_compacted_v3.snap");
+
+/// The pinned edit script the sidecar encodes: one delete, one retag,
+/// one rightmost-spine insert.
+fn mutate(db: &BlasDb) {
+    db.delete(6).unwrap(); // the <x> subtree ([6, 12])
+    db.retag(13, "e").unwrap(); // the trailing <n>c</n> becomes <e>c</e>
+    db.insert_subtree(0, "<e><n>d</n></e>").unwrap(); // appended under the root
+}
+
+/// Owned tuples of a store in document order (delta merged in).
+fn records_of(store: &NodeStore) -> Vec<NodeRecord> {
+    store
+        .scan_all()
+        .map(|(_, r)| NodeRecord {
+            plabel: r.plabel,
+            start: r.start,
+            end: r.end,
+            level: r.level,
+            tag: r.tag,
+            data: r.data.map(str::to_string),
+        })
+        .collect()
+}
+
+/// Serialize `store` with `db`'s tag table and domain (the fixture
+/// files are plain `encode_store` output, like `BlasDb::to_snapshot`).
+fn encode_with(db: &BlasDb, store: &NodeStore) -> Vec<u8> {
+    let tag_names: Vec<String> =
+        db.document().tags().iter().map(|(_, n)| n.to_string()).collect();
+    blas_storage::snapshot::encode_store(
+        store,
+        &tag_names,
+        db.domain().num_tags() as u32,
+        db.domain().digits(),
+    )
+}
+
+#[test]
+fn checked_in_delta_sidecar_replays_to_the_golden_compacted_snapshot() {
+    let base_bytes = std::fs::read(BASE_PATH).expect("fixture checked in");
+    let edits_bytes = std::fs::read(EDITS_PATH).expect("fixture checked in");
+    let golden = std::fs::read(COMPACTED_PATH).expect("fixture checked in");
+
+    // Replay path: decode the sidecar, layer it over the base columns,
+    // fold, re-encode — byte-identical to the golden snapshot.
+    let base = BlasDb::from_snapshot(&base_bytes).unwrap();
+    let edits = decode_edits(&edits_bytes).unwrap();
+    assert!(!edits.is_empty());
+    let layered = base.store().apply_edits(&edits).unwrap();
+    let folded = NodeStore::from_records(records_of(&layered));
+    assert_eq!(encode_with(&base, &folded), golden, "replayed delta must fold to the golden bytes");
+
+    // API path: the same script through the public mutation API folds
+    // to the same bytes (`to_snapshot` compacts on the way out).
+    let db = BlasDb::load(FIXTURE_XML).unwrap();
+    mutate(&db);
+    assert_eq!(db.to_snapshot(), golden, "API mutations must fold to the golden bytes");
+
+    // And the golden snapshot answers like the mutated database.
+    let restored = BlasDb::from_snapshot(&golden).unwrap();
+    for q in ["//n", "//e", "/db/e/n", "//e='c'"] {
+        let a = db.query(q, EngineChoice::auto()).unwrap();
+        let b = restored.query(q, EngineChoice::auto()).unwrap();
+        assert_eq!(a.nodes, b.nodes, "{q}");
+        assert_eq!(db.texts(&a), restored.texts(&b), "{q} texts");
+    }
+    assert!(restored.query("//x", EngineChoice::auto()).unwrap().nodes.is_empty());
+}
+
+/// Corrupting any region of the sidecar — magic, body, checksum, or a
+/// truncation — must surface as a **typed** decode error, never a
+/// panic or a silently wrong log.
+#[test]
+fn corrupt_delta_sidecar_is_rejected_with_typed_errors() {
+    let good = std::fs::read(EDITS_PATH).expect("fixture checked in");
+    assert!(decode_edits(&good).is_ok());
+
+    // Magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0x40;
+    assert_eq!(decode_edits(&bad).unwrap_err(), SnapshotError::BadMagic);
+
+    // Every single-byte flip in the body or trailing checksum lands on
+    // the fnv1a-64 (or, for count fields, a bounds check) — walk the
+    // whole file to prove no offset decodes silently.
+    for i in 8..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 0x01;
+        assert!(decode_edits(&bad).is_err(), "flip at offset {i} must not decode");
+    }
+
+    // Truncations at every length.
+    for len in 0..good.len() {
+        assert!(decode_edits(&good[..len]).is_err(), "truncation to {len} must not decode");
+    }
+}
+
+/// Writes the three fixture files. Ignored: they are supposed to stay
+/// byte-stable in the repository; rerun explicitly only on an
+/// intentional sidecar or snapshot format change.
+#[test]
+#[ignore = "regenerates the checked-in delta/compaction fixtures"]
+fn regenerate_delta_fixtures() {
+    let base = BlasDb::load(FIXTURE_XML).unwrap();
+    let base_records = records_of(base.store());
+    let base_bytes = base.to_snapshot();
+
+    let db = BlasDb::load(FIXTURE_XML).unwrap();
+    mutate(&db);
+
+    // Reconstruct the cumulative edit log by diffing the mutated live
+    // tuples against the base rows (starts are stable identities:
+    // deletes never reclaim units and inserts never reuse them).
+    let snap = db.snapshot();
+    let mutated = records_of(snap.store());
+    let mut edits = DeltaEdits::new();
+    for (row, rec) in base_records.iter().enumerate() {
+        if !mutated.iter().any(|m| m == rec) {
+            edits.deleted_rows.push(row as u32);
+        }
+    }
+    for rec in &mutated {
+        if !base_records.iter().any(|b| b == rec) {
+            edits.inserted.push(rec.clone());
+        }
+    }
+    edits.retags = db.delta_stats().retags;
+    // The reconstructed log must replay to the same live tuples.
+    let replayed = base.store().apply_edits(&edits).unwrap();
+    assert_eq!(records_of(&replayed), mutated);
+
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures")).unwrap();
+    std::fs::write(BASE_PATH, base_bytes).unwrap();
+    std::fs::write(EDITS_PATH, encode_edits(&edits)).unwrap();
+    std::fs::write(COMPACTED_PATH, db.to_snapshot()).unwrap();
+}

@@ -224,6 +224,53 @@ fn plan_cache_hits_are_counted() {
     assert_eq!(db.plan_cache_stats().entries, 1);
 }
 
+/// Satellite of the delta-store tentpole: the plan-cache key carries
+/// the generation number, so a mutation is a cache **miss** that
+/// re-costs the query against the delta-adjusted cardinalities, the
+/// superseded entry is pruned, and `clear_plan_cache` keeps working
+/// across generations.
+#[test]
+fn mutations_invalidate_the_plan_cache_by_generation() {
+    let db = BlasDb::load("<db><e><n>x</n></e><e><n>y</n></e></db>").unwrap();
+    let q = "/db/e/n";
+    let before = db.query(q, EngineChoice::auto()).unwrap();
+    assert_eq!(before.nodes.len(), 2);
+    let _ = db.query(q, EngineChoice::auto()).unwrap();
+    let s = db.plan_cache_stats();
+    assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+
+    // A mutation publishes generation 1; the cached generation-0 plan
+    // no longer applies.
+    db.insert_subtree(0, "<e><n>z</n></e>").unwrap();
+    assert_eq!(db.generation(), 1);
+    let after = db.query(q, EngineChoice::auto()).unwrap();
+    assert_eq!(after.nodes.len(), 3, "the re-prepared plan sees the insert");
+    let s = db.plan_cache_stats();
+    assert_eq!((s.hits, s.misses), (1, 2), "a new generation is a miss, not a stale hit");
+    assert_eq!(s.entries, 1, "the superseded generation's entry was pruned");
+
+    // The re-costed plan is fully resolved, cached, and hit on repeat.
+    let info = db.plan_info(q, EngineChoice::auto()).unwrap();
+    assert!(info.cached);
+    assert_ne!(info.engine, Engine::Auto);
+    let _ = db.query(q, EngineChoice::auto()).unwrap();
+    assert_eq!(db.plan_cache_stats().hits, 3);
+
+    // Compaction folds the delta into fresh columns — also a new
+    // generation, also a miss, same answer.
+    db.compact();
+    let folded = db.query(q, EngineChoice::auto()).unwrap();
+    assert_eq!(folded.nodes, after.nodes);
+    let s = db.plan_cache_stats();
+    assert_eq!((s.hits, s.misses, s.entries), (3, 3, 1));
+
+    // `clear_plan_cache` still empties the (generation-keyed) cache.
+    db.clear_plan_cache();
+    assert_eq!(db.plan_cache_stats().entries, 0);
+    let _ = db.query(q, EngineChoice::auto()).unwrap();
+    assert_eq!(db.plan_cache_stats().entries, 1);
+}
+
 /// `run` (pre-parsed trees) has no string key and must bypass the
 /// cache entirely.
 #[test]

@@ -278,6 +278,161 @@ fn panic_inside_inlined_continuation_surfaces_and_pool_survives() {
     }
 }
 
+/// Satellite of the delta-store tentpole: OS reader threads hammer
+/// queries through pinned [`blas::DbSnapshot`]s while one writer
+/// mutates the database and folds the delta — synchronously and on the
+/// shared pool. Every answer must match the oracle for **exactly** the
+/// generation the reader pinned, and a snapshot pinned at the start
+/// must keep answering its own generation after a dozen publishes.
+#[test]
+fn readers_pin_generations_while_a_writer_mutates_and_compacts() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SRC: &str = concat!(
+        "<db><e><p><n>cytochrome c</n></p><r><y>2001</y></r></e>",
+        "<e><p><n>hemoglobin</n></p><r><y>1999</y></r></e></db>"
+    );
+    const QUERIES: &[&str] = &["//n", "//y", "/db/e", "//e[p]"];
+    /// Mutation steps: insert → compact → retag → delete, three times
+    /// over. Each publishes exactly one generation.
+    const STEPS: usize = 12;
+
+    // One deterministic mutation step; targets are derived from the
+    // current live tree, so the oracle and the contended database walk
+    // the same generation sequence.
+    fn mutate(db: &BlasDb, step: usize) -> u64 {
+        let snap = db.snapshot();
+        match step % 4 {
+            // Append a fresh subtree under the root (always on the
+            // rightmost spine).
+            0 => db.insert_subtree(0, "<e><p><n>new</n></p></e>").unwrap(),
+            // Fold the delta; the tree is unchanged.
+            1 => db.compact(),
+            // Toggle the tag of the newest level-4 node (n ↔ y).
+            2 => {
+                let rec = snap
+                    .store()
+                    .scan_all()
+                    .filter(|(_, r)| r.level == 4)
+                    .max_by_key(|(_, r)| r.start)
+                    .map(|(_, r)| r)
+                    .unwrap();
+                let to = if db.tags().name(rec.tag) == "n" { "y" } else { "n" };
+                db.retag(rec.start, to).unwrap()
+            }
+            // Delete the newest <e> subtree (there is always one: the
+            // source has two and each cycle nets +1 until its delete).
+            _ => {
+                let target = snap
+                    .store()
+                    .scan_all()
+                    .filter(|(_, r)| r.level == 2)
+                    .max_by_key(|(_, r)| r.start)
+                    .map(|(_, r)| r.start)
+                    .unwrap();
+                db.delete(target).unwrap()
+            }
+        }
+    }
+
+    // Oracle pass: replay the script sequentially and record every
+    // query's answer per generation. The trailing entry is the
+    // background compaction's generation (same answers: the last step
+    // is a delete, so the delta is non-empty and the fold publishes).
+    let oracle = BlasDb::load(SRC).unwrap();
+    let answers_for = |db: &BlasDb| -> Vec<Vec<DLabel>> {
+        QUERIES
+            .iter()
+            .map(|q| db.query(q, EngineChoice::auto()).unwrap().nodes)
+            .collect()
+    };
+    let mut expected: Vec<Vec<Vec<DLabel>>> = vec![answers_for(&oracle)];
+    for step in 0..STEPS {
+        assert_eq!(mutate(&oracle, step), (step + 1) as u64);
+        expected.push(answers_for(&oracle));
+    }
+    assert_eq!(oracle.compact(), (STEPS + 1) as u64);
+    expected.push(answers_for(&oracle));
+    let final_gen = (STEPS + 1) as u64;
+
+    let db = Arc::new(BlasDb::load(SRC).unwrap());
+    let done = AtomicBool::new(false);
+    let checked = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for client in 0..CLIENT_THREADS {
+            let (db, done, checked, expected) = (&db, &done, &checked, &expected);
+            s.spawn(move || {
+                let engines =
+                    [EngineChoice::auto(), EngineChoice::rdbms().with_shards(4), EngineChoice::twig()];
+                // Pin one snapshot up front; it must stay valid and
+                // generation-consistent through every publish below.
+                let early = db.snapshot();
+                let early_gen = early.generation();
+                let mut rounds = 0usize;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let snap = db.snapshot();
+                    let gen = snap.generation() as usize;
+                    let choice = engines[(client + rounds) % engines.len()];
+                    for (qi, q) in QUERIES.iter().enumerate() {
+                        let got = snap
+                            .query(q, choice)
+                            .unwrap_or_else(|e| panic!("{q} at gen {gen}: {e}"));
+                        // The generation pinned *before* the first
+                        // query answers *all* of them: one consistent
+                        // tree per round, never a torn read across a
+                        // concurrent publish.
+                        assert_eq!(
+                            got.nodes, expected[gen][qi],
+                            "client {client}: {q} diverged from the oracle at generation {gen}"
+                        );
+                        checked.fetch_add(1, Ordering::Relaxed);
+                    }
+                    rounds += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                // After the writer retired (and compaction folded the
+                // delta), the snapshot loop must have reached the
+                // final generation…
+                assert_eq!(db.snapshot().generation(), final_gen);
+                // …while the generation pinned at the start still
+                // answers exactly as it did then.
+                for (qi, q) in QUERIES.iter().enumerate() {
+                    let got = early.query(q, EngineChoice::auto()).unwrap();
+                    assert_eq!(
+                        got.nodes, expected[early_gen as usize][qi],
+                        "client {client}: pinned generation {early_gen} drifted"
+                    );
+                }
+            });
+        }
+
+        // The writer: paced mutations, then a pool-side compaction.
+        let (db, done) = (&db, &done);
+        s.spawn(move || {
+            for step in 0..STEPS {
+                assert_eq!(mutate(db, step), (step + 1) as u64);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            db.compact_in_background();
+            while db.generation() < final_gen {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    assert!(checked.load(Ordering::Relaxed) >= CLIENT_THREADS * QUERIES.len());
+    let stats = db.delta_stats();
+    assert_eq!((stats.inserted, stats.deleted), (0, 0), "the background fold emptied the delta");
+    assert_eq!(stats.compactions, 4, "three synchronous folds plus the background one");
+}
+
 #[test]
 fn external_pool_can_be_shared_across_databases() {
     // Two stores, one externally owned pool, driven through the
