@@ -54,8 +54,10 @@ use blas_bench::arg_value;
 use blas_datagen::query_set;
 use blas_engine::stjoin::{structural_match, structural_match_into, JoinScratch};
 use blas_labeling::DLabel;
+use blas_server::{Client, Server, ServerConfig};
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Samples per kernel; the median is reported.
@@ -517,6 +519,79 @@ fn main() {
     drop(mapped_db);
     std::fs::remove_file(&snap_path).ok();
 
+    // --- serving front door: wire latency under concurrent clients ---
+    // Client-observed latency through the TCP front door — framing,
+    // JSON, admission control and execution — for a QA1-class cached
+    // point query, p50/p99 pooled across SERVE_CLIENTS concurrent
+    // connections; then the result-cache hit-vs-miss pair on the
+    // heaviest range scan (count-only replies so the wire cost is the
+    // same small constant on both sides), interleaved samples compared
+    // by median. The miss side clears the cache over the wire *before*
+    // starting its timer, so the sample prices exactly one uncached
+    // execution plus one round trip.
+    const SERVE_CLIENTS: usize = 8;
+    const SERVE_ROUNDS: usize = 40;
+    const SERVE_PAIR_REPS: usize = 21;
+    const SERVE_HEAVY: &str = "//listitem";
+    eprintln!("[bench_storage] serve: wire latency under {SERVE_CLIENTS} clients…");
+    let serve_db = Arc::new(BlasDb::from_snapshot(&snap_bytes).expect("snapshot decodes"));
+    let server = Server::bind(Arc::clone(&serve_db), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind an ephemeral port");
+    let serve_addr = server.local_addr();
+    let serve_point = qa1.xpath;
+    let mut serve_ns: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..SERVE_CLIENTS)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client =
+                        Client::connect(serve_addr, None).expect("serve client connects");
+                    // Warm connection, plan cache and result cache.
+                    let expect = client.query_count(serve_point, "auto", true).unwrap().count;
+                    (0..SERVE_ROUNDS)
+                        .map(|_| {
+                            let t0 = Instant::now();
+                            let got = client.query_count(serve_point, "auto", true).unwrap();
+                            assert_eq!(got.count, expect);
+                            t0.elapsed().as_nanos() as f64
+                        })
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("serve client thread"))
+            .collect()
+    });
+    serve_ns.sort_by(|a, b| a.total_cmp(b));
+    let serve_p50 = serve_ns[serve_ns.len() / 2];
+    let serve_p99 = serve_ns[serve_ns.len() * 99 / 100];
+
+    let mut miss_client = Client::connect(serve_addr, None).expect("miss client connects");
+    let mut hit_client = Client::connect(serve_addr, None).expect("hit client connects");
+    // Warm both paths once (and the plan cache for the heavy query).
+    let heavy_count = miss_client.query_count(SERVE_HEAVY, "rdbms", true).unwrap().count;
+    assert!(heavy_count > 0, "the heavy serve query must move real tuples");
+    let mut serve_miss_samples = Vec::with_capacity(SERVE_PAIR_REPS);
+    let mut serve_hit_samples = Vec::with_capacity(SERVE_PAIR_REPS);
+    for _ in 0..SERVE_PAIR_REPS {
+        miss_client.clear_cache().expect("clear the result cache");
+        let t0 = Instant::now();
+        let miss = miss_client.query_count(SERVE_HEAVY, "rdbms", true).unwrap();
+        serve_miss_samples.push(t0.elapsed().as_nanos() as f64);
+        assert!(!miss.cached, "the cleared cache must miss");
+        let t0 = Instant::now();
+        let hit = hit_client.query_count(SERVE_HEAVY, "rdbms", true).unwrap();
+        serve_hit_samples.push(t0.elapsed().as_nanos() as f64);
+        assert!(hit.cached, "the repeat must hit the result cache");
+        assert_eq!((miss.count, hit.count), (heavy_count, heavy_count));
+    }
+    let serve_miss_ns = median(&mut serve_miss_samples);
+    let serve_hit_ns = median(&mut serve_hit_samples);
+    let serve_hit_speedup = serve_miss_ns / serve_hit_ns;
+    let serve_stats = server.shutdown();
+    drop(serve_db);
+
     // --- report -------------------------------------------------------
     println!(
         "{:<38} {:>14} {:>12} {:>10}",
@@ -625,6 +700,19 @@ fn main() {
         );
     }
 
+    println!(
+        "\nserving front door ({SERVE_CLIENTS} concurrent clients, {SERVE_ROUNDS} rounds each, \
+         cached {} over TCP):",
+        qa1.id
+    );
+    println!("  p50 {serve_p50:>12.0} ns   p99 {serve_p99:>12.0} ns");
+    println!(
+        "  result cache on {SERVE_HEAVY} (median of {SERVE_PAIR_REPS} interleaved pairs): \
+         miss {serve_miss_ns:.0} ns, hit {serve_hit_ns:.0} ns, speedup {serve_hit_speedup:.1}x \
+         ({} wire hits / {} misses this run)",
+        serve_stats.cache_hits, serve_stats.cache_misses
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"dataset\": \"Auction\",");
@@ -715,6 +803,17 @@ fn main() {
     let _ = writeln!(json, "    \"tag_scan_plain_ns\": {plain_tag_ns:.0},");
     let _ = writeln!(json, "    \"tag_scan_empty_delta_ns\": {delta_tag_ns:.0},");
     let _ = writeln!(json, "    \"tag_scan_ratio\": {delta_tag_ratio:.2}");
+    json.push_str("  },\n");
+    json.push_str("  \"serve_latency\": {\n");
+    let _ = writeln!(json, "    \"clients\": {SERVE_CLIENTS},");
+    let _ = writeln!(json, "    \"rounds_per_client\": {SERVE_ROUNDS},");
+    let _ = writeln!(json, "    \"point_query\": \"{}\",", qa1.id);
+    let _ = writeln!(json, "    \"p50_ns\": {serve_p50:.0},");
+    let _ = writeln!(json, "    \"p99_ns\": {serve_p99:.0},");
+    let _ = writeln!(json, "    \"heavy_query\": \"{SERVE_HEAVY}\",");
+    let _ = writeln!(json, "    \"cache_miss_ns\": {serve_miss_ns:.0},");
+    let _ = writeln!(json, "    \"cache_hit_ns\": {serve_hit_ns:.0},");
+    let _ = writeln!(json, "    \"cache_hit_speedup\": {serve_hit_speedup:.1}");
     json.push_str("  },\n");
     json.push_str("  \"speedup_columnar_vs_bptree\": {\n");
     let _ = writeln!(json, "    \"plabel_range_scan\": {range_speedup:.2},");
@@ -849,6 +948,22 @@ fn main() {
         "scratch reuse must not be slower than fresh allocation \
          (reuse {scratch_reuse_ns:.0} ns vs fresh {fresh_alloc_ns:.0} ns)"
     );
+    // Serving-cache gate (the front-door acceptance criterion): a
+    // result-cache hit on the heaviest range scan must beat the
+    // uncached execution by ≥10× *as observed by a wire client* —
+    // count-only replies keep the round trip a small shared constant,
+    // so the ratio isolates execution-vs-replay. Only at the
+    // acceptance scale: at scale 1 the heavy scan itself is only a few
+    // µs, comparable to one loopback round trip, and the ratio would
+    // measure the kernel's TCP stack instead of the cache.
+    if scale >= 10 {
+        assert!(
+            serve_hit_speedup >= 10.0,
+            "a served result-cache hit must beat the uncached execution by >=10x \
+             (miss {serve_miss_ns:.0} ns vs hit {serve_hit_ns:.0} ns \
+             = {serve_hit_speedup:.1}x)"
+        );
+    }
     // Parallel-speedup gate: the range-scan-heavy queries (tens of
     // thousands of tuples across ~a hundred SP runs — the scans the
     // sharded path exists for) must win ≥1.5× under 4-way sharding at

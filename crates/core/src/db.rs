@@ -285,6 +285,9 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Plans currently cached.
     pub entries: usize,
+    /// Entries evicted by the capacity bound over the database's
+    /// lifetime (publish-time generation pruning is not counted).
+    pub evictions: u64,
 }
 
 impl PlanCacheStats {
@@ -299,10 +302,90 @@ impl PlanCacheStats {
     }
 }
 
-/// Bound on cached plans per database; reaching it clears the map
-/// wholesale (queries are typically a small fixed workload — an LRU
-/// would be dead weight until a serving layer needs one).
+/// Bound on cached plans per database. Reaching it evicts
+/// **individual entries** — superseded generations first, then oldest
+/// by insertion — never the whole map: a serving workload cycling
+/// through more than `PLAN_CACHE_CAP` distinct queries degrades to
+/// bounded re-preparation instead of hitting a periodic latency cliff
+/// where every hot plan vanishes at once.
 const PLAN_CACHE_CAP: usize = 1024;
+
+/// Plan-cache key: query string × requested choice × generation.
+type PlanKey = (String, EngineChoice, u64);
+
+/// The state behind the plan-cache mutex: resolved plans plus the
+/// insertion clock bounded eviction orders by.
+#[derive(Debug, Default)]
+struct PlanCache {
+    map: HashMap<PlanKey, (Arc<PreparedPlan>, u64)>,
+    /// Monotone insertion clock; an entry's stamp defines "oldest".
+    clock: u64,
+    /// Entries evicted by the capacity bound (generation pruning at
+    /// publish time is not counted — that is invalidation, not
+    /// pressure).
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// Insert under the cap. At `PLAN_CACHE_CAP`, evict entries of
+    /// superseded generations first (only a pinned [`DbSnapshot`] can
+    /// hit them again, and it simply re-prepares), then the oldest
+    /// entries by insertion order until there is room.
+    fn insert_bounded(&mut self, key: PlanKey, plan: Arc<PreparedPlan>, live_gen: u64) {
+        if self.map.len() >= PLAN_CACHE_CAP && !self.map.contains_key(&key) {
+            let before = self.map.len();
+            self.map.retain(|&(_, _, g), _| g == live_gen);
+            self.evictions += (before - self.map.len()) as u64;
+            while self.map.len() >= PLAN_CACHE_CAP {
+                let oldest = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, &(_, stamp))| stamp)
+                    .map(|(k, _)| k.clone());
+                match oldest {
+                    Some(k) => {
+                        self.map.remove(&k);
+                        self.evictions += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.clock += 1;
+        self.map.insert(key, (plan, self.clock));
+    }
+}
+
+/// Take a mutex even if a previous holder panicked. Every critical
+/// section in this module is a handful of map/pointer operations with
+/// no partially-applied state, so the data behind a poisoned guard is
+/// still consistent; propagating the poison would instead turn one
+/// panicking query into permanent panics for every later query on the
+/// same `BlasDb` — exactly what a serving layer cannot afford.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_recover`] for a reader-writer read guard.
+fn read_recover<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_recover`] for a reader-writer write guard.
+fn write_recover<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Registered snapshot-publish observers ([`BlasDb::on_publish`]);
+/// Debug shows only the count (the hooks are opaque closures).
+#[derive(Default)]
+struct PublishHooks(Vec<Box<dyn Fn(u64) + Send + Sync>>);
+
+impl fmt::Debug for PublishHooks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("PublishHooks").field(&self.0.len()).finish()
+    }
+}
 
 /// One published generation of the database: an immutable store (base
 /// columns ⊎ delta) plus the derived views — document tree, label
@@ -423,9 +506,13 @@ pub struct BlasDb {
     /// generation, so the next lookup misses and re-costs against the
     /// delta-adjusted cardinalities. Publishing prunes entries of
     /// superseded generations.
-    plan_cache: Mutex<HashMap<(String, EngineChoice, u64), Arc<PreparedPlan>>>,
+    plan_cache: Mutex<PlanCache>,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    /// Observers notified after every generation publication — the
+    /// invalidation signal for caches layered above the database
+    /// (e.g. the server's result cache).
+    publish_hooks: Mutex<PublishHooks>,
     /// Completed delta-folding compactions ([`BlasDb::compact`]).
     compactions: AtomicU64,
 }
@@ -515,16 +602,17 @@ impl BlasDb {
             base,
             writer: Mutex::new(WriterState { base_store: store, edits: DeltaEdits::new() }),
             pool: OnceLock::new(),
-            plan_cache: Mutex::new(HashMap::new()),
+            plan_cache: Mutex::new(PlanCache::default()),
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
+            publish_hooks: Mutex::new(PublishHooks::default()),
             compactions: AtomicU64::new(0),
         }
     }
 
     /// The latest published generation, pinned.
     fn current_gen(&self) -> Arc<DbGen> {
-        Arc::clone(&self.current.read().unwrap())
+        Arc::clone(&read_recover(&self.current))
     }
 
     /// A generation's document tree, rebuilt from its columns on first
@@ -634,10 +722,12 @@ impl BlasDb {
 
     /// Plan-cache hit/miss counters and current size.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        let cache = lock_recover(&self.plan_cache);
         PlanCacheStats {
             hits: self.plan_cache_hits.load(Ordering::Relaxed),
             misses: self.plan_cache_misses.load(Ordering::Relaxed),
-            entries: self.plan_cache.lock().unwrap().len(),
+            entries: cache.map.len(),
+            evictions: cache.evictions,
         }
     }
 
@@ -645,7 +735,21 @@ impl BlasDb {
     /// measurement aid — generation-keyed entries never go stale, so
     /// correctness never requires this, even under mutation.
     pub fn clear_plan_cache(&self) {
-        self.plan_cache.lock().unwrap().clear();
+        lock_recover(&self.plan_cache).map.clear();
+    }
+
+    /// Register a hook invoked after every generation publication
+    /// (mutations and compactions alike) with the new generation
+    /// number. This is the invalidation signal for caches layered
+    /// *above* the database: the server's result cache keys entries by
+    /// `(query, engine, generation)` and prunes superseded generations
+    /// from here. Hooks run on the publishing thread with the writer
+    /// lock held, after the new generation is visible to readers —
+    /// keep them short, and never call a mutation from one (it would
+    /// self-deadlock on the writer mutex). Hooks cannot be
+    /// deregistered; they live as long as the database.
+    pub fn on_publish(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        lock_recover(&self.publish_hooks).0.push(Box::new(hook));
     }
 
     /// Cache-through plan resolution: return the prepared plan for
@@ -658,18 +762,20 @@ impl BlasDb {
         choice: EngineChoice,
     ) -> Result<(Arc<PreparedPlan>, bool), BlasError> {
         let key = (xpath.to_string(), choice, gen.number);
-        if let Some(hit) = self.plan_cache.lock().unwrap().get(&key) {
+        if let Some((hit, _)) = lock_recover(&self.plan_cache).map.get(&key) {
             self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(hit), true));
         }
         self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
         let query = blas_xpath::parse(xpath)?;
         let prepared = Arc::new(self.prepare(gen, &query, choice)?);
-        let mut map = self.plan_cache.lock().unwrap();
-        if map.len() >= PLAN_CACHE_CAP {
-            map.clear();
-        }
-        map.insert(key, Arc::clone(&prepared));
+        // "Superseded" means older than the latest published
+        // generation, not the (possibly pinned) one being queried.
+        // Read it before taking the cache lock: publish() takes the
+        // generation write lock first, so nesting the read inside the
+        // cache lock would invert that order.
+        let live_gen = self.generation();
+        lock_recover(&self.plan_cache).insert_bounded(key, Arc::clone(&prepared), live_gen);
         Ok((prepared, false))
     }
 
@@ -998,7 +1104,7 @@ impl BlasDb {
     /// The current generation number: 0 at open, +1 per successful
     /// mutation or compaction.
     pub fn generation(&self) -> u64 {
-        self.current.read().unwrap().number
+        read_recover(&self.current).number
     }
 
     /// Size of the mutable layer on the current generation, plus the
@@ -1048,7 +1154,7 @@ impl BlasDb {
             };
             tag_map.push(tag);
         }
-        let mut ws = self.writer.lock().unwrap();
+        let mut ws = lock_recover(&self.writer);
         // Stable while we hold the writer lock: publications happen
         // only under it.
         let gen = self.current_gen();
@@ -1118,7 +1224,7 @@ impl BlasDb {
     /// delete is purely a set of tombstones (and withdrawn pending
     /// inserts) in the delta layer.
     pub fn delete(&self, start: u32) -> Result<u64, BlasError> {
-        let mut ws = self.writer.lock().unwrap();
+        let mut ws = lock_recover(&self.writer);
         let gen = self.current_gen();
         let Some((_, target)) = gen.store.get_by_start(start) else {
             return Err(BlasError::Mutation(format!("no live node starts at unit {start}")));
@@ -1156,7 +1262,7 @@ impl BlasDb {
                 "tag {new_tag:?} is not in the tag table; the P-label domain is fixed at load"
             )));
         };
-        let mut ws = self.writer.lock().unwrap();
+        let mut ws = lock_recover(&self.writer);
         let gen = self.current_gen();
         let Some((_, target)) = gen.store.get_by_start(start) else {
             return Err(BlasError::Mutation(format!("no live node starts at unit {start}")));
@@ -1202,7 +1308,7 @@ impl BlasDb {
     /// and the compacted state is query-identical to the delta-layered
     /// one it replaces.
     pub fn compact(&self) -> u64 {
-        let mut ws = self.writer.lock().unwrap();
+        let mut ws = lock_recover(&self.writer);
         let gen = self.current_gen();
         if gen.store.delta().is_none_or(blas_storage::DeltaStore::is_noop) {
             return gen.number;
@@ -1243,11 +1349,14 @@ impl BlasDb {
     /// can only be hit again by a pinned [`DbSnapshot`], which will
     /// simply re-prepare.
     fn publish(&self, store: NodeStore) -> u64 {
-        let mut cur = self.current.write().unwrap();
+        let mut cur = write_recover(&self.current);
         let number = cur.number + 1;
         *cur = Arc::new(DbGen::new(number, store));
         drop(cur);
-        self.plan_cache.lock().unwrap().retain(|&(_, _, g), _| g == number);
+        lock_recover(&self.plan_cache).map.retain(|&(_, _, g), _| g == number);
+        for hook in &lock_recover(&self.publish_hooks).0 {
+            hook(number);
+        }
         number
     }
 }
@@ -1694,5 +1803,108 @@ mod tests {
         let s = db.plan_cache_stats();
         assert_eq!((s.hits, s.misses), (1, 2), "a new generation is a cache miss");
         assert_eq!(s.entries, 1, "superseded generations were pruned");
+    }
+
+    #[test]
+    fn plan_cache_evicts_bounded_not_wholesale() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        let choice = EngineChoice::rdbms();
+        let over = PLAN_CACHE_CAP + 77;
+        for i in 0..over {
+            db.query(&format!("/db/e[r/y='k{i}']/p/n"), choice).unwrap();
+        }
+        let s = db.plan_cache_stats();
+        assert_eq!(s.entries, PLAN_CACHE_CAP, "the cap holds exactly");
+        assert_eq!(s.evictions as usize, over - PLAN_CACHE_CAP, "one eviction per overflow");
+        assert_eq!(s.misses as usize, over);
+        // The regression this guards: the old wholesale clear() would
+        // have dumped every hot plan at the cap. Bounded eviction
+        // keeps recent entries hot (a repeat is a hit) and drops only
+        // the oldest (a repeat of the first query re-prepares).
+        db.query(&format!("/db/e[r/y='k{}']/p/n", over - 1), choice).unwrap();
+        assert_eq!(db.plan_cache_stats().hits, s.hits + 1, "recent entries survive the cap");
+        db.query("/db/e[r/y='k0']/p/n", choice).unwrap();
+        let s2 = db.plan_cache_stats();
+        assert_eq!(s2.misses as usize, over + 1, "the oldest entry was the one evicted");
+        assert_eq!(s2.entries, PLAN_CACHE_CAP);
+    }
+
+    #[test]
+    fn plan_cache_eviction_prefers_superseded_generations() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        let choice = EngineChoice::rdbms();
+        let pinned = db.snapshot(); // generation 0
+        db.retag(20, "n").unwrap(); // generation 1
+        // Superseded-generation entries can only exist when a pinned
+        // snapshot re-prepares after a publish; make eight of them.
+        for i in 0..8 {
+            pinned.query(&format!("/db/e[r/y='o{i}']/p/n"), choice).unwrap();
+        }
+        // Fill the rest of the cache with live-generation plans.
+        for i in 0..PLAN_CACHE_CAP - 8 {
+            db.query(&format!("/db/e[r/n='l{i}']/p/n"), choice).unwrap();
+        }
+        assert_eq!(db.plan_cache_stats().entries, PLAN_CACHE_CAP);
+        // The overflowing insert sheds all eight superseded entries
+        // and not a single live one.
+        let before = db.plan_cache_stats();
+        db.query("/db/e/p/n", choice).unwrap();
+        let s = db.plan_cache_stats();
+        assert_eq!(s.evictions, before.evictions + 8);
+        assert_eq!(s.entries, PLAN_CACHE_CAP - 8 + 1);
+        db.query("/db/e[r/n='l0']/p/n", choice).unwrap();
+        assert_eq!(db.plan_cache_stats().hits, s.hits + 1, "live entries survived");
+        pinned.query("/db/e[r/y='o0']/p/n", choice).unwrap();
+        assert_eq!(db.plan_cache_stats().misses, s.misses + 1, "superseded entries are gone");
+    }
+
+    #[test]
+    fn poisoned_internal_locks_recover_instead_of_propagating() {
+        // The regression this guards: one panicking holder used to
+        // leave `.lock().unwrap()` panicking for every later caller,
+        // turning a single bad query into a permanently dead database
+        // under a serving workload.
+        let db = Arc::new(BlasDb::load(SAMPLE).unwrap());
+        db.query("/db/e/p/n", EngineChoice::auto()).unwrap();
+        let poison = Arc::clone(&db);
+        std::thread::spawn(move || {
+            let _cache = poison.plan_cache.lock().unwrap();
+            let _writer = poison.writer.lock().unwrap();
+            let _hooks = poison.publish_hooks.lock().unwrap();
+            let _cur = poison.current.write().unwrap();
+            panic!("injected panic while holding every BlasDb lock");
+        })
+        .join()
+        .unwrap_err();
+        assert!(db.plan_cache.is_poisoned() && db.writer.is_poisoned());
+        // Cached and uncached reads, stats, mutations, publication and
+        // compaction all recover the guards and keep working.
+        assert_eq!(db.query("/db/e/p/n", EngineChoice::auto()).unwrap().nodes.len(), 2);
+        assert_eq!(db.query("//y", EngineChoice::auto()).unwrap().nodes.len(), 2);
+        assert!(db.plan_cache_stats().hits >= 1);
+        db.on_publish(|_| {});
+        db.retag(20, "n").unwrap();
+        assert_eq!(db.generation(), 1);
+        assert_eq!(db.compact(), 2);
+        assert_eq!(db.query("/db/e/r/n", EngineChoice::auto()).unwrap().nodes.len(), 1);
+    }
+
+    #[test]
+    fn publish_hooks_fire_for_every_publication() {
+        let db = BlasDb::load(SAMPLE).unwrap();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        db.on_publish(move |g| sink.lock().unwrap().push(g));
+        db.delete(1).unwrap();
+        db.retag(20, "n").unwrap();
+        db.insert_subtree(13, "<r><y>2024</y></r>").unwrap();
+        db.compact();
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 3, 4]);
+        // A noop compaction publishes nothing and fires no hook.
+        db.compact();
+        assert_eq!(seen.lock().unwrap().len(), 4);
+        // A rejected mutation publishes nothing and fires no hook.
+        assert!(db.insert_subtree(0, "<zz/>").is_err());
+        assert_eq!(seen.lock().unwrap().len(), 4);
     }
 }

@@ -73,7 +73,7 @@ pub use opt::{
     choose_shards, estimate_plan, lower_plan_costed, order_twig_joins, source_cardinality,
     CostModel, PlanEstimate,
 };
-pub use pool::{take_scratch, JobHandle, PoolHandle, Scope, Scratch};
+pub use pool::{take_scratch, JobHandle, PoolHandle, Scope, Scratch, TaskHandle};
 pub use physical::{
     lower_plan, lower_plan_raw, lower_twig, lower_twigstack, PhysOp, PhysPlan, TwigPattern,
 };

@@ -279,6 +279,44 @@ impl PoolHandle {
         }
     }
 
+    /// Submit one `'static` job and get a [`TaskHandle`] to collect
+    /// its result (or panic) later. This is the serving layer's
+    /// connection-task primitive: like [`PoolHandle::spawn_detached`]
+    /// there is no scope — the job owns everything it captures — but
+    /// the completion is observable and joinable, which is what lets
+    /// a server *drain* in-flight connections on shutdown instead of
+    /// abandoning them. A panicking body is caught and delivered as
+    /// `Err` at the join point; the worker survives. On the
+    /// zero-worker inline pool the job runs synchronously on the
+    /// calling thread and the returned handle is already complete.
+    pub fn spawn_task<T: Send + 'static>(
+        &self,
+        body: impl FnOnce() -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        let slot: Arc<JobSlot<T>> = Arc::new(JobSlot {
+            done: AtomicBool::new(false),
+            result: Mutex::new(None),
+        });
+        let task_slot = Arc::clone(&slot);
+        let shared = Arc::clone(&self.core.shared);
+        let job = move || {
+            let result = catch_unwind(AssertUnwindSafe(body));
+            *task_slot.result.lock().unwrap() = Some(result);
+            // SeqCst: the done-flip half of the wait_until protocol.
+            task_slot.done.store(true, Ordering::SeqCst);
+            drop(task_slot);
+            // A joiner may be parked in `wait_until` on the queue
+            // condvar; completions must wake it.
+            notify_progress(&shared);
+        };
+        if self.core.threads == 0 {
+            job();
+        } else {
+            self.push(Box::new(job), true);
+        }
+        TaskHandle { slot, pool: self.clone() }
+    }
+
     fn push(&self, task: Task, notify: bool) {
         self.ensure_workers();
         let shared = &self.core.shared;
@@ -521,6 +559,37 @@ impl<T> JobHandle<T> {
     }
 }
 
+/// Handle to one [`PoolHandle::spawn_task`] job: a detached `'static`
+/// job whose completion is observable. Holding (or leaking) the handle
+/// never blocks the job; dropping it without joining simply discards
+/// the result, exactly like a detached thread.
+pub struct TaskHandle<T> {
+    slot: Arc<JobSlot<T>>,
+    pool: PoolHandle,
+}
+
+impl<T> TaskHandle<T> {
+    /// Wait for the task, running other pool jobs while waiting.
+    /// `Err(payload)` delivers the task's panic instead of re-raising
+    /// it, so a dying connection task surfaces as a value the server
+    /// chooses how to report.
+    pub fn join(self) -> std::thread::Result<T> {
+        let slot = Arc::clone(&self.slot);
+        self.pool.wait_until(&|| slot.done.load(Ordering::SeqCst));
+        self.slot
+            .result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("completed task left its result")
+    }
+
+    /// Whether the task has finished (without blocking).
+    pub fn is_done(&self) -> bool {
+        self.slot.done.load(Ordering::Acquire)
+    }
+}
+
 /// Run `f` with a [`Scope`] bound to `pool`, then block — helping the
 /// pool — until every job spawned within the scope has completed.
 /// Panics from fire-and-forget jobs are re-raised here (after the
@@ -740,6 +809,45 @@ mod tests {
         // The pool is not poisoned: subsequent jobs run normally.
         let ok = scope(&pool, |s| s.spawn_job(|| 7u32).join()).unwrap();
         assert_eq!(ok, 7);
+    }
+
+    #[test]
+    fn spawn_task_returns_results_without_a_scope() {
+        let pool = PoolHandle::new(2);
+        let handles: Vec<TaskHandle<u32>> =
+            (0..8u32).map(|i| pool.spawn_task(move || i * i)).collect();
+        let mut got: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8u32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spawn_task_panic_is_delivered_at_join_and_pool_survives() {
+        let pool = PoolHandle::new(1);
+        let bad = pool.spawn_task(|| -> u32 { panic!("task boom") });
+        assert!(bad.join().is_err());
+        // The worker that ran the panicking task still serves jobs.
+        assert_eq!(pool.spawn_task(|| 7u32).join().unwrap(), 7);
+    }
+
+    #[test]
+    fn spawn_task_runs_inline_on_the_zero_worker_pool() {
+        let pool = PoolHandle::inline();
+        let h = pool.spawn_task(|| 41 + 1);
+        assert!(h.is_done(), "inline pool completes the task synchronously");
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn dropped_task_handle_does_not_block_or_leak_the_job() {
+        let pool = PoolHandle::new(1);
+        let ran = Arc::new(AtomicU32::new(0));
+        let flag = Arc::clone(&ran);
+        drop(pool.spawn_task(move || flag.fetch_add(1, Ordering::SeqCst)));
+        // A joined sentinel task queued after it proves the dropped
+        // task still ran (one FIFO injector queue).
+        pool.spawn_task(|| ()).join().unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! `blas-serve` — stand up a BLAS server over a document.
+//!
+//! ```text
+//! blas-serve [--addr 127.0.0.1:7878] [--xml FILE | --mapped SNAPSHOT]
+//!            [--max-inflight N] [--max-conns N] [--cache-cap N]
+//! ```
+//!
+//! With neither `--xml` nor `--mapped`, serves the paper's running
+//! example document (Fig. 6) — enough to poke at the protocol.
+
+use blas::BlasDb;
+use blas_server::{Server, ServerConfig};
+use std::sync::Arc;
+
+/// The paper's running example (Fig. 6): two entries with
+/// paper/name/reference/year under a db root.
+const SAMPLE: &str = "<db>\
+<entry><paper/><name/><reference><year/></reference></entry>\
+<entry><paper/><name/><reference><year/></reference></entry>\
+</db>";
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+
+    let db = match (arg_value(&args, "--xml"), arg_value(&args, "--mapped")) {
+        (Some(path), _) => {
+            let xml = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+            BlasDb::load(&xml).unwrap_or_else(|e| fail(&format!("loading {path}: {e}")))
+        }
+        (None, Some(path)) => BlasDb::open_mapped(&path)
+            .unwrap_or_else(|e| fail(&format!("mapping {path}: {e}"))),
+        (None, None) => {
+            eprintln!("no --xml/--mapped given; serving the built-in sample document");
+            BlasDb::load(SAMPLE).expect("sample document loads")
+        }
+    };
+
+    let mut cfg = ServerConfig::default();
+    if let Some(n) = arg_value(&args, "--max-inflight").and_then(|s| s.parse().ok()) {
+        cfg.max_inflight = n;
+    }
+    if let Some(n) = arg_value(&args, "--max-conns").and_then(|s| s.parse().ok()) {
+        cfg.max_connections = n;
+    }
+    if let Some(n) = arg_value(&args, "--cache-cap").and_then(|s| s.parse().ok()) {
+        cfg.result_cache_cap = n;
+    }
+
+    let server = Server::bind(Arc::new(db), addr.as_str(), cfg)
+        .unwrap_or_else(|e| fail(&format!("binding {addr}: {e}")));
+    println!("blas-serve listening on {}", server.local_addr());
+    println!("(ctrl-c to stop; protocol: 4-byte BE length prefix + JSON)");
+
+    // Serve until killed; the acceptor thread owns all the work.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("blas-serve: {msg}");
+    std::process::exit(1);
+}

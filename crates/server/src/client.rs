@@ -1,0 +1,244 @@
+//! A minimal blocking client for the wire protocol — enough for
+//! tests, the bench harness, and scripting against `blas-serve`.
+
+use crate::json::{self, Json};
+use crate::proto::{write_frame, FrameReader, ReadEvent};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What a call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or the server closed
+    /// the connection mid-response).
+    Io(io::Error),
+    /// The server sent bytes that are not a valid response frame.
+    Protocol(String),
+    /// The server answered with a typed error; `code` is the wire
+    /// token (`"overloaded"`, `"xpath"`, …).
+    Rpc { code: String, message: String },
+}
+
+impl ClientError {
+    /// Was this an admission-control rejection (retry with backoff)?
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ClientError::Rpc { code, .. } if code == "overloaded")
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Rpc { code, message } => write!(f, "{code}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One decoded `query` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Generation the answer was computed against.
+    pub generation: u64,
+    /// Engine token the server resolved (echoes the request).
+    pub engine: String,
+    /// Whether the answer came from the server's result cache.
+    pub cached: bool,
+    /// Match count.
+    pub count: usize,
+    /// Elements the engine visited computing the answer.
+    pub elements_visited: u64,
+    /// Matched nodes as `(start, end, level)` D-labels; empty when the
+    /// request asked `labels: false`.
+    pub nodes: Vec<(u32, u32, u16)>,
+}
+
+/// A blocking connection to a BLAS server.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect, with an optional overall socket timeout applied to
+    /// both reads and writes (`None` blocks indefinitely).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(Client { stream, reader: FrameReader::new(), next_id: 0 })
+    }
+
+    /// Issue one call and wait for its response. Returns the
+    /// response's `result` value, or the typed error the server sent.
+    pub fn call(&mut self, method: &str, params: Json) -> Result<Json, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let req = Json::Obj(vec![
+            ("id".into(), Json::num(id as f64)),
+            ("method".into(), Json::str(method)),
+            ("params".into(), params),
+        ]);
+        write_frame(&mut self.stream, req.to_string().as_bytes())?;
+        let resp = self.read_response()?;
+        if let Some(err) = resp.get("error") {
+            let code = err
+                .get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("internal")
+                .to_string();
+            let message = err
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            return Err(ClientError::Rpc { code, message });
+        }
+        resp.get("result")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("response has neither result nor error".into()))
+    }
+
+    fn read_response(&mut self) -> Result<Json, ClientError> {
+        // The client's socket timeout is the whole deadline, so an
+        // Idle poll is terminal here (unlike the server's poll loop).
+        match self.reader.poll(&mut self.stream)? {
+            ReadEvent::Frame(bytes) => {
+                let text = std::str::from_utf8(&bytes)
+                    .map_err(|_| ClientError::Protocol("response is not UTF-8".into()))?;
+                json::parse(text)
+                    .map_err(|e| ClientError::Protocol(format!("bad response JSON: {e}")))
+            }
+            ReadEvent::Idle => Err(ClientError::Io(io::ErrorKind::TimedOut.into())),
+            ReadEvent::Eof => Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into())),
+            ReadEvent::TooLarge(n) => {
+                Err(ClientError::Protocol(format!("{n}-byte response frame")))
+            }
+        }
+    }
+
+    /// Run `xpath` with the given engine token (`"auto"`, `"rdbms"`,
+    /// `"twig"`, `"twigstack"`) and decode the full reply.
+    pub fn query(&mut self, xpath: &str, engine: &str) -> Result<QueryReply, ClientError> {
+        let params = Json::Obj(vec![
+            ("xpath".into(), Json::str(xpath)),
+            ("engine".into(), Json::str(engine)),
+        ]);
+        let r = self.call("query", params)?;
+        decode_query_reply(&r)
+    }
+
+    /// Count-only query (`labels: false`); `use_cache: false` forces a
+    /// fresh execution (for cache-bypass measurements).
+    pub fn query_count(
+        &mut self,
+        xpath: &str,
+        engine: &str,
+        use_cache: bool,
+    ) -> Result<QueryReply, ClientError> {
+        let params = Json::Obj(vec![
+            ("xpath".into(), Json::str(xpath)),
+            ("engine".into(), Json::str(engine)),
+            ("labels".into(), Json::Bool(false)),
+            ("cache".into(), Json::Bool(use_cache)),
+        ]);
+        let r = self.call("query", params)?;
+        decode_query_reply(&r)
+    }
+
+    /// Insert a rightmost-spine subtree; returns the new generation.
+    pub fn insert_subtree(&mut self, parent_start: u32, xml: &str) -> Result<u64, ClientError> {
+        let params = Json::Obj(vec![
+            ("parent_start".into(), Json::num(parent_start as f64)),
+            ("xml".into(), Json::str(xml)),
+        ]);
+        generation_of(&self.call("insert_subtree", params)?)
+    }
+
+    /// Delete the subtree rooted at `start`; returns the new generation.
+    pub fn delete(&mut self, start: u32) -> Result<u64, ClientError> {
+        let params = Json::Obj(vec![("start".into(), Json::num(start as f64))]);
+        generation_of(&self.call("delete", params)?)
+    }
+
+    /// Rename the node at `start`; returns the new generation.
+    pub fn retag(&mut self, start: u32, tag: &str) -> Result<u64, ClientError> {
+        let params = Json::Obj(vec![
+            ("start".into(), Json::num(start as f64)),
+            ("tag".into(), Json::str(tag)),
+        ]);
+        generation_of(&self.call("retag", params)?)
+    }
+
+    /// The server's counter snapshot as raw JSON.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.call("stats", Json::Obj(Vec::new()))
+    }
+
+    /// Drop every result-cache entry; returns how many were dropped.
+    pub fn clear_cache(&mut self) -> Result<u64, ClientError> {
+        let r = self.call("clear_cache", Json::Obj(Vec::new()))?;
+        r.get("cleared")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("clear_cache reply lacks \"cleared\"".into()))
+    }
+}
+
+fn generation_of(result: &Json) -> Result<u64, ClientError> {
+    result
+        .get("generation")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ClientError::Protocol("reply lacks \"generation\"".into()))
+}
+
+fn decode_query_reply(r: &Json) -> Result<QueryReply, ClientError> {
+    let bad = |what: &str| ClientError::Protocol(format!("query reply lacks {what}"));
+    let nodes = match r.get("nodes") {
+        None => Vec::new(),
+        Some(v) => {
+            let arr = v.as_arr().ok_or_else(|| bad("a nodes array"))?;
+            let mut out = Vec::with_capacity(arr.len());
+            for label in arr {
+                let t = label.as_arr().ok_or_else(|| bad("label triples"))?;
+                let field = |i: usize| t.get(i).and_then(Json::as_u64);
+                match (field(0), field(1), field(2)) {
+                    (Some(s), Some(e), Some(l)) => {
+                        out.push((s as u32, e as u32, l as u16))
+                    }
+                    _ => return Err(bad("numeric label triples")),
+                }
+            }
+            out
+        }
+    };
+    Ok(QueryReply {
+        generation: r.get("generation").and_then(Json::as_u64).ok_or_else(|| bad("generation"))?,
+        engine: r
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("engine"))?
+            .to_string(),
+        cached: r.get("cached").and_then(Json::as_bool).unwrap_or(false),
+        count: r.get("count").and_then(Json::as_u64).ok_or_else(|| bad("count"))? as usize,
+        elements_visited: r
+            .get("elements_visited")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("elements_visited"))?,
+        nodes,
+    })
+}

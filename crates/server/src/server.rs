@@ -1,0 +1,783 @@
+//! The request loop: acceptor thread → pooled connection tasks →
+//! per-request dispatch against a shared [`BlasDb`].
+//!
+//! ## Request path
+//!
+//! One OS thread accepts. Each admitted connection becomes a **pool
+//! task** ([`PoolHandle::spawn_task`]) on a dedicated connection pool
+//! sized exactly [`ServerConfig::max_connections`] — a connection owns
+//! its worker for its lifetime, so connection concurrency is bounded
+//! by construction and an over-limit accept is *rejected with a typed
+//! frame*, never queued. Within a connection, requests are handled
+//! synchronously in arrival order (pipelining is allowed; responses
+//! come back in request order).
+//!
+//! ## Admission control
+//!
+//! Query and mutation execution is additionally bounded by an
+//! in-flight semaphore of [`ServerConfig::max_inflight`] permits with
+//! **try-acquire** semantics: when the bound is reached the request is
+//! answered immediately with [`ErrorCode::Overloaded`] — the server
+//! never builds an unbounded queue in front of the database. Cheap
+//! admin methods (`stats`, `plan_info`, `clear_cache`) bypass
+//! admission.
+//!
+//! ## Result cache
+//!
+//! Responses to `query` are cached keyed by
+//! `(xpath, engine, generation)`. The generation in the key makes
+//! staleness impossible; invalidation is therefore purely an occupancy
+//! concern: a [`BlasDb::on_publish`] hook prunes entries of superseded
+//! generations the moment a new generation is published, and a
+//! capacity bound evicts oldest-first beyond that.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] stops accepting, then **drains**: every
+//! connection task finishes the request it is executing (and gets its
+//! response), notices the stop flag at the next frame boundary or idle
+//! tick, answers any just-arrived frame with
+//! [`ErrorCode::ShuttingDown`], and exits; the acceptor joins every
+//! task handle before shutdown returns.
+
+use crate::json::{self, Json};
+use crate::proto::{
+    err_response, ok_response, write_frame, ErrorCode, FrameReader, ReadEvent,
+};
+use blas::{BlasDb, EngineChoice};
+use blas_engine::{PoolHandle, TaskHandle};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// Socket-level poll tick: connections block at most this long before
+/// re-checking the stop flag and their idle budget. Bounds shutdown
+/// latency without spinning.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Serving knobs. `Default` is sized for tests and small deployments;
+/// the `blas-serve` bin exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Queries/mutations executing at once before admission control
+    /// answers [`ErrorCode::Overloaded`].
+    pub max_inflight: usize,
+    /// Concurrent connections; an over-limit accept is rejected with
+    /// one [`ErrorCode::Overloaded`] frame and closed.
+    pub max_connections: usize,
+    /// Idle budget per connection: with no complete request this long,
+    /// the server sends [`ErrorCode::Timeout`] and closes. `None`
+    /// waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout for responses; a peer that stops reading
+    /// past this gets disconnected. `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+    /// Result-cache entry bound (0 disables the cache).
+    pub result_cache_cap: usize,
+    /// Honor the `hold_ms` test parameter on `query` requests
+    /// (deterministic admission-control tests; keep off in
+    /// production).
+    pub debug_hold: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 64,
+            max_connections: 64,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            result_cache_cap: 4096,
+            debug_hold: false,
+        }
+    }
+}
+
+/// Counting try-acquire semaphore: admission control never waits, so
+/// there is no queue and no condvar — a failed acquire is the typed
+/// `Overloaded` answer.
+struct Semaphore {
+    permits: AtomicUsize,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Self { permits: AtomicUsize::new(permits) }
+    }
+
+    fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
+        let mut cur = self.permits.load(Ordering::Acquire);
+        loop {
+            if cur == 0 {
+                return None;
+            }
+            match self.permits.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(Permit(Arc::clone(self))),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn in_use(&self, total: usize) -> usize {
+        total.saturating_sub(self.permits.load(Ordering::Acquire))
+    }
+}
+
+/// RAII permit; releasing is the drop.
+struct Permit(Arc<Semaphore>);
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.0.permits.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// One cached query answer: counts plus the node array pre-serialized,
+/// so a hit replays bytes instead of re-walking labels.
+struct CachedResult {
+    count: usize,
+    elements_visited: u64,
+    nodes_json: Arc<String>,
+}
+
+/// Result-cache key: query string × engine token × generation.
+type ResultKey = (String, String, u64);
+
+/// The result cache: same bounded-eviction policy as the plan cache
+/// (superseded generations first, then oldest by insertion), plus
+/// publish-hook pruning.
+struct ResultCache {
+    map: Mutex<ResultMap>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+#[derive(Default)]
+struct ResultMap {
+    entries: HashMap<ResultKey, (Arc<CachedResult>, u64)>,
+    clock: u64,
+}
+
+impl ResultCache {
+    fn new(cap: usize) -> Self {
+        Self {
+            map: Mutex::new(ResultMap::default()),
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ResultMap> {
+        self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn get(&self, key: &ResultKey) -> Option<Arc<CachedResult>> {
+        let found = self.lock().entries.get(key).map(|(e, _)| Arc::clone(e));
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: ResultKey, entry: Arc<CachedResult>, live_gen: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut map = self.lock();
+        if map.entries.len() >= self.cap && !map.entries.contains_key(&key) {
+            map.entries.retain(|&(_, _, g), _| g == live_gen);
+            while map.entries.len() >= self.cap {
+                let oldest = map
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, &(_, stamp))| stamp)
+                    .map(|(k, _)| k.clone());
+                match oldest {
+                    Some(k) => {
+                        map.entries.remove(&k);
+                    }
+                    None => break,
+                }
+            }
+        }
+        map.clock += 1;
+        let stamp = map.clock;
+        map.entries.insert(key, (entry, stamp));
+    }
+
+    /// The publish-hook side: a new generation supersedes every entry
+    /// keyed below it.
+    fn invalidate_superseded(&self, live_gen: u64) {
+        let mut map = self.lock();
+        let before = map.entries.len();
+        map.entries.retain(|&(_, _, g), _| g >= live_gen);
+        let dropped = (before - map.entries.len()) as u64;
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    fn clear(&self) -> usize {
+        let mut map = self.lock();
+        let n = map.entries.len();
+        map.entries.clear();
+        n
+    }
+
+    fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+}
+
+/// Observable serving counters ([`Server::stats`], and the `stats`
+/// method on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests answered with a result (any method).
+    pub served: u64,
+    /// Requests rejected by query admission control.
+    pub overloaded: u64,
+    /// Connections accepted into the pool.
+    pub connections_accepted: u64,
+    /// Connections rejected at the limit.
+    pub connections_rejected: u64,
+    /// Connections closed for idle timeout.
+    pub timeouts: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache entries dropped by publish invalidation.
+    pub cache_invalidated: u64,
+    /// Result-cache current occupancy.
+    pub cache_entries: usize,
+}
+
+struct Inner {
+    db: Arc<BlasDb>,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    inflight: Arc<Semaphore>,
+    conn_slots: Arc<Semaphore>,
+    cache: ResultCache,
+    served: AtomicU64,
+    overloaded: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_rejected: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+/// A running server; dropping it shuts down gracefully (prefer calling
+/// [`Server::shutdown`] to observe the drain).
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<Vec<TaskHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// serving `db` with `cfg`. The returned handle owns the acceptor
+    /// thread and the connection pool.
+    pub fn bind(
+        db: Arc<BlasDb>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            inflight: Arc::new(Semaphore::new(cfg.max_inflight)),
+            conn_slots: Arc::new(Semaphore::new(cfg.max_connections)),
+            cache: ResultCache::new(cfg.result_cache_cap),
+            stop: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            db: Arc::clone(&db),
+            cfg,
+        });
+        // Publish → result-cache invalidation. Weak: the database may
+        // outlive the server, and the hook list lives as long as the
+        // database (an Arc here would cycle db → hook → inner → db).
+        let weak: Weak<Inner> = Arc::downgrade(&inner);
+        db.on_publish(move |generation| {
+            if let Some(inner) = weak.upgrade() {
+                inner.cache.invalidate_superseded(generation);
+            }
+        });
+        // One resident pool worker per admissible connection: a
+        // connection task occupies its worker for the connection's
+        // lifetime, so the pool size *is* the connection bound.
+        let pool = PoolHandle::new(inner.cfg.max_connections.max(1));
+        let acceptor_inner = Arc::clone(&inner);
+        let acceptor = std::thread::Builder::new()
+            .name("blas-accept".into())
+            .spawn(move || accept_loop(acceptor_inner, listener, pool))?;
+        Ok(Server { inner, addr: local, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServerStats {
+        let i = &self.inner;
+        ServerStats {
+            served: i.served.load(Ordering::Relaxed),
+            overloaded: i.overloaded.load(Ordering::Relaxed),
+            connections_accepted: i.conns_accepted.load(Ordering::Relaxed),
+            connections_rejected: i.conns_rejected.load(Ordering::Relaxed),
+            timeouts: i.timeouts.load(Ordering::Relaxed),
+            cache_hits: i.cache.hits.load(Ordering::Relaxed),
+            cache_misses: i.cache.misses.load(Ordering::Relaxed),
+            cache_invalidated: i.cache.invalidated.load(Ordering::Relaxed),
+            cache_entries: i.cache.len(),
+        }
+    }
+
+    /// Stop accepting, drain in-flight requests, join every connection
+    /// task, and return the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_impl();
+        self.stats()
+    }
+
+    fn shutdown_impl(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Ok(handles) = acceptor.join() {
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(
+    inner: Arc<Inner>,
+    listener: TcpListener,
+    pool: PoolHandle,
+) -> Vec<TaskHandle<()>> {
+    let mut handles: Vec<TaskHandle<()>> = Vec::new();
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if inner.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a late client) — drop it
+        }
+        // Completed connections release their pool worker; reap their
+        // handles so the vector tracks live connections only.
+        handles.retain(|h| !h.is_done());
+        match inner.conn_slots.try_acquire() {
+            Some(permit) => {
+                inner.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                let conn_inner = Arc::clone(&inner);
+                handles.push(pool.spawn_task(move || {
+                    serve_connection(conn_inner, stream);
+                    drop(permit);
+                }));
+            }
+            None => {
+                inner.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                let resp = err_response(
+                    &Json::Null,
+                    ErrorCode::Overloaded,
+                    "connection limit reached",
+                );
+                let mut s = stream;
+                let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+                let _ = write_frame(&mut s, resp.to_string().as_bytes());
+            }
+        }
+    }
+    handles
+}
+
+fn serve_connection(inner: Arc<Inner>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_write_timeout(inner.cfg.write_timeout);
+    let mut reader = FrameReader::new();
+    let mut idle_since = Instant::now();
+    loop {
+        let stopping = inner.stop.load(Ordering::SeqCst);
+        match reader.poll(&mut stream) {
+            Ok(ReadEvent::Frame(bytes)) => {
+                idle_since = Instant::now();
+                let resp = if stopping {
+                    let id = request_id(&bytes);
+                    err_response(&id, ErrorCode::ShuttingDown, "server is draining")
+                } else {
+                    respond(&inner, &bytes)
+                };
+                if write_frame(&mut stream, resp.to_string().as_bytes()).is_err() {
+                    return;
+                }
+                if stopping {
+                    return;
+                }
+            }
+            Ok(ReadEvent::Idle) => {
+                if stopping {
+                    return;
+                }
+                if let Some(budget) = inner.cfg.read_timeout {
+                    if idle_since.elapsed() >= budget {
+                        inner.timeouts.fetch_add(1, Ordering::Relaxed);
+                        let resp = err_response(
+                            &Json::Null,
+                            ErrorCode::Timeout,
+                            "connection idle past the read timeout",
+                        );
+                        let _ = write_frame(&mut stream, resp.to_string().as_bytes());
+                        return;
+                    }
+                }
+            }
+            Ok(ReadEvent::TooLarge(n)) => {
+                let resp = err_response(
+                    &Json::Null,
+                    ErrorCode::FrameTooLarge,
+                    &format!("frame of {n} bytes exceeds the limit"),
+                );
+                let _ = write_frame(&mut stream, resp.to_string().as_bytes());
+                return;
+            }
+            Ok(ReadEvent::Eof) | Err(_) => return,
+        }
+    }
+}
+
+/// Best-effort id extraction for error responses to frames we will not
+/// fully dispatch.
+fn request_id(bytes: &[u8]) -> Json {
+    std::str::from_utf8(bytes)
+        .ok()
+        .and_then(|s| json::parse(s).ok())
+        .and_then(|req| req.get("id").cloned())
+        .unwrap_or(Json::Null)
+}
+
+/// Parse and dispatch one request frame into a response.
+fn respond(inner: &Inner, bytes: &[u8]) -> Json {
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        return err_response(&Json::Null, ErrorCode::BadRequest, "frame is not UTF-8");
+    };
+    let req = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return err_response(
+                &Json::Null,
+                ErrorCode::BadRequest,
+                &format!("malformed JSON: {e}"),
+            )
+        }
+    };
+    let id = req.get("id").cloned().unwrap_or(Json::Null);
+    let Some(method) = req.get("method").and_then(Json::as_str) else {
+        return err_response(&id, ErrorCode::BadRequest, "missing \"method\"");
+    };
+    let empty = Json::Obj(Vec::new());
+    let params = req.get("params").unwrap_or(&empty);
+    match dispatch(inner, method, params) {
+        Ok(result) => {
+            inner.served.fetch_add(1, Ordering::Relaxed);
+            ok_response(&id, result)
+        }
+        Err((code, msg)) => {
+            if code == ErrorCode::Overloaded {
+                inner.overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+            err_response(&id, code, &msg)
+        }
+    }
+}
+
+type MethodResult = Result<Json, (ErrorCode, String)>;
+
+fn dispatch(inner: &Inner, method: &str, params: &Json) -> MethodResult {
+    match method {
+        "query" => query(inner, params),
+        "plan_info" => plan_info(inner, params),
+        "stats" => Ok(stats_json(inner)),
+        "insert_subtree" => mutate(inner, params, |db, p| {
+            let parent = u32_param(p, "parent_start")?;
+            let xml = str_param(p, "xml")?;
+            db.insert_subtree(parent, xml).map_err(mutation_error)
+        }),
+        "delete" => mutate(inner, params, |db, p| {
+            let start = u32_param(p, "start")?;
+            db.delete(start).map_err(mutation_error)
+        }),
+        "retag" => mutate(inner, params, |db, p| {
+            let start = u32_param(p, "start")?;
+            let tag = str_param(p, "tag")?;
+            db.retag(start, tag).map_err(mutation_error)
+        }),
+        "clear_cache" => {
+            let cleared = inner.cache.clear();
+            Ok(Json::Obj(vec![("cleared".into(), Json::num(cleared as f64))]))
+        }
+        other => Err((
+            ErrorCode::BadRequest,
+            format!("unknown method {other:?}"),
+        )),
+    }
+}
+
+fn str_param<'a>(params: &'a Json, key: &str) -> Result<&'a str, (ErrorCode, String)> {
+    params
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| (ErrorCode::BadRequest, format!("missing string param {key:?}")))
+}
+
+fn u32_param(params: &Json, key: &str) -> Result<u32, (ErrorCode, String)> {
+    params
+        .get(key)
+        .and_then(Json::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| (ErrorCode::BadRequest, format!("missing u32 param {key:?}")))
+}
+
+fn mutation_error(e: blas::BlasError) -> (ErrorCode, String) {
+    match &e {
+        blas::BlasError::Mutation(_) => (ErrorCode::Mutation, e.to_string()),
+        _ => (ErrorCode::BadRequest, e.to_string()),
+    }
+}
+
+/// Mutations go through the same admission bound as queries: the
+/// writer lock serializes them anyway, and a bounded rejection beats
+/// an unbounded convoy on that lock.
+fn mutate(
+    inner: &Inner,
+    params: &Json,
+    f: impl FnOnce(&BlasDb, &Json) -> Result<u64, (ErrorCode, String)>,
+) -> MethodResult {
+    let Some(_permit) = inner.inflight.try_acquire() else {
+        return Err(overloaded(inner));
+    };
+    let generation = f(&inner.db, params)?;
+    Ok(Json::Obj(vec![("generation".into(), Json::num(generation as f64))]))
+}
+
+fn overloaded(inner: &Inner) -> (ErrorCode, String) {
+    (
+        ErrorCode::Overloaded,
+        format!(
+            "{} requests in flight (the admission bound); retry with backoff",
+            inner.cfg.max_inflight
+        ),
+    )
+}
+
+fn query(inner: &Inner, params: &Json) -> MethodResult {
+    let xpath = str_param(params, "xpath")?;
+    let engine_tok = match params.get("engine") {
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| (ErrorCode::BadRequest, "\"engine\" must be a string".into()))?,
+        None => "auto",
+    };
+    let choice: EngineChoice = engine_tok
+        .parse()
+        .map_err(|e: blas::BlasError| (ErrorCode::BadRequest, e.to_string()))?;
+    let want_labels = params.get("labels").and_then(Json::as_bool).unwrap_or(true);
+    let use_cache = params.get("cache").and_then(Json::as_bool).unwrap_or(true);
+
+    // Admission: bounded in-flight execution, typed rejection, no queue.
+    let Some(_permit) = inner.inflight.try_acquire() else {
+        return Err(overloaded(inner));
+    };
+    if inner.cfg.debug_hold {
+        if let Some(ms) = params.get("hold_ms").and_then(Json::as_u64) {
+            std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+        }
+    }
+
+    let snap = inner.db.snapshot();
+    let generation = snap.generation();
+    let key: ResultKey = (xpath.to_string(), engine_tok.to_string(), generation);
+    let (entry, cached) = match use_cache {
+        true => match inner.cache.get(&key) {
+            Some(hit) => (hit, true),
+            None => (execute(inner, &snap, xpath, choice, &key, true)?, false),
+        },
+        false => (execute(inner, &snap, xpath, choice, &key, false)?, false),
+    };
+    let mut fields = vec![
+        ("generation".into(), Json::num(generation as f64)),
+        ("engine".into(), Json::str(engine_tok)),
+        ("cached".into(), Json::Bool(cached)),
+        ("count".into(), Json::num(entry.count as f64)),
+        ("elements_visited".into(), Json::num(entry.elements_visited as f64)),
+    ];
+    if want_labels {
+        fields.push(("nodes".into(), Json::Raw(Arc::clone(&entry.nodes_json))));
+    }
+    Ok(Json::Obj(fields))
+}
+
+fn execute(
+    inner: &Inner,
+    snap: &blas::DbSnapshot<'_>,
+    xpath: &str,
+    choice: EngineChoice,
+    key: &ResultKey,
+    store: bool,
+) -> Result<Arc<CachedResult>, (ErrorCode, String)> {
+    let result = snap.query(xpath, choice).map_err(|e| match &e {
+        blas::BlasError::XPath(_) | blas::BlasError::Parse(_) => {
+            (ErrorCode::Xpath, e.to_string())
+        }
+        _ => (ErrorCode::Internal, e.to_string()),
+    })?;
+    let mut nodes = String::with_capacity(result.nodes.len() * 12 + 2);
+    nodes.push('[');
+    for (i, d) in result.nodes.iter().enumerate() {
+        if i > 0 {
+            nodes.push(',');
+        }
+        let _ = std::fmt::Write::write_fmt(
+            &mut nodes,
+            format_args!("[{},{},{}]", d.start, d.end, d.level),
+        );
+    }
+    nodes.push(']');
+    let entry = Arc::new(CachedResult {
+        count: result.nodes.len(),
+        elements_visited: result.stats.elements_visited,
+        nodes_json: Arc::new(nodes),
+    });
+    if store {
+        inner.cache.insert(key.clone(), Arc::clone(&entry), snap.generation());
+    }
+    Ok(entry)
+}
+
+fn plan_info(inner: &Inner, params: &Json) -> MethodResult {
+    let xpath = str_param(params, "xpath")?;
+    let engine_tok = match params.get("engine") {
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| (ErrorCode::BadRequest, "\"engine\" must be a string".into()))?,
+        None => "auto",
+    };
+    let choice: EngineChoice = engine_tok
+        .parse()
+        .map_err(|e: blas::BlasError| (ErrorCode::BadRequest, e.to_string()))?;
+    let info = inner.db.plan_info(xpath, choice).map_err(|e| match &e {
+        blas::BlasError::XPath(_) | blas::BlasError::Parse(_) => {
+            (ErrorCode::Xpath, e.to_string())
+        }
+        _ => (ErrorCode::Internal, e.to_string()),
+    })?;
+    Ok(Json::Obj(vec![
+        ("engine".into(), Json::str(info.engine.to_string())),
+        ("translator".into(), Json::str(format!("{:?}", info.translator))),
+        ("shards".into(), Json::num(info.shards as f64)),
+        ("est_cost_ns".into(), Json::Num(info.est_cost_ns)),
+        ("ops".into(), Json::num(info.ops as f64)),
+        ("cached".into(), Json::Bool(info.cached)),
+    ]))
+}
+
+fn stats_json(inner: &Inner) -> Json {
+    let delta = inner.db.delta_stats();
+    let plan = inner.db.plan_cache_stats();
+    Json::Obj(vec![
+        ("generation".into(), Json::num(inner.db.generation() as f64)),
+        ("served".into(), Json::num(inner.served.load(Ordering::Relaxed) as f64)),
+        (
+            "overloaded".into(),
+            Json::num(inner.overloaded.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "inflight".into(),
+            Json::num(inner.inflight.in_use(inner.cfg.max_inflight) as f64),
+        ),
+        (
+            "connections".into(),
+            Json::Obj(vec![
+                (
+                    "accepted".into(),
+                    Json::num(inner.conns_accepted.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "rejected".into(),
+                    Json::num(inner.conns_rejected.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "active".into(),
+                    Json::num(
+                        inner.conn_slots.in_use(inner.cfg.max_connections) as f64
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "result_cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::num(inner.cache.hits.load(Ordering::Relaxed) as f64)),
+                (
+                    "misses".into(),
+                    Json::num(inner.cache.misses.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "invalidated".into(),
+                    Json::num(inner.cache.invalidated.load(Ordering::Relaxed) as f64),
+                ),
+                ("entries".into(), Json::num(inner.cache.len() as f64)),
+            ]),
+        ),
+        (
+            "plan_cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::num(plan.hits as f64)),
+                ("misses".into(), Json::num(plan.misses as f64)),
+                ("entries".into(), Json::num(plan.entries as f64)),
+                ("evictions".into(), Json::num(plan.evictions as f64)),
+            ]),
+        ),
+        (
+            "delta".into(),
+            Json::Obj(vec![
+                ("inserted".into(), Json::num(delta.inserted as f64)),
+                ("deleted".into(), Json::num(delta.deleted as f64)),
+                ("retags".into(), Json::num(delta.retags as f64)),
+                ("compactions".into(), Json::num(delta.compactions as f64)),
+            ]),
+        ),
+    ])
+}

@@ -37,9 +37,20 @@ impl fmt::Display for XPathError {
 
 impl std::error::Error for XPathError {}
 
+/// Bound on `[` nesting. Predicates are the parser's only recursion
+/// (`parse_step → parse_conj → parse_path → parse_step`), so without a
+/// bound a string like `/a[a[a[…` drives stack depth linearly in input
+/// length — and a stack overflow aborts the process, which no serving
+/// layer can catch. 64 is far beyond any meaningful query.
+const MAX_PREDICATE_DEPTH: usize = 64;
+
 /// Parse `input` into a [`QueryTree`].
+///
+/// Total over arbitrary (untrusted) input: every malformed string is a
+/// typed [`XPathError`], never a panic or unbounded recursion — the
+/// property `tests/prop_parser.rs` fuzzes.
 pub fn parse(input: &str) -> Result<QueryTree, XPathError> {
-    let mut p = Parser { input, pos: 0, nodes: Vec::new() };
+    let mut p = Parser { input, pos: 0, nodes: Vec::new(), depth: 0 };
     p.skip_ws();
     let axis = p.parse_axis()?.ok_or_else(|| p.error("query must start with '/' or '//'"))?;
     let (first, last) = p.parse_path(axis, None)?;
@@ -54,6 +65,8 @@ struct Parser<'a> {
     input: &'a str,
     pos: usize,
     nodes: Vec<QNode>,
+    /// Current `[` nesting, capped at [`MAX_PREDICATE_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -105,31 +118,23 @@ impl<'a> Parser<'a> {
         first_axis: Axis,
         parent: Option<QNodeId>,
     ) -> Result<(QNodeId, QNodeId), XPathError> {
-        let mut axis = first_axis;
-        let mut parent = parent;
-        let mut first = None;
-        loop {
-            let id = self.parse_step(axis, parent)?;
-            if first.is_none() {
-                first = Some(id);
-            }
-            if let Some(p) = parent {
-                self.nodes[p.index()].children.push(id);
-            }
-            parent = Some(id);
-            match self.parse_axis()? {
-                Some(next) => axis = next,
-                None => {
-                    // Optional trailing value comparison.
-                    self.skip_ws();
-                    if self.eat("=") {
-                        let lit = self.parse_literal()?;
-                        self.nodes[id.index()].value_eq = Some(lit);
-                    }
-                    return Ok((first.expect("at least one step"), id));
-                }
-            }
+        let first = self.parse_step(first_axis, parent)?;
+        if let Some(p) = parent {
+            self.nodes[p.index()].children.push(first);
         }
+        let mut last = first;
+        while let Some(axis) = self.parse_axis()? {
+            let id = self.parse_step(axis, Some(last))?;
+            self.nodes[last.index()].children.push(id);
+            last = id;
+        }
+        // Optional trailing value comparison.
+        self.skip_ws();
+        if self.eat("=") {
+            let lit = self.parse_literal()?;
+            self.nodes[last.index()].value_eq = Some(lit);
+        }
+        Ok((first, last))
     }
 
     /// Parse one step: nodetest + predicates.
@@ -146,7 +151,12 @@ impl<'a> Parser<'a> {
             if !self.eat("[") {
                 break;
             }
+            if self.depth >= MAX_PREDICATE_DEPTH {
+                return Err(self.error("predicate nesting exceeds 64 levels"));
+            }
+            self.depth += 1;
             self.parse_conj(id)?;
+            self.depth -= 1;
             self.skip_ws();
             if !self.eat("]") {
                 return Err(self.error("expected ']'"));

@@ -99,4 +99,96 @@ proptest! {
     fn parser_never_panics(input in "[/a-z\\[\\]*='\" @]{0,48}") {
         let _ = parse(&input);
     }
+
+    /// Totality over the full token alphabet, including multi-byte
+    /// characters (probing slicing at char boundaries), digits and
+    /// the `and` keyword letters. Every outcome is `Ok` or a typed
+    /// `XPathError` — a panic here would kill a serving thread.
+    #[test]
+    fn parser_is_total_on_malformed_input(input in "[/a-zA-Z0-9\\[\\]*='\" @_:.\\-äβ☃和]{0,64}") {
+        let _ = parse(&input);
+    }
+
+    /// Mutation fuzz: splice garbage into a *well-formed* query at a
+    /// random char boundary. This reaches states pure noise rarely
+    /// does (valid prefixes with a malformed continuation).
+    #[test]
+    fn parser_is_total_under_mutation(
+        src in query_text(),
+        junk in "[/\\[\\]*='\"a-z ]{0,8}",
+        at in 0usize..4096,
+    ) {
+        let mut s = src;
+        let boundaries: Vec<usize> =
+            s.char_indices().map(|(i, _)| i).chain([s.len()]).collect();
+        s.insert_str(boundaries[at % boundaries.len()], &junk);
+        let _ = parse(&s);
+    }
+
+    /// Truncation fuzz: every prefix of a well-formed query parses to
+    /// a value or a typed error (the `expect("at least one step")`
+    /// regression class: dangling axes, unclosed predicates,
+    /// half-written literals).
+    #[test]
+    fn parser_is_total_on_truncated_queries(src in query_text(), at in 0usize..4096) {
+        let boundaries: Vec<usize> =
+            src.char_indices().map(|(i, _)| i).chain([src.len()]).collect();
+        let _ = parse(&src[..boundaries[at % boundaries.len()]]);
+    }
+
+    /// Predicate nesting is bounded: ≤ 64 levels parse, deeper is a
+    /// typed error — never unbounded recursion.
+    #[test]
+    fn predicate_nesting_is_bounded(n in 0usize..200) {
+        let mut s = String::from("/a");
+        for _ in 0..n {
+            s.push_str("[a");
+        }
+        s.extend(std::iter::repeat_n(']', n));
+        let r = parse(&s);
+        if n <= 64 {
+            prop_assert!(r.is_ok(), "{n} levels must parse: {r:?}");
+        } else {
+            prop_assert!(r.is_err(), "{n} levels must be rejected");
+        }
+        // The unbalanced variant (no closing brackets) is an error at
+        // any depth but must be *typed* too.
+        let mut open = String::from("/a");
+        for _ in 0..n {
+            open.push_str("[a");
+        }
+        prop_assert!(parse(&open).is_err() || n == 0);
+    }
+}
+
+/// A pathological 100k-deep nesting must come back as a typed error:
+/// before the depth bound this was linear recursion — a stack overflow
+/// aborts the whole process, which a server cannot catch.
+#[test]
+fn pathological_nesting_returns_typed_error_not_abort() {
+    let mut s = String::from("/a");
+    for _ in 0..100_000 {
+        s.push_str("[a");
+    }
+    let err = parse(&s).unwrap_err();
+    assert!(err.msg.contains("nesting"), "{err}");
+}
+
+/// The exact shapes that used to reach `expect("at least one step")`
+/// or slice mid-token all yield typed errors today.
+#[test]
+fn malformed_corpus_yields_typed_errors() {
+    for bad in [
+        "", "/", "//", "/a/", "/a//", "/a[", "/a[]", "/a[b", "/a[b]]", "/a[b][",
+        "/a='", "/a='x", "/a=\"x'", "/a[b='x]", "/a[b and", "/a[b and ]", "/a[and]",
+        "=", "'", "\"", "[", "]", "*", "/*[*]=", "//=''", "/a[//]", "/a[b]='",
+        "/ä☃", "/a[☃]", "/a b", "/@", "/a/=",
+    ] {
+        match parse(bad) {
+            Ok(_) => {}
+            Err(e) => {
+                assert!(!e.msg.is_empty() && e.pos <= bad.len(), "{bad:?}: {e}");
+            }
+        }
+    }
 }

@@ -1,0 +1,77 @@
+//! End-to-end tour of the serving front door: an in-process server on
+//! an ephemeral port, a wire client querying and mutating across
+//! generations, the result cache hitting and being invalidated by a
+//! publish, an admission rejection, and a graceful drain.
+//!
+//! ```sh
+//! cargo run --release --example server_client
+//! ```
+
+use blas::BlasDb;
+use blas_server::{Client, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let xml = blas_datagen::auction(1, 42);
+    println!("Indexing Auction ×1 ({:.1} MB)…", xml.len() as f64 / 1e6);
+    let db = Arc::new(BlasDb::load(&xml).expect("generator output is well-formed"));
+
+    let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    println!("Server listening on {addr}\n");
+
+    let mut client = Client::connect(addr, Some(Duration::from_secs(10))).expect("connect");
+
+    // A query over the wire: the reply is stamped with the generation
+    // it was answered from.
+    let q = "/site/regions/asia/item/description";
+    let first = client.query(q, "auto").unwrap();
+    println!(
+        "{q}\n  -> {} nodes at generation {} (cached: {})",
+        first.count, first.generation, first.cached
+    );
+
+    // The repeat is a result-cache hit: same key (xpath, engine,
+    // generation), the stored node array replays as bytes.
+    let again = client.query(q, "auto").unwrap();
+    assert!(again.cached && again.nodes == first.nodes);
+    println!("  -> repeat served from the result cache (identical answer)");
+
+    // A mutation publishes a new generation — and the publish hook
+    // invalidates the superseded cache entries, so the next query is
+    // an honest miss against the new tree.
+    let generation = client
+        .insert_subtree(0, "<regions><asia><item><description>wire-inserted</description></item></asia></regions>")
+        .unwrap();
+    let after = client.query(q, "auto").unwrap();
+    println!(
+        "\ninsert_subtree published generation {generation}; {q}\n  -> {} nodes (cached: {})",
+        after.count, after.cached
+    );
+    assert!(!after.cached);
+    assert_eq!(after.count, first.count + 1);
+
+    // Admission control: a zero-permit server rejects with a typed
+    // `overloaded` error instead of queueing.
+    let tiny = Server::bind(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { max_inflight: 0, ..Default::default() },
+    )
+    .unwrap();
+    let mut bounced = Client::connect(tiny.local_addr(), Some(Duration::from_secs(10))).unwrap();
+    let err = bounced.query(q, "auto").expect_err("zero permits");
+    println!("\nzero-permit server says: {err} (is_overloaded: {})", err.is_overloaded());
+    tiny.shutdown();
+
+    // Server-side observability, then a graceful drain.
+    let stats = client.stats().unwrap();
+    println!("\nserver stats: {stats}");
+    let final_stats = server.shutdown();
+    println!(
+        "\ndrained: served {} requests over {} connection(s), {} cache hit(s)",
+        final_stats.served, final_stats.connections_accepted, final_stats.cache_hits
+    );
+}
