@@ -13,6 +13,7 @@ use crate::db::{BlasDb, Engine, EngineChoice, QueryResult, Translator};
 use crate::error::BlasError;
 use blas_xml::SchemaGraph;
 use blas_xpath::QueryTree;
+use std::sync::Arc;
 
 /// Identifies one document inside a collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -27,10 +28,14 @@ impl DocId {
 }
 
 /// A set of independently labeled, jointly queryable documents.
+///
+/// Members are held behind [`Arc`] so long-lived consumers — the
+/// serving front door routes requests by document name — can share a
+/// member with the collection without cloning its stores.
 #[derive(Debug, Default)]
 pub struct BlasCollection {
     names: Vec<String>,
-    dbs: Vec<BlasDb>,
+    dbs: Vec<Arc<BlasDb>>,
 }
 
 impl BlasCollection {
@@ -42,10 +47,22 @@ impl BlasCollection {
     /// Parse, label and index one more document.
     pub fn add(&mut self, name: &str, xml: &str) -> Result<DocId, BlasError> {
         let db = BlasDb::load(xml)?;
+        Ok(self.add_shared(name, Arc::new(db)))
+    }
+
+    /// Adopt an already-loaded document under `name`. The caller keeps
+    /// its own handle; the collection and the caller observe the same
+    /// mutations and generations.
+    pub fn add_shared(&mut self, name: &str, db: Arc<BlasDb>) -> DocId {
         let id = DocId(self.dbs.len() as u32);
         self.names.push(name.to_string());
         self.dbs.push(db);
-        Ok(id)
+        id
+    }
+
+    /// Look a member up by name.
+    pub fn find(&self, name: &str) -> Option<DocId> {
+        self.names.iter().position(|n| n == name).map(|i| DocId(i as u32))
     }
 
     /// Number of member documents.
@@ -63,6 +80,11 @@ impl BlasCollection {
         &self.dbs[id.index()]
     }
 
+    /// Member access as a shareable handle.
+    pub fn doc_shared(&self, id: DocId) -> &Arc<BlasDb> {
+        &self.dbs[id.index()]
+    }
+
     /// Member name.
     pub fn name(&self, id: DocId) -> &str {
         &self.names[id.index()]
@@ -73,7 +95,7 @@ impl BlasCollection {
         self.dbs
             .iter()
             .enumerate()
-            .map(|(i, db)| (DocId(i as u32), db))
+            .map(|(i, db)| (DocId(i as u32), db.as_ref()))
     }
 
     /// Run `xpath` over every member under one [`EngineChoice`],
@@ -193,6 +215,24 @@ mod tests {
         for ((_, s), (_, u)) in split.iter().zip(&unfold) {
             assert_eq!(s.nodes, u.nodes);
         }
+    }
+
+    #[test]
+    fn shared_members_observe_the_same_mutations() {
+        let mut c = BlasCollection::new();
+        let db = Arc::new(BlasDb::load("<db><e/></db>").unwrap());
+        let id = c.add_shared("live", Arc::clone(&db));
+        assert_eq!(c.find("live"), Some(id));
+        assert_eq!(c.find("absent"), None);
+        assert!(Arc::ptr_eq(c.doc_shared(id), &db));
+        let root = {
+            let snap = db.snapshot();
+            let label = snap.query("/db", crate::db::EngineChoice::auto()).unwrap().nodes[0];
+            label.start
+        };
+        db.insert_subtree(root, "<e/>").unwrap();
+        // The collection's view sees the published generation.
+        assert_eq!(c.count("/db/e").unwrap(), 2);
     }
 
     #[test]

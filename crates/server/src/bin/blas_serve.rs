@@ -1,15 +1,24 @@
-//! `blas-serve` — stand up a BLAS server over a document.
+//! `blas-serve` — stand up a BLAS server over one or more documents.
 //!
 //! ```text
-//! blas-serve [--addr 127.0.0.1:7878] [--xml FILE | --mapped SNAPSHOT]
+//! blas-serve [--addr 127.0.0.1:7878]
+//!            [--xml FILE | --mapped SNAPSHOT] [--db NAME=FILE]...
+//!            [--proto both|json|binary]
 //!            [--max-inflight N] [--max-conns N] [--cache-cap N]
 //! ```
 //!
-//! With neither `--xml` nor `--mapped`, serves the paper's running
-//! example document (Fig. 6) — enough to poke at the protocol.
+//! `--db NAME=FILE` is repeatable and mounts each XML file under a
+//! database name requests can route to; `--xml`/`--mapped` mount a
+//! single document as `"default"`. With none of them, serves the
+//! paper's running example document (Fig. 6) — enough to poke at the
+//! protocol.
+//!
+//! Every failure on user input — an unparsable flag value, a bad
+//! `--addr`, an unreadable or malformed document — is a typed exit
+//! with a message on stderr, never a panic.
 
-use blas::BlasDb;
-use blas_server::{Server, ServerConfig};
+use blas::{BlasCollection, BlasDb};
+use blas_server::{ProtoAccept, Server, ServerConfig};
 use std::sync::Arc;
 
 /// The paper's running example (Fig. 6): two entries with
@@ -23,39 +32,85 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
 }
 
+fn arg_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// Parse a flag's value or exit typed — a mistyped number must not be
+/// silently ignored in favor of the default.
+fn numeric_flag(args: &[String], flag: &str) -> Option<usize> {
+    let raw = arg_value(args, flag)?;
+    match raw.parse() {
+        Ok(n) => Some(n),
+        Err(_) => fail(&format!("{flag} wants a non-negative integer, got {raw:?}")),
+    }
+}
+
+fn load_file(path: &str) -> Arc<BlasDb> {
+    let xml = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+    Arc::new(BlasDb::load(&xml).unwrap_or_else(|e| fail(&format!("loading {path}: {e}"))))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
 
-    let db = match (arg_value(&args, "--xml"), arg_value(&args, "--mapped")) {
+    let mut coll = BlasCollection::new();
+    match (arg_value(&args, "--xml"), arg_value(&args, "--mapped")) {
         (Some(path), _) => {
-            let xml = std::fs::read_to_string(&path)
-                .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
-            BlasDb::load(&xml).unwrap_or_else(|e| fail(&format!("loading {path}: {e}")))
+            coll.add_shared("default", load_file(&path));
         }
-        (None, Some(path)) => BlasDb::open_mapped(&path)
-            .unwrap_or_else(|e| fail(&format!("mapping {path}: {e}"))),
-        (None, None) => {
-            eprintln!("no --xml/--mapped given; serving the built-in sample document");
-            BlasDb::load(SAMPLE).expect("sample document loads")
+        (None, Some(path)) => {
+            let db = BlasDb::open_mapped(&path)
+                .unwrap_or_else(|e| fail(&format!("mapping {path}: {e}")));
+            coll.add_shared("default", Arc::new(db));
         }
-    };
+        (None, None) if arg_values(&args, "--db").is_empty() => {
+            eprintln!("no --xml/--mapped/--db given; serving the built-in sample document");
+            let db = BlasDb::load(SAMPLE)
+                .unwrap_or_else(|e| fail(&format!("loading the built-in sample: {e}")));
+            coll.add_shared("default", Arc::new(db));
+        }
+        (None, None) => {}
+    }
+    for mount in arg_values(&args, "--db") {
+        let Some((name, path)) = mount.split_once('=') else {
+            fail(&format!("--db wants NAME=FILE, got {mount:?}"));
+        };
+        if name.is_empty() {
+            fail(&format!("--db wants a non-empty NAME in {mount:?}"));
+        }
+        if coll.find(name).is_some() {
+            fail(&format!("duplicate database name {name:?}"));
+        }
+        coll.add_shared(name, load_file(path));
+    }
 
     let mut cfg = ServerConfig::default();
-    if let Some(n) = arg_value(&args, "--max-inflight").and_then(|s| s.parse().ok()) {
+    if let Some(n) = numeric_flag(&args, "--max-inflight") {
         cfg.max_inflight = n;
     }
-    if let Some(n) = arg_value(&args, "--max-conns").and_then(|s| s.parse().ok()) {
+    if let Some(n) = numeric_flag(&args, "--max-conns") {
         cfg.max_connections = n;
     }
-    if let Some(n) = arg_value(&args, "--cache-cap").and_then(|s| s.parse().ok()) {
+    if let Some(n) = numeric_flag(&args, "--cache-cap") {
         cfg.result_cache_cap = n;
     }
+    if let Some(p) = arg_value(&args, "--proto") {
+        cfg.proto = p.parse::<ProtoAccept>().unwrap_or_else(|e| fail(&e));
+    }
 
-    let server = Server::bind(Arc::new(db), addr.as_str(), cfg)
+    let server = Server::bind_collection(coll, addr.as_str(), cfg)
         .unwrap_or_else(|e| fail(&format!("binding {addr}: {e}")));
     println!("blas-serve listening on {}", server.local_addr());
-    println!("(ctrl-c to stop; protocol: 4-byte BE length prefix + JSON)");
+    println!(
+        "(ctrl-c to stop; JSON frames by default, binary v2 after a 0xB2 0x02 hello)"
+    );
 
     // Serve until killed; the acceptor thread owns all the work.
     loop {

@@ -14,6 +14,11 @@ use std::fmt;
 /// this module, so this caps stack depth on hostile input.
 const MAX_DEPTH: usize = 128;
 
+/// Largest integer `f64` represents exactly (2^53). Integers at or
+/// below this bound travel as [`Json::Num`]; above it they must use
+/// [`Json::Uint`] or they would be silently rounded.
+const MAX_SAFE_INT: u64 = 1 << 53;
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -21,9 +26,17 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (integers above 2^53 are not representable —
-    /// the protocol never needs them).
+    /// A JSON number carried as a float. Integers ride here only while
+    /// they are exactly representable (|n| ≤ 2^53); larger integers use
+    /// [`Json::Uint`] so the wire never silently rounds them — build
+    /// integer fields with [`Json::uint`], which picks the right
+    /// variant.
     Num(f64),
+    /// An exact unsigned integer above 2^53. [`parse`] produces this
+    /// for integer literals too large for `f64`, and the writer prints
+    /// it digit-exact; generation counters and other u64 protocol
+    /// fields survive the JSON layer unrounded.
+    Uint(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -64,19 +77,25 @@ impl Json {
     }
 
     /// This number as a non-negative integer, if it is one exactly.
+    /// [`Json::Uint`] values (integers above 2^53) qualify by
+    /// construction; floats qualify only while exactly integral.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
                 Some(*n as u64)
             }
+            Json::Uint(n) => Some(*n),
             _ => None,
         }
     }
 
-    /// The number payload, if this is a number.
+    /// The number payload, if this is a number. A [`Json::Uint`] above
+    /// 2^53 converts with rounding — callers that need exactness use
+    /// [`Json::as_u64`].
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Uint(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -99,6 +118,19 @@ impl Json {
         Json::Num(n.into())
     }
 
+    /// Exact unsigned-integer constructor: values up to 2^53 normalize
+    /// to [`Json::Num`] (the historical wire form, byte-identical
+    /// output), larger values become [`Json::Uint`] and print
+    /// digit-exact. The same normalization [`parse`] applies, so a
+    /// round trip preserves both the value *and* the variant.
+    pub fn uint(n: u64) -> Json {
+        if n <= MAX_SAFE_INT {
+            Json::Num(n as f64)
+        } else {
+            Json::Uint(n)
+        }
+    }
+
     /// Serialize (compact, no whitespace).
     pub fn write(&self, out: &mut String) {
         match self {
@@ -106,15 +138,25 @@ impl Json {
             Json::Bool(true) => out.push_str("true"),
             Json::Bool(false) => out.push_str("false"),
             Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                if n.fract() == 0.0 && n.abs() <= MAX_SAFE_INT as f64 {
                     // Integral numbers print without the trailing ".0"
                     // rust's float Display would add.
                     let _ = fmt::Write::write_fmt(out, format_args!("{}", *n as i64));
-                } else if n.is_finite() {
-                    let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
-                } else {
+                } else if !n.is_finite() {
                     out.push_str("null"); // JSON has no Inf/NaN
+                } else if n.fract() == 0.0 {
+                    // An integral float beyond 2^53: printing a digit
+                    // run would masquerade as an exact integer (and the
+                    // parser would reject it past u64::MAX). Exponent
+                    // form keeps it float-typed on the wire and still
+                    // round-trips the f64 exactly.
+                    let _ = fmt::Write::write_fmt(out, format_args!("{n:e}"));
+                } else {
+                    let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
                 }
+            }
+            Json::Uint(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
             }
             Json::Str(s) => write_escaped(s, out),
             Json::Arr(items) => {
@@ -311,6 +353,31 @@ impl<'a> P<'a> {
             }
         }
         let text = &self.input[start..self.pos];
+        // Integer literals take an exact path: a plain digit run (no
+        // fraction, no exponent) must survive as the integer the peer
+        // wrote, not the nearest f64 — above 2^53 the two diverge
+        // silently. Out-of-range integers are a typed error rather
+        // than a rounded lie.
+        let digits = text.strip_prefix('-').unwrap_or(text);
+        let is_integer = !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit());
+        if is_integer {
+            if text.starts_with('-') {
+                return match text.parse::<i64>() {
+                    Ok(n) if n.unsigned_abs() <= MAX_SAFE_INT => Ok(Json::Num(n as f64)),
+                    _ => {
+                        self.pos = start;
+                        Err(self.err("negative integer below -2^53 is not exactly representable"))
+                    }
+                };
+            }
+            return match digits.parse::<u64>() {
+                Ok(n) => Ok(Json::uint(n)),
+                Err(_) => {
+                    self.pos = start;
+                    Err(self.err("integer literal exceeds the u64 range"))
+                }
+            };
+        }
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Json::Num(n)),
             _ => {
@@ -446,7 +513,63 @@ mod tests {
     fn integers_print_without_decimal_point() {
         assert_eq!(Json::num(3u32).to_string(), "3");
         assert_eq!(Json::Num(2.5).to_string(), "2.5");
-        assert_eq!(parse("18014398509481984").unwrap().as_u64(), None); // 2^54
         assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+    }
+
+    /// The u64-precision boundary: integers above 2^53 must round-trip
+    /// digit-exact through parse and print — the old float-only path
+    /// silently rounded 2^53+1 to 2^53 (and `as_u64` had to bail).
+    #[test]
+    fn u64_integers_round_trip_exactly_at_every_boundary() {
+        for n in [
+            0u64,
+            1,
+            (1 << 53) - 1,
+            1 << 53,          // last exactly-representable f64 integer
+            (1 << 53) + 1,    // first value the float path would corrupt
+            1 << 54,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let v = Json::uint(n);
+            assert_eq!(v.as_u64(), Some(n), "constructor must carry {n} exactly");
+            let text = v.to_string();
+            assert_eq!(text, n.to_string(), "writer must print {n} digit-exact");
+            let back = parse(&text).unwrap();
+            assert_eq!(back.as_u64(), Some(n), "parse must recover {n} exactly");
+            assert_eq!(back, v, "round trip must preserve the variant");
+        }
+        // Below the boundary the historical Num form is preserved —
+        // byte-identical output for every value the old wire carried.
+        assert!(matches!(Json::uint(1 << 53), Json::Num(_)));
+        assert!(matches!(Json::uint((1 << 53) + 1), Json::Uint(_)));
+    }
+
+    /// Out-of-range integers are typed errors, never rounded: one past
+    /// u64::MAX, and negative integers beyond the f64-exact range.
+    #[test]
+    fn out_of_range_integers_are_rejected_typed() {
+        for bad in [
+            "18446744073709551616",  // u64::MAX + 1
+            "99999999999999999999999999",
+            "-9007199254740993",     // -(2^53 + 1)
+            "-18446744073709551616",
+        ] {
+            let err = parse(bad).expect_err("out-of-range integer must not parse");
+            assert!(
+                err.msg.contains("integer") || err.msg.contains("representable"),
+                "{bad}: unexpected message {:?}",
+                err.msg
+            );
+        }
+        // Exponent-form floats are still floats: no exactness claim,
+        // no rejection, and big integral f64s stay float-typed on the
+        // wire via exponent printing.
+        let huge = parse("1e300").unwrap();
+        assert_eq!(huge.as_f64(), Some(1e300));
+        let printed = huge.to_string();
+        assert!(printed.contains('e'), "integral floats beyond 2^53 print in exponent form");
+        assert_eq!(parse(&printed).unwrap(), huge);
+        assert!(parse(&printed).unwrap().as_u64().is_none());
     }
 }

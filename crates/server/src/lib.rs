@@ -35,11 +35,13 @@
 
 pub mod json;
 pub mod proto;
+pub mod wire;
 
 mod client;
 mod server;
 
-pub use client::{Client, ClientError, QueryReply};
+pub use client::{Client, ClientError, MuxClient, MuxConn, Proto, QueryReply};
 pub use json::Json;
 pub use proto::{write_frame, ErrorCode, FrameReader, ReadEvent, MAX_FRAME_BYTES};
-pub use server::{Server, ServerConfig, ServerStats};
+pub use server::{ProtoAccept, Server, ServerConfig, ServerStats};
+pub use wire::{NodesBlob, Request, Response, WireError};

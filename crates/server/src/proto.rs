@@ -61,6 +61,23 @@ impl FrameReader {
         Self::default()
     }
 
+    /// Push back one already-consumed byte as the first length-prefix
+    /// byte. Protocol negotiation peeks a connection's first byte to
+    /// pick an encoding; when that byte turns out to open a JSON
+    /// frame, this hands it to the reader instead of losing it.
+    ///
+    /// Only valid at a frame boundary (a fresh or between-frames
+    /// reader); panics otherwise — priming mid-frame is a server bug,
+    /// not a peer-controlled condition.
+    pub fn prime(&mut self, byte: u8) {
+        assert!(
+            self.header_got == 0 && self.payload_len.is_none(),
+            "prime() mid-frame"
+        );
+        self.header[0] = byte;
+        self.header_got = 1;
+    }
+
     /// Advance until a frame completes, the stream ends, or the socket
     /// times out. Timeouts (`WouldBlock`/`TimedOut`) surface as
     /// [`ReadEvent::Idle`]; every other error is real.
@@ -156,6 +173,36 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// The binary-protocol code byte (see [`crate::wire`]).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::Xpath => 3,
+            ErrorCode::Mutation => 4,
+            ErrorCode::Timeout => 5,
+            ErrorCode::FrameTooLarge => 6,
+            ErrorCode::ShuttingDown => 7,
+            ErrorCode::Internal => 8,
+        }
+    }
+
+    /// Decode a binary code byte; unknown values collapse to
+    /// [`ErrorCode::Internal`] so a newer server never desyncs an
+    /// older client.
+    pub fn from_u8(code: u8) -> ErrorCode {
+        match code {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::BadRequest,
+            3 => ErrorCode::Xpath,
+            4 => ErrorCode::Mutation,
+            5 => ErrorCode::Timeout,
+            6 => ErrorCode::FrameTooLarge,
+            7 => ErrorCode::ShuttingDown,
+            _ => ErrorCode::Internal,
+        }
+    }
+
     /// The wire token.
     pub fn as_str(self) -> &'static str {
         match self {

@@ -1,5 +1,13 @@
 //! The request loop: acceptor thread → pooled connection tasks →
-//! per-request dispatch against a shared [`BlasDb`].
+//! per-request dispatch against a shared [`BlasCollection`].
+//!
+//! ## Protocol negotiation
+//!
+//! The first byte of a connection picks its encoding: [`wire::MAGIC`]
+//! opens binary v2, anything else is the first length-prefix byte of a
+//! JSON frame (see [`crate::wire`] for why the two can't collide).
+//! Both encodings share the typed [`Request`]/[`Response`] model and
+//! one [`dispatch`]; only the envelope differs.
 //!
 //! ## Request path
 //!
@@ -8,46 +16,56 @@
 //! sized exactly [`ServerConfig::max_connections`] — a connection owns
 //! its worker for its lifetime, so connection concurrency is bounded
 //! by construction and an over-limit accept is *rejected with a typed
-//! frame*, never queued. Within a connection, requests are handled
-//! synchronously in arrival order (pipelining is allowed; responses
-//! come back in request order).
+//! frame*, never queued.
+//!
+//! JSON connections handle requests synchronously in arrival order
+//! (pipelining is allowed; responses come back in request order).
+//! Binary connections are **multiplexed**: every frame carries a
+//! stream id, admitted requests run on a shared execution pool while
+//! the connection task keeps reading, and responses come back tagged
+//! with their stream id in *completion* order — one socket interleaves
+//! many logical in-flight requests.
 //!
 //! ## Admission control
 //!
-//! Query and mutation execution is additionally bounded by an
-//! in-flight semaphore of [`ServerConfig::max_inflight`] permits with
-//! **try-acquire** semantics: when the bound is reached the request is
-//! answered immediately with [`ErrorCode::Overloaded`] — the server
-//! never builds an unbounded queue in front of the database. Cheap
-//! admin methods (`stats`, `plan_info`, `clear_cache`) bypass
-//! admission.
+//! Query and mutation execution is bounded by an in-flight semaphore
+//! of [`ServerConfig::max_inflight`] permits with **try-acquire**
+//! semantics: when the bound is reached the request is answered
+//! immediately with [`ErrorCode::Overloaded`] — the server never
+//! builds an unbounded queue in front of the database. On a
+//! multiplexed connection the permit is acquired *at frame-read time*,
+//! before the request is handed to the execution pool, so the
+//! rejection is per-stream and the pool's queue stays bounded by the
+//! permit count. Cheap admin methods (`stats`, `plan_info`,
+//! `clear_cache`) bypass admission.
 //!
 //! ## Result cache
 //!
 //! Responses to `query` are cached keyed by
-//! `(xpath, engine, generation)`. The generation in the key makes
-//! staleness impossible; invalidation is therefore purely an occupancy
-//! concern: a [`BlasDb::on_publish`] hook prunes entries of superseded
-//! generations the moment a new generation is published, and a
-//! capacity bound evicts oldest-first beyond that.
+//! `(document, xpath, engine, generation)`. The generation in the key
+//! makes staleness impossible; invalidation is therefore purely an
+//! occupancy concern: a per-document [`BlasDb::on_publish`] hook
+//! prunes that document's superseded generations the moment a new one
+//! is published — other documents' entries are untouched — and a
+//! capacity bound evicts oldest-first beyond that. Entries hold the
+//! node array pre-serialized in both encodings ([`NodesBlob`]), so a
+//! hit replays bytes whichever protocol the connection speaks.
 //!
 //! ## Shutdown
 //!
 //! [`Server::shutdown`] stops accepting, then **drains**: every
-//! connection task finishes the request it is executing (and gets its
-//! response), notices the stop flag at the next frame boundary or idle
-//! tick, answers any just-arrived frame with
-//! [`ErrorCode::ShuttingDown`], and exits; the acceptor joins every
-//! task handle before shutdown returns.
+//! connection task finishes the requests it is executing (multiplexed
+//! streams each get their response), answers any just-arrived frame
+//! with [`ErrorCode::ShuttingDown`], and exits; the acceptor joins
+//! every task handle before shutdown returns.
 
 use crate::json::{self, Json};
-use crate::proto::{
-    err_response, ok_response, write_frame, ErrorCode, FrameReader, ReadEvent,
-};
-use blas::{BlasDb, EngineChoice};
+use crate::proto::{err_response, write_frame, ErrorCode, FrameReader, ReadEvent};
+use crate::wire::{self, NodesBlob, Request, Response};
+use blas::{BlasCollection, BlasDb, DocId, EngineChoice};
 use blas_engine::{PoolHandle, TaskHandle};
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Weak};
@@ -57,6 +75,31 @@ use std::time::{Duration, Instant};
 /// re-checking the stop flag and their idle budget. Bounds shutdown
 /// latency without spinning.
 const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Which wire encodings a server accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtoAccept {
+    /// Negotiate per connection (the default).
+    #[default]
+    Both,
+    /// JSON-RPC only; a binary hello gets a typed rejection.
+    Json,
+    /// Binary v2 only; a JSON frame gets a typed rejection.
+    Binary,
+}
+
+impl std::str::FromStr for ProtoAccept {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "both" => Ok(ProtoAccept::Both),
+            "json" => Ok(ProtoAccept::Json),
+            "binary" => Ok(ProtoAccept::Binary),
+            other => Err(format!("unknown protocol {other:?} (both|json|binary)")),
+        }
+    }
+}
 
 /// Serving knobs. `Default` is sized for tests and small deployments;
 /// the `blas-serve` bin exposes each as a flag.
@@ -68,9 +111,10 @@ pub struct ServerConfig {
     /// Concurrent connections; an over-limit accept is rejected with
     /// one [`ErrorCode::Overloaded`] frame and closed.
     pub max_connections: usize,
-    /// Idle budget per connection: with no complete request this long,
-    /// the server sends [`ErrorCode::Timeout`] and closes. `None`
-    /// waits forever.
+    /// Idle budget per connection: with no complete request this long
+    /// (and, on a multiplexed connection, nothing in flight), the
+    /// server sends [`ErrorCode::Timeout`] and closes. `None` waits
+    /// forever.
     pub read_timeout: Option<Duration>,
     /// Socket write timeout for responses; a peer that stops reading
     /// past this gets disconnected. `None` blocks forever.
@@ -81,6 +125,8 @@ pub struct ServerConfig {
     /// (deterministic admission-control tests; keep off in
     /// production).
     pub debug_hold: bool,
+    /// Which wire encodings to accept.
+    pub proto: ProtoAccept,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +138,7 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(30)),
             result_cache_cap: 4096,
             debug_hold: false,
+            proto: ProtoAccept::Both,
         }
     }
 }
@@ -140,20 +187,22 @@ impl Drop for Permit {
     }
 }
 
-/// One cached query answer: counts plus the node array pre-serialized,
-/// so a hit replays bytes instead of re-walking labels.
+/// One cached query answer: counts plus the node array pre-serialized
+/// in both encodings, so a hit replays bytes instead of re-walking
+/// labels.
 struct CachedResult {
-    count: usize,
+    count: u64,
     elements_visited: u64,
-    nodes_json: Arc<String>,
+    nodes: Arc<NodesBlob>,
 }
 
-/// Result-cache key: query string × engine token × generation.
-type ResultKey = (String, String, u64);
+/// Result-cache key: document × query string × engine token ×
+/// generation.
+type ResultKey = (u32, String, String, u64);
 
 /// The result cache: same bounded-eviction policy as the plan cache
 /// (superseded generations first, then oldest by insertion), plus
-/// publish-hook pruning.
+/// per-document publish-hook pruning.
 struct ResultCache {
     map: Mutex<ResultMap>,
     cap: usize,
@@ -196,9 +245,13 @@ impl ResultCache {
         if self.cap == 0 {
             return;
         }
+        let doc = key.0;
         let mut map = self.lock();
         if map.entries.len() >= self.cap && !map.entries.contains_key(&key) {
-            map.entries.retain(|&(_, _, g), _| g == live_gen);
+            // Drop the inserting document's superseded generations
+            // first (other documents' entries may still be live at
+            // their own generations), then oldest across the board.
+            map.entries.retain(|&(d, _, _, g), _| d != doc || g == live_gen);
             while map.entries.len() >= self.cap {
                 let oldest = map
                     .entries
@@ -218,12 +271,12 @@ impl ResultCache {
         map.entries.insert(key, (entry, stamp));
     }
 
-    /// The publish-hook side: a new generation supersedes every entry
-    /// keyed below it.
-    fn invalidate_superseded(&self, live_gen: u64) {
+    /// The publish-hook side: a new generation of `doc` supersedes
+    /// every entry keyed below it *for that document*.
+    fn invalidate_superseded(&self, doc: u32, live_gen: u64) {
         let mut map = self.lock();
         let before = map.entries.len();
-        map.entries.retain(|&(_, _, g), _| g >= live_gen);
+        map.entries.retain(|&(d, _, _, g), _| d != doc || g >= live_gen);
         let dropped = (before - map.entries.len()) as u64;
         self.invalidated.fetch_add(dropped, Ordering::Relaxed);
     }
@@ -265,11 +318,14 @@ pub struct ServerStats {
 }
 
 struct Inner {
-    db: Arc<BlasDb>,
+    coll: BlasCollection,
     cfg: ServerConfig,
     stop: AtomicBool,
     inflight: Arc<Semaphore>,
     conn_slots: Arc<Semaphore>,
+    /// Execution pool for multiplexed requests: admitted binary-stream
+    /// requests run here so the connection task can keep reading.
+    exec: PoolHandle,
     cache: ResultCache,
     served: AtomicU64,
     overloaded: AtomicU64,
@@ -288,18 +344,42 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port) and start
-    /// serving `db` with `cfg`. The returned handle owns the acceptor
-    /// thread and the connection pool.
+    /// serving a single document with `cfg`; the document answers to
+    /// the name `"default"` and to requests that name no database.
     pub fn bind(
         db: Arc<BlasDb>,
         addr: impl ToSocketAddrs,
         cfg: ServerConfig,
     ) -> io::Result<Server> {
+        let mut coll = BlasCollection::new();
+        coll.add_shared("default", db);
+        Self::bind_collection(coll, addr, cfg)
+    }
+
+    /// Bind `addr` and front a whole collection: requests route by
+    /// database name (`"db"` param / field), an empty or absent name
+    /// selects the first member. The returned handle owns the acceptor
+    /// thread and the connection pool.
+    pub fn bind_collection(
+        coll: BlasCollection,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        if coll.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a server needs at least one document",
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let inner = Arc::new(Inner {
             inflight: Arc::new(Semaphore::new(cfg.max_inflight)),
             conn_slots: Arc::new(Semaphore::new(cfg.max_connections)),
+            // Multiplexed requests need workers of their own (their
+            // connection task keeps reading); bounded by the admission
+            // permits they hold, clamped to a sane thread count.
+            exec: PoolHandle::new(cfg.max_inflight.clamp(1, 16)),
             cache: ResultCache::new(cfg.result_cache_cap),
             stop: AtomicBool::new(false),
             served: AtomicU64::new(0),
@@ -307,18 +387,22 @@ impl Server {
             conns_accepted: AtomicU64::new(0),
             conns_rejected: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
-            db: Arc::clone(&db),
+            coll,
             cfg,
         });
-        // Publish → result-cache invalidation. Weak: the database may
-        // outlive the server, and the hook list lives as long as the
-        // database (an Arc here would cycle db → hook → inner → db).
-        let weak: Weak<Inner> = Arc::downgrade(&inner);
-        db.on_publish(move |generation| {
-            if let Some(inner) = weak.upgrade() {
-                inner.cache.invalidate_superseded(generation);
-            }
-        });
+        // Publish → result-cache invalidation, one hook per document
+        // so each prunes its own keys. Weak: a database may outlive
+        // the server, and the hook list lives as long as the database
+        // (an Arc here would cycle db → hook → inner → db).
+        for (id, _) in inner.coll.iter() {
+            let weak: Weak<Inner> = Arc::downgrade(&inner);
+            let doc = id.0;
+            inner.coll.doc_shared(id).on_publish(move |generation| {
+                if let Some(inner) = weak.upgrade() {
+                    inner.cache.invalidate_superseded(doc, generation);
+                }
+            });
+        }
         // One resident pool worker per admissible connection: a
         // connection task occupies its worker for the connection's
         // lifetime, so the pool size *is* the connection bound.
@@ -423,11 +507,95 @@ fn accept_loop(
     handles
 }
 
-fn serve_connection(inner: Arc<Inner>, mut stream: TcpStream) {
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Negotiate the connection's protocol from its first byte, then hand
+/// off to the matching serve loop.
+fn serve_connection(inner: Arc<Inner>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_TICK));
     let _ = stream.set_write_timeout(inner.cfg.write_timeout);
-    let mut reader = FrameReader::new();
+    let started = Instant::now();
+    let mut first = [0u8; 1];
+    let first_byte = loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match (&stream).read(&mut first) {
+            Ok(0) => return,
+            Ok(_) => break first[0],
+            Err(e) if is_timeout(&e) => {
+                if let Some(budget) = inner.cfg.read_timeout {
+                    if started.elapsed() >= budget {
+                        // Protocol unknown; the JSON-framed timeout is
+                        // the compatible farewell.
+                        inner.timeouts.fetch_add(1, Ordering::Relaxed);
+                        let resp = err_response(
+                            &Json::Null,
+                            ErrorCode::Timeout,
+                            "connection idle past the read timeout",
+                        );
+                        let _ = write_frame(&mut &stream, resp.to_string().as_bytes());
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    };
+    if first_byte == wire::MAGIC {
+        if inner.cfg.proto == ProtoAccept::Json {
+            send_binary_error(
+                &stream,
+                0,
+                ErrorCode::BadRequest,
+                "binary protocol disabled on this server",
+            );
+            return;
+        }
+        // Version byte follows the magic.
+        let version = loop {
+            if inner.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match (&stream).read(&mut first) {
+                Ok(0) => return,
+                Ok(_) => break first[0],
+                Err(e) if is_timeout(&e) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        };
+        if version != wire::VERSION {
+            send_binary_error(
+                &stream,
+                0,
+                ErrorCode::BadRequest,
+                &format!("unsupported protocol version {version}"),
+            );
+            return;
+        }
+        serve_binary(inner, stream);
+    } else {
+        if inner.cfg.proto == ProtoAccept::Binary {
+            let resp = err_response(
+                &Json::Null,
+                ErrorCode::BadRequest,
+                "JSON protocol disabled on this server",
+            );
+            let _ = write_frame(&mut &stream, resp.to_string().as_bytes());
+            return;
+        }
+        let mut reader = FrameReader::new();
+        reader.prime(first_byte);
+        serve_json(inner, stream, reader);
+    }
+}
+
+fn serve_json(inner: Arc<Inner>, mut stream: TcpStream, mut reader: FrameReader) {
     let mut idle_since = Instant::now();
     loop {
         let stopping = inner.stop.load(Ordering::SeqCst);
@@ -478,6 +646,167 @@ fn serve_connection(inner: Arc<Inner>, mut stream: TcpStream) {
     }
 }
 
+/// The shared write half of a multiplexed connection: response frames
+/// from concurrent execution tasks interleave under one lock (a frame
+/// is written atomically), and the first write failure marks the
+/// connection dead so the read loop stops feeding it.
+struct MuxWriter {
+    stream: Arc<TcpStream>,
+    lock: Mutex<()>,
+    dead: AtomicBool,
+}
+
+impl MuxWriter {
+    fn send(&self, stream_id: u64, resp: &Response) {
+        let mut payload = Vec::new();
+        wire::encode_response(stream_id, resp, &mut payload);
+        let _guard = self.lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if self.dead.load(Ordering::Acquire) {
+            return;
+        }
+        if write_frame(&mut &*self.stream, &payload).is_err() {
+            self.dead.store(true, Ordering::Release);
+        }
+    }
+}
+
+fn send_binary_error(stream: &TcpStream, stream_id: u64, code: ErrorCode, message: &str) {
+    let mut payload = Vec::new();
+    wire::encode_response(
+        stream_id,
+        &Response::Error { code, message: message.into() },
+        &mut payload,
+    );
+    let _ = write_frame(&mut &*stream, &payload);
+}
+
+/// The multiplexed binary serve loop. The connection task reads
+/// frames; admission happens here, at read time — an admitted request
+/// moves its permit onto the execution pool and the task keeps
+/// reading, a rejected one is answered `overloaded` on its own stream.
+fn serve_binary(inner: Arc<Inner>, stream: TcpStream) {
+    let stream = Arc::new(stream);
+    let writer = Arc::new(MuxWriter {
+        stream: Arc::clone(&stream),
+        lock: Mutex::new(()),
+        dead: AtomicBool::new(false),
+    });
+    let mut reader = FrameReader::new();
+    let mut tasks: Vec<TaskHandle<()>> = Vec::new();
+    let mut idle_since = Instant::now();
+    loop {
+        if writer.dead.load(Ordering::Acquire) {
+            break;
+        }
+        let stopping = inner.stop.load(Ordering::SeqCst);
+        match reader.poll(&mut &*stream) {
+            Ok(ReadEvent::Frame(payload)) => {
+                idle_since = Instant::now();
+                tasks.retain(|t| !t.is_done());
+                let (sid, body) = match wire::split_stream_id(&payload) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        writer.send(
+                            0,
+                            &Response::Error {
+                                code: ErrorCode::BadRequest,
+                                message: format!("malformed frame: {e}"),
+                            },
+                        );
+                        continue;
+                    }
+                };
+                if stopping {
+                    writer.send(
+                        sid,
+                        &Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "server is draining".into(),
+                        },
+                    );
+                    break;
+                }
+                let req = match wire::decode_request_body(body) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        writer.send(
+                            sid,
+                            &Response::Error {
+                                code: ErrorCode::BadRequest,
+                                message: format!("malformed frame: {e}"),
+                            },
+                        );
+                        continue;
+                    }
+                };
+                if req.needs_admission() {
+                    // Per-stream admission at read time: the permit —
+                    // not the pool queue — bounds what piles up behind
+                    // the executors.
+                    match inner.inflight.try_acquire() {
+                        Some(permit) => {
+                            let task_inner = Arc::clone(&inner);
+                            let task_writer = Arc::clone(&writer);
+                            tasks.push(inner.exec.spawn_task(move || {
+                                let resp = dispatch(&task_inner, &req, Some(permit));
+                                task_writer.send(sid, &resp);
+                            }));
+                        }
+                        None => {
+                            inner.overloaded.fetch_add(1, Ordering::Relaxed);
+                            let (code, message) = overloaded(&inner);
+                            writer.send(sid, &Response::Error { code, message });
+                        }
+                    }
+                } else {
+                    let resp = dispatch(&inner, &req, None);
+                    writer.send(sid, &resp);
+                }
+            }
+            Ok(ReadEvent::Idle) => {
+                tasks.retain(|t| !t.is_done());
+                if stopping {
+                    break;
+                }
+                if tasks.is_empty() {
+                    if let Some(budget) = inner.cfg.read_timeout {
+                        if idle_since.elapsed() >= budget {
+                            inner.timeouts.fetch_add(1, Ordering::Relaxed);
+                            writer.send(
+                                0,
+                                &Response::Error {
+                                    code: ErrorCode::Timeout,
+                                    message: "connection idle past the read timeout".into(),
+                                },
+                            );
+                            break;
+                        }
+                    }
+                } else {
+                    // In-flight streams count as activity.
+                    idle_since = Instant::now();
+                }
+            }
+            Ok(ReadEvent::TooLarge(n)) => {
+                writer.send(
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::FrameTooLarge,
+                        message: format!("frame of {n} bytes exceeds the limit"),
+                    },
+                );
+                break;
+            }
+            Ok(ReadEvent::Eof) | Err(_) => break,
+        }
+    }
+    // Drain: every admitted stream gets its response before the
+    // connection's pool worker is released.
+    for t in tasks {
+        let _ = t.join();
+    }
+}
+
 /// Best-effort id extraction for error responses to frames we will not
 /// fully dispatch.
 fn request_id(bytes: &[u8]) -> Json {
@@ -488,7 +817,7 @@ fn request_id(bytes: &[u8]) -> Json {
         .unwrap_or(Json::Null)
 }
 
-/// Parse and dispatch one request frame into a response.
+/// Parse and dispatch one JSON request frame into a response.
 fn respond(inner: &Inner, bytes: &[u8]) -> Json {
     let Ok(text) = std::str::from_utf8(bytes) else {
         return err_response(&Json::Null, ErrorCode::BadRequest, "frame is not UTF-8");
@@ -509,65 +838,93 @@ fn respond(inner: &Inner, bytes: &[u8]) -> Json {
     };
     let empty = Json::Obj(Vec::new());
     let params = req.get("params").unwrap_or(&empty);
-    match dispatch(inner, method, params) {
-        Ok(result) => {
-            inner.served.fetch_add(1, Ordering::Relaxed);
-            ok_response(&id, result)
-        }
-        Err((code, msg)) => {
-            if code == ErrorCode::Overloaded {
+    match Request::from_json(method, params) {
+        Ok(request) => dispatch(inner, &request, None).to_json(&id),
+        Err((code, msg)) => err_response(&id, code, &msg),
+    }
+}
+
+type MethodResult = Result<Response, (ErrorCode, String)>;
+
+/// Execute one typed request — both protocols land here. `permit` is
+/// the admission permit when the caller already acquired it (the
+/// multiplexed read loop); `None` makes admission this function's job.
+fn dispatch(inner: &Inner, req: &Request, permit: Option<Permit>) -> Response {
+    let resp = match dispatch_inner(inner, req, permit) {
+        Ok(resp) => resp,
+        Err((code, message)) => Response::Error { code, message },
+    };
+    match &resp {
+        Response::Error { code, .. } => {
+            if *code == ErrorCode::Overloaded {
                 inner.overloaded.fetch_add(1, Ordering::Relaxed);
             }
-            err_response(&id, code, &msg)
+        }
+        _ => {
+            inner.served.fetch_add(1, Ordering::Relaxed);
         }
     }
+    resp
 }
 
-type MethodResult = Result<Json, (ErrorCode, String)>;
-
-fn dispatch(inner: &Inner, method: &str, params: &Json) -> MethodResult {
-    match method {
-        "query" => query(inner, params),
-        "plan_info" => plan_info(inner, params),
-        "stats" => Ok(stats_json(inner)),
-        "insert_subtree" => mutate(inner, params, |db, p| {
-            let parent = u32_param(p, "parent_start")?;
-            let xml = str_param(p, "xml")?;
-            db.insert_subtree(parent, xml).map_err(mutation_error)
-        }),
-        "delete" => mutate(inner, params, |db, p| {
-            let start = u32_param(p, "start")?;
-            db.delete(start).map_err(mutation_error)
-        }),
-        "retag" => mutate(inner, params, |db, p| {
-            let start = u32_param(p, "start")?;
-            let tag = str_param(p, "tag")?;
-            db.retag(start, tag).map_err(mutation_error)
-        }),
-        "clear_cache" => {
+fn dispatch_inner(inner: &Inner, req: &Request, permit: Option<Permit>) -> MethodResult {
+    let _permit = if req.needs_admission() && permit.is_none() {
+        match inner.inflight.try_acquire() {
+            Some(p) => Some(p),
+            None => return Err(overloaded(inner)),
+        }
+    } else {
+        permit
+    };
+    match req {
+        Request::Query { db, xpath, engine, labels, cache, hold_ms } => {
+            query(inner, db, xpath, engine, *labels, *cache, *hold_ms)
+        }
+        Request::PlanInfo { db, xpath, engine } => plan_info(inner, db, xpath, engine),
+        Request::Stats { db } => {
+            let (doc, handle) = resolve(inner, db)?;
+            Ok(Response::Info(stats_json(inner, doc, handle)))
+        }
+        Request::InsertSubtree { db, parent_start, xml } => {
+            let (_, handle) = resolve(inner, db)?;
+            let generation =
+                handle.insert_subtree(*parent_start, xml).map_err(mutation_error)?;
+            Ok(Response::Generation { generation })
+        }
+        Request::Delete { db, start } => {
+            let (_, handle) = resolve(inner, db)?;
+            let generation = handle.delete(*start).map_err(mutation_error)?;
+            Ok(Response::Generation { generation })
+        }
+        Request::Retag { db, start, tag } => {
+            let (_, handle) = resolve(inner, db)?;
+            let generation = handle.retag(*start, tag).map_err(mutation_error)?;
+            Ok(Response::Generation { generation })
+        }
+        Request::ClearCache => {
             let cleared = inner.cache.clear();
-            Ok(Json::Obj(vec![("cleared".into(), Json::num(cleared as f64))]))
+            Ok(Response::Info(Json::Obj(vec![(
+                "cleared".into(),
+                Json::uint(cleared as u64),
+            )])))
         }
-        other => Err((
-            ErrorCode::BadRequest,
-            format!("unknown method {other:?}"),
-        )),
     }
 }
 
-fn str_param<'a>(params: &'a Json, key: &str) -> Result<&'a str, (ErrorCode, String)> {
-    params
-        .get(key)
-        .and_then(Json::as_str)
-        .ok_or_else(|| (ErrorCode::BadRequest, format!("missing string param {key:?}")))
-}
-
-fn u32_param(params: &Json, key: &str) -> Result<u32, (ErrorCode, String)> {
-    params
-        .get(key)
-        .and_then(Json::as_u64)
-        .and_then(|n| u32::try_from(n).ok())
-        .ok_or_else(|| (ErrorCode::BadRequest, format!("missing u32 param {key:?}")))
+/// Route a request's database name to a collection member. An empty
+/// name selects the first member (the single-document default).
+fn resolve<'a>(
+    inner: &'a Inner,
+    name: &str,
+) -> Result<(u32, &'a Arc<BlasDb>), (ErrorCode, String)> {
+    let id = if name.is_empty() {
+        DocId(0)
+    } else {
+        inner.coll.find(name).ok_or_else(|| {
+            (ErrorCode::BadRequest, format!("unknown database {name:?}"))
+        })?
+    };
+    Ok((id.0, inner.coll.doc_shared(id)))
 }
 
 fn mutation_error(e: blas::BlasError) -> (ErrorCode, String) {
@@ -575,21 +932,6 @@ fn mutation_error(e: blas::BlasError) -> (ErrorCode, String) {
         blas::BlasError::Mutation(_) => (ErrorCode::Mutation, e.to_string()),
         _ => (ErrorCode::BadRequest, e.to_string()),
     }
-}
-
-/// Mutations go through the same admission bound as queries: the
-/// writer lock serializes them anyway, and a bounded rejection beats
-/// an unbounded convoy on that lock.
-fn mutate(
-    inner: &Inner,
-    params: &Json,
-    f: impl FnOnce(&BlasDb, &Json) -> Result<u64, (ErrorCode, String)>,
-) -> MethodResult {
-    let Some(_permit) = inner.inflight.try_acquire() else {
-        return Err(overloaded(inner));
-    };
-    let generation = f(&inner.db, params)?;
-    Ok(Json::Obj(vec![("generation".into(), Json::num(generation as f64))]))
 }
 
 fn overloaded(inner: &Inner) -> (ErrorCode, String) {
@@ -602,33 +944,28 @@ fn overloaded(inner: &Inner) -> (ErrorCode, String) {
     )
 }
 
-fn query(inner: &Inner, params: &Json) -> MethodResult {
-    let xpath = str_param(params, "xpath")?;
-    let engine_tok = match params.get("engine") {
-        Some(v) => v
-            .as_str()
-            .ok_or_else(|| (ErrorCode::BadRequest, "\"engine\" must be a string".into()))?,
-        None => "auto",
-    };
+fn query(
+    inner: &Inner,
+    db: &str,
+    xpath: &str,
+    engine_tok: &str,
+    want_labels: bool,
+    use_cache: bool,
+    hold_ms: Option<u64>,
+) -> MethodResult {
+    let (doc, handle) = resolve(inner, db)?;
     let choice: EngineChoice = engine_tok
         .parse()
         .map_err(|e: blas::BlasError| (ErrorCode::BadRequest, e.to_string()))?;
-    let want_labels = params.get("labels").and_then(Json::as_bool).unwrap_or(true);
-    let use_cache = params.get("cache").and_then(Json::as_bool).unwrap_or(true);
-
-    // Admission: bounded in-flight execution, typed rejection, no queue.
-    let Some(_permit) = inner.inflight.try_acquire() else {
-        return Err(overloaded(inner));
-    };
     if inner.cfg.debug_hold {
-        if let Some(ms) = params.get("hold_ms").and_then(Json::as_u64) {
+        if let Some(ms) = hold_ms {
             std::thread::sleep(Duration::from_millis(ms.min(10_000)));
         }
     }
 
-    let snap = inner.db.snapshot();
+    let snap = handle.snapshot();
     let generation = snap.generation();
-    let key: ResultKey = (xpath.to_string(), engine_tok.to_string(), generation);
+    let key: ResultKey = (doc, xpath.to_string(), engine_tok.to_string(), generation);
     let (entry, cached) = match use_cache {
         true => match inner.cache.get(&key) {
             Some(hit) => (hit, true),
@@ -636,17 +973,14 @@ fn query(inner: &Inner, params: &Json) -> MethodResult {
         },
         false => (execute(inner, &snap, xpath, choice, &key, false)?, false),
     };
-    let mut fields = vec![
-        ("generation".into(), Json::num(generation as f64)),
-        ("engine".into(), Json::str(engine_tok)),
-        ("cached".into(), Json::Bool(cached)),
-        ("count".into(), Json::num(entry.count as f64)),
-        ("elements_visited".into(), Json::num(entry.elements_visited as f64)),
-    ];
-    if want_labels {
-        fields.push(("nodes".into(), Json::Raw(Arc::clone(&entry.nodes_json))));
-    }
-    Ok(Json::Obj(fields))
+    Ok(Response::Query {
+        generation,
+        engine: engine_tok.to_string(),
+        cached,
+        count: entry.count,
+        elements_visited: entry.elements_visited,
+        nodes: want_labels.then(|| Arc::clone(&entry.nodes)),
+    })
 }
 
 fn execute(
@@ -663,22 +997,13 @@ fn execute(
         }
         _ => (ErrorCode::Internal, e.to_string()),
     })?;
-    let mut nodes = String::with_capacity(result.nodes.len() * 12 + 2);
-    nodes.push('[');
-    for (i, d) in result.nodes.iter().enumerate() {
-        if i > 0 {
-            nodes.push(',');
-        }
-        let _ = std::fmt::Write::write_fmt(
-            &mut nodes,
-            format_args!("[{},{},{}]", d.start, d.end, d.level),
-        );
-    }
-    nodes.push(']');
+    let nodes = NodesBlob::from_triples(
+        result.nodes.iter().map(|d| (d.start, d.end, d.level)),
+    );
     let entry = Arc::new(CachedResult {
-        count: result.nodes.len(),
+        count: result.nodes.len() as u64,
         elements_visited: result.stats.elements_visited,
-        nodes_json: Arc::new(nodes),
+        nodes: Arc::new(nodes),
     });
     if store {
         inner.cache.insert(key.clone(), Arc::clone(&entry), snap.generation());
@@ -686,97 +1011,91 @@ fn execute(
     Ok(entry)
 }
 
-fn plan_info(inner: &Inner, params: &Json) -> MethodResult {
-    let xpath = str_param(params, "xpath")?;
-    let engine_tok = match params.get("engine") {
-        Some(v) => v
-            .as_str()
-            .ok_or_else(|| (ErrorCode::BadRequest, "\"engine\" must be a string".into()))?,
-        None => "auto",
-    };
+fn plan_info(inner: &Inner, db: &str, xpath: &str, engine_tok: &str) -> MethodResult {
+    let (_, handle) = resolve(inner, db)?;
     let choice: EngineChoice = engine_tok
         .parse()
         .map_err(|e: blas::BlasError| (ErrorCode::BadRequest, e.to_string()))?;
-    let info = inner.db.plan_info(xpath, choice).map_err(|e| match &e {
+    let info = handle.plan_info(xpath, choice).map_err(|e| match &e {
         blas::BlasError::XPath(_) | blas::BlasError::Parse(_) => {
             (ErrorCode::Xpath, e.to_string())
         }
         _ => (ErrorCode::Internal, e.to_string()),
     })?;
-    Ok(Json::Obj(vec![
+    Ok(Response::Info(Json::Obj(vec![
         ("engine".into(), Json::str(info.engine.to_string())),
         ("translator".into(), Json::str(format!("{:?}", info.translator))),
-        ("shards".into(), Json::num(info.shards as f64)),
+        ("shards".into(), Json::uint(info.shards as u64)),
         ("est_cost_ns".into(), Json::Num(info.est_cost_ns)),
-        ("ops".into(), Json::num(info.ops as f64)),
+        ("ops".into(), Json::uint(info.ops as u64)),
         ("cached".into(), Json::Bool(info.cached)),
-    ]))
+    ])))
 }
 
-fn stats_json(inner: &Inner) -> Json {
-    let delta = inner.db.delta_stats();
-    let plan = inner.db.plan_cache_stats();
+fn stats_json(inner: &Inner, doc: u32, db: &Arc<BlasDb>) -> Json {
+    let delta = db.delta_stats();
+    let plan = db.plan_cache_stats();
     Json::Obj(vec![
-        ("generation".into(), Json::num(inner.db.generation() as f64)),
-        ("served".into(), Json::num(inner.served.load(Ordering::Relaxed) as f64)),
+        ("db".into(), Json::str(inner.coll.name(DocId(doc)))),
+        ("documents".into(), Json::uint(inner.coll.len() as u64)),
+        ("generation".into(), Json::uint(db.generation())),
+        ("served".into(), Json::uint(inner.served.load(Ordering::Relaxed))),
         (
             "overloaded".into(),
-            Json::num(inner.overloaded.load(Ordering::Relaxed) as f64),
+            Json::uint(inner.overloaded.load(Ordering::Relaxed)),
         ),
         (
             "inflight".into(),
-            Json::num(inner.inflight.in_use(inner.cfg.max_inflight) as f64),
+            Json::uint(inner.inflight.in_use(inner.cfg.max_inflight) as u64),
         ),
         (
             "connections".into(),
             Json::Obj(vec![
                 (
                     "accepted".into(),
-                    Json::num(inner.conns_accepted.load(Ordering::Relaxed) as f64),
+                    Json::uint(inner.conns_accepted.load(Ordering::Relaxed)),
                 ),
                 (
                     "rejected".into(),
-                    Json::num(inner.conns_rejected.load(Ordering::Relaxed) as f64),
+                    Json::uint(inner.conns_rejected.load(Ordering::Relaxed)),
                 ),
                 (
                     "active".into(),
-                    Json::num(
-                        inner.conn_slots.in_use(inner.cfg.max_connections) as f64
-                    ),
+                    Json::uint(inner.conn_slots.in_use(inner.cfg.max_connections) as u64),
                 ),
             ]),
         ),
         (
             "result_cache".into(),
             Json::Obj(vec![
-                ("hits".into(), Json::num(inner.cache.hits.load(Ordering::Relaxed) as f64)),
+                ("hits".into(), Json::uint(inner.cache.hits.load(Ordering::Relaxed))),
                 (
                     "misses".into(),
-                    Json::num(inner.cache.misses.load(Ordering::Relaxed) as f64),
+                    Json::uint(inner.cache.misses.load(Ordering::Relaxed)),
                 ),
                 (
                     "invalidated".into(),
-                    Json::num(inner.cache.invalidated.load(Ordering::Relaxed) as f64),
+                    Json::uint(inner.cache.invalidated.load(Ordering::Relaxed)),
                 ),
-                ("entries".into(), Json::num(inner.cache.len() as f64)),
+                ("entries".into(), Json::uint(inner.cache.len() as u64)),
             ]),
         ),
         (
             "plan_cache".into(),
             Json::Obj(vec![
-                ("hits".into(), Json::num(plan.hits as f64)),
-                ("misses".into(), Json::num(plan.misses as f64)),
-                ("entries".into(), Json::num(plan.entries as f64)),
-                ("evictions".into(), Json::num(plan.evictions as f64)),
+                ("hits".into(), Json::uint(plan.hits)),
+                ("misses".into(), Json::uint(plan.misses)),
+                ("entries".into(), Json::uint(plan.entries as u64)),
+                ("evictions".into(), Json::uint(plan.evictions)),
             ]),
         ),
         (
             "delta".into(),
             Json::Obj(vec![
-                ("inserted".into(), Json::num(delta.inserted as f64)),
-                ("deleted".into(), Json::num(delta.deleted as f64)),
-                ("retags".into(), Json::num(delta.retags as f64)),
-                ("compactions".into(), Json::num(delta.compactions as f64)),
+                ("inserted".into(), Json::uint(delta.inserted as u64)),
+                ("deleted".into(), Json::uint(delta.deleted as u64)),
+                ("retags".into(), Json::uint(delta.retags as u64)),
+                ("compactions".into(), Json::uint(delta.compactions)),
             ]),
         ),
     ])
